@@ -1,0 +1,107 @@
+// Fig. 10 reproduction: normalized inference energy of Eyeriss, DeepCAM
+// with variable hash lengths (VHL), and "Max DeepCAM" (homogeneous
+// 1024-bit), all normalized to the paper's baseline: DeepCAM with
+// homogeneous 256-bit hashes. Swept over CAM row counts and both dataflows.
+//
+// DeepCAM energy is computed analytically from the mapping plans and the
+// tech.hpp cost model (identical accounting to the accelerator's reports:
+// CAM search + CAM write + post-processing + online context generation).
+#include <cstdio>
+#include <vector>
+
+#include "cam/energy_model.hpp"
+#include "common/table.hpp"
+#include "common/tech.hpp"
+#include "core/mapping.hpp"
+#include "nn/topologies.hpp"
+#include "nn/workload.hpp"
+#include "systolic/eyeriss.hpp"
+
+using namespace deepcam;
+
+namespace {
+
+/// Representative VHL assignment: early layers (small contexts) need longer
+/// hashes than their dimensionality suggests is unnecessary; deep layers
+/// with large contexts need the full word. This mirrors the per-layer
+/// choices the Fig. 5 tuner produces: scale hash length with context size.
+std::size_t vhl_bits_for_context(std::size_t context_len) {
+  if (context_len <= 64) return 256;
+  if (context_len <= 512) return 512;
+  if (context_len <= 2048) return 768;
+  return 1024;
+}
+
+double deepcam_energy(const nn::Model& model, nn::Shape input,
+                      std::size_t rows, core::Dataflow df,
+                      std::size_t fixed_bits /* 0 = VHL */) {
+  double energy = 0.0;
+  bool first = true;
+  const cam::CamConfig cam_cfg{rows, 256, 4, cam::CellTech::kFeFET};
+  for (const auto& g : nn::extract_gemm_workload(model, input)) {
+    const std::size_t k =
+        fixed_bits == 0 ? vhl_bits_for_context(g.k) : fixed_bits;
+    const core::MappingPlan plan = core::plan_mapping({g.m, g.n}, rows, df);
+    // CAM: searches + row writes.
+    energy += double(plan.searches) *
+              cam::CamCostModel::search_energy(cam_cfg, k);
+    energy += double(plan.rows_written) *
+              cam::CamCostModel::write_energy(cam_cfg, k);
+    // Post-processing: one cosine+2 minifloat muls+bias add per dot product.
+    energy += double(plan.dot_products) *
+              (tech::kCosineUnitEnergy + 2.0 * tech::kMiniFloatMulEnergy +
+               tech::kAdd8Energy + tech::kPipeRegEnergy);
+    // Online context generation for every layer after the first.
+    if (!first) {
+      energy += double(g.m) *
+                (double(g.k) * tech::kMul8Energy +
+                 double(g.k - 1) * tech::kAdd16Energy +
+                 16.0 * tech::kSqrtIterEnergy +
+                 double(g.k) * double(k) * tech::kXbarCellEnergy +
+                 double(k) * tech::kXbarSenseAmpEnergy);
+    }
+    first = false;
+  }
+  return energy;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 10: normalized energy (baseline = DeepCAM "
+              "homogeneous 256-bit) ==\n\n");
+
+  const char* models[] = {"lenet5", "vgg11", "vgg16", "resnet18"};
+  for (const char* name : models) {
+    auto model = nn::make_model(name, 1);
+    const nn::InputSpec spec = nn::input_spec_for(name);
+    const nn::Shape in{1, spec.channels, spec.height, spec.width};
+    const double eyeriss_e = systolic::simulate_eyeriss(*model, in)
+                                 .total_energy();
+
+    std::printf("-- %s --\n", name);
+    Table t({"rows", "dataflow", "Eyeriss", "VHL DeepCAM", "Max DeepCAM",
+             "VHL saving vs Eyeriss"});
+    for (std::size_t rows : {64u, 128u, 256u, 512u}) {
+      for (const auto df : {core::Dataflow::kWeightStationary,
+                            core::Dataflow::kActivationStationary}) {
+        const double base = deepcam_energy(*model, in, rows, df, 256);
+        const double vhl = deepcam_energy(*model, in, rows, df, 0);
+        const double maxd = deepcam_energy(*model, in, rows, df, 1024);
+        t.add_row({std::to_string(rows),
+                   df == core::Dataflow::kWeightStationary ? "WS" : "AS",
+                   Table::num(eyeriss_e / base, 1),
+                   Table::num(vhl / base, 2), Table::num(maxd / base, 2),
+                   Table::ratio(eyeriss_e / vhl, 1)});
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape checks (paper section IV-C): VHL sits between the 256-bit\n"
+      "baseline (1.0) and Max DeepCAM; Eyeriss is orders of magnitude\n"
+      "above all DeepCAM variants; savings vs Eyeriss are largest for\n"
+      "LeNet and smallest for ResNet18 (paper: 109.4x down to 2.16x).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Fig. 9 reproduction: inference computation cycles and hardware utilization
+// for DeepCAM (weight- and activation-stationary, CAM rows 64..512) versus
+// the Eyeriss systolic baseline and the Skylake CPU model, on all four
+// topologies.
+//
+// DeepCAM cycles are reported under both cycle presets:
+//   idealized    — the paper's O(1)-search abstraction (search=1 cycle,
+//                  writes/context-generation hidden);
+//   conservative — engineering-estimate latencies (tech.hpp).
+// See EXPERIMENTS.md for how the paper's headline ratios map onto these.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/tech.hpp"
+#include "core/accelerator.hpp"
+#include "core/mapping.hpp"
+#include "cpu/cpu_model.hpp"
+#include "nn/topologies.hpp"
+#include "nn/workload.hpp"
+#include "systolic/eyeriss.hpp"
+
+using namespace deepcam;
+
+namespace {
+
+/// Analytic DeepCAM cycle/utilization model from the mapping plans — no
+/// functional simulation needed, so the full sweep is instant. Matches the
+/// accelerator's accounting (test_integration pins them together).
+struct DeepCamAnalytic {
+  std::size_t cycles_ideal = 0;
+  std::size_t cycles_conservative = 0;
+  double mean_util = 0.0;
+};
+
+DeepCamAnalytic analyze(const nn::Model& model, nn::Shape input,
+                        std::size_t rows, core::Dataflow df,
+                        std::size_t hash_bits) {
+  DeepCamAnalytic out;
+  const std::size_t chunks = (hash_bits + 255) / 256;
+  const std::size_t t_search =
+      std::size_t(tech::kCamSearchBaseCycles) +
+      std::size_t(tech::kCamSearchCyclesPerChunk) * chunks;
+  double util = 0.0, wsum = 0.0;
+  bool first = true;
+  for (const auto& g : nn::extract_gemm_workload(model, input)) {
+    const core::MappingPlan plan =
+        core::plan_mapping({g.m, g.n}, rows, df);
+    out.cycles_ideal += plan.searches;  // 1 cycle per O(1) search
+    out.cycles_conservative +=
+        plan.searches * t_search +
+        plan.rows_written * std::size_t(tech::kCamWriteCyclesPerRow) +
+        plan.passes * std::size_t(tech::kCamPassDrainCycles) +
+        (first ? 0 : g.m * std::size_t(tech::kXbarInputBits));
+    util += plan.utilization * double(plan.passes);
+    wsum += double(plan.passes);
+    first = false;
+  }
+  out.mean_util = wsum == 0.0 ? 0.0 : util / wsum;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 9: computational cycles & utilization ==\n\n");
+
+  struct Workload {
+    const char* model;
+    const char* dataset;
+    std::size_t hash_bits;  // representative VHL level (Fig. 5)
+  };
+  const Workload workloads[] = {{"lenet5", "MNIST-like", 256},
+                                {"vgg11", "CIFAR10-like", 512},
+                                {"vgg16", "CIFAR100-like", 768},
+                                {"resnet18", "CIFAR100-like", 1024}};
+
+  for (const auto& w : workloads) {
+    auto model = nn::make_model(w.model, 1);
+    const nn::InputSpec spec = nn::input_spec_for(w.model);
+    const nn::Shape in{1, spec.channels, spec.height, spec.width};
+
+    const auto eyeriss = systolic::simulate_eyeriss(*model, in);
+    const auto cpu = cpu::simulate_cpu(*model, in);
+
+    std::printf("-- %s (%s), hash length %zu --\n", w.model, w.dataset,
+                w.hash_bits);
+    std::printf("baselines: Eyeriss %zu cycles (util %.1f%%), CPU %.3e "
+                "cycles (eff %.2f%% of peak)\n",
+                eyeriss.total_cycles(), 100.0 * eyeriss.mean_utilization(),
+                cpu.total_cycles(), 100.0 * cpu.mean_efficiency());
+
+    Table t({"rows", "dataflow", "DC cycles (ideal)", "DC cycles (cons.)",
+             "util", "vs Eyeriss (ideal)", "vs CPU (ideal)"});
+    for (std::size_t rows : {64u, 128u, 256u, 512u}) {
+      for (const auto df : {core::Dataflow::kWeightStationary,
+                            core::Dataflow::kActivationStationary}) {
+        const auto dc = analyze(*model, in, rows, df, w.hash_bits);
+        t.add_row(
+            {std::to_string(rows),
+             df == core::Dataflow::kWeightStationary ? "WS" : "AS",
+             Table::num(double(dc.cycles_ideal), 0),
+             Table::num(double(dc.cycles_conservative), 0),
+             Table::num(100.0 * dc.mean_util, 1) + "%",
+             Table::ratio(double(eyeriss.total_cycles()) /
+                          double(dc.cycles_ideal)),
+             Table::ratio(cpu.total_cycles() / double(dc.cycles_ideal))});
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape checks (paper section IV-B): AS utilization >> WS on conv\n"
+      "topologies; speedup vs Eyeriss grows with CAM rows; LeNet shows the\n"
+      "largest CPU gap; DeepCAM < Eyeriss < CPU cycles everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Host-side microbenchmarks (google-benchmark): the computational kernels
+// the simulator spends its time in — SimHash projection, packed Hamming
+// distance, CAM search simulation, context generation — plus the ablation
+// kernels (prefix-hash vs fresh-hash, PWL cosine vs libm).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cam/dynamic_cam.hpp"
+#include "common/rng.hpp"
+#include "core/context.hpp"
+#include "hash/cosine_approx.hpp"
+#include "hash/simhash.hpp"
+
+using namespace deepcam;
+
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+void BM_SimHashProjection(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  hash::SimHasher hasher(n, 1);
+  const auto v = random_vec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.hash(v));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * 1024);
+}
+BENCHMARK(BM_SimHashProjection)->Arg(27)->Arg(256)->Arg(2304)->Arg(4608);
+
+void BM_HammingPrefix(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  BitVec a(1024), b(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    a.set(i, rng.uniform() < 0.5);
+    b.set(i, rng.uniform() < 0.5);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.hamming_prefix(b, k));
+}
+BENCHMARK(BM_HammingPrefix)->Arg(256)->Arg(512)->Arg(768)->Arg(1024);
+
+void BM_CamSearch(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  cam::DynamicCam cam(cam::CamConfig{rows, 256, 4});
+  Rng rng(4);
+  for (std::size_t r = 0; r < rows; ++r) {
+    BitVec v(1024);
+    for (std::size_t i = 0; i < 1024; ++i) v.set(i, rng.uniform() < 0.5);
+    cam.write_row(r, v);
+  }
+  BitVec key(1024);
+  for (std::size_t i = 0; i < 1024; ++i) key.set(i, rng.uniform() < 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(cam.search(key));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_CamSearch)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_PwlCosine(benchmark::State& state) {
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::pwl_cosine(t));
+    t += 1e-4;
+    if (t > 3.14) t = 0.0;
+  }
+}
+BENCHMARK(BM_PwlCosine);
+
+void BM_ContextGeneration(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::ContextGenerator gen(n, 5);
+  const auto v = random_vec(n, 6);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.make_context(v));
+}
+BENCHMARK(BM_ContextGeneration)->Arg(25)->Arg(576)->Arg(4608);
+
+// Ablation: deriving a 256-bit signature from a 1024-bit hash prefix versus
+// hashing with a fresh 256-column matrix. The prefix approach reuses the
+// wide hash (already needed for other layers), so the comparison shows the
+// cost of NOT using the prefix trick during VHL sweeps.
+void BM_PrefixVsFresh_Prefix(benchmark::State& state) {
+  hash::SimHasher wide(512, 7, 1024);
+  const auto v = random_vec(512, 8);
+  const auto sig = wide.hash(v);
+  for (auto _ : state) benchmark::DoNotOptimize(sig.bits.prefix(256));
+}
+BENCHMARK(BM_PrefixVsFresh_Prefix);
+
+void BM_PrefixVsFresh_Fresh(benchmark::State& state) {
+  hash::SimHasher narrow(512, 9, 256);
+  const auto v = random_vec(512, 10);
+  for (auto _ : state) benchmark::DoNotOptimize(narrow.hash(v));
+}
+BENCHMARK(BM_PrefixVsFresh_Fresh);
+
+}  // namespace
+
+BENCHMARK_MAIN();

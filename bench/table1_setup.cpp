@@ -1,0 +1,52 @@
+// Table I reproduction: the evaluation setup — platforms, configurations,
+// metrics and CNN/dataset pairs, as instantiated by this repository.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/tech.hpp"
+#include "nn/topologies.hpp"
+#include "nn/workload.hpp"
+#include "systolic/eyeriss.hpp"
+
+using namespace deepcam;
+
+int main() {
+  std::printf("== Table I: hardware evaluation setup ==\n\n");
+  Table t({"category", "CPU", "systolic", "DeepCAM"});
+  t.add_row({"configuration", "Skylake AVX-512 VNNI model",
+             "Eyeriss 14x12, INT8 (SCALE-Sim-style)",
+             "FeFET CAM, variable hash length"});
+  t.add_row({"hw performance", "overall inference computation cycles",
+             "overall inference computation cycles",
+             "overall inference computation cycles"});
+  t.add_row({"energy", "(excluded: CPU energy-hungry, as in paper)",
+             "dynamic inference energy", "dynamic inference energy"});
+  t.add_row({"clock", "CPU core clock", "300 MHz @ 45 nm", "300 MHz @ 45 nm"});
+  t.print();
+
+  std::printf("\nCNN & dataset pairs (paper: MNIST/CIFAR10/CIFAR100; here "
+              "procedural stand-ins, see DESIGN.md):\n");
+  Table m({"model", "input", "classes", "CAM layers", "MACs/inference"});
+  for (const auto* name : {"lenet5", "vgg11", "vgg16", "resnet18"}) {
+    const nn::InputSpec spec = nn::input_spec_for(name);
+    auto model = nn::make_model(name, 1);
+    const nn::Shape in{1, spec.channels, spec.height, spec.width};
+    const auto work = nn::extract_gemm_workload(*model, in);
+    char input_s[32];
+    std::snprintf(input_s, sizeof input_s, "%zux%zux%zu", spec.channels,
+                  spec.height, spec.width);
+    m.add_row({name, input_s, std::to_string(spec.classes),
+               std::to_string(work.size()),
+               Table::num(double(nn::total_macs(*model, in)), 0)});
+  }
+  m.print();
+
+  std::printf("\nDeepCAM CAM geometry: rows in {64,128,256,512}, word "
+              "length in {256,512,768,1024} bits (4 chunks x 256).\n");
+  std::printf("Tech constants (src/common/tech.hpp): CAM search %.3f "
+              "fJ/bit, MAC(INT8) %.2f pJ, SRAM %.0fx MAC, DRAM %.0fx MAC.\n",
+              tech::kCamSearchEnergyPerBit * 1e15,
+              tech::kMacInt8Energy * 1e12, tech::kSramAccessFactor,
+              tech::kDramAccessFactor);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Dataflow explorer: reproduces the paper's §IV-B worked example (32x32
+// input, six 5x5 kernels, 64-row CAM -> 9.4% WS vs 100% AS utilization) and
+// then prints the per-layer WS/AS comparison for any topology, showing
+// where each dataflow wins and why.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/mapping.hpp"
+#include "nn/topologies.hpp"
+#include "nn/workload.hpp"
+
+using namespace deepcam;
+
+int main(int argc, char** argv) {
+  std::printf("== Dataflow explorer ==\n\n");
+
+  // The paper's worked example.
+  {
+    std::printf("paper's example: 32x32 single-channel input, six 5x5 "
+                "kernels, stride 1, 64 CAM rows\n");
+    const core::LayerWork work{28 * 28, 6};
+    const auto ws =
+        core::plan_mapping(work, 64, core::Dataflow::kWeightStationary);
+    const auto as =
+        core::plan_mapping(work, 64, core::Dataflow::kActivationStationary);
+    std::printf("  WS: utilization %.1f%% (paper: 9.4%%), %zu searches\n",
+                100.0 * ws.utilization, ws.searches);
+    std::printf("  AS: utilization %.1f%% (paper: ~100%%), %zu searches\n\n",
+                100.0 * as.utilization, as.searches);
+  }
+
+  const char* model_name = argc > 1 ? argv[1] : "vgg11";
+  std::printf("per-layer comparison for %s (64 CAM rows):\n", model_name);
+  auto model = nn::make_model(model_name, 1);
+  const nn::InputSpec spec = nn::input_spec_for(model_name);
+  const nn::Shape in{1, spec.channels, spec.height, spec.width};
+
+  Table t({"layer", "P", "K", "WS searches", "AS searches", "WS util",
+           "AS util", "winner"});
+  std::size_t ws_total = 0, as_total = 0;
+  for (const auto& g : nn::extract_gemm_workload(*model, in)) {
+    const auto ws =
+        core::plan_mapping({g.m, g.n}, 64, core::Dataflow::kWeightStationary);
+    const auto as = core::plan_mapping({g.m, g.n}, 64,
+                                       core::Dataflow::kActivationStationary);
+    ws_total += ws.searches;
+    as_total += as.searches;
+    t.add_row({g.layer_name, std::to_string(g.m), std::to_string(g.n),
+               std::to_string(ws.searches), std::to_string(as.searches),
+               Table::num(100.0 * ws.utilization, 1) + "%",
+               Table::num(100.0 * as.utilization, 1) + "%",
+               ws.searches < as.searches
+                   ? "WS"
+                   : (as.searches < ws.searches ? "AS" : "tie")});
+  }
+  t.print();
+  std::printf("\ntotals: WS %zu searches, AS %zu searches -> %s wins "
+              "overall (%.2fx)\n", ws_total, as_total,
+              as_total < ws_total ? "activation-stationary"
+                                  : "weight-stationary",
+              double(std::max(ws_total, as_total)) /
+                  double(std::min(ws_total, as_total)));
+  std::printf("\nPattern: conv layers (P >> K) favor AS — the paper's\n"
+              "finding; FC layers (P = 1) favor WS. Early conv layers\n"
+              "dominate total searches, so AS wins the aggregate.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "cam/dynamic_cam.hpp"
+
+#include "common/tech.hpp"
+
+namespace deepcam::cam {
+
+DynamicCam::DynamicCam(CamConfig cfg, SenseAmpConfig sa_cfg)
+    : cfg_(cfg), sense_amp_(sa_cfg), active_chunks_(cfg.num_chunks) {
+  cfg_.validate();
+  rows_.assign(cfg_.rows, BitVec(cfg_.max_word_bits()));
+  occupied_.assign(cfg_.rows, false);
+}
+
+void DynamicCam::set_active_chunks(std::size_t chunks) {
+  DEEPCAM_CHECK_MSG(chunks >= 1 && chunks <= cfg_.num_chunks,
+                    "chunk count out of range");
+  if (chunks != active_chunks_) {
+    active_chunks_ = chunks;
+    ++stats_.reconfigs;
+    ++stats_.cycles;  // transmission-gate enable settle
+  }
+}
+
+void DynamicCam::set_hash_length(std::size_t hash_bits) {
+  DEEPCAM_CHECK_MSG(hash_bits >= 1 && hash_bits <= cfg_.max_word_bits(),
+                    "hash length exceeds CAM word");
+  const std::size_t chunks =
+      (hash_bits + cfg_.chunk_bits - 1) / cfg_.chunk_bits;
+  set_active_chunks(chunks);
+}
+
+void DynamicCam::clear() {
+  occupied_.assign(cfg_.rows, false);
+}
+
+void DynamicCam::write_row(std::size_t row, const BitVec& bits) {
+  DEEPCAM_CHECK_MSG(row < cfg_.rows, "CAM row out of range");
+  const std::size_t k = active_bits();
+  DEEPCAM_CHECK_MSG(bits.size() >= k, "context shorter than active word");
+  BitVec stored(cfg_.max_word_bits());
+  for (std::size_t i = 0; i < k; ++i) stored.set(i, bits.get(i));
+  rows_[row] = std::move(stored);
+  occupied_[row] = true;
+  ++stats_.row_writes;
+  stats_.cycles += tech::kCamWriteCyclesPerRow;
+  stats_.write_energy += CamCostModel::write_energy(cfg_, k);
+}
+
+std::size_t DynamicCam::occupied_rows() const {
+  std::size_t n = 0;
+  for (bool o : occupied_)
+    if (o) ++n;
+  return n;
+}
+
+std::size_t DynamicCam::search_cycles() const {
+  return static_cast<std::size_t>(tech::kCamSearchBaseCycles) +
+         static_cast<std::size_t>(tech::kCamSearchCyclesPerChunk) *
+             active_chunks_;
+}
+
+DynamicCam::SearchResult DynamicCam::search(const BitVec& key) {
+  const std::size_t k = active_bits();
+  DEEPCAM_CHECK_MSG(key.size() >= k, "search key shorter than active word");
+  SearchResult result;
+  result.row_hd.resize(cfg_.rows);
+  for (std::size_t r = 0; r < cfg_.rows; ++r) {
+    if (!occupied_[r]) continue;
+    const std::size_t true_hd = key.hamming_prefix(rows_[r], k);
+    result.row_hd[r] = sense_amp_.measure(true_hd);
+  }
+  ++stats_.searches;
+  stats_.cycles += search_cycles();
+  stats_.search_energy += CamCostModel::search_energy(cfg_, k);
+  return result;
+}
+
+void DynamicCam::inject_bit_fault(std::size_t row, std::size_t bit) {
+  DEEPCAM_CHECK(row < cfg_.rows);
+  DEEPCAM_CHECK(bit < cfg_.max_word_bits());
+  rows_[row].flip(bit);
+}
+
+}  // namespace deepcam::cam

@@ -1,0 +1,85 @@
+// Dynamic-size CAM array (paper Fig. 6).
+//
+// Functional + cycle + energy model of the reconfigurable FeFET CAM:
+//  * rows hold contexts (SimHash signatures) of up to num_chunks*256 bits;
+//  * set_active_chunks() drives the transmission gates, selecting the word
+//    (hash) length for subsequent operations;
+//  * search() compares a key against every occupied row in parallel and
+//    returns the per-row Hamming distances as seen through the sense
+//    amplifier model.
+//
+// Every operation updates CamStats (searches, writes, cycles, joules) using
+// the tech.hpp cost model, so callers get hardware numbers for free.
+// Fault injection (inject_bit_fault) supports the failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cam/config.hpp"
+#include "cam/energy_model.hpp"
+#include "cam/sense_amp.hpp"
+#include "common/bitvec.hpp"
+
+namespace deepcam::cam {
+
+class DynamicCam {
+ public:
+  explicit DynamicCam(CamConfig cfg, SenseAmpConfig sa_cfg = {});
+
+  const CamConfig& config() const { return cfg_; }
+  const CamStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Number of currently enabled 256-bit chunks (1..num_chunks).
+  std::size_t active_chunks() const { return active_chunks_; }
+  /// Active word length in bits (the effective hash length k).
+  std::size_t active_bits() const { return active_chunks_ * cfg_.chunk_bits; }
+
+  /// Drives the transmission gates: word length = chunks*chunk_bits.
+  /// Charged one reconfiguration cycle when the setting changes.
+  void set_active_chunks(std::size_t chunks);
+
+  /// Convenience: selects the smallest chunk count covering `hash_bits`.
+  void set_hash_length(std::size_t hash_bits);
+
+  /// Clears all occupancy (does not touch stats).
+  void clear();
+
+  /// Programs `bits` (must be >= active_bits() long; the first active_bits()
+  /// are stored) into row `row` and marks it occupied.
+  void write_row(std::size_t row, const BitVec& bits);
+
+  std::size_t occupied_rows() const;
+  bool row_occupied(std::size_t row) const { return occupied_[row]; }
+
+  /// Result of one parallel search.
+  struct SearchResult {
+    /// Measured Hamming distance per row; nullopt for unoccupied rows.
+    std::vector<std::optional<std::size_t>> row_hd;
+  };
+
+  /// Searches `key` (first active_bits() used) against all occupied rows in
+  /// parallel — O(1) in rows and word length, one sense window in time.
+  SearchResult search(const BitVec& key);
+
+  /// Flips one stored bit (FeFET retention/program fault model).
+  void inject_bit_fault(std::size_t row, std::size_t bit);
+
+  /// Area of this array instance (µm²).
+  double area_um2() const { return CamCostModel::area_um2(cfg_); }
+
+  /// Latency, in cycles, of a single search at the current word length.
+  std::size_t search_cycles() const;
+
+ private:
+  CamConfig cfg_;
+  SenseAmp sense_amp_;
+  std::size_t active_chunks_;
+  std::vector<BitVec> rows_;
+  std::vector<bool> occupied_;
+  CamStats stats_;
+};
+
+}  // namespace deepcam::cam

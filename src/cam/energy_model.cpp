@@ -1,0 +1,49 @@
+#include "cam/energy_model.hpp"
+
+#include "common/tech.hpp"
+
+namespace deepcam::cam {
+
+double CamCostModel::search_energy_per_bit(CellTech tech) {
+  // [paper] FeFET search is ~2.4x cheaper than the CMOS TCAM cell.
+  if (tech == CellTech::kFeFET) return tech::kCamSearchEnergyPerBit;
+  return tech::kCamSearchEnergyPerBit * tech::kCmosSearchEnergyFactor;
+}
+
+double CamCostModel::search_energy(const CamConfig& cfg,
+                                   std::size_t active_bits) {
+  const double cell = search_energy_per_bit(cfg.tech) *
+                      static_cast<double>(cfg.rows) *
+                      static_cast<double>(active_bits);
+  const double sa =
+      tech::kCamSenseAmpEnergyPerRow * static_cast<double>(cfg.rows);
+  const double precharge = tech::kCamPrechargeEnergyPerBit *
+                           static_cast<double>(cfg.rows) *
+                           static_cast<double>(active_bits);
+  return cell + sa + precharge;
+}
+
+double CamCostModel::write_energy(const CamConfig& cfg,
+                                  std::size_t active_bits) {
+  (void)cfg;
+  return tech::kCamWriteEnergyPerBit * static_cast<double>(active_bits);
+}
+
+double CamCostModel::area_um2(const CamConfig& cfg) {
+  const double cell_area = (cfg.tech == CellTech::kFeFET)
+                               ? tech::kFeFetCamCellAreaUm2
+                               : tech::kFeFetCamCellAreaUm2 *
+                                     tech::kCmosAreaFactor;
+  const double cells = static_cast<double>(cfg.rows) *
+                       static_cast<double>(cfg.max_word_bits());
+  // Peripheral overhead: sense amps (per row), search-line drivers (per
+  // column), transmission-gate columns between chunks (per row per joint).
+  const double sa_area = 12.0 * static_cast<double>(cfg.rows);
+  const double driver_area = 1.2 * static_cast<double>(cfg.max_word_bits());
+  const double tgate_area =
+      2.0 * static_cast<double>(cfg.rows) *
+      static_cast<double>(cfg.num_chunks > 0 ? cfg.num_chunks - 1 : 0);
+  return cells * cell_area + sa_area + driver_area + tgate_area;
+}
+
+}  // namespace deepcam::cam

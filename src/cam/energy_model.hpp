@@ -1,0 +1,31 @@
+// EvaCAM-style energy/area model for the CAM array.
+//
+// The paper extracts FeFET CAM search energy and area from EvaCAM (Liu et
+// al., DATE 2022) for row sizes 64/128/256/512 and word lengths
+// 256/512/768/1024 (its Fig. 8). We reproduce that surface from per-bit /
+// per-row primitives in tech.hpp: energy scales with (rows x active bits)
+// for the cell array plus a per-row sense-amp term; area scales with
+// (rows x physical bits) plus peripheral overhead.
+#pragma once
+
+#include <cstddef>
+
+#include "cam/config.hpp"
+
+namespace deepcam::cam {
+
+struct CamCostModel {
+  /// Energy (J) of one search over `rows` words of `active_bits` each.
+  static double search_energy(const CamConfig& cfg, std::size_t active_bits);
+
+  /// Energy (J) of programming one row of `active_bits` cells.
+  static double write_energy(const CamConfig& cfg, std::size_t active_bits);
+
+  /// Silicon area (µm²) of the full array (all physical chunks, peripherals).
+  static double area_um2(const CamConfig& cfg);
+
+  /// Search energy per bit for the chosen technology (J/bit).
+  static double search_energy_per_bit(CellTech tech);
+};
+
+}  // namespace deepcam::cam

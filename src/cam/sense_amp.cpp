@@ -1,0 +1,21 @@
+#include "cam/sense_amp.hpp"
+
+#include <cmath>
+
+namespace deepcam::cam {
+
+std::size_t SenseAmp::measure(std::size_t true_hd) const {
+  if (cfg_.mode == SenseMode::kIdeal) return true_hd;
+  if (true_hd == 0) return 0;  // ML never crosses threshold in the window
+  // Discharge time in TDC bins; the SA latches the bin index b in which the
+  // ML crossed (t in (b-1, b]), and the digital back-end reconstructs
+  // h = tau / t evaluated at the bin centre. Distances with t below one bin
+  // are unresolvable and saturate at tau.
+  const double tau = static_cast<double>(cfg_.tau_unit_bins);
+  const double t = tau / static_cast<double>(true_hd);
+  const double bin = std::max(1.0, std::ceil(t));
+  const double h_meas = std::min(tau, tau / (bin - 0.5));
+  return static_cast<std::size_t>(std::lround(h_meas));
+}
+
+}  // namespace deepcam::cam

@@ -1,0 +1,105 @@
+// Packed bit-vector with fast Hamming distance.
+//
+// BitVec is the storage format for SimHash signatures and for CAM row
+// contents. Bits are packed into 64-bit words; Hamming distance uses
+// hardware popcount. A key operation for the variable-hash-length (VHL)
+// strategy is hamming_prefix(): the Hamming distance restricted to the first
+// k bits, which lets one 1024-bit signature serve every hash length in
+// {256, 512, 768, 1024} (see DESIGN.md §5.1).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace deepcam {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates an all-zero vector of `nbits` bits.
+  explicit BitVec(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0ULL) {}
+
+  std::size_t size() const { return nbits_; }
+  std::size_t word_count() const { return words_.size(); }
+  const std::uint64_t* data() const { return words_.data(); }
+
+  bool get(std::size_t i) const {
+    DEEPCAM_CHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool v) {
+    DEEPCAM_CHECK(i < nbits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void flip(std::size_t i) {
+    DEEPCAM_CHECK(i < nbits_);
+    words_[i >> 6] ^= 1ULL << (i & 63);
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// Hamming distance over full length. Both vectors must be equal length.
+  std::size_t hamming(const BitVec& other) const {
+    DEEPCAM_CHECK_MSG(nbits_ == other.nbits_, "Hamming length mismatch");
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      d += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+    return d;
+  }
+
+  /// Hamming distance over the first `k` bits only (prefix signature).
+  /// Requires k <= size() of both vectors.
+  std::size_t hamming_prefix(const BitVec& other, std::size_t k) const {
+    DEEPCAM_CHECK(k <= nbits_ && k <= other.nbits_);
+    std::size_t d = 0;
+    const std::size_t full_words = k >> 6;
+    for (std::size_t i = 0; i < full_words; ++i)
+      d += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+    const std::size_t rem = k & 63;
+    if (rem != 0) {
+      const std::uint64_t mask = (1ULL << rem) - 1;
+      d += static_cast<std::size_t>(
+          std::popcount((words_[full_words] ^ other.words_[full_words]) & mask));
+    }
+    return d;
+  }
+
+  /// Returns a copy truncated to the first `k` bits.
+  BitVec prefix(std::size_t k) const {
+    DEEPCAM_CHECK(k <= nbits_);
+    BitVec out(k);
+    const std::size_t full_words = k >> 6;
+    for (std::size_t i = 0; i < full_words; ++i) out.words_[i] = words_[i];
+    const std::size_t rem = k & 63;
+    if (rem != 0)
+      out.words_[full_words] = words_[full_words] & ((1ULL << rem) - 1);
+    return out;
+  }
+
+  bool operator==(const BitVec& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace deepcam

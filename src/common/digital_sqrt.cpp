@@ -1,0 +1,40 @@
+#include "common/digital_sqrt.hpp"
+
+namespace deepcam {
+
+std::uint16_t isqrt_nonrestoring(std::uint32_t x) {
+  // Classic non-restoring square root (two radicand bits in, one root bit
+  // out per iteration; 16 iterations for a 32-bit radicand). The remainder
+  // is allowed to go negative and is compensated on the next iteration —
+  // exactly one add/subtract per cycle in the serial hardware unit.
+  std::int64_t rem = 0;
+  std::uint32_t root = 0;
+  for (int i = 15; i >= 0; --i) {
+    const std::int64_t bits = (x >> (2 * i)) & 0x3u;
+    if (rem >= 0) {
+      rem = (rem << 2) | bits;
+      rem -= (static_cast<std::int64_t>(root) << 2) | 1;  // - (4q + 1)
+    } else {
+      rem = (rem << 2) | bits;
+      rem += (static_cast<std::int64_t>(root) << 2) | 3;  // + (4q + 3)
+    }
+    root = (root << 1) | (rem >= 0 ? 1u : 0u);
+  }
+  return static_cast<std::uint16_t>(root);
+}
+
+std::uint32_t fxsqrt_q16(std::uint64_t x_q32) {
+  // sqrt over Q(32.32)-scaled integer: integer sqrt of a 64-bit value.
+  // Binary search based integer sqrt (hardware: 32-iteration serial unit).
+  std::uint64_t lo = 0, hi = 0xFFFFFFFFull;
+  while (lo < hi) {
+    const std::uint64_t mid = (lo + hi + 1) >> 1;
+    if (mid * mid <= x_q32)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return static_cast<std::uint32_t>(lo);
+}
+
+}  // namespace deepcam

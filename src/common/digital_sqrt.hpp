@@ -1,0 +1,25 @@
+// Non-restoring digital integer square root with hardware cost model.
+//
+// The paper's online activation-context generator computes L2 norms with "a
+// simple adder tree and a digital square-root module". We implement the
+// classic non-restoring square root over 32-bit radicands: one iteration per
+// result bit (16 iterations for 32-bit inputs), each iteration being one
+// add/subtract — the standard serial hardware realization. isqrt() gives the
+// functional result; kCyclesPerSqrt32 is the latency the cycle model charges.
+#pragma once
+
+#include <cstdint>
+
+namespace deepcam {
+
+/// Floor of sqrt(x) computed with the non-restoring algorithm.
+std::uint16_t isqrt_nonrestoring(std::uint32_t x);
+
+/// Fixed-point sqrt: returns sqrt(x) where x is Q(16.16); result is Q(16.16).
+/// Implemented as isqrt(x << 16) using 64-bit intermediate.
+std::uint32_t fxsqrt_q16(std::uint64_t x_q32);
+
+/// Serial non-restoring sqrt latency: one cycle per output bit.
+inline constexpr int kCyclesPerSqrt32 = 16;
+
+}  // namespace deepcam

@@ -1,0 +1,45 @@
+// Error handling utilities for the DeepCAM library.
+//
+// The library reports contract violations (bad shapes, out-of-range
+// configuration, misuse of hardware models) by throwing deepcam::Error.
+// Internal invariants use DEEPCAM_CHECK which produces a message with the
+// failing expression and source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace deepcam {
+
+/// Exception type thrown on any contract violation inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::string full = std::string("DEEPCAM_CHECK failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace deepcam
+
+/// Checks a condition and throws deepcam::Error with location info on failure.
+#define DEEPCAM_CHECK(expr)                                                   \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::deepcam::detail::raise_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like DEEPCAM_CHECK but with an extra std::string message.
+#define DEEPCAM_CHECK_MSG(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::deepcam::detail::raise_check_failure(#expr, __FILE__, __LINE__,      \
+                                             (msg));                          \
+  } while (0)

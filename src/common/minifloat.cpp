@@ -1,0 +1,64 @@
+#include "common/minifloat.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace deepcam {
+
+namespace {
+constexpr int kManBits = MiniFloat::kManBits;
+constexpr int kBias = MiniFloat::kBias;
+constexpr int kExpMax = 15;  // 4-bit exponent field max
+}  // namespace
+
+std::uint8_t MiniFloat::encode(float x) {
+  std::uint8_t sign = 0;
+  if (std::signbit(x)) {
+    sign = 0x80;
+    x = -x;
+  }
+  if (std::isnan(x)) return sign;              // treat NaN as zero magnitude
+  if (x >= kMax) return sign | 0x7F;           // saturate to max finite code
+  if (x < kMinSubnormal / 2.0f) return sign;   // underflow to zero
+
+  int e = 0;
+  const float m = std::frexp(x, &e);  // x = m * 2^e, m in [0.5, 1)
+  // Normalize to 1.f * 2^(e-1) form.
+  int exp = e - 1;
+  int biased = exp + kBias;
+
+  float scaled;  // mantissa scaled so that integer rounding yields the code
+  if (biased >= 1) {
+    // Normal number: code mantissa = round((m*2 - 1) * 2^kManBits).
+    scaled = (m * 2.0f - 1.0f) * (1 << kManBits);
+  } else {
+    // Subnormal: value = frac * 2^(1-kBias), mantissa = round(x / 2^(1-bias-man)).
+    scaled = std::ldexp(x, kBias - 1 + kManBits);
+    biased = 0;
+  }
+  // Round to nearest even.
+  int mant = static_cast<int>(std::nearbyint(scaled));
+  if (biased >= 1 && mant == (1 << kManBits)) {
+    mant = 0;
+    ++biased;
+  } else if (biased == 0 && mant == (1 << kManBits)) {
+    mant = 0;
+    biased = 1;
+  }
+  if (biased > kExpMax) return sign | 0x7F;  // saturate after rounding
+  return static_cast<std::uint8_t>(sign | (biased << kManBits) | mant);
+}
+
+float MiniFloat::decode(std::uint8_t code) {
+  const float sign = (code & 0x80) ? -1.0f : 1.0f;
+  const int biased = (code >> kManBits) & 0xF;
+  const int mant = code & ((1 << kManBits) - 1);
+  if (biased == 0) {
+    // Subnormal: mant * 2^(1 - bias - kManBits).
+    return sign * std::ldexp(static_cast<float>(mant), 1 - kBias - kManBits);
+  }
+  const float frac = 1.0f + static_cast<float>(mant) / (1 << kManBits);
+  return sign * std::ldexp(frac, biased - kBias);
+}
+
+}  // namespace deepcam

@@ -1,0 +1,37 @@
+// 8-bit minifloat (E4M3) codec.
+//
+// The paper stores the L2 norm of every weight/activation context as an
+// "8-bit minifloat" (it cites Ristretto-style minifloat). We implement the
+// common E4M3 layout: 1 sign bit, 4 exponent bits (bias 7), 3 mantissa bits,
+// with subnormals; we do not reserve NaN/Inf codes (saturating arithmetic),
+// which matches hardware norm storage where only finite magnitudes occur.
+//
+// encode() performs round-to-nearest-even; decode() is exact.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace deepcam {
+
+class MiniFloat {
+ public:
+  static constexpr int kExpBits = 4;
+  static constexpr int kManBits = 3;
+  static constexpr int kBias = 7;
+  /// Largest representable magnitude: 2^8 * (1 + 7/8) = 480.
+  static constexpr float kMax = 480.0f;
+  /// Smallest positive subnormal: 2^(1-7) * 2^-3 = 2^-9.
+  static constexpr float kMinSubnormal = 0x1.0p-9f;
+
+  /// Encodes a float into the 8-bit code (round-to-nearest-even, saturating).
+  static std::uint8_t encode(float x);
+
+  /// Decodes an 8-bit code back to float (exact).
+  static float decode(std::uint8_t code);
+
+  /// Round-trips a value through the 8-bit representation.
+  static float quantize(float x) { return decode(encode(x)); }
+};
+
+}  // namespace deepcam

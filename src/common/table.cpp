@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace deepcam {
+
+void Table::add_row(std::vector<std::string> cells) {
+  DEEPCAM_CHECK_MSG(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  if (v != 0.0 && (v >= 1e6 || v < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%.*e", prec, v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  }
+  return buf;
+}
+
+std::string Table::ratio(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", prec, v);
+  return buf;
+}
+
+}  // namespace deepcam

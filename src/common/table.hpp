@@ -1,0 +1,33 @@
+// Plain-text table printer used by the benchmark harnesses to emit rows in
+// the same layout as the paper's tables/figures. Column widths auto-size.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace deepcam {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds one row; cell count must equal header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table to `os` with aligned columns.
+  void print(std::ostream& os = std::cout) const;
+
+  /// Formats a double with `prec` significant decimals.
+  static std::string num(double v, int prec = 3);
+
+  /// Formats a ratio like "12.3x".
+  static std::string ratio(double v, int prec = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepcam

@@ -1,0 +1,134 @@
+// Central technology cost model for every hardware component simulated in
+// this repository. All energy/latency/area constants live here, each with a
+// comment stating its origin:
+//   [paper]    — a number or ratio stated in the DeepCAM paper itself
+//   [evacam]   — EvaCAM-style FeFET CAM scaling (paper extracts FeFET CAM
+//                energy/area from EvaCAM, DATE 2022); we use representative
+//                per-bit values of that tool's 45 nm FeFET corner
+//   [est45]    — standard-cell estimate at 45 nm / 300 MHz (the paper's
+//                synthesis corner, Synopsys DC + PrimeTime)
+//   [arch]     — microarchitectural parameter of our design, ablatable
+//
+// Nothing outside this header hard-codes a physical constant.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace deepcam::tech {
+
+// ---------------------------------------------------------------------------
+// System clock
+// ---------------------------------------------------------------------------
+/// [paper] hardware evaluations carried out at 300 MHz, 45 nm CMOS.
+inline constexpr double kClockHz = 300.0e6;
+/// Seconds per cycle at the system clock.
+inline constexpr double kCycleSeconds = 1.0 / kClockHz;
+
+// ---------------------------------------------------------------------------
+// FeFET CAM (the DeepCAM array)
+// ---------------------------------------------------------------------------
+/// [evacam] FeFET CAM search energy per cell per search operation.
+inline constexpr double kCamSearchEnergyPerBit = 0.165e-15;  // J/bit/search
+/// [evacam] clocked self-referenced sense amplifier energy per row per search.
+inline constexpr double kCamSenseAmpEnergyPerRow = 2.0e-15;  // J/row/search
+/// [evacam] FeFET program (write) energy per cell.
+inline constexpr double kCamWriteEnergyPerBit = 10.0e-15;  // J/bit
+/// [evacam] 2T-2FeFET CAM cell area at 45 nm.
+inline constexpr double kFeFetCamCellAreaUm2 = 0.35;  // µm²
+/// [paper] FeFET CAM cell is ~7.5x smaller than the 16T CMOS TCAM cell,
+/// with ~2.4x lower search energy; used for the CMOS comparison mode.
+inline constexpr double kCmosAreaFactor = 7.5;
+inline constexpr double kCmosSearchEnergyFactor = 2.4;
+/// [evacam] match-line precharge energy per bit (included in search energy
+/// above for FeFET; CMOS adds this separately).
+inline constexpr double kCamPrechargeEnergyPerBit = 0.05e-15;  // J/bit
+
+/// [arch] CAM search latency in cycles per enabled 256-bit chunk: precharge,
+/// discharge window and TDC latch scale with match-line length.
+inline constexpr int kCamSearchBaseCycles = 2;
+inline constexpr int kCamSearchCyclesPerChunk = 2;
+/// [arch] FeFET row program latency (one row, all columns in parallel).
+inline constexpr int kCamWriteCyclesPerRow = 2;
+/// [arch] pipeline drain cycles charged once per CAM pass.
+inline constexpr int kCamPassDrainCycles = 8;
+
+// ---------------------------------------------------------------------------
+// Post-processing & transformation unit (45 nm digital @ 300 MHz)
+// ---------------------------------------------------------------------------
+/// [est45] 8-bit adder energy.
+inline constexpr double kAdd8Energy = 0.03e-12;
+/// [est45] 16-bit adder energy (adder-tree nodes).
+inline constexpr double kAdd16Energy = 0.05e-12;
+/// [est45] 8x8 multiplier energy.
+inline constexpr double kMul8Energy = 0.20e-12;
+/// [est45] minifloat (8-bit) multiplier energy — smaller than int8 multiplier
+/// because the mantissa multiplier is 4x4.
+inline constexpr double kMiniFloatMulEnergy = 0.10e-12;
+/// [est45] PWL cosine unit: one multiply + one add on 16-bit fixed point.
+inline constexpr double kCosineUnitEnergy = 0.15e-12;
+/// [est45] non-restoring sqrt: per-iteration add/sub on 32-bit datapath.
+inline constexpr double kSqrtIterEnergy = 0.06e-12;
+/// [est45] register/latch energy per 8-bit value moved through the pipeline.
+inline constexpr double kPipeRegEnergy = 0.01e-12;
+
+// ---------------------------------------------------------------------------
+// Online activation-context generator (NVM crossbar hasher)
+// ---------------------------------------------------------------------------
+/// [evacam] FeFET crossbar cell access energy for the random-projection
+/// matrix-vector multiply (sign output via sense amp — no ADC).
+inline constexpr double kXbarCellEnergy = 1.0e-15;  // J per cell per pass
+/// [est45] sign-detecting sense amplifier energy per output column.
+inline constexpr double kXbarSenseAmpEnergy = 5.0e-15;
+/// [arch] bit-serial input precision driving the crossbar (cycles/patch).
+inline constexpr int kXbarInputBits = 8;
+
+// ---------------------------------------------------------------------------
+// Eyeriss-style systolic array (INT8 datapath, 45 nm)
+// ---------------------------------------------------------------------------
+/// [est45] INT8 MAC energy at 45 nm (paper normalizes memory cost to this).
+inline constexpr double kMacInt8Energy = 0.25e-12;
+/// [paper] on-chip SRAM access costs ~6x a MAC.
+inline constexpr double kSramAccessFactor = 6.0;
+/// [paper] off-chip DRAM access costs ~200x a MAC.
+inline constexpr double kDramAccessFactor = 200.0;
+/// [arch] Eyeriss PE array geometry used in the paper's baseline.
+inline constexpr int kEyerissRows = 14;
+inline constexpr int kEyerissCols = 12;
+/// [arch] global buffer size (Eyeriss: 108 KB) — drives DRAM traffic model.
+inline constexpr int kEyerissGlobalBufferBytes = 108 * 1024;
+/// [arch] DRAM bandwidth in bytes per compute cycle (single LPDDR channel
+/// at accelerator clock).
+inline constexpr double kDramBytesPerCycle = 4.0;
+
+// ---------------------------------------------------------------------------
+// CPU baseline (Intel Skylake, AVX-512 VNNI-class INT8)
+// ---------------------------------------------------------------------------
+/// [arch] peak INT8 MACs per cycle per core: 2 FMA ports x 64 INT8 lanes.
+inline constexpr int kCpuPeakMacsPerCycle = 128;
+/// [arch] achievable fraction of peak on large GEMM-shaped layers.
+inline constexpr double kCpuMaxEfficiency = 0.50;
+/// [arch] fixed per-layer overhead (loop setup, packing, cache warmup).
+inline constexpr double kCpuPerLayerOverheadCycles = 2000.0;
+/// [arch] per-output-row vector loop overhead in cycles; dominates tiny
+/// layers and reproduces the poor efficiency CPUs show on small CNNs.
+inline constexpr double kCpuPerVectorLoopOverhead = 8.0;
+
+// ---------------------------------------------------------------------------
+// Analog PIM baselines (Table II comparators)
+// ---------------------------------------------------------------------------
+/// [arch] NeuroSim-style RRAM crossbar: effective energy per INT8-equivalent
+/// MAC including DAC/ADC and peripherals (ADC-dominated).
+inline constexpr double kRramMacEnergy = 0.23e-12;
+/// [arch] NeuroSim crossbar tile geometry and ADC sharing.
+inline constexpr int kRramTileRows = 128;
+inline constexpr int kRramTileCols = 128;
+inline constexpr int kRramAdcsPerTile = 16;
+inline constexpr int kRramInputBits = 8;
+/// [arch] Valavi-style SRAM charge-domain macro: energy per binary MAC
+/// (charge-redistribution compute is ~10x cheaper than RRAM+ADC).
+inline constexpr double kSramChargeMacEnergy = 0.023e-12;
+inline constexpr int kValaviTileRows = 64;   // 64-tile, 2.4 Mb macro
+inline constexpr int kValaviTileCols = 64;
+inline constexpr int kValaviTiles = 64;
+
+}  // namespace deepcam::tech

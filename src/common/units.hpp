@@ -1,0 +1,23 @@
+// Physical unit helpers.
+//
+// All energies inside the models are carried in joules and all times in
+// seconds, as plain doubles; these helpers make the literals in the tech
+// model self-describing (0.165_fJ reads as intended).
+#pragma once
+
+namespace deepcam {
+
+constexpr double operator"" _fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator"" _pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator"" _nJ(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator"" _uJ(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator"" _ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator"" _MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator"" _um2(long double v) { return static_cast<double>(v); }  // µm²
+
+/// Converts joules to microjoules (for report printing).
+constexpr double to_uJ(double joules) { return joules * 1e6; }
+/// Converts joules to picojoules.
+constexpr double to_pJ(double joules) { return joules * 1e12; }
+
+}  // namespace deepcam

@@ -1,0 +1,82 @@
+#include "core/context.hpp"
+
+#include "common/error.hpp"
+
+namespace deepcam::core {
+
+std::uint64_t layer_hash_seed(std::uint64_t base, std::size_t node_index) {
+  return base * 0x9E3779B97F4A7C15ULL +
+         node_index * 0xD1B54A32D192ED03ULL + 1;
+}
+
+ContextGenerator::ContextGenerator(std::size_t input_dim, std::uint64_t seed)
+    : hasher_(input_dim, seed) {}
+
+Context ContextGenerator::make_context(std::span<const float> v) const {
+  DEEPCAM_CHECK(v.size() == hasher_.input_dim());
+  hash::Signature sig = hasher_.hash(v);
+  Context ctx;
+  ctx.bits = std::move(sig.bits);
+  ctx.exact_norm = sig.norm;
+  ctx.norm_code = MiniFloat::encode(static_cast<float>(sig.norm));
+  return ctx;
+}
+
+std::vector<Context> ContextGenerator::weight_contexts(
+    const nn::Conv2D& conv) const {
+  const nn::ConvSpec& spec = conv.spec();
+  const std::size_t plen = spec.patch_len();
+  DEEPCAM_CHECK(plen == hasher_.input_dim());
+  std::vector<Context> out;
+  out.reserve(spec.out_channels);
+  for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+    std::span<const float> kernel(&conv.weights()[oc * plen], plen);
+    out.push_back(make_context(kernel));
+  }
+  return out;
+}
+
+std::vector<Context> ContextGenerator::weight_contexts(
+    const nn::Linear& fc) const {
+  const std::size_t in = fc.in_features();
+  DEEPCAM_CHECK(in == hasher_.input_dim());
+  std::vector<Context> out;
+  out.reserve(fc.out_features());
+  for (std::size_t o = 0; o < fc.out_features(); ++o) {
+    std::span<const float> row(&fc.weights()[o * in], in);
+    out.push_back(make_context(row));
+  }
+  return out;
+}
+
+std::vector<Context> ContextGenerator::activation_contexts(
+    const nn::Tensor& input, const nn::ConvSpec& spec, std::size_t n) const {
+  const nn::Shape& s = input.shape();
+  DEEPCAM_CHECK(s.c == spec.in_channels);
+  const std::size_t oh = spec.out_h(s.h);
+  const std::size_t ow = spec.out_w(s.w);
+  const std::size_t plen = spec.patch_len();
+  DEEPCAM_CHECK(plen == hasher_.input_dim());
+  std::vector<float> patch(plen);
+  std::vector<Context> out;
+  out.reserve(oh * ow);
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      nn::extract_patch(input, n, oy, ox, spec.kernel_h, spec.kernel_w,
+                        spec.stride, spec.pad, patch);
+      out.push_back(make_context(patch));
+    }
+  }
+  return out;
+}
+
+Context ContextGenerator::activation_context_flat(const nn::Tensor& input,
+                                                  std::size_t n) const {
+  const nn::Shape& s = input.shape();
+  const std::size_t feat = s.c * s.h * s.w;
+  DEEPCAM_CHECK(feat == hasher_.input_dim());
+  std::span<const float> v(input.data() + n * feat, feat);
+  return make_context(v);
+}
+
+}  // namespace deepcam::core

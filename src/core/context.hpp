@@ -1,0 +1,73 @@
+// Context generation (paper §III-A, Fig. 4).
+//
+// A "context" is what DeepCAM stores/searches: the SimHash signature of a
+// reshaped weight kernel or activation patch, plus its L2 norm in 8-bit
+// minifloat. One ContextGenerator exists per CAM-mapped layer and owns that
+// layer's random projection matrix C (weights and activations MUST be hashed
+// with the same C, or the Hamming distance is meaningless).
+//
+// Weight contexts are generated offline (pre-processing software); the first
+// layer's activation contexts likewise. Intermediate activations are hashed
+// by the online transformation unit, whose costs the accelerator charges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/minifloat.hpp"
+#include "hash/simhash.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/tensor.hpp"
+
+namespace deepcam::core {
+
+/// Derives the projection-matrix seed of the CAM layer at graph node
+/// `node_index`. Shared by the accelerator and the hash-length tuner so both
+/// always use identical projection matrices.
+std::uint64_t layer_hash_seed(std::uint64_t base, std::size_t node_index);
+
+/// One CAM-resident entry: signature bits + minifloat-coded L2 norm.
+struct Context {
+  BitVec bits;             ///< full-length (1024-bit) signature
+  std::uint8_t norm_code;  ///< L2 norm, 8-bit minifloat (paper's format)
+  double exact_norm;       ///< reference value kept for ablations/tests
+
+  /// The norm as hardware would decode it.
+  double norm() const { return MiniFloat::decode(norm_code); }
+};
+
+class ContextGenerator {
+ public:
+  /// `input_dim` = context vector length n (C·kh·kw for conv, in_features
+  /// for linear); `seed` determines the projection matrix.
+  ContextGenerator(std::size_t input_dim, std::uint64_t seed);
+
+  std::size_t input_dim() const { return hasher_.input_dim(); }
+  const hash::SimHasher& hasher() const { return hasher_; }
+
+  /// Context of a single raw vector.
+  Context make_context(std::span<const float> v) const;
+
+  /// Contexts of all kernels of a convolution (one per output channel).
+  std::vector<Context> weight_contexts(const nn::Conv2D& conv) const;
+
+  /// Contexts of all rows of a linear layer's weight matrix.
+  std::vector<Context> weight_contexts(const nn::Linear& fc) const;
+
+  /// Contexts of every im2col patch of `input` (batch image `n`), in
+  /// (oy, ox) row-major order — the dot-product order the output map needs.
+  std::vector<Context> activation_contexts(const nn::Tensor& input,
+                                           const nn::ConvSpec& spec,
+                                           std::size_t n = 0) const;
+
+  /// Context of a flattened activation vector (for linear layers).
+  Context activation_context_flat(const nn::Tensor& input,
+                                  std::size_t n = 0) const;
+
+ private:
+  hash::SimHasher hasher_;
+};
+
+}  // namespace deepcam::core

@@ -1,0 +1,46 @@
+// Dataflow mapping arithmetic (paper §IV-B).
+//
+// A CAM-mapped layer is characterized by P (activation patches), K (weight
+// kernels) and the CAM row count R. The two dataflows are:
+//
+//  * weight-stationary (WS): kernels live in CAM rows, patches are search
+//    keys. passes = ceil(K/R); searches = P per pass; rows used = K spread
+//    over the passes. Utilization suffers when K << R (the paper's 9.4%
+//    LeNet example).
+//
+//  * activation-stationary (AS): patches live in rows, kernels are keys.
+//    passes = ceil(P/R); searches = K per pass. Utilization ~100% whenever
+//    P >> R, which is why AS wins on convolutions.
+//
+// These closed forms drive both the cycle accounting and the Fig. 9
+// utilization plot, and are unit-tested against brute-force enumeration.
+#pragma once
+
+#include <cstddef>
+
+namespace deepcam::core {
+
+enum class Dataflow { kWeightStationary, kActivationStationary };
+
+const char* dataflow_name(Dataflow df);
+
+/// Shape of one CAM-layer workload.
+struct LayerWork {
+  std::size_t patches = 0;  // P: activation contexts
+  std::size_t kernels = 0;  // K: weight contexts
+};
+
+/// Result of mapping a LayerWork onto a CAM with `rows` rows.
+struct MappingPlan {
+  std::size_t passes = 0;        // CAM reload generations
+  std::size_t searches = 0;      // total search operations
+  std::size_t rows_written = 0;  // total CAM row programs
+  double utilization = 0.0;      // mean fraction of rows doing useful work
+  /// Dot-products produced (always P*K — sanity invariant).
+  std::size_t dot_products = 0;
+};
+
+/// Computes the mapping plan for a dataflow.
+MappingPlan plan_mapping(const LayerWork& work, std::size_t rows, Dataflow df);
+
+}  // namespace deepcam::core

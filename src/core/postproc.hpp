@@ -1,0 +1,75 @@
+// Post-processing & transformation unit model (paper §III-C, Fig. 7).
+//
+// Two sub-modules:
+//  1. Post-processing: converts a CAM Hamming distance into the final
+//     approximate dot-product — PWL cosine (eq. 5), two minifloat-norm
+//     multiplies, bias add — and applies the digital peripheral ops
+//     (ReLU / pooling / batchnorm).
+//  2. Online activation-context generation: adder-tree + digital-sqrt L2
+//     norm, and the NVM crossbar hasher (random matrix C as synaptic
+//     weights, sign sensed by SAs instead of ADCs).
+//
+// The functional math lives in hash/; this class is the *cost* model: every
+// method returns the value and accumulates energy/cycle statistics.
+#pragma once
+
+#include <cstddef>
+
+#include "core/context.hpp"
+#include "hash/cosine_approx.hpp"
+
+namespace deepcam::core {
+
+/// Energy/cycle tallies of the digital unit.
+struct PostProcStats {
+  double energy = 0.0;          // joules, post-processing datapath
+  double ctxgen_energy = 0.0;   // joules, online context generator
+  std::size_t ctxgen_cycles = 0;
+  std::size_t dot_products = 0;
+  std::size_t peripheral_ops = 0;  // ReLU/pool/BN element ops
+
+  PostProcStats& operator+=(const PostProcStats& o) {
+    energy += o.energy;
+    ctxgen_energy += o.ctxgen_energy;
+    ctxgen_cycles += o.ctxgen_cycles;
+    dot_products += o.dot_products;
+    peripheral_ops += o.peripheral_ops;
+    return *this;
+  }
+};
+
+class PostProcessingUnit {
+ public:
+  struct Options {
+    bool use_pwl_cosine = true;   // eq. 5 vs exact cosf (ablation)
+    bool minifloat_norms = true;  // 8-bit minifloat vs fp32 norms (ablation)
+  };
+
+  PostProcessingUnit() = default;
+  explicit PostProcessingUnit(const Options& opts) : opts_(opts) {}
+
+  const Options& options() const { return opts_; }
+  const PostProcStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Final approximate dot-product from a measured Hamming distance.
+  /// Charges: cosine unit + 2 minifloat multiplies + bias add.
+  double finish_dot_product(const Context& weight, const Context& activation,
+                            std::size_t hamming, std::size_t hash_len,
+                            float bias);
+
+  /// Charges the peripheral digital cost of `elems` ReLU/pool/BN elements.
+  void charge_peripheral(std::size_t elems);
+
+  /// Charges one online activation-context generation: a patch of length n
+  /// hashed to `hash_len` bits plus its L2 norm.
+  /// Cost: (n-1)-node adder tree + 16-iteration sqrt + n*hash_len crossbar
+  /// cells + hash_len sense amps; latency kXbarInputBits cycles (pipelined).
+  void charge_context_generation(std::size_t n, std::size_t hash_len);
+
+ private:
+  Options opts_ = {};
+  PostProcStats stats_;
+};
+
+}  // namespace deepcam::core

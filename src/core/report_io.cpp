@@ -1,0 +1,51 @@
+#include "core/report_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace deepcam::core {
+
+std::string report_to_csv(const RunReport& report) {
+  std::ostringstream os;
+  os << "layer,patches,kernels,context_len,hash_bits,passes,searches,"
+        "rows_written,utilization,dot_products,cycles,cam_energy_j,"
+        "postproc_energy_j,ctxgen_energy_j\n";
+  char buf[128];
+  for (const auto& l : report.layers) {
+    os << l.name << ',' << l.patches << ',' << l.kernels << ','
+       << l.context_len << ',' << l.hash_bits << ',' << l.plan.passes << ','
+       << l.plan.searches << ',' << l.plan.rows_written << ',';
+    std::snprintf(buf, sizeof buf, "%.6f", l.plan.utilization);
+    os << buf << ',' << l.plan.dot_products << ',' << l.cycles << ',';
+    std::snprintf(buf, sizeof buf, "%.6e,%.6e,%.6e", l.cam_energy,
+                  l.postproc_energy, l.ctxgen_energy);
+    os << buf << '\n';
+  }
+  return os.str();
+}
+
+std::string report_summary(const RunReport& report) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "DeepCAM run: %zu CAM layers, %zu searches, %zu dot-products"
+                "\n  cycles: %zu (%.3f us @300 MHz)  energy: %.3f uJ  "
+                "mean utilization: %.1f%%  CAM area: %.0f um^2\n",
+                report.layers.size(), report.total_searches(),
+                report.total_dot_products(), report.total_cycles(),
+                report.time_seconds() * 1e6, report.total_energy() * 1e6,
+                100.0 * report.mean_utilization(), report.cam_area_um2);
+  os << buf;
+  for (const auto& l : report.layers) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s P=%-5zu K=%-5zu n=%-5zu k=%-4zu util=%5.1f%% "
+                  "cycles=%-8zu energy=%.3e J\n",
+                  l.name.c_str(), l.patches, l.kernels, l.context_len,
+                  l.hash_bits, 100.0 * l.plan.utilization, l.cycles,
+                  l.total_energy());
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace deepcam::core

@@ -1,0 +1,23 @@
+// Report serialization: CSV and human-readable summaries of RunReport.
+//
+// The accelerator's RunReport is the interface between simulation and
+// analysis; these helpers export it for spreadsheets/plotting pipelines
+// (CSV) and for log files (summary). Both are pure functions of the report.
+#pragma once
+
+#include <string>
+
+#include "core/accelerator.hpp"
+
+namespace deepcam::core {
+
+/// Per-layer CSV with header:
+/// layer,patches,kernels,context_len,hash_bits,passes,searches,rows_written,
+/// utilization,dot_products,cycles,cam_energy_j,postproc_energy_j,
+/// ctxgen_energy_j
+std::string report_to_csv(const RunReport& report);
+
+/// Multi-line human-readable summary (totals + per-layer one-liners).
+std::string report_summary(const RunReport& report);
+
+}  // namespace deepcam::core

@@ -1,0 +1,59 @@
+#include "cpu/cpu_model.hpp"
+
+#include "common/tech.hpp"
+
+namespace deepcam::cpu {
+
+CpuLayerResult simulate_layer(const nn::GemmDims& dims) {
+  CpuLayerResult r;
+  r.layer_name = dims.layer_name;
+  r.macs = dims.macs();
+
+  const double lanes = 64.0;  // INT8 lanes per 512-bit FMA
+  const double vec_k = std::size_t((dims.k + 63) / 64) * lanes;
+  const double vector_macs =
+      static_cast<double>(dims.m) * static_cast<double>(dims.n) * vec_k;
+  const double compute =
+      vector_macs / (static_cast<double>(tech::kCpuPeakMacsPerCycle) *
+                     tech::kCpuMaxEfficiency);
+  const double reduction_overhead = static_cast<double>(dims.m) *
+                                    static_cast<double>(dims.n) *
+                                    tech::kCpuPerVectorLoopOverhead /
+                                    (vec_k / lanes);
+  // im2col buffer write+read: M*K bytes each way at ~16 B/cycle.
+  const double im2col = 2.0 * static_cast<double>(dims.m) *
+                        static_cast<double>(dims.k) / 16.0;
+  r.cycles = tech::kCpuPerLayerOverheadCycles + compute +
+             reduction_overhead + im2col;
+  r.efficiency = static_cast<double>(r.macs) /
+                 (r.cycles * static_cast<double>(tech::kCpuPeakMacsPerCycle));
+  return r;
+}
+
+CpuModelResult simulate_cpu(const nn::Model& model, nn::Shape input_shape) {
+  CpuModelResult result;
+  for (const auto& dims : nn::extract_gemm_workload(model, input_shape))
+    result.layers.push_back(simulate_layer(dims));
+  return result;
+}
+
+double CpuModelResult::total_cycles() const {
+  double c = 0.0;
+  for (const auto& l : layers) c += l.cycles;
+  return c;
+}
+
+std::size_t CpuModelResult::total_macs() const {
+  std::size_t m = 0;
+  for (const auto& l : layers) m += l.macs;
+  return m;
+}
+
+double CpuModelResult::mean_efficiency() const {
+  const double c = total_cycles();
+  return c == 0.0 ? 0.0
+                  : static_cast<double>(total_macs()) /
+                        (c * static_cast<double>(tech::kCpuPeakMacsPerCycle));
+}
+
+}  // namespace deepcam::cpu

@@ -1,0 +1,45 @@
+// Analytic CPU baseline: Intel Skylake-class core with AVX-512 VNNI INT8.
+//
+// The paper's second baseline (Table I) is a Skylake CPU with the AVX-512
+// vector neural network instructions. We model per-layer latency as the sum
+// of:
+//   * vectorized MAC work: ceil(K/64)*64 lanes per reduction (tail waste),
+//     two FMA ports -> 128 INT8 MACs/cycle at a capped efficiency;
+//   * per-output-reduction loop overhead (setup, horizontal add, store) —
+//     this is what makes CPUs slow on small CNN layers in practice;
+//   * im2col materialization traffic (bytes / 16 per cycle);
+//   * fixed per-layer dispatch overhead.
+//
+// Output is in CPU core cycles; the paper compares raw "computation cycles"
+// across platforms and so do we (see EXPERIMENTS.md for the caveat).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/workload.hpp"
+
+namespace deepcam::cpu {
+
+struct CpuLayerResult {
+  std::string layer_name;
+  std::size_t macs = 0;
+  double cycles = 0.0;
+  double efficiency = 0.0;  // achieved MACs/cycle over peak
+};
+
+struct CpuModelResult {
+  std::vector<CpuLayerResult> layers;
+  double total_cycles() const;
+  std::size_t total_macs() const;
+  double mean_efficiency() const;
+};
+
+/// Simulates one GEMM-shaped layer on the CPU model.
+CpuLayerResult simulate_layer(const nn::GemmDims& dims);
+
+/// Simulates the whole model.
+CpuModelResult simulate_cpu(const nn::Model& model, nn::Shape input_shape);
+
+}  // namespace deepcam::cpu

@@ -1,0 +1,31 @@
+#include "hash/cosine_approx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepcam::hash {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double pwl_cosine(double theta) {
+  theta = std::clamp(theta, 0.0, kPi);
+  if (theta > kPi / 2.0) return -pwl_cosine(kPi - theta);
+  if (theta > kPi / 3.0) return -0.96 * theta + 1.51;
+  return 1.0 - theta / kPi;
+}
+
+double angle_from_hamming(std::size_t hamming, std::size_t k) {
+  if (k == 0) return 0.0;
+  return kPi * static_cast<double>(hamming) / static_cast<double>(k);
+}
+
+double approx_dot(double norm_x, double norm_y, std::size_t hamming,
+                  std::size_t k, bool use_pwl) {
+  const double theta = angle_from_hamming(hamming, k);
+  const double c = use_pwl ? pwl_cosine(theta) : std::cos(theta);
+  return norm_x * norm_y * c;
+}
+
+}  // namespace deepcam::hash

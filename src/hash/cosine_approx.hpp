@@ -1,0 +1,34 @@
+// Piecewise-linear cosine approximation (paper eq. 5) and angle estimation.
+//
+// The post-processing unit cannot afford a real cosine (LUTs / CORDIC are
+// called out as too expensive), so the paper uses:
+//
+//   cos(θ) ≈  1 − θ/π            for 0   < θ ≤ π/3
+//   cos(θ) ≈ −0.96·θ + 1.51      for π/3 < θ ≤ π/2
+//   cos(θ) ≈ −cos_approx(π − θ)  for θ > π/2       (odd reflection)
+//
+// The angle itself comes from the CAM: θ ≈ π · HD / k  (eq. 3).
+#pragma once
+
+#include <cstddef>
+
+namespace deepcam::hash {
+
+/// PWL cosine per paper eq. 5. Input domain [0, π]; values outside are
+/// clamped. Exactly reproduces the published breakpoints.
+double pwl_cosine(double theta);
+
+/// Maximum absolute error of pwl_cosine over [0, π] (useful bound for tests;
+/// the 1−θ/π segment peaks at ~0.167 near θ=π/3).
+inline constexpr double kPwlCosineMaxAbsError = 0.18;
+
+/// Angle estimate from a Hamming distance at hash length k (paper eq. 3).
+double angle_from_hamming(std::size_t hamming, std::size_t k);
+
+/// Approximate geometric dot-product (paper eq. 4):
+///   x·y ≈ ‖x‖·‖y‖·cos(π·HD/k)
+/// `use_pwl` selects the hardware PWL cosine vs an exact cosine (ablation).
+double approx_dot(double norm_x, double norm_y, std::size_t hamming,
+                  std::size_t k, bool use_pwl = true);
+
+}  // namespace deepcam::hash

@@ -1,0 +1,47 @@
+#include "hash/random_projection.hpp"
+
+#include "common/error.hpp"
+
+namespace deepcam::hash {
+
+RandomProjection::RandomProjection(std::size_t input_dim,
+                                   std::size_t hash_bits, std::uint64_t seed)
+    : input_dim_(input_dim), hash_bits_(hash_bits) {
+  DEEPCAM_CHECK(input_dim > 0);
+  DEEPCAM_CHECK(hash_bits > 0);
+  c_.resize(input_dim * hash_bits);
+  Rng rng(seed);
+  for (auto& v : c_) v = static_cast<float>(rng.gaussian());
+}
+
+void RandomProjection::project(std::span<const float> x,
+                               std::span<float> out) const {
+  DEEPCAM_CHECK_MSG(x.size() == input_dim_, "projection input dim mismatch");
+  DEEPCAM_CHECK(out.size() == hash_bits_);
+  for (auto& o : out) o = 0.0f;
+  // Row-major accumulation: for each input element, add its row of C.
+  // This is the cache-friendly order for row-major storage.
+  for (std::size_t i = 0; i < input_dim_; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    const float* row = &c_[i * hash_bits_];
+    for (std::size_t j = 0; j < hash_bits_; ++j) out[j] += xi * row[j];
+  }
+}
+
+BitVec RandomProjection::sign_hash(std::span<const float> x) const {
+  std::vector<float> proj(hash_bits_);
+  project(x, proj);
+  BitVec bits(hash_bits_);
+  for (std::size_t j = 0; j < hash_bits_; ++j)
+    if (proj[j] >= 0.0f) bits.set(j, true);
+  return bits;
+}
+
+BitVec RandomProjection::sign_hash_prefix(std::span<const float> x,
+                                          std::size_t k) const {
+  DEEPCAM_CHECK(k <= hash_bits_);
+  return sign_hash(x).prefix(k);
+}
+
+}  // namespace deepcam::hash

@@ -1,0 +1,62 @@
+// Gaussian random-projection matrix for SimHash signature generation.
+//
+// Section II-B of the paper: a vector x ∈ R^n is hashed to k bits by
+// hash(x) = sign(x·C) with C ∈ R^{n×k}, C_ij ~ N(0,1). The Hamming distance
+// between two hashes estimates the angle between the vectors
+// (Goemans–Williamson):  θ ≈ π/k · HD(hash(x), hash(y)).
+//
+// Key implementation property (DESIGN.md §5.1, the "prefix-hash" trick):
+// the columns of C are i.i.d., so the first k columns of a 1024-column C are
+// themselves a valid n×k Gaussian matrix. We therefore always generate
+// kMaxHashBits columns and realize any smaller hash length as a prefix of the
+// full signature. This makes variable-hash-length sweeps essentially free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace deepcam::hash {
+
+/// Hash lengths supported by the dynamic-size CAM (256-bit chunks).
+inline constexpr int kChunkBits = 256;
+inline constexpr int kMaxHashBits = 1024;
+inline constexpr int kNumHashLengths = 4;
+/// The four realizable hash lengths: 256, 512, 768, 1024.
+inline constexpr int kHashLengths[kNumHashLengths] = {256, 512, 768, 1024};
+
+/// A dense n×k Gaussian projection matrix, stored row-major (k = columns).
+class RandomProjection {
+ public:
+  /// Generates an `input_dim × hash_bits` matrix from `seed`.
+  RandomProjection(std::size_t input_dim, std::size_t hash_bits,
+                   std::uint64_t seed);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hash_bits() const { return hash_bits_; }
+
+  /// Raw matrix element C[row][col].
+  float at(std::size_t row, std::size_t col) const {
+    return c_[row * hash_bits_ + col];
+  }
+
+  /// Projects x (length input_dim) onto all columns: out[j] = Σ_i x_i C_ij.
+  /// `out` must have hash_bits elements.
+  void project(std::span<const float> x, std::span<float> out) const;
+
+  /// Full SimHash signature: bit j = (x·C_col_j >= 0).
+  BitVec sign_hash(std::span<const float> x) const;
+
+  /// SimHash signature truncated to the first `k` bits.
+  BitVec sign_hash_prefix(std::span<const float> x, std::size_t k) const;
+
+ private:
+  std::size_t input_dim_;
+  std::size_t hash_bits_;
+  std::vector<float> c_;  // row-major [input_dim][hash_bits]
+};
+
+}  // namespace deepcam::hash

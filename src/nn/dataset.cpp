@@ -1,0 +1,186 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace deepcam::nn {
+
+std::pair<Tensor, std::vector<std::size_t>> Dataset::batch(
+    const std::vector<std::size_t>& indices) const {
+  DEEPCAM_CHECK(!indices.empty());
+  const Shape s0 = sample(indices[0]).image.shape();
+  Tensor out({indices.size(), s0.c, s0.h, s0.w});
+  std::vector<std::size_t> labels(indices.size());
+  const std::size_t per = s0.c * s0.h * s0.w;
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const Sample& sm = sample(indices[b]);
+    DEEPCAM_CHECK(sm.image.shape() == s0);
+    std::copy(sm.image.data(), sm.image.data() + per, out.data() + b * per);
+    labels[b] = sm.label;
+  }
+  return {std::move(out), std::move(labels)};
+}
+
+namespace {
+
+// 7x5 coarse stroke templates for digits 0-9 ('#' = ink). Rendered into the
+// centre of a 28x28 canvas at 4x3 scale plus jitter.
+constexpr std::array<const char*, 10> kDigitGlyphs = {
+    "#####"
+    "#...#"
+    "#...#"
+    "#...#"
+    "#...#"
+    "#...#"
+    "#####",  // 0
+    "..#.."
+    ".##.."
+    "..#.."
+    "..#.."
+    "..#.."
+    "..#.."
+    ".###.",  // 1
+    "#####"
+    "....#"
+    "....#"
+    "#####"
+    "#...."
+    "#...."
+    "#####",  // 2
+    "#####"
+    "....#"
+    "....#"
+    ".####"
+    "....#"
+    "....#"
+    "#####",  // 3
+    "#...#"
+    "#...#"
+    "#...#"
+    "#####"
+    "....#"
+    "....#"
+    "....#",  // 4
+    "#####"
+    "#...."
+    "#...."
+    "#####"
+    "....#"
+    "....#"
+    "#####",  // 5
+    "#####"
+    "#...."
+    "#...."
+    "#####"
+    "#...#"
+    "#...#"
+    "#####",  // 6
+    "#####"
+    "....#"
+    "...#."
+    "..#.."
+    "..#.."
+    ".#..."
+    ".#...",  // 7
+    "#####"
+    "#...#"
+    "#...#"
+    "#####"
+    "#...#"
+    "#...#"
+    "#####",  // 8
+    "#####"
+    "#...#"
+    "#...#"
+    "#####"
+    "....#"
+    "....#"
+    "#####",  // 9
+};
+
+}  // namespace
+
+SyntheticDigits::SyntheticDigits(std::size_t count, std::uint64_t seed,
+                                 double noise) {
+  Rng rng(seed);
+  samples_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t label = rng.uniform_index(10);
+    const char* glyph = kDigitGlyphs[label];
+    Tensor img({1, 1, 28, 28});
+    // Random placement: glyph occupies 21x15 cells; jitter within canvas.
+    const int oy = 2 + static_cast<int>(rng.uniform_index(4));  // 2..5
+    const int ox = 4 + static_cast<int>(rng.uniform_index(6));  // 4..9
+    const float amplitude = static_cast<float>(rng.uniform(0.8, 1.2));
+    for (int gy = 0; gy < 7; ++gy) {
+      for (int gx = 0; gx < 5; ++gx) {
+        if (glyph[gy * 5 + gx] != '#') continue;
+        for (int sy = 0; sy < 3; ++sy) {
+          for (int sx = 0; sx < 3; ++sx) {
+            const int y = oy + gy * 3 + sy;
+            const int x = ox + gx * 3 + sx;
+            if (y >= 0 && y < 28 && x >= 0 && x < 28)
+              img.at(0, 0, static_cast<std::size_t>(y),
+                     static_cast<std::size_t>(x)) = amplitude;
+          }
+        }
+      }
+    }
+    for (std::size_t p = 0; p < img.numel(); ++p) {
+      img[p] += static_cast<float>(rng.gaussian(0.0, noise));
+      img[p] = std::clamp(img[p], -0.5f, 1.5f);
+    }
+    samples_.push_back({std::move(img), label});
+  }
+}
+
+GaussianTextures::GaussianTextures(std::size_t count, std::size_t classes,
+                                   std::uint64_t seed, double noise)
+    : classes_(classes) {
+  DEEPCAM_CHECK(classes >= 2);
+  // Build one smoothed prototype per class.
+  std::vector<Tensor>& protos = protos_;
+  protos.reserve(classes);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < classes; ++c) {
+    Tensor raw({1, 3, 32, 32});
+    for (std::size_t p = 0; p < raw.numel(); ++p)
+      raw[p] = static_cast<float>(rng.gaussian());
+    // 3x3 box smoothing, two passes, to create spatial correlation.
+    Tensor sm = raw;
+    for (int pass = 0; pass < 2; ++pass) {
+      Tensor next = sm;
+      for (std::size_t ch = 0; ch < 3; ++ch)
+        for (std::size_t y = 1; y + 1 < 32; ++y)
+          for (std::size_t x = 1; x + 1 < 32; ++x) {
+            float acc = 0.0f;
+            for (int dy = -1; dy <= 1; ++dy)
+              for (int dx = -1; dx <= 1; ++dx)
+                acc += sm.at(0, ch, y + static_cast<std::size_t>(dy),
+                             x + static_cast<std::size_t>(dx));
+            next.at(0, ch, y, x) = acc / 9.0f;
+          }
+      sm = next;
+    }
+    // Normalize prototype to unit RMS amplitude.
+    double ss = 0.0;
+    for (std::size_t p = 0; p < sm.numel(); ++p) ss += double(sm[p]) * sm[p];
+    const float scale =
+        static_cast<float>(1.0 / std::sqrt(ss / double(sm.numel()) + 1e-12));
+    for (std::size_t p = 0; p < sm.numel(); ++p) sm[p] *= scale;
+    protos.push_back(std::move(sm));
+  }
+  samples_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t label = rng.uniform_index(classes);
+    Tensor img = protos[label];
+    for (std::size_t p = 0; p < img.numel(); ++p)
+      img[p] += static_cast<float>(rng.gaussian(0.0, noise));
+    samples_.push_back({std::move(img), label});
+  }
+}
+
+}  // namespace deepcam::nn

@@ -1,0 +1,78 @@
+// Synthetic datasets standing in for MNIST / CIFAR10 / CIFAR100.
+//
+// Offline substitution (DESIGN.md §2): benchmark image sets are not
+// available in this environment, so we generate procedural datasets with the
+// same tensor geometry and a controllable degree of class structure:
+//
+//  * SyntheticDigits — MNIST-like 1x28x28. Each class is a coarse 7x7 stroke
+//    template (digit-shaped) upscaled to 28x28 and perturbed by random
+//    translation, per-pixel noise, and amplitude jitter. Linearly separable
+//    enough that LeNet5 trains to high accuracy in seconds, hard enough that
+//    accuracy is sensitive to dot-product approximation error — which is the
+//    property the Fig. 5 experiment depends on.
+//
+//  * GaussianTextures — CIFAR-like 3x32x32. Each class has a smoothed random
+//    prototype; samples are prototype + i.i.d. noise with SNR control.
+//
+// Everything is seed-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace deepcam::nn {
+
+struct Sample {
+  Tensor image;       // {1, C, H, W}
+  std::size_t label;  // class index
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::size_t size() const = 0;
+  virtual std::size_t num_classes() const = 0;
+  virtual const Sample& sample(std::size_t i) const = 0;
+
+  /// Assembles a batch tensor {B, C, H, W} + labels from sample indices.
+  std::pair<Tensor, std::vector<std::size_t>> batch(
+      const std::vector<std::size_t>& indices) const;
+};
+
+class SyntheticDigits final : public Dataset {
+ public:
+  /// `count` samples, deterministic in `seed`. `noise` is per-pixel Gaussian
+  /// sigma (default produces ~98-99% LeNet5 accuracy after 2 epochs).
+  SyntheticDigits(std::size_t count, std::uint64_t seed, double noise = 0.25);
+
+  std::size_t size() const override { return samples_.size(); }
+  std::size_t num_classes() const override { return 10; }
+  const Sample& sample(std::size_t i) const override { return samples_[i]; }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+class GaussianTextures final : public Dataset {
+ public:
+  /// CIFAR-like: `classes` classes of 3x32x32 images. `noise` relative to
+  /// unit prototype amplitude.
+  GaussianTextures(std::size_t count, std::size_t classes, std::uint64_t seed,
+                   double noise = 0.5);
+
+  std::size_t size() const override { return samples_.size(); }
+  std::size_t num_classes() const override { return classes_; }
+  const Sample& sample(std::size_t i) const override { return samples_[i]; }
+
+  /// The noise-free class prototype (used for classifier imprinting).
+  const Tensor& prototype(std::size_t c) const { return protos_[c]; }
+
+ private:
+  std::size_t classes_;
+  std::vector<Tensor> protos_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace deepcam::nn

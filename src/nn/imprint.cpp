@@ -1,0 +1,43 @@
+#include "nn/imprint.hpp"
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+
+namespace deepcam::nn {
+
+void imprint_classifier(Model& model,
+                        const std::vector<Tensor>& class_prototypes) {
+  // Locate the final Linear node.
+  std::size_t fc_node = model.node_count();
+  for (std::size_t i = model.node_count(); i-- > 0;) {
+    if (model.layer(i).kind() == LayerKind::kLinear) {
+      fc_node = i;
+      break;
+    }
+  }
+  DEEPCAM_CHECK_MSG(fc_node < model.node_count(),
+                    "imprinting needs a Linear classifier head");
+  auto& fc = static_cast<Linear&>(model.layer(fc_node));
+  DEEPCAM_CHECK_MSG(class_prototypes.size() == fc.out_features(),
+                    "one prototype per output class required");
+  const int in_node = model.inputs_of(fc_node)[0];
+
+  for (std::size_t c = 0; c < class_prototypes.size(); ++c) {
+    const auto outs = model.forward_all(class_prototypes[c]);
+    const Tensor& feat = in_node == kModelInput
+                             ? class_prototypes[c]
+                             : outs[static_cast<std::size_t>(in_node)];
+    DEEPCAM_CHECK_MSG(feat.numel() == fc.in_features(),
+                      "penultimate feature size mismatch");
+    double ss = 0.0;
+    for (std::size_t i = 0; i < feat.numel(); ++i)
+      ss += double(feat[i]) * feat[i];
+    const float inv = static_cast<float>(1.0 / (std::sqrt(ss) + 1e-12));
+    for (std::size_t i = 0; i < fc.in_features(); ++i)
+      fc.weights()[c * fc.in_features() + i] = feat[i] * inv;
+    fc.bias()[c] = 0.0f;
+  }
+}
+
+}  // namespace deepcam::nn

@@ -1,0 +1,26 @@
+// Classifier imprinting: synthetic "pretrained" weights without training.
+//
+// Offline substitution (DESIGN.md §2): VGG16/ResNet18-scale training is not
+// feasible in this environment, but the Fig. 5 experiment needs networks
+// with real decision margins. Imprinting sets the final Linear layer's row
+// for class c to the (L2-normalized) penultimate feature vector of that
+// class's noise-free prototype — turning the random feature extractor plus
+// imprinted head into a nearest-prototype classifier in feature space. This
+// is the standard "weight imprinting" construction (Qi et al., CVPR 2018)
+// and yields high FP32 accuracy on the Gaussian-texture datasets, so
+// accuracy preservation under DeepCAM can be measured meaningfully.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace deepcam::nn {
+
+/// Replaces the last Linear layer's weights with normalized penultimate
+/// features of `class_prototypes` (index = class). The prototype count must
+/// equal the layer's output features. Bias is zeroed.
+void imprint_classifier(Model& model,
+                        const std::vector<Tensor>& class_prototypes);
+
+}  // namespace deepcam::nn

@@ -1,0 +1,24 @@
+#include "nn/layer.hpp"
+
+namespace deepcam::nn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2D: return "Conv2D";
+    case LayerKind::kLinear: return "Linear";
+    case LayerKind::kReLU: return "ReLU";
+    case LayerKind::kMaxPool: return "MaxPool";
+    case LayerKind::kAvgPool: return "AvgPool";
+    case LayerKind::kBatchNorm: return "BatchNorm";
+    case LayerKind::kFlatten: return "Flatten";
+    case LayerKind::kAdd: return "Add";
+    case LayerKind::kSoftmax: return "Softmax";
+  }
+  return "Unknown";
+}
+
+Tensor Layer::backward(const Tensor& /*grad_out*/) {
+  throw Error(std::string("layer '") + name() + "' does not support backward");
+}
+
+}  // namespace deepcam::nn

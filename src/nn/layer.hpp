@@ -1,0 +1,56 @@
+// Layer interface for the CNN framework.
+//
+// Layers implement forward(); trainable layers additionally implement
+// backward()/update() (sufficient for the in-repo LeNet5 training used by
+// the Fig. 5 reproduction). Layers that map onto the DeepCAM CAM array
+// (Conv2D, Linear) expose their geometry through kind() so the accelerator
+// and the baseline simulators can introspect the model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace deepcam::nn {
+
+enum class LayerKind {
+  kConv2D,
+  kLinear,
+  kReLU,
+  kMaxPool,
+  kAvgPool,
+  kBatchNorm,
+  kFlatten,
+  kAdd,       // residual addition (two inputs)
+  kSoftmax,
+};
+
+/// Human-readable name of a LayerKind.
+const char* layer_kind_name(LayerKind kind);
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Computes the output given one input. `train` requests caching of
+  /// whatever backward() needs.
+  virtual Tensor forward(const Tensor& in, bool train = false) = 0;
+
+  /// Propagates gradients; returns d(loss)/d(input). Only layers used by the
+  /// trainer implement this; the default reports non-trainable.
+  virtual Tensor backward(const Tensor& grad_out);
+
+  /// Applies an SGD step with learning rate `lr` and zeroes the gradients.
+  virtual void update(float lr) { (void)lr; }
+
+  /// Number of trainable parameters.
+  virtual std::size_t param_count() const { return 0; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace deepcam::nn

@@ -1,0 +1,126 @@
+#include "nn/model.hpp"
+
+#include <cmath>
+
+#include "nn/pointwise.hpp"
+
+namespace deepcam::nn {
+
+int Model::add(LayerPtr layer) {
+  const int input = nodes_.empty() ? kModelInput
+                                   : static_cast<int>(nodes_.size()) - 1;
+  return add(std::move(layer), input);
+}
+
+int Model::add(LayerPtr layer, int input) {
+  DEEPCAM_CHECK(input >= kModelInput &&
+                input < static_cast<int>(nodes_.size()));
+  nodes_.push_back({std::move(layer), {input}});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Model::add(LayerPtr layer, int input_a, int input_b) {
+  DEEPCAM_CHECK(input_a >= kModelInput &&
+                input_a < static_cast<int>(nodes_.size()));
+  DEEPCAM_CHECK(input_b >= kModelInput &&
+                input_b < static_cast<int>(nodes_.size()));
+  nodes_.push_back({std::move(layer), {input_a, input_b}});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::vector<Tensor> Model::forward_all_impl(const Tensor& input, bool train) {
+  std::vector<Tensor> outs;
+  outs.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = nodes_[i];
+    auto fetch = [&](int idx) -> const Tensor& {
+      return idx == kModelInput ? input : outs[static_cast<std::size_t>(idx)];
+    };
+    if (node.inputs.size() == 2) {
+      auto* add = dynamic_cast<Add*>(node.layer.get());
+      DEEPCAM_CHECK_MSG(add != nullptr, "two-input node must be Add");
+      outs.push_back(add->forward2(fetch(node.inputs[0]),
+                                   fetch(node.inputs[1])));
+    } else {
+      outs.push_back(node.layer->forward(fetch(node.inputs[0]), train));
+    }
+  }
+  return outs;
+}
+
+Tensor Model::forward(const Tensor& input, bool train) {
+  std::vector<Tensor> outs = forward_all_impl(input, train);
+  return outs.back();
+}
+
+std::vector<Tensor> Model::forward_all(const Tensor& input) {
+  return forward_all_impl(input, false);
+}
+
+bool Model::is_sequential() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].inputs.size() != 1) return false;
+    const int expect = (i == 0) ? kModelInput : static_cast<int>(i) - 1;
+    if (nodes_[i].inputs[0] != expect) return false;
+  }
+  return true;
+}
+
+void Model::backward(const Tensor& grad) {
+  DEEPCAM_CHECK_MSG(is_sequential(), "backward requires a sequential model");
+  Tensor g = grad;
+  for (std::size_t i = nodes_.size(); i-- > 0;) g = nodes_[i].layer->backward(g);
+}
+
+void Model::update(float lr) {
+  for (auto& n : nodes_) n.layer->update(lr);
+}
+
+std::size_t Model::param_count() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) total += n.layer->param_count();
+  return total;
+}
+
+std::size_t argmax_class(const Tensor& logits, std::size_t n) {
+  const Shape& s = logits.shape();
+  const std::size_t feat = s.c * s.h * s.w;
+  const float* x = logits.data() + n * feat;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < feat; ++i)
+    if (x[i] > x[best]) best = i;
+  return best;
+}
+
+float softmax_cross_entropy(const Tensor& logits,
+                            const std::vector<std::size_t>& labels,
+                            Tensor* grad) {
+  const Shape& s = logits.shape();
+  const std::size_t feat = s.c * s.h * s.w;
+  DEEPCAM_CHECK(labels.size() == s.n);
+  if (grad != nullptr) *grad = Tensor(s);
+  double loss = 0.0;
+  std::vector<double> p(feat);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* x = logits.data() + n * feat;
+    double mx = x[0];
+    for (std::size_t i = 1; i < feat; ++i) mx = std::max(mx, double(x[i]));
+    double sum = 0.0;
+    for (std::size_t i = 0; i < feat; ++i) {
+      p[i] = std::exp(x[i] - mx);
+      sum += p[i];
+    }
+    for (std::size_t i = 0; i < feat; ++i) p[i] /= sum;
+    loss -= std::log(std::max(p[labels[n]], 1e-12));
+    if (grad != nullptr) {
+      float* g = grad->data() + n * feat;
+      for (std::size_t i = 0; i < feat; ++i) {
+        g[i] = static_cast<float>(
+            (p[i] - (i == labels[n] ? 1.0 : 0.0)) / double(s.n));
+      }
+    }
+  }
+  return static_cast<float>(loss / double(s.n));
+}
+
+}  // namespace deepcam::nn

@@ -1,0 +1,79 @@
+// Graph-structured model container.
+//
+// A Model is a DAG of layers evaluated in node order. Node inputs refer to
+// earlier nodes by index (kModelInput = the network input), which is enough
+// to express the sequential topologies (LeNet5, VGG) and ResNet18's residual
+// skip connections. Purely sequential models additionally support training
+// through backward()/update() (used to train LeNet5 in-repo).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace deepcam::nn {
+
+inline constexpr int kModelInput = -1;
+
+class Model {
+ public:
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a node fed by `input` (default: previous node, or the model
+  /// input for the first node). Returns the new node's index.
+  int add(LayerPtr layer);
+  int add(LayerPtr layer, int input);
+  /// Appends a two-input node (residual Add).
+  int add(LayerPtr layer, int input_a, int input_b);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  Layer& layer(std::size_t i) { return *nodes_[i].layer; }
+  const Layer& layer(std::size_t i) const { return *nodes_[i].layer; }
+  const std::vector<int>& inputs_of(std::size_t i) const {
+    return nodes_[i].inputs;
+  }
+
+  /// Runs the graph; returns the last node's output.
+  Tensor forward(const Tensor& input, bool train = false);
+
+  /// All intermediate activations (index i = output of node i). Used by the
+  /// hardware simulators, which need per-layer inputs.
+  std::vector<Tensor> forward_all(const Tensor& input);
+
+  /// True if every node has exactly one input which is the previous node.
+  bool is_sequential() const;
+
+  /// Backward pass for sequential models; `grad` is dLoss/dOutput.
+  void backward(const Tensor& grad);
+
+  /// SGD step on every layer.
+  void update(float lr);
+
+  /// Total trainable parameters.
+  std::size_t param_count() const;
+
+ private:
+  std::vector<Tensor> forward_all_impl(const Tensor& input, bool train);
+
+  struct Node {
+    LayerPtr layer;
+    std::vector<int> inputs;
+  };
+  std::string name_;
+  std::vector<Node> nodes_;
+};
+
+/// Index of the maximum logit of sample n in a {N, classes, 1, 1} tensor.
+std::size_t argmax_class(const Tensor& logits, std::size_t n = 0);
+
+/// Softmax cross-entropy loss over a batch; fills `grad` (same shape as
+/// logits) with dLoss/dlogits averaged over the batch.
+float softmax_cross_entropy(const Tensor& logits,
+                            const std::vector<std::size_t>& labels,
+                            Tensor* grad);
+
+}  // namespace deepcam::nn

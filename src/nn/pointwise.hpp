@@ -1,0 +1,88 @@
+// Element-wise and shape layers: ReLU, Flatten, Softmax, BatchNorm (inference
+// affine form), and residual Add. ReLU/Flatten support training (used by the
+// LeNet5 trainer); BatchNorm and Add are inference-only graph nodes used by
+// the VGG/ResNet topologies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace deepcam::nn {
+
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : name_(std::move(name)) {}
+  LayerKind kind() const override { return LayerKind::kReLU; }
+  std::string name() const override { return name_; }
+  Tensor forward(const Tensor& in, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  Tensor cached_in_;
+  bool has_cache_ = false;
+};
+
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name) : name_(std::move(name)) {}
+  LayerKind kind() const override { return LayerKind::kFlatten; }
+  std::string name() const override { return name_; }
+  Tensor forward(const Tensor& in, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  Shape cached_shape_;
+  bool has_cache_ = false;
+};
+
+class Softmax final : public Layer {
+ public:
+  explicit Softmax(std::string name) : name_(std::move(name)) {}
+  LayerKind kind() const override { return LayerKind::kSoftmax; }
+  std::string name() const override { return name_; }
+  Tensor forward(const Tensor& in, bool train) override;
+
+ private:
+  std::string name_;
+};
+
+/// Inference-form batch normalization: y = gamma_hat * x + beta_hat per
+/// channel, where the running statistics have been folded into the affine
+/// parameters. Parameters are deterministic-seeded near identity (synthetic
+/// pretrained weights; see DESIGN.md §2).
+class BatchNorm final : public Layer {
+ public:
+  BatchNorm(std::string name, std::size_t channels, std::uint64_t seed);
+  LayerKind kind() const override { return LayerKind::kBatchNorm; }
+  std::string name() const override { return name_; }
+  Tensor forward(const Tensor& in, bool train) override;
+  std::size_t param_count() const override { return 2 * gamma_.size(); }
+
+  std::vector<float>& gamma() { return gamma_; }
+  std::vector<float>& beta() { return beta_; }
+
+ private:
+  std::string name_;
+  std::vector<float> gamma_, beta_;
+};
+
+/// Residual addition. As a graph node it receives both operands; the Layer
+/// interface carries one input, so the second arrives via forward2().
+class Add final : public Layer {
+ public:
+  explicit Add(std::string name) : name_(std::move(name)) {}
+  LayerKind kind() const override { return LayerKind::kAdd; }
+  std::string name() const override { return name_; }
+  Tensor forward(const Tensor& in, bool train) override;  // throws: needs 2
+  Tensor forward2(const Tensor& a, const Tensor& b) const;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace deepcam::nn

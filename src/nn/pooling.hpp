@@ -1,0 +1,50 @@
+// Max and average pooling layers. MaxPool supports backward (LeNet trainer);
+// AvgPool is inference-only (ResNet18 global pooling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace deepcam::nn {
+
+class MaxPool final : public Layer {
+ public:
+  MaxPool(std::string name, std::size_t window, std::size_t stride)
+      : name_(std::move(name)), window_(window), stride_(stride) {}
+
+  LayerKind kind() const override { return LayerKind::kMaxPool; }
+  std::string name() const override { return name_; }
+  std::size_t window() const { return window_; }
+  std::size_t stride() const { return stride_; }
+
+  Tensor forward(const Tensor& in, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  std::size_t window_, stride_;
+  Shape cached_in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+  bool has_cache_ = false;
+};
+
+class AvgPool final : public Layer {
+ public:
+  AvgPool(std::string name, std::size_t window, std::size_t stride)
+      : name_(std::move(name)), window_(window), stride_(stride) {}
+
+  LayerKind kind() const override { return LayerKind::kAvgPool; }
+  std::string name() const override { return name_; }
+  std::size_t window() const { return window_; }
+  std::size_t stride() const { return stride_; }
+
+  Tensor forward(const Tensor& in, bool train) override;
+
+ private:
+  std::string name_;
+  std::size_t window_, stride_;
+};
+
+}  // namespace deepcam::nn

@@ -1,0 +1,45 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepcam::nn {
+
+QuantParams choose_scale(std::span<const float> x) {
+  float mx = 0.0f;
+  for (float v : x) mx = std::max(mx, std::abs(v));
+  QuantParams qp;
+  qp.scale = (mx == 0.0f) ? 1.0f : mx / 127.0f;
+  return qp;
+}
+
+std::vector<std::int8_t> quantize_int8(std::span<const float> x,
+                                       const QuantParams& qp) {
+  std::vector<std::int8_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float q = std::nearbyint(x[i] / qp.scale);
+    out[i] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+  }
+  return out;
+}
+
+std::vector<float> dequantize_int8(std::span<const std::int8_t> q,
+                                   const QuantParams& qp) {
+  std::vector<float> out(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i)
+    out[i] = static_cast<float>(q[i]) * qp.scale;
+  return out;
+}
+
+Tensor fake_quantize(const Tensor& t) {
+  const QuantParams qp = choose_scale(t.flat());
+  Tensor out = t;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    const float q = std::clamp(std::nearbyint(out[i] / qp.scale), -127.0f,
+                               127.0f);
+    out[i] = q * qp.scale;
+  }
+  return out;
+}
+
+}  // namespace deepcam::nn

@@ -1,0 +1,36 @@
+// INT8 symmetric quantization helpers.
+//
+// The Eyeriss baseline runs an INT8 datapath (the paper switches Eyeriss
+// from INT16 to INT8, "the state-of-the-art quantization"). These helpers
+// quantize weights/activations per-tensor with a symmetric scale and measure
+// the accuracy impact, so the Eyeriss baseline's functional behaviour (not
+// just its cycle count) is modeled.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace deepcam::nn {
+
+struct QuantParams {
+  float scale = 1.0f;  // real_value = scale * int_value
+};
+
+/// Chooses a symmetric scale covering max|x|; 127 codes.
+QuantParams choose_scale(std::span<const float> x);
+
+/// Quantizes to int8 with round-to-nearest, saturating.
+std::vector<std::int8_t> quantize_int8(std::span<const float> x,
+                                       const QuantParams& qp);
+
+/// Dequantizes back to float.
+std::vector<float> dequantize_int8(std::span<const std::int8_t> q,
+                                   const QuantParams& qp);
+
+/// Round-trips a tensor through INT8 (fake quantization).
+Tensor fake_quantize(const Tensor& t);
+
+}  // namespace deepcam::nn

@@ -1,0 +1,32 @@
+#include "nn/tensor.hpp"
+
+namespace deepcam::nn {
+
+void extract_patch(const Tensor& input, std::size_t n, std::size_t oy,
+                   std::size_t ox, std::size_t kh, std::size_t kw,
+                   std::size_t stride, std::size_t pad, std::span<float> out) {
+  const Shape& s = input.shape();
+  DEEPCAM_CHECK(out.size() == s.c * kh * kw);
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < s.c; ++c) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      const std::ptrdiff_t iy =
+          static_cast<std::ptrdiff_t>(oy * stride + ky) -
+          static_cast<std::ptrdiff_t>(pad);
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        const std::ptrdiff_t ix =
+            static_cast<std::ptrdiff_t>(ox * stride + kx) -
+            static_cast<std::ptrdiff_t>(pad);
+        if (iy < 0 || ix < 0 || iy >= static_cast<std::ptrdiff_t>(s.h) ||
+            ix >= static_cast<std::ptrdiff_t>(s.w)) {
+          out[idx++] = 0.0f;
+        } else {
+          out[idx++] = input.at(n, c, static_cast<std::size_t>(iy),
+                                static_cast<std::size_t>(ix));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace deepcam::nn

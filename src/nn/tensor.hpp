@@ -1,0 +1,79 @@
+// Minimal dense float tensor in NCHW layout.
+//
+// This is the numeric substrate for the CNN inference/training framework the
+// paper's evaluation needs (LeNet5, VGG11/16, ResNet18). Batch dimension is
+// first; 2-D tensors are represented as {N, C, 1, 1}.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace deepcam::nn {
+
+struct Shape {
+  std::size_t n = 1, c = 1, h = 1, w = 1;
+
+  std::size_t numel() const { return n * c * h * w; }
+  bool operator==(const Shape&) const = default;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape) : shape_(shape), data_(shape.numel(), 0.0f) {}
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(shape), data_(std::move(data)) {
+    DEEPCAM_CHECK_MSG(data_.size() == shape_.numel(), "tensor size mismatch");
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[index(n, c, h, w)];
+  }
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[index(n, c, h, w)];
+  }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Returns a reshaped view-copy with identical element count.
+  Tensor reshaped(Shape s) const {
+    DEEPCAM_CHECK_MSG(s.numel() == numel(), "reshape element count mismatch");
+    return Tensor(s, data_);
+  }
+
+  void fill(float v) {
+    for (auto& x : data_) x = v;
+  }
+
+ private:
+  std::size_t index(std::size_t n, std::size_t c, std::size_t h,
+                    std::size_t w) const {
+    DEEPCAM_CHECK(n < shape_.n && c < shape_.c && h < shape_.h && w < shape_.w);
+    return ((n * shape_.c + c) * shape_.h + h) * shape_.w + w;
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Extracts one im2col patch (all input channels, kh*kw window) at output
+/// position (oy, ox) of image `n`, with zero padding. Output layout matches
+/// the kernel reshape the paper's Fig. 4 shows: channel-major, then row, col.
+void extract_patch(const Tensor& input, std::size_t n, std::size_t oy,
+                   std::size_t ox, std::size_t kh, std::size_t kw,
+                   std::size_t stride, std::size_t pad, std::span<float> out);
+
+}  // namespace deepcam::nn

@@ -1,0 +1,179 @@
+#include "nn/topologies.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pointwise.hpp"
+#include "nn/pooling.hpp"
+
+namespace deepcam::nn {
+
+namespace {
+
+/// Per-layer seed derivation keeps weight streams independent.
+std::uint64_t sub_seed(std::uint64_t seed, int idx) {
+  return seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(idx) + 1;
+}
+
+/// conv3x3(pad 1) + BN + ReLU block used by VGG and ResNet.
+int add_conv_bn_relu(Model& m, int& idx, std::uint64_t seed, int input,
+                     std::size_t in_c, std::size_t out_c, std::size_t stride) {
+  ConvSpec spec{in_c, out_c, 3, 3, stride, 1};
+  int n = m.add(std::make_unique<Conv2D>("conv" + std::to_string(idx), spec,
+                                         sub_seed(seed, idx)),
+                input);
+  ++idx;
+  n = m.add(std::make_unique<BatchNorm>("bn" + std::to_string(idx), out_c,
+                                        sub_seed(seed, idx)),
+            n);
+  ++idx;
+  n = m.add(std::make_unique<ReLU>("relu" + std::to_string(idx)), n);
+  ++idx;
+  return n;
+}
+
+}  // namespace
+
+std::unique_ptr<Model> make_lenet5(std::uint64_t seed) {
+  auto m = std::make_unique<Model>("lenet5");
+  // Classic LeNet5 adapted to 28x28 input: conv5x5x6, pool, conv5x5x16,
+  // pool, FC 256->120->84->10 (valid convolutions, ReLU activations).
+  m->add(std::make_unique<Conv2D>("conv1", ConvSpec{1, 6, 5, 5, 1, 0},
+                                  sub_seed(seed, 0)));
+  m->add(std::make_unique<ReLU>("relu1"));
+  m->add(std::make_unique<MaxPool>("pool1", 2, 2));
+  m->add(std::make_unique<Conv2D>("conv2", ConvSpec{6, 16, 5, 5, 1, 0},
+                                  sub_seed(seed, 1)));
+  m->add(std::make_unique<ReLU>("relu2"));
+  m->add(std::make_unique<MaxPool>("pool2", 2, 2));
+  m->add(std::make_unique<Flatten>("flatten"));
+  m->add(std::make_unique<Linear>("fc1", 16 * 4 * 4, 120, sub_seed(seed, 2)));
+  m->add(std::make_unique<ReLU>("relu3"));
+  m->add(std::make_unique<Linear>("fc2", 120, 84, sub_seed(seed, 3)));
+  m->add(std::make_unique<ReLU>("relu4"));
+  m->add(std::make_unique<Linear>("fc3", 84, 10, sub_seed(seed, 4)));
+  return m;
+}
+
+namespace {
+
+std::unique_ptr<Model> make_vgg(const std::string& name,
+                                const std::vector<int>& cfg,  // -1 = pool
+                                std::uint64_t seed, std::size_t classes) {
+  auto m = std::make_unique<Model>(name);
+  int idx = 0;
+  int node = kModelInput;
+  std::size_t in_c = 3;
+  int pool_idx = 0;
+  for (int v : cfg) {
+    if (v < 0) {
+      node = m->add(std::make_unique<MaxPool>(
+                        "pool" + std::to_string(pool_idx++), 2, 2),
+                    node);
+    } else {
+      node = add_conv_bn_relu(*m, idx, seed, node, in_c,
+                              static_cast<std::size_t>(v), 1);
+      in_c = static_cast<std::size_t>(v);
+    }
+  }
+  node = m->add(std::make_unique<Flatten>("flatten"), node);
+  node = m->add(std::make_unique<Linear>("fc1", in_c, 512, sub_seed(seed, 900)),
+                node);
+  node = m->add(std::make_unique<ReLU>("relu_fc1"), node);
+  m->add(std::make_unique<Linear>("fc2", 512, classes, sub_seed(seed, 901)),
+         node);
+  return m;
+}
+
+}  // namespace
+
+std::unique_ptr<Model> make_vgg11(std::uint64_t seed, std::size_t classes) {
+  // VGG11 (configuration A) for 32x32: conv widths with pools between stages.
+  return make_vgg("vgg11",
+                  {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1},
+                  seed, classes);
+}
+
+std::unique_ptr<Model> make_vgg16(std::uint64_t seed, std::size_t classes) {
+  // VGG16 (configuration D) for 32x32.
+  return make_vgg("vgg16",
+                  {64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512,
+                   -1, 512, 512, 512, -1},
+                  seed, classes);
+}
+
+std::unique_ptr<Model> make_resnet18(std::uint64_t seed, std::size_t classes) {
+  auto m = std::make_unique<Model>("resnet18");
+  int idx = 0;
+  // Stem: conv3x3 64 (CIFAR variant — no 7x7/stride-2, no initial maxpool).
+  int node = add_conv_bn_relu(*m, idx, seed, kModelInput, 3, 64, 1);
+
+  struct StageCfg {
+    std::size_t channels;
+    std::size_t stride;  // first block's stride
+  };
+  const StageCfg stages[] = {{64, 1}, {128, 2}, {256, 2}, {512, 2}};
+  std::size_t in_c = 64;
+  for (const auto& st : stages) {
+    for (int block = 0; block < 2; ++block) {
+      const std::size_t stride = (block == 0) ? st.stride : 1;
+      const int skip_src = node;
+      // Main path: conv-bn-relu, conv-bn.
+      int n = add_conv_bn_relu(*m, idx, seed, node, in_c, st.channels, stride);
+      ConvSpec spec2{st.channels, st.channels, 3, 3, 1, 1};
+      n = m->add(std::make_unique<Conv2D>("conv" + std::to_string(idx), spec2,
+                                          sub_seed(seed, idx)),
+                 n);
+      ++idx;
+      n = m->add(std::make_unique<BatchNorm>("bn" + std::to_string(idx),
+                                             st.channels, sub_seed(seed, idx)),
+                 n);
+      ++idx;
+      // Shortcut: identity, or 1x1/stride-s projection when shape changes.
+      int shortcut = skip_src;
+      if (stride != 1 || in_c != st.channels) {
+        ConvSpec ds{in_c, st.channels, 1, 1, stride, 0};
+        shortcut = m->add(
+            std::make_unique<Conv2D>("ds" + std::to_string(idx), ds,
+                                     sub_seed(seed, idx)),
+            skip_src);
+        ++idx;
+        shortcut = m->add(std::make_unique<BatchNorm>(
+                              "dsbn" + std::to_string(idx), st.channels,
+                              sub_seed(seed, idx)),
+                          shortcut);
+        ++idx;
+      }
+      n = m->add(std::make_unique<Add>("add" + std::to_string(idx)), n,
+                 shortcut);
+      ++idx;
+      node = m->add(std::make_unique<ReLU>("relu" + std::to_string(idx)), n);
+      ++idx;
+      in_c = st.channels;
+    }
+  }
+  // Head: global average pool (4x4 for 32x32 input), FC to classes.
+  node = m->add(std::make_unique<AvgPool>("gap", 4, 4), node);
+  node = m->add(std::make_unique<Flatten>("flatten"), node);
+  m->add(std::make_unique<Linear>("fc", 512, classes, sub_seed(seed, 999)),
+         node);
+  return m;
+}
+
+InputSpec input_spec_for(const std::string& model_name) {
+  if (model_name == "lenet5") return {1, 28, 28, 10};
+  if (model_name == "vgg11") return {3, 32, 32, 10};
+  if (model_name == "vgg16") return {3, 32, 32, 100};
+  if (model_name == "resnet18") return {3, 32, 32, 100};
+  throw Error("unknown model name: " + model_name);
+}
+
+std::unique_ptr<Model> make_model(const std::string& name,
+                                  std::uint64_t seed) {
+  if (name == "lenet5") return make_lenet5(seed);
+  if (name == "vgg11") return make_vgg11(seed, 10);
+  if (name == "vgg16") return make_vgg16(seed, 100);
+  if (name == "resnet18") return make_resnet18(seed, 100);
+  throw Error("unknown model name: " + name);
+}
+
+}  // namespace deepcam::nn

@@ -1,0 +1,38 @@
+// Builders for the four CNN topologies the paper evaluates (Table I):
+//   LeNet5   on MNIST-like    28x28x1,  10 classes
+//   VGG11    on CIFAR10-like  32x32x3,  10 classes
+//   VGG16    on CIFAR100-like 32x32x3, 100 classes
+//   ResNet18 on CIFAR100-like 32x32x3, 100 classes
+//
+// VGG/ResNet use the standard CIFAR adaptations (3x3 stem, no initial
+// downsampling, 512-d head). All weights are deterministically seeded;
+// LeNet5 is additionally trainable in-repo (see Trainer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/model.hpp"
+
+namespace deepcam::nn {
+
+struct InputSpec {
+  std::size_t channels;
+  std::size_t height;
+  std::size_t width;
+  std::size_t classes;
+};
+
+std::unique_ptr<Model> make_lenet5(std::uint64_t seed);
+std::unique_ptr<Model> make_vgg11(std::uint64_t seed, std::size_t classes = 10);
+std::unique_ptr<Model> make_vgg16(std::uint64_t seed, std::size_t classes = 100);
+std::unique_ptr<Model> make_resnet18(std::uint64_t seed,
+                                     std::size_t classes = 100);
+
+/// The input geometry each topology expects.
+InputSpec input_spec_for(const std::string& model_name);
+
+/// Builds any of "lenet5", "vgg11", "vgg16", "resnet18".
+std::unique_ptr<Model> make_model(const std::string& name, std::uint64_t seed);
+
+}  // namespace deepcam::nn

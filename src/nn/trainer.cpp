@@ -1,0 +1,79 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace deepcam::nn {
+
+void set_training_noise(Model& model, float scale, std::uint64_t seed) {
+  for (std::size_t i = 0; i < model.node_count(); ++i) {
+    Layer& layer = model.layer(i);
+    if (layer.kind() == LayerKind::kConv2D) {
+      static_cast<Conv2D&>(layer).set_training_noise(
+          scale, seed + 2 * i);
+    } else if (layer.kind() == LayerKind::kLinear) {
+      static_cast<Linear&>(layer).set_training_noise(
+          scale, seed + 2 * i + 1);
+    }
+  }
+}
+
+TrainResult train_sgd(Model& model, const Dataset& data,
+                      const TrainConfig& cfg) {
+  DEEPCAM_CHECK_MSG(model.is_sequential(), "trainer needs sequential model");
+  if (cfg.noise_scale > 0.0f)
+    set_training_noise(model, cfg.noise_scale, cfg.shuffle_seed ^ 0xA5A5);
+  Rng rng(cfg.shuffle_seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+
+    double loss_sum = 0.0;
+    std::size_t correct = 0, seen = 0, batches = 0;
+    for (std::size_t start = 0; start + cfg.batch_size <= order.size();
+         start += cfg.batch_size) {
+      std::vector<std::size_t> idx(order.begin() + start,
+                                   order.begin() + start + cfg.batch_size);
+      auto [images, labels] = data.batch(idx);
+      Tensor logits = model.forward(images, /*train=*/true);
+      Tensor grad;
+      const float loss = softmax_cross_entropy(logits, labels, &grad);
+      model.backward(grad);
+      model.update(cfg.lr);
+      loss_sum += loss;
+      ++batches;
+      for (std::size_t b = 0; b < labels.size(); ++b, ++seen)
+        if (argmax_class(logits, b) == labels[b]) ++correct;
+    }
+    result.final_loss = static_cast<float>(loss_sum / std::max<std::size_t>(batches, 1));
+    result.train_accuracy = static_cast<double>(correct) / std::max<std::size_t>(seen, 1);
+    if (cfg.verbose) {
+      std::printf("[train] epoch %zu: loss=%.4f acc=%.2f%%\n", epoch + 1,
+                  result.final_loss, 100.0 * result.train_accuracy);
+    }
+  }
+  return result;
+}
+
+double evaluate_accuracy(Model& model, const Dataset& data, std::size_t limit) {
+  const std::size_t n = (limit == 0) ? data.size() : std::min(limit, data.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = data.sample(i);
+    Tensor logits = model.forward(s.image, /*train=*/false);
+    if (argmax_class(logits) == s.label) ++correct;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace deepcam::nn

@@ -1,0 +1,46 @@
+// Minibatch SGD trainer for sequential models (LeNet5-scale).
+//
+// Fig. 5 needs a model whose *accuracy* (not just output fidelity) can be
+// measured under DeepCAM's approximate dot-products, so we train LeNet5 on
+// the synthetic digits in-repo. The trainer is deliberately plain SGD with
+// softmax cross-entropy — deterministic given its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace deepcam::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 2;
+  std::size_t batch_size = 16;
+  float lr = 0.05f;
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+  /// Hash-noise-aware training: inject per-output Gaussian noise with std
+  /// `noise_scale * ||patch|| * ||kernel||` during training forwards — the
+  /// first-order error model of the approximate geometric dot-product. A
+  /// network fine-tuned with noise_scale ~ pi/(2*sqrt(k)) becomes robust to
+  /// DeepCAM's hash noise at length k (0 disables; see DESIGN.md §5).
+  float noise_scale = 0.0f;
+};
+
+/// Sets the hash-noise injection scale on every Conv2D/Linear layer.
+void set_training_noise(Model& model, float scale, std::uint64_t seed);
+
+struct TrainResult {
+  float final_loss = 0.0f;
+  double train_accuracy = 0.0;
+};
+
+/// Trains `model` (must be sequential) on `data`; returns summary stats.
+TrainResult train_sgd(Model& model, const Dataset& data,
+                      const TrainConfig& cfg);
+
+/// Top-1 accuracy of `model` over `data` (optionally only first `limit`).
+double evaluate_accuracy(Model& model, const Dataset& data,
+                         std::size_t limit = 0);
+
+}  // namespace deepcam::nn

@@ -1,0 +1,36 @@
+// Workload extraction: turns a Model into the list of GEMM-shaped jobs its
+// Conv2D/Linear layers perform, via shape inference (no data needed).
+//
+// Every hardware baseline (Eyeriss systolic array, CPU, analog PIM) and the
+// DeepCAM mapping arithmetic consume this same description:
+//   M = output pixels (patches), N = filters/output features,
+//   K = reduction length (C·kh·kw or in_features).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace deepcam::nn {
+
+struct GemmDims {
+  std::string layer_name;
+  std::size_t m = 0;  // patches / output pixels
+  std::size_t n = 0;  // filters / output features
+  std::size_t k = 0;  // reduction (context) length
+
+  std::size_t macs() const { return m * n * k; }
+};
+
+/// Shape inference: output shape of every node for `input_shape`.
+std::vector<Shape> infer_shapes(const Model& model, Shape input_shape);
+
+/// GEMM dims of every CAM-mappable (Conv2D/Linear) layer, execution order.
+std::vector<GemmDims> extract_gemm_workload(const Model& model,
+                                            Shape input_shape);
+
+/// Total multiply-accumulates of the model on this input shape.
+std::size_t total_macs(const Model& model, Shape input_shape);
+
+}  // namespace deepcam::nn

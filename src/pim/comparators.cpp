@@ -1,0 +1,35 @@
+#include "pim/comparators.hpp"
+
+#include "common/tech.hpp"
+
+namespace deepcam::pim {
+
+CrossbarConfig neurosim_rram_config() {
+  CrossbarConfig cfg;
+  cfg.name = "NeuroSim-RRAM";
+  cfg.tile_rows = static_cast<std::size_t>(tech::kRramTileRows);
+  cfg.tile_cols = static_cast<std::size_t>(tech::kRramTileCols);
+  cfg.input_serial_cycles = static_cast<std::size_t>(tech::kRramInputBits);
+  cfg.adcs_per_tile = static_cast<std::size_t>(tech::kRramAdcsPerTile);
+  cfg.adc_cycles = 10;
+  cfg.parallel_tiles = 4;
+  cfg.energy_per_mac = tech::kRramMacEnergy;
+  return cfg;
+}
+
+CrossbarConfig valavi_sram_config() {
+  CrossbarConfig cfg;
+  cfg.name = "Valavi-SRAM";
+  cfg.tile_rows = static_cast<std::size_t>(tech::kValaviTileRows * 36);
+  cfg.tile_cols = static_cast<std::size_t>(tech::kValaviTileCols);
+  // Charge-domain: single analog evaluation (no bit-serial input), but a
+  // capacitor settle + SA readout wave per tile group.
+  cfg.input_serial_cycles = 16;
+  cfg.adcs_per_tile = 8;
+  cfg.adc_cycles = 8;
+  cfg.parallel_tiles = static_cast<std::size_t>(tech::kValaviTiles);
+  cfg.energy_per_mac = tech::kSramChargeMacEnergy;
+  return cfg;
+}
+
+}  // namespace deepcam::pim

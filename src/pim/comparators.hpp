@@ -1,0 +1,23 @@
+// The two published PIM designs DeepCAM is compared against in Table II.
+//
+//  * NeuroSim-style RRAM engine (Peng et al., IEDM 2019): 128x128 RRAM
+//    tiles, 8-bit bit-serial DAC input, shared SAR ADCs. Energy is
+//    ADC-dominated (~0.23 pJ per INT8-equivalent MAC).
+//  * Valavi et al. (JSSC 2019): 64-tile 2.4 Mb SRAM charge-domain macro;
+//    charge-redistribution compute is ~10x cheaper per MAC and needs no
+//    per-bit input serialization (one analog evaluation per vector), but
+//    pays a capacitor settle + readout latency per tile wave.
+//
+// Parameters are calibrated so the VGG11/CIFAR10 workload lands at the
+// published per-inference magnitudes (34.98 uJ / 5.74e5 cycles for NeuroSim,
+// 3.55 uJ / 2.56e5 cycles for Valavi) — see EXPERIMENTS.md.
+#pragma once
+
+#include "pim/crossbar.hpp"
+
+namespace deepcam::pim {
+
+CrossbarConfig neurosim_rram_config();
+CrossbarConfig valavi_sram_config();
+
+}  // namespace deepcam::pim

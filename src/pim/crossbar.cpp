@@ -1,0 +1,56 @@
+#include "pim/crossbar.hpp"
+
+#include "common/error.hpp"
+
+namespace deepcam::pim {
+
+namespace {
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+CrossbarLayerResult simulate_layer(const nn::GemmDims& dims,
+                                   const CrossbarConfig& cfg) {
+  DEEPCAM_CHECK(cfg.tile_rows > 0 && cfg.tile_cols > 0);
+  CrossbarLayerResult r;
+  r.layer_name = dims.layer_name;
+  r.macs = dims.macs();
+
+  const std::size_t row_tiles = ceil_div(dims.k, cfg.tile_rows);
+  const std::size_t col_tiles = ceil_div(dims.n, cfg.tile_cols);
+  r.tiles = row_tiles * col_tiles;
+
+  // Per input vector: every mapped tile runs one evaluation; tile jobs are
+  // throttled to `parallel_tiles` concurrently.
+  const std::size_t cols_used = std::min(dims.n, cfg.tile_cols);
+  const std::size_t conversions = ceil_div(cols_used, cfg.adcs_per_tile);
+  const std::size_t tile_latency =
+      cfg.input_serial_cycles + conversions * cfg.adc_cycles;
+  const std::size_t waves = ceil_div(r.tiles, cfg.parallel_tiles);
+  r.cycles = dims.m * waves * tile_latency;
+
+  r.energy = static_cast<double>(r.macs) * cfg.energy_per_mac;
+  return r;
+}
+
+CrossbarModelResult simulate_crossbar(const nn::Model& model,
+                                      nn::Shape input_shape,
+                                      const CrossbarConfig& cfg) {
+  CrossbarModelResult result;
+  for (const auto& dims : nn::extract_gemm_workload(model, input_shape))
+    result.layers.push_back(simulate_layer(dims, cfg));
+  return result;
+}
+
+std::size_t CrossbarModelResult::total_cycles() const {
+  std::size_t c = 0;
+  for (const auto& l : layers) c += l.cycles;
+  return c;
+}
+
+double CrossbarModelResult::total_energy() const {
+  double e = 0.0;
+  for (const auto& l : layers) e += l.energy;
+  return e;
+}
+
+}  // namespace deepcam::pim

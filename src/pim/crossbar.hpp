@@ -1,0 +1,53 @@
+// Generic analog in-memory-computing crossbar cost model.
+//
+// Substrate for the two Table II comparators (NeuroSim RRAM and the Valavi
+// SRAM charge-domain macro). A GEMM layer (M, N, K) is mapped
+// weight-stationary onto tiles of rows x cols cells: K spreads across
+// row-tiles (partial sums accumulated digitally), N across column-tiles.
+// Each input vector activates every mapped tile; a tile evaluation costs
+//   input_serial_cycles  (DAC bit-serial input or charge settling)
+// + readout_cycles       (ADC conversions shared across columns, or SA latch)
+// and tiles execute `parallel_tiles` at a time (ADC/power budget).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/workload.hpp"
+
+namespace deepcam::pim {
+
+struct CrossbarConfig {
+  std::string name;
+  std::size_t tile_rows = 128;
+  std::size_t tile_cols = 128;
+  std::size_t input_serial_cycles = 8;  // DAC bits / settle time
+  std::size_t adcs_per_tile = 16;
+  std::size_t adc_cycles = 10;          // cycles per conversion batch
+  std::size_t parallel_tiles = 8;       // concurrently active tiles
+  double energy_per_mac = 0.23e-12;     // J per INT8-equivalent MAC
+};
+
+struct CrossbarLayerResult {
+  std::string layer_name;
+  std::size_t macs = 0;
+  std::size_t tiles = 0;
+  std::size_t cycles = 0;
+  double energy = 0.0;  // joules
+};
+
+struct CrossbarModelResult {
+  std::vector<CrossbarLayerResult> layers;
+  std::size_t total_cycles() const;
+  double total_energy() const;
+};
+
+CrossbarLayerResult simulate_layer(const nn::GemmDims& dims,
+                                   const CrossbarConfig& cfg);
+
+CrossbarModelResult simulate_crossbar(const nn::Model& model,
+                                      nn::Shape input_shape,
+                                      const CrossbarConfig& cfg);
+
+}  // namespace deepcam::pim

@@ -1,0 +1,20 @@
+#include "systolic/eyeriss.hpp"
+
+#include "common/tech.hpp"
+
+namespace deepcam::systolic {
+
+ArrayConfig eyeriss_config() {
+  ArrayConfig cfg;
+  cfg.rows = static_cast<std::size_t>(tech::kEyerissRows);
+  cfg.cols = static_cast<std::size_t>(tech::kEyerissCols);
+  cfg.bytes_per_elem = 1;  // INT8 (paper switches Eyeriss to INT8)
+  cfg.model_memory = true;
+  return cfg;
+}
+
+ModelResult simulate_eyeriss(const nn::Model& model, nn::Shape input_shape) {
+  return simulate_model(model, input_shape, eyeriss_config());
+}
+
+}  // namespace deepcam::systolic

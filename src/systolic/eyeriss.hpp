@@ -1,0 +1,15 @@
+// Eyeriss baseline: the paper's configuration of the systolic model —
+// 14x12 PE array, INT8 datapath, DRAM-bandwidth-aware (paper Table I).
+#pragma once
+
+#include "systolic/scale_sim.hpp"
+
+namespace deepcam::systolic {
+
+/// The paper's Eyeriss configuration.
+ArrayConfig eyeriss_config();
+
+/// Convenience: full-model Eyeriss simulation.
+ModelResult simulate_eyeriss(const nn::Model& model, nn::Shape input_shape);
+
+}  // namespace deepcam::systolic

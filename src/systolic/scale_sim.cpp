@@ -1,0 +1,115 @@
+#include "systolic/scale_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/tech.hpp"
+
+namespace deepcam::systolic {
+
+namespace {
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+LayerResult simulate_layer(const nn::GemmDims& dims, const ArrayConfig& cfg) {
+  DEEPCAM_CHECK(cfg.rows > 0 && cfg.cols > 0);
+  LayerResult r;
+  r.layer_name = dims.layer_name;
+  r.macs = dims.macs();
+
+  const std::size_t folds_k = ceil_div(dims.k, cfg.rows);
+  const std::size_t folds_n = ceil_div(dims.n, cfg.cols);
+
+  std::size_t cycles = 0;
+  double busy_pe_cycles = 0.0;
+  for (std::size_t fk = 0; fk < folds_k; ++fk) {
+    const std::size_t rows_used =
+        (fk + 1 < folds_k) ? cfg.rows : dims.k - fk * cfg.rows;
+    for (std::size_t fn = 0; fn < folds_n; ++fn) {
+      const std::size_t cols_used =
+          (fn + 1 < folds_n) ? cfg.cols : dims.n - fn * cfg.cols;
+      // SCALE-Sim WS fold cost: weight fill + ifmap stream + ofmap drain.
+      const std::size_t fold_cycles = rows_used + dims.m + cols_used - 1;
+      cycles += fold_cycles;
+      busy_pe_cycles += static_cast<double>(rows_used * cols_used) *
+                        static_cast<double>(dims.m);
+    }
+  }
+  r.compute_cycles = cycles;
+  const double total_pe_cycles =
+      static_cast<double>(cycles) * static_cast<double>(cfg.rows * cfg.cols);
+  r.utilization = total_pe_cycles == 0.0 ? 0.0
+                                         : busy_pe_cycles / total_pe_cycles;
+
+  // SRAM traffic: every MAC pulls one ifmap and one weight operand from the
+  // scratchpads, and each output accumulates across K-folds (read+write per
+  // partial sum per fold beyond the first, plus the final write).
+  const std::size_t psum_accesses =
+      dims.m * dims.n * (folds_k > 1 ? 2 * (folds_k - 1) + 1 : 1);
+  r.sram_accesses = 2 * r.macs + psum_accesses;
+
+  // DRAM traffic: ifmap + weights + ofmap, re-fetched when the working set
+  // exceeds the global buffer (fold-group reload, SCALE-Sim's simplification).
+  const std::size_t ifmap_bytes = dims.m * dims.k * cfg.bytes_per_elem;
+  const std::size_t weight_bytes = dims.k * dims.n * cfg.bytes_per_elem;
+  const std::size_t ofmap_bytes = dims.m * dims.n * cfg.bytes_per_elem;
+  const std::size_t working_set = ifmap_bytes + weight_bytes + ofmap_bytes;
+  std::size_t dram_bytes = working_set;
+  if (working_set >
+      static_cast<std::size_t>(tech::kEyerissGlobalBufferBytes)) {
+    // Ifmap must be re-streamed once per column-fold group.
+    dram_bytes = ifmap_bytes * folds_n + weight_bytes + ofmap_bytes;
+  }
+  r.dram_bytes = dram_bytes;
+
+  if (cfg.model_memory) {
+    const std::size_t dram_cycles = static_cast<std::size_t>(
+        static_cast<double>(dram_bytes) / tech::kDramBytesPerCycle);
+    r.stall_cycles =
+        dram_cycles > r.compute_cycles ? dram_cycles - r.compute_cycles : 0;
+  }
+  return r;
+}
+
+ModelResult simulate_model(const nn::Model& model, nn::Shape input_shape,
+                           const ArrayConfig& cfg) {
+  ModelResult result;
+  for (const auto& dims : nn::extract_gemm_workload(model, input_shape))
+    result.layers.push_back(simulate_layer(dims, cfg));
+  return result;
+}
+
+std::size_t ModelResult::total_cycles() const {
+  std::size_t c = 0;
+  for (const auto& l : layers) c += l.total_cycles();
+  return c;
+}
+
+std::size_t ModelResult::total_macs() const {
+  std::size_t m = 0;
+  for (const auto& l : layers) m += l.macs;
+  return m;
+}
+
+double ModelResult::mean_utilization() const {
+  double num = 0.0, den = 0.0;
+  for (const auto& l : layers) {
+    num += l.utilization * static_cast<double>(l.macs);
+    den += static_cast<double>(l.macs);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+double ModelResult::total_energy() const {
+  double e = 0.0;
+  for (const auto& l : layers) {
+    e += static_cast<double>(l.macs) * tech::kMacInt8Energy;
+    e += static_cast<double>(l.sram_accesses) * tech::kSramAccessFactor *
+         tech::kMacInt8Energy;
+    e += static_cast<double>(l.dram_bytes) * tech::kDramAccessFactor *
+         tech::kMacInt8Energy;
+  }
+  return e;
+}
+
+}  // namespace deepcam::systolic

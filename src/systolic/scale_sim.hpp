@@ -1,0 +1,63 @@
+// SCALE-Sim-style analytic systolic-array simulator.
+//
+// The paper's Eyeriss baseline is produced by running SCALE-Sim (Samajdar et
+// al.) with Eyeriss's 14x12 array and an INT8 datapath. We implement the
+// same analytic model SCALE-Sim uses for weight-stationary mapping of a
+// GEMM-shaped layer (M output pixels, N filters, K reduction):
+//
+//   * K maps onto the array's rows, N onto its columns;
+//   * the work folds into ceil(K/rows) x ceil(N/cols) tiles;
+//   * each fold costs  rows_used (weight fill) + M (stream) + cols_used - 1
+//     (drain) cycles;
+//   * utilization is the MAC-weighted fraction of busy PEs.
+//
+// A double-buffered memory system bounds each layer by DRAM bandwidth when
+// its traffic exceeds the global buffer (SCALE-Sim's stall model,
+// simplified): cycles = max(compute, dram_bytes / bytes_per_cycle).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/workload.hpp"
+
+namespace deepcam::systolic {
+
+struct ArrayConfig {
+  std::size_t rows = 14;          // Eyeriss PE rows
+  std::size_t cols = 12;          // Eyeriss PE columns
+  std::size_t bytes_per_elem = 1; // INT8
+  bool model_memory = true;       // include DRAM-bandwidth stalls
+};
+
+struct LayerResult {
+  std::string layer_name;
+  std::size_t macs = 0;
+  std::size_t compute_cycles = 0;
+  std::size_t stall_cycles = 0;   // extra cycles waiting on DRAM
+  double utilization = 0.0;       // busy-PE fraction during compute
+  std::size_t sram_accesses = 0;  // operand + partial-sum accesses
+  std::size_t dram_bytes = 0;
+
+  std::size_t total_cycles() const { return compute_cycles + stall_cycles; }
+};
+
+struct ModelResult {
+  std::vector<LayerResult> layers;
+
+  std::size_t total_cycles() const;
+  std::size_t total_macs() const;
+  double mean_utilization() const;  // MAC-weighted
+  /// Dynamic energy (J): MACs + SRAM + DRAM at the tech.hpp cost ratios.
+  double total_energy() const;
+};
+
+/// Simulates one GEMM-shaped layer.
+LayerResult simulate_layer(const nn::GemmDims& dims, const ArrayConfig& cfg);
+
+/// Simulates every Conv2D/Linear layer of a model.
+ModelResult simulate_model(const nn::Model& model, nn::Shape input_shape,
+                           const ArrayConfig& cfg);
+
+}  // namespace deepcam::systolic

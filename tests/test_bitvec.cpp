@@ -1,0 +1,140 @@
+#include "common/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace deepcam {
+namespace {
+
+TEST(BitVec, StartsZeroed) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.flip(0);
+  EXPECT_FALSE(v.get(0));
+  v.flip(1);
+  EXPECT_TRUE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, SetFalseClears) {
+  BitVec v(10);
+  v.set(5, true);
+  v.set(5, false);
+  EXPECT_FALSE(v.get(5));
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(64);
+  EXPECT_THROW(v.get(64), Error);
+  EXPECT_THROW(v.set(64, true), Error);
+  EXPECT_THROW(v.flip(100), Error);
+}
+
+TEST(BitVec, HammingBasics) {
+  BitVec a(128), b(128);
+  EXPECT_EQ(a.hamming(b), 0u);
+  a.set(3, true);
+  EXPECT_EQ(a.hamming(b), 1u);
+  b.set(3, true);
+  EXPECT_EQ(a.hamming(b), 0u);
+  b.set(127, true);
+  EXPECT_EQ(a.hamming(b), 1u);
+}
+
+TEST(BitVec, HammingLengthMismatchThrows) {
+  BitVec a(64), b(65);
+  EXPECT_THROW(a.hamming(b), Error);
+}
+
+TEST(BitVec, HammingPrefixMatchesManualCount) {
+  Rng rng(11);
+  BitVec a(1024), b(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    a.set(i, rng.uniform() < 0.5);
+    b.set(i, rng.uniform() < 0.5);
+  }
+  for (std::size_t k : {1u, 63u, 64u, 65u, 256u, 511u, 768u, 1000u, 1024u}) {
+    std::size_t manual = 0;
+    for (std::size_t i = 0; i < k; ++i)
+      if (a.get(i) != b.get(i)) ++manual;
+    EXPECT_EQ(a.hamming_prefix(b, k), manual) << "k=" << k;
+  }
+}
+
+TEST(BitVec, HammingPrefixFullEqualsHamming) {
+  Rng rng(12);
+  BitVec a(512), b(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    a.set(i, rng.uniform() < 0.5);
+    b.set(i, rng.uniform() < 0.3);
+  }
+  EXPECT_EQ(a.hamming_prefix(b, 512), a.hamming(b));
+}
+
+TEST(BitVec, PrefixCopy) {
+  BitVec a(256);
+  a.set(0, true);
+  a.set(70, true);
+  a.set(200, true);
+  BitVec p = a.prefix(128);
+  EXPECT_EQ(p.size(), 128u);
+  EXPECT_TRUE(p.get(0));
+  EXPECT_TRUE(p.get(70));
+  EXPECT_EQ(p.popcount(), 2u);  // bit 200 dropped
+}
+
+TEST(BitVec, PrefixMasksPartialWord) {
+  BitVec a(128);
+  for (std::size_t i = 0; i < 128; ++i) a.set(i, true);
+  BitVec p = a.prefix(70);
+  EXPECT_EQ(p.popcount(), 70u);
+}
+
+TEST(BitVec, EqualityIncludesLength) {
+  BitVec a(64), b(64), c(65);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  b.set(0, true);
+  EXPECT_FALSE(a == b);
+}
+
+// Property: Hamming distance is a metric (symmetry + triangle inequality)
+// on random vectors.
+class BitVecMetricTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitVecMetricTest, MetricAxioms) {
+  Rng rng(GetParam());
+  const std::size_t n = 256;
+  BitVec a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, rng.uniform() < 0.5);
+    b.set(i, rng.uniform() < 0.5);
+    c.set(i, rng.uniform() < 0.5);
+  }
+  EXPECT_EQ(a.hamming(b), b.hamming(a));
+  EXPECT_EQ(a.hamming(a), 0u);
+  EXPECT_LE(a.hamming(c), a.hamming(b) + b.hamming(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecMetricTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace deepcam

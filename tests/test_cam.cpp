@@ -1,0 +1,169 @@
+#include "cam/dynamic_cam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace deepcam::cam {
+namespace {
+
+BitVec random_bits(std::size_t n, std::uint64_t seed) {
+  deepcam::Rng rng(seed);
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.uniform() < 0.5);
+  return v;
+}
+
+TEST(DynamicCam, StartsEmptyAllChunksActive) {
+  DynamicCam cam(CamConfig{64, 256, 4});
+  EXPECT_EQ(cam.occupied_rows(), 0u);
+  EXPECT_EQ(cam.active_chunks(), 4u);
+  EXPECT_EQ(cam.active_bits(), 1024u);
+}
+
+TEST(DynamicCam, SearchMatchesSoftwareHammingEveryConfig) {
+  // CAM search must equal software Hamming distance for every row/word
+  // configuration the paper sweeps (Fig. 8 grid).
+  for (std::size_t rows : {64u, 128u, 256u, 512u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 4u}) {
+      DynamicCam cam(CamConfig{rows, 256, 4});
+      cam.set_active_chunks(chunks);
+      const std::size_t k = chunks * 256;
+      std::vector<BitVec> stored;
+      const std::size_t n_rows = std::min<std::size_t>(rows, 8);
+      for (std::size_t r = 0; r < n_rows; ++r) {
+        stored.push_back(random_bits(1024, 100 + r));
+        cam.write_row(r, stored.back());
+      }
+      const BitVec key = random_bits(1024, 999);
+      const auto res = cam.search(key);
+      for (std::size_t r = 0; r < n_rows; ++r) {
+        ASSERT_TRUE(res.row_hd[r].has_value());
+        EXPECT_EQ(*res.row_hd[r], key.hamming_prefix(stored[r], k))
+            << "rows=" << rows << " chunks=" << chunks << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(DynamicCam, UnoccupiedRowsReportNothing) {
+  DynamicCam cam(CamConfig{16, 256, 4});
+  cam.write_row(3, random_bits(1024, 1));
+  const auto res = cam.search(random_bits(1024, 2));
+  for (std::size_t r = 0; r < 16; ++r)
+    EXPECT_EQ(res.row_hd[r].has_value(), r == 3);
+}
+
+TEST(DynamicCam, ReconfigurationChangesWordLength) {
+  DynamicCam cam(CamConfig{8, 256, 4});
+  cam.set_hash_length(256);
+  EXPECT_EQ(cam.active_chunks(), 1u);
+  cam.set_hash_length(257);
+  EXPECT_EQ(cam.active_chunks(), 2u);
+  cam.set_hash_length(768);
+  EXPECT_EQ(cam.active_chunks(), 3u);
+  cam.set_hash_length(1024);
+  EXPECT_EQ(cam.active_chunks(), 4u);
+  EXPECT_THROW(cam.set_hash_length(1025), deepcam::Error);
+  EXPECT_THROW(cam.set_active_chunks(5), deepcam::Error);
+  EXPECT_THROW(cam.set_active_chunks(0), deepcam::Error);
+}
+
+TEST(DynamicCam, ShorterWordIgnoresTailBits) {
+  DynamicCam cam(CamConfig{4, 256, 4});
+  BitVec a = random_bits(1024, 5);
+  cam.set_active_chunks(4);
+  cam.write_row(0, a);
+  // Key differs from a only in bits >= 256.
+  BitVec key = a;
+  for (std::size_t i = 256; i < 1024; ++i) key.flip(i);
+  cam.set_active_chunks(1);
+  const auto res = cam.search(key);
+  EXPECT_EQ(*res.row_hd[0], 0u);  // 256-bit window sees a perfect match
+  cam.set_active_chunks(4);
+  const auto res4 = cam.search(key);
+  EXPECT_EQ(*res4.row_hd[0], 768u);
+}
+
+TEST(DynamicCam, StatsAccumulate) {
+  DynamicCam cam(CamConfig{8, 256, 4});
+  cam.set_active_chunks(2);
+  cam.write_row(0, random_bits(1024, 7));
+  cam.write_row(1, random_bits(1024, 8));
+  cam.search(random_bits(1024, 9));
+  cam.search(random_bits(1024, 10));
+  cam.search(random_bits(1024, 11));
+  const CamStats& s = cam.stats();
+  EXPECT_EQ(s.row_writes, 2u);
+  EXPECT_EQ(s.searches, 3u);
+  EXPECT_EQ(s.reconfigs, 1u);
+  EXPECT_GT(s.search_energy, 0.0);
+  EXPECT_GT(s.write_energy, 0.0);
+  EXPECT_GT(s.cycles, 0u);
+  cam.reset_stats();
+  EXPECT_EQ(cam.stats().searches, 0u);
+}
+
+TEST(DynamicCam, SearchEnergyScalesWithWordLength) {
+  auto energy_for_chunks = [](std::size_t chunks) {
+    DynamicCam cam(CamConfig{64, 256, 4});
+    cam.set_active_chunks(chunks);
+    cam.write_row(0, random_bits(1024, 1));
+    cam.search(random_bits(1024, 2));
+    return cam.stats().search_energy;
+  };
+  const double e1 = energy_for_chunks(1);
+  const double e4 = energy_for_chunks(4);
+  EXPECT_GT(e4, 2.5 * e1);  // ~4x cell energy plus fixed SA term
+  EXPECT_LT(e4, 4.5 * e1);
+}
+
+TEST(DynamicCam, SearchLatencyGrowsWithChunks) {
+  DynamicCam cam(CamConfig{8, 256, 4});
+  cam.set_active_chunks(1);
+  const std::size_t c1 = cam.search_cycles();
+  cam.set_active_chunks(4);
+  const std::size_t c4 = cam.search_cycles();
+  EXPECT_GT(c4, c1);
+}
+
+TEST(DynamicCam, ClearDropsOccupancyKeepsStats) {
+  DynamicCam cam(CamConfig{8, 256, 4});
+  cam.write_row(0, random_bits(1024, 1));
+  cam.clear();
+  EXPECT_EQ(cam.occupied_rows(), 0u);
+  EXPECT_EQ(cam.stats().row_writes, 1u);
+}
+
+TEST(DynamicCam, FaultInjectionPerturbsDistanceByOne) {
+  DynamicCam cam(CamConfig{4, 256, 4});
+  const BitVec data = random_bits(1024, 20);
+  cam.write_row(0, data);
+  const BitVec key = random_bits(1024, 21);
+  const std::size_t before = *cam.search(key).row_hd[0];
+  cam.inject_bit_fault(0, 100);
+  const std::size_t after = *cam.search(key).row_hd[0];
+  EXPECT_EQ(std::max(before, after) - std::min(before, after), 1u);
+}
+
+TEST(DynamicCam, RowRangeChecks) {
+  DynamicCam cam(CamConfig{4, 256, 4});
+  EXPECT_THROW(cam.write_row(4, random_bits(1024, 1)), deepcam::Error);
+  EXPECT_THROW(cam.inject_bit_fault(4, 0), deepcam::Error);
+  EXPECT_THROW(cam.inject_bit_fault(0, 1024), deepcam::Error);
+  BitVec small(128);
+  EXPECT_THROW(cam.write_row(0, small), deepcam::Error);
+}
+
+TEST(DynamicCam, WriteEnergyScalesWithActiveBits) {
+  DynamicCam a(CamConfig{4, 256, 4});
+  a.set_active_chunks(1);
+  a.write_row(0, random_bits(1024, 1));
+  DynamicCam b(CamConfig{4, 256, 4});
+  b.set_active_chunks(4);
+  b.write_row(0, random_bits(1024, 1));
+  EXPECT_NEAR(b.stats().write_energy / a.stats().write_energy, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace deepcam::cam

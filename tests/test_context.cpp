@@ -1,0 +1,101 @@
+#include "core/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace deepcam::core {
+namespace {
+
+TEST(Context, NormQuantizedToMiniFloat) {
+  ContextGenerator gen(4, 1);
+  std::vector<float> v = {3.0f, 4.0f, 0.0f, 0.0f};
+  const Context c = gen.make_context(v);
+  EXPECT_DOUBLE_EQ(c.exact_norm, 5.0);
+  EXPECT_EQ(c.norm(), 5.0);  // 5.0 is exactly representable in E4M3
+  EXPECT_EQ(c.bits.size(), hash::kMaxHashBits);
+}
+
+TEST(Context, NormQuantizationErrorBounded) {
+  ContextGenerator gen(16, 2);
+  deepcam::Rng rng(3);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<float> v(16);
+    for (auto& x : v) x = static_cast<float>(rng.gaussian());
+    const Context c = gen.make_context(v);
+    EXPECT_NEAR(c.norm(), c.exact_norm, c.exact_norm * 0.0625 + 1e-6);
+  }
+}
+
+TEST(Context, WeightContextsOnePerKernel) {
+  nn::Conv2D conv("c", nn::ConvSpec{2, 5, 3, 3, 1, 1}, 4);
+  ContextGenerator gen(conv.spec().patch_len(), 5);
+  const auto ctxs = gen.weight_contexts(conv);
+  ASSERT_EQ(ctxs.size(), 5u);
+  // Each context's norm equals the L2 norm of that kernel.
+  for (std::size_t oc = 0; oc < 5; ++oc) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < 18; ++i) {
+      const float w = conv.weights()[oc * 18 + i];
+      s += double(w) * w;
+    }
+    EXPECT_NEAR(ctxs[oc].exact_norm, std::sqrt(s), 1e-6);
+  }
+}
+
+TEST(Context, LinearWeightContexts) {
+  nn::Linear fc("f", 8, 3, 6);
+  ContextGenerator gen(8, 7);
+  const auto ctxs = gen.weight_contexts(fc);
+  EXPECT_EQ(ctxs.size(), 3u);
+}
+
+TEST(Context, ActivationContextsPatchOrder) {
+  // Patch (oy, ox) order must match the conv output layout.
+  nn::ConvSpec spec{1, 1, 2, 2, 1, 0};
+  ContextGenerator gen(spec.patch_len(), 8);
+  nn::Tensor in({1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) in[i] = static_cast<float>(i + 1);
+  const auto ctxs = gen.activation_contexts(in, spec);
+  ASSERT_EQ(ctxs.size(), 4u);  // 2x2 output positions
+  // Patch (0,0) = {1,2,4,5}: norm sqrt(1+4+16+25).
+  EXPECT_NEAR(ctxs[0].exact_norm, std::sqrt(46.0), 1e-5);
+  // Patch (1,1) = {5,6,8,9}.
+  EXPECT_NEAR(ctxs[3].exact_norm, std::sqrt(25.0 + 36 + 64 + 81), 1e-5);
+}
+
+TEST(Context, FlatActivationContext) {
+  ContextGenerator gen(12, 9);
+  nn::Tensor in({1, 3, 2, 2});
+  in.fill(2.0f);
+  const Context c = gen.activation_context_flat(in);
+  EXPECT_NEAR(c.exact_norm, std::sqrt(12.0 * 4.0), 1e-5);
+}
+
+TEST(Context, DimensionMismatchThrows) {
+  ContextGenerator gen(4, 10);
+  std::vector<float> wrong(5, 0.0f);
+  EXPECT_THROW(gen.make_context(wrong), deepcam::Error);
+  nn::Tensor in({1, 2, 2, 2});
+  EXPECT_THROW(gen.activation_context_flat(in), deepcam::Error);
+}
+
+TEST(Context, LayerHashSeedDistinctPerNode) {
+  const auto s0 = layer_hash_seed(42, 0);
+  const auto s1 = layer_hash_seed(42, 1);
+  const auto s0b = layer_hash_seed(42, 0);
+  EXPECT_EQ(s0, s0b);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(layer_hash_seed(1, 0), layer_hash_seed(2, 0));
+}
+
+TEST(Context, SameSeedSameSignature) {
+  ContextGenerator a(8, 77), b(8, 77);
+  std::vector<float> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(a.make_context(v).bits == b.make_context(v).bits);
+}
+
+}  // namespace
+}  // namespace deepcam::core

@@ -1,0 +1,97 @@
+#include "hash/cosine_approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepcam::hash {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(PwlCosine, PaperBreakpoints) {
+  // Segment 1: cos(0) = 1 exactly.
+  EXPECT_DOUBLE_EQ(pwl_cosine(0.0), 1.0);
+  // Segment 1 at pi/3: 1 - 1/3 = 2/3 (paper's linear form).
+  EXPECT_NEAR(pwl_cosine(kPi / 3.0), 2.0 / 3.0, 1e-12);
+  // Segment 2 at pi/2: -0.96*(pi/2)+1.51 ~ 0.002 — near zero by design.
+  EXPECT_NEAR(pwl_cosine(kPi / 2.0), -0.96 * kPi / 2.0 + 1.51, 1e-12);
+  EXPECT_NEAR(pwl_cosine(kPi / 2.0), 0.0, 0.01);
+  // Reflection: cos(pi) = -cos(0) = -1.
+  EXPECT_DOUBLE_EQ(pwl_cosine(kPi), -1.0);
+}
+
+TEST(PwlCosine, OddSymmetryAroundPiOverTwo) {
+  for (double t = 0.0; t <= kPi / 2.0; t += 0.01)
+    EXPECT_NEAR(pwl_cosine(kPi - t), -pwl_cosine(t), 1e-12) << t;
+}
+
+TEST(PwlCosine, ErrorBoundedOverDomain) {
+  double max_err = 0.0;
+  for (double t = 0.0; t <= kPi; t += 1e-4)
+    max_err = std::max(max_err, std::abs(pwl_cosine(t) - std::cos(t)));
+  EXPECT_LE(max_err, kPwlCosineMaxAbsError);
+  // And the bound is not vacuous: error does exceed 0.1 somewhere.
+  EXPECT_GE(max_err, 0.1);
+}
+
+TEST(PwlCosine, ClampsOutsideDomain) {
+  EXPECT_DOUBLE_EQ(pwl_cosine(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(pwl_cosine(4.0), -1.0);
+}
+
+TEST(PwlCosine, MonotoneDecreasing) {
+  double prev = pwl_cosine(0.0);
+  for (double t = 0.005; t <= kPi; t += 0.005) {
+    const double c = pwl_cosine(t);
+    EXPECT_LE(c, prev + 1e-12) << t;
+    prev = c;
+  }
+}
+
+TEST(AngleFromHamming, Endpoints) {
+  EXPECT_DOUBLE_EQ(angle_from_hamming(0, 256), 0.0);
+  EXPECT_DOUBLE_EQ(angle_from_hamming(256, 256), kPi);
+  EXPECT_DOUBLE_EQ(angle_from_hamming(128, 256), kPi / 2.0);
+}
+
+TEST(AngleFromHamming, ZeroHashLengthSafe) {
+  EXPECT_DOUBLE_EQ(angle_from_hamming(3, 0), 0.0);
+}
+
+TEST(ApproxDot, IdenticalVectorsGiveNormProduct) {
+  // HD = 0 -> theta = 0 -> cos = 1 -> dot = |x||y|.
+  EXPECT_DOUBLE_EQ(approx_dot(2.0, 3.0, 0, 512), 6.0);
+}
+
+TEST(ApproxDot, OppositeVectorsGiveNegativeProduct) {
+  EXPECT_DOUBLE_EQ(approx_dot(2.0, 3.0, 512, 512), -6.0);
+}
+
+TEST(ApproxDot, PwlVersusExactCosineOption) {
+  const double pwl = approx_dot(1.0, 1.0, 100, 512, /*use_pwl=*/true);
+  const double exact = approx_dot(1.0, 1.0, 100, 512, /*use_pwl=*/false);
+  const double theta = angle_from_hamming(100, 512);
+  EXPECT_DOUBLE_EQ(exact, std::cos(theta));
+  EXPECT_NEAR(pwl, exact, kPwlCosineMaxAbsError);
+}
+
+// Property sweep: for every hash length, the approx dot of unit vectors is
+// within the PWL error bound of the true cosine of the estimated angle.
+class ApproxDotSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproxDotSweep, BoundedDeviationFromCosine) {
+  const std::size_t k = static_cast<std::size_t>(GetParam());
+  for (std::size_t hd = 0; hd <= k; hd += k / 16) {
+    const double theta = angle_from_hamming(hd, k);
+    EXPECT_NEAR(approx_dot(1.0, 1.0, hd, k), std::cos(theta),
+                kPwlCosineMaxAbsError)
+        << "k=" << k << " hd=" << hd;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HashLengths, ApproxDotSweep,
+                         ::testing::Values(256, 512, 768, 1024));
+
+}  // namespace
+}  // namespace deepcam::hash

@@ -1,0 +1,77 @@
+#include "cpu/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/tech.hpp"
+#include "nn/topologies.hpp"
+
+namespace deepcam::cpu {
+namespace {
+
+TEST(CpuModel, EfficiencyNeverExceedsCap) {
+  for (const auto& dims :
+       {nn::GemmDims{"a", 1, 1, 1}, nn::GemmDims{"b", 4096, 512, 4608},
+        nn::GemmDims{"c", 576, 6, 25}}) {
+    const CpuLayerResult r = simulate_layer(dims);
+    EXPECT_LE(r.efficiency, tech::kCpuMaxEfficiency + 1e-9);
+    EXPECT_GT(r.cycles, 0.0);
+  }
+}
+
+TEST(CpuModel, LargeGemmApproachesCap) {
+  const CpuLayerResult r = simulate_layer({"big", 4096, 512, 4608});
+  EXPECT_GT(r.efficiency, 0.8 * tech::kCpuMaxEfficiency);
+}
+
+TEST(CpuModel, TinyLayersAreInefficient) {
+  // The effect behind the paper's huge CPU speedup numbers: small CNN
+  // layers run far below peak on real CPUs.
+  const CpuLayerResult r = simulate_layer({"fc", 1, 10, 84});
+  EXPECT_LT(r.efficiency, 0.01);
+}
+
+TEST(CpuModel, ShortReductionsWasteLanes) {
+  // K=25 pads to 64 lanes: > 2.5x padding waste versus K=64.
+  const CpuLayerResult short_k = simulate_layer({"s", 1000, 64, 25});
+  const CpuLayerResult full_k = simulate_layer({"f", 1000, 64, 64});
+  EXPECT_GT(full_k.efficiency, 1.5 * short_k.efficiency);
+}
+
+TEST(CpuModel, CyclesMonotoneInWork) {
+  const double c1 = simulate_layer({"a", 100, 10, 100}).cycles;
+  const double c2 = simulate_layer({"b", 200, 10, 100}).cycles;
+  const double c3 = simulate_layer({"c", 200, 20, 100}).cycles;
+  EXPECT_LT(c1, c2);
+  EXPECT_LT(c2, c3);
+}
+
+TEST(CpuModel, ModelAggregation) {
+  auto m = nn::make_lenet5(1);
+  const CpuModelResult r = simulate_cpu(*m, {1, 1, 28, 28});
+  EXPECT_EQ(r.layers.size(), 5u);
+  EXPECT_EQ(r.total_macs(), nn::total_macs(*m, {1, 1, 28, 28}));
+  double sum = 0.0;
+  for (const auto& l : r.layers) sum += l.cycles;
+  EXPECT_DOUBLE_EQ(r.total_cycles(), sum);
+  EXPECT_GT(r.mean_efficiency(), 0.0);
+  EXPECT_LE(r.mean_efficiency(), tech::kCpuMaxEfficiency);
+}
+
+TEST(CpuModel, LeNetIsLatencyBound) {
+  // LeNet on a Skylake-class core: overheads dominate; overall efficiency
+  // is a few percent of peak — matching observed small-CNN behaviour.
+  auto m = nn::make_lenet5(2);
+  const CpuModelResult r = simulate_cpu(*m, {1, 1, 28, 28});
+  EXPECT_LT(r.mean_efficiency(), 0.10);
+}
+
+TEST(CpuModel, BigModelsMoreEfficientThanLeNet) {
+  auto lenet = nn::make_lenet5(3);
+  auto vgg = nn::make_vgg16(4, 100);
+  const double e_lenet = simulate_cpu(*lenet, {1, 1, 28, 28}).mean_efficiency();
+  const double e_vgg = simulate_cpu(*vgg, {1, 3, 32, 32}).mean_efficiency();
+  EXPECT_GT(e_vgg, e_lenet);
+}
+
+}  // namespace
+}  // namespace deepcam::cpu

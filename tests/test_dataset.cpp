@@ -1,0 +1,134 @@
+#include "nn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepcam::nn {
+namespace {
+
+TEST(SyntheticDigits, GeometryAndLabels) {
+  SyntheticDigits ds(200, 1);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.num_classes(), 10u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_TRUE((ds.sample(i).image.shape() == Shape{1, 1, 28, 28}));
+    EXPECT_LT(ds.sample(i).label, 10u);
+  }
+}
+
+TEST(SyntheticDigits, Deterministic) {
+  SyntheticDigits a(50, 7), b(50, 7);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.sample(i).label, b.sample(i).label);
+    for (std::size_t p = 0; p < a.sample(i).image.numel(); ++p)
+      EXPECT_EQ(a.sample(i).image[p], b.sample(i).image[p]);
+  }
+}
+
+TEST(SyntheticDigits, AllClassesPresent) {
+  SyntheticDigits ds(500, 3);
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < ds.size(); ++i) ++counts[ds.sample(i).label];
+  for (int c : counts) EXPECT_GT(c, 20);
+}
+
+TEST(SyntheticDigits, PixelsClamped) {
+  SyntheticDigits ds(100, 5, /*noise=*/1.0);
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    for (std::size_t p = 0; p < ds.sample(i).image.numel(); ++p) {
+      EXPECT_GE(ds.sample(i).image[p], -0.5f);
+      EXPECT_LE(ds.sample(i).image[p], 1.5f);
+    }
+}
+
+TEST(SyntheticDigits, ClassesAreSeparable) {
+  // Mean intra-class L2 distance should be well below inter-class distance
+  // (the property LeNet training depends on).
+  SyntheticDigits ds(400, 11, /*noise=*/0.25);
+  // Collect per-class means.
+  std::vector<Tensor> mean(10, Tensor({1, 1, 28, 28}));
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto& s = ds.sample(i);
+    ++counts[s.label];
+    for (std::size_t p = 0; p < s.image.numel(); ++p)
+      mean[s.label][p] += s.image[p];
+  }
+  for (std::size_t c = 0; c < 10; ++c)
+    for (std::size_t p = 0; p < mean[c].numel(); ++p)
+      mean[c][p] /= static_cast<float>(std::max(counts[c], 1));
+  double intra = 0.0, inter = 0.0;
+  int inter_n = 0;
+  for (std::size_t a = 0; a < 10; ++a)
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      double d = 0.0;
+      for (std::size_t p = 0; p < mean[a].numel(); ++p) {
+        const double diff = mean[a][p] - mean[b][p];
+        d += diff * diff;
+      }
+      inter += std::sqrt(d);
+      ++inter_n;
+    }
+  inter /= inter_n;
+  // Intra: distance of samples to own class mean.
+  int intra_n = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto& s = ds.sample(i);
+    double d = 0.0;
+    for (std::size_t p = 0; p < s.image.numel(); ++p) {
+      const double diff = s.image[p] - mean[s.label][p];
+      d += diff * diff;
+    }
+    intra += std::sqrt(d);
+    ++intra_n;
+  }
+  intra /= intra_n;
+  // Class structure exists but noise is non-trivial.
+  EXPECT_GT(inter, 2.0);
+  EXPECT_GT(intra, 1.0);
+}
+
+TEST(GaussianTextures, GeometryAndDeterminism) {
+  GaussianTextures ds(60, 10, 9);
+  EXPECT_EQ(ds.size(), 60u);
+  EXPECT_EQ(ds.num_classes(), 10u);
+  EXPECT_TRUE((ds.sample(0).image.shape() == Shape{1, 3, 32, 32}));
+  GaussianTextures ds2(60, 10, 9);
+  for (std::size_t p = 0; p < ds.sample(5).image.numel(); ++p)
+    EXPECT_EQ(ds.sample(5).image[p], ds2.sample(5).image[p]);
+}
+
+TEST(GaussianTextures, HundredClasses) {
+  GaussianTextures ds(300, 100, 13);
+  EXPECT_EQ(ds.num_classes(), 100u);
+  std::size_t max_label = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    max_label = std::max(max_label, ds.sample(i).label);
+  EXPECT_LT(max_label, 100u);
+  EXPECT_GT(max_label, 50u);  // labels spread across range
+}
+
+TEST(GaussianTextures, RequiresTwoClasses) {
+  EXPECT_THROW(GaussianTextures(10, 1, 1), Error);
+}
+
+TEST(Dataset, BatchAssembly) {
+  SyntheticDigits ds(20, 15);
+  auto [images, labels] = ds.batch({0, 5, 7});
+  EXPECT_TRUE((images.shape() == Shape{3, 1, 28, 28}));
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[1], ds.sample(5).label);
+  // Image content copied faithfully.
+  for (std::size_t p = 0; p < 784; ++p)
+    EXPECT_EQ(images[784 + p], ds.sample(5).image[p]);
+}
+
+TEST(Dataset, EmptyBatchThrows) {
+  SyntheticDigits ds(5, 16);
+  EXPECT_THROW(ds.batch({}), Error);
+}
+
+}  // namespace
+}  // namespace deepcam::nn

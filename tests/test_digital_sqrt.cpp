@@ -1,0 +1,79 @@
+#include "common/digital_sqrt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace deepcam {
+namespace {
+
+TEST(DigitalSqrt, SmallValuesExact) {
+  EXPECT_EQ(isqrt_nonrestoring(0), 0);
+  EXPECT_EQ(isqrt_nonrestoring(1), 1);
+  EXPECT_EQ(isqrt_nonrestoring(2), 1);
+  EXPECT_EQ(isqrt_nonrestoring(3), 1);
+  EXPECT_EQ(isqrt_nonrestoring(4), 2);
+  EXPECT_EQ(isqrt_nonrestoring(8), 2);
+  EXPECT_EQ(isqrt_nonrestoring(9), 3);
+  EXPECT_EQ(isqrt_nonrestoring(15), 3);
+  EXPECT_EQ(isqrt_nonrestoring(16), 4);
+}
+
+TEST(DigitalSqrt, PerfectSquares) {
+  for (std::uint32_t r = 0; r <= 65535; r += 257)
+    EXPECT_EQ(isqrt_nonrestoring(r * r), r);
+  EXPECT_EQ(isqrt_nonrestoring(65535u * 65535u), 65535u);
+}
+
+TEST(DigitalSqrt, MaxInput) {
+  EXPECT_EQ(isqrt_nonrestoring(0xFFFFFFFFu), 65535u);
+}
+
+TEST(DigitalSqrt, FloorPropertyRandom) {
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t x = static_cast<std::uint32_t>(rng.next());
+    const std::uint64_t r = isqrt_nonrestoring(x);
+    EXPECT_LE(r * r, static_cast<std::uint64_t>(x));
+    EXPECT_GT((r + 1) * (r + 1), static_cast<std::uint64_t>(x));
+  }
+}
+
+TEST(DigitalSqrt, MatchesLibmFloor) {
+  Rng rng(43);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t x = static_cast<std::uint32_t>(rng.next());
+    const auto expected =
+        static_cast<std::uint32_t>(std::floor(std::sqrt(double(x))));
+    EXPECT_EQ(isqrt_nonrestoring(x), expected) << x;
+  }
+}
+
+TEST(FxSqrtQ16, KnownValues) {
+  // sqrt over 64-bit integer domain (used at Q32.32 internally).
+  EXPECT_EQ(fxsqrt_q16(0), 0u);
+  EXPECT_EQ(fxsqrt_q16(1), 1u);
+  EXPECT_EQ(fxsqrt_q16(4), 2u);
+  EXPECT_EQ(fxsqrt_q16(1ull << 32), 1u << 16);
+}
+
+TEST(FxSqrtQ16, FloorProperty) {
+  Rng rng(44);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t x = rng.next() >> 1;  // keep headroom
+    const std::uint64_t r = fxsqrt_q16(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(DigitalSqrt, LatencyConstantIsSixteen) {
+  // Hardware contract: serial non-restoring sqrt is one cycle per output
+  // bit for 32-bit radicands.
+  EXPECT_EQ(kCyclesPerSqrt32, 16);
+}
+
+}  // namespace
+}  // namespace deepcam

@@ -1,0 +1,147 @@
+#include "core/hash_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pointwise.hpp"
+#include "nn/pooling.hpp"
+#include "nn/topologies.hpp"
+
+namespace deepcam::core {
+namespace {
+
+std::vector<nn::Tensor> probes(nn::Shape s, std::size_t count,
+                               std::uint64_t seed) {
+  deepcam::Rng rng(seed);
+  std::vector<nn::Tensor> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    nn::Tensor t(s);
+    for (std::size_t p = 0; p < t.numel(); ++p)
+      t[p] = static_cast<float>(rng.gaussian());
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(HashTuner, LayerLocalReturnsPerLayerChoice) {
+  auto m = nn::make_lenet5(1);
+  TunerConfig cfg;
+  cfg.mode = TunerMode::kLayerLocal;
+  const auto ps = probes({1, 1, 28, 28}, 2, 2);
+  const TuneResult r = tune_hash_lengths(*m, ps, cfg);
+  EXPECT_EQ(r.layers.size(), 5u);
+  EXPECT_EQ(r.hash_bits.size(), 5u);
+  for (const auto& l : r.layers) {
+    EXPECT_EQ(l.metric.size(), 4u);  // one per candidate length
+    EXPECT_GE(l.chosen_bits, 256u);
+    EXPECT_LE(l.chosen_bits, 1024u);
+  }
+  EXPECT_GT(r.mean_hash_bits(), 0.0);
+}
+
+TEST(HashTuner, LayerLocalMetricImprovesWithHashLength) {
+  auto m = nn::make_lenet5(3);
+  TunerConfig cfg;
+  cfg.mode = TunerMode::kLayerLocal;
+  const auto ps = probes({1, 1, 28, 28}, 2, 4);
+  const TuneResult r = tune_hash_lengths(*m, ps, cfg);
+  // Relative error at k=1024 should beat k=256 on (nearly) every layer;
+  // assert it for the aggregate to be robust to stochastic wiggle.
+  double err256 = 0.0, err1024 = 0.0;
+  for (const auto& l : r.layers) {
+    err256 += l.metric.front();
+    err1024 += l.metric.back();
+  }
+  EXPECT_LT(err1024, err256);
+}
+
+TEST(HashTuner, StricterThresholdNeverShrinksHashes) {
+  auto m = nn::make_lenet5(5);
+  const auto ps = probes({1, 1, 28, 28}, 2, 6);
+  TunerConfig loose;
+  loose.max_rel_error = 0.5;
+  TunerConfig strict;
+  strict.max_rel_error = 0.05;
+  const TuneResult rl = tune_hash_lengths(*m, ps, loose);
+  const TuneResult rs = tune_hash_lengths(*m, ps, strict);
+  for (std::size_t i = 0; i < rl.hash_bits.size(); ++i)
+    EXPECT_LE(rl.hash_bits[i], rs.hash_bits[i]) << "layer " << i;
+}
+
+TEST(HashTuner, EndToEndModeOnTinyModel) {
+  nn::Model m("tiny");
+  m.add(std::make_unique<nn::Conv2D>("c", nn::ConvSpec{1, 4, 3, 3, 1, 0}, 7));
+  m.add(std::make_unique<nn::ReLU>("r"));
+  m.add(std::make_unique<nn::Flatten>("f"));
+  m.add(std::make_unique<nn::Linear>("fc", 4 * 36, 5, 8));
+  TunerConfig cfg;
+  cfg.mode = TunerMode::kEndToEnd;
+  cfg.min_agreement = 0.5;
+  const auto ps = probes({1, 1, 8, 8}, 6, 9);
+  const TuneResult r = tune_hash_lengths(m, ps, cfg);
+  EXPECT_EQ(r.hash_bits.size(), 2u);
+  for (const auto& l : r.layers)
+    for (double a : l.metric) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+}
+
+TEST(HashTuner, TunedConfigRunsOnAccelerator) {
+  auto m = nn::make_lenet5(10);
+  const auto ps = probes({1, 1, 28, 28}, 2, 11);
+  TunerConfig tcfg;
+  const TuneResult r = tune_hash_lengths(*m, ps, tcfg);
+  DeepCamConfig cfg;
+  cfg.layer_hash_bits = r.hash_bits;
+  DeepCamAccelerator acc(*m, cfg);
+  RunReport rep;
+  acc.run(ps[0], &rep);
+  for (std::size_t i = 0; i < rep.layers.size(); ++i)
+    EXPECT_EQ(rep.layers[i].hash_bits, r.hash_bits[i]);
+}
+
+TEST(HashTuner, AgreementMetricFullHash) {
+  auto m = nn::make_lenet5(12);
+  const auto ps = probes({1, 1, 28, 28}, 4, 13);
+  DeepCamConfig cfg;
+  cfg.default_hash_bits = 1024;
+  const double agreement = deepcam_agreement(*m, ps, cfg);
+  EXPECT_GE(agreement, 0.0);
+  EXPECT_LE(agreement, 1.0);
+}
+
+TEST(HashTuner, JointRefineNeverShrinksAndMeetsTargetOrMaxes) {
+  auto m = nn::make_lenet5(20);
+  const auto ps = probes({1, 1, 28, 28}, 4, 21);
+  TunerConfig base;
+  base.mode = TunerMode::kLayerLocal;
+  base.max_rel_error = 0.6;  // deliberately loose per-layer choices
+  const TuneResult plain = tune_hash_lengths(*m, ps, base);
+  TunerConfig refined_cfg = base;
+  refined_cfg.joint_refine = true;
+  refined_cfg.min_agreement = 1.0;
+  const TuneResult refined = tune_hash_lengths(*m, ps, refined_cfg);
+  ASSERT_EQ(plain.hash_bits.size(), refined.hash_bits.size());
+  for (std::size_t i = 0; i < plain.hash_bits.size(); ++i)
+    EXPECT_GE(refined.hash_bits[i], plain.hash_bits[i]);
+  // Outcome contract: either the joint target is met or some budget grew
+  // all the way to the maximum hash length.
+  DeepCamConfig dc;
+  dc.layer_hash_bits = refined.hash_bits;
+  const double agreement = deepcam_agreement(*m, ps, dc);
+  bool any_maxed = false;
+  for (auto k : refined.hash_bits) any_maxed |= (k == hash::kMaxHashBits);
+  EXPECT_TRUE(agreement >= refined_cfg.min_agreement || any_maxed);
+}
+
+TEST(HashTuner, EmptyProbesThrow) {
+  auto m = nn::make_lenet5(14);
+  EXPECT_THROW(tune_hash_lengths(*m, {}, {}), deepcam::Error);
+  EXPECT_THROW(deepcam_agreement(*m, {}, {}), deepcam::Error);
+}
+
+}  // namespace
+}  // namespace deepcam::core

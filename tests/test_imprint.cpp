@@ -1,0 +1,97 @@
+#include "nn/imprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "nn/dataset.hpp"
+#include "nn/linear.hpp"
+#include "nn/pointwise.hpp"
+#include "nn/pooling.hpp"
+#include "nn/topologies.hpp"
+
+namespace deepcam::nn {
+namespace {
+
+TEST(Imprint, NearestPrototypeClassifierIsAccurate) {
+  // A random conv feature extractor plus imprinted head classifies the
+  // Gaussian textures far above chance.
+  auto m = std::make_unique<Model>("tiny");
+  m->add(std::make_unique<Conv2D>("c", ConvSpec{3, 8, 3, 3, 1, 1}, 1));
+  m->add(std::make_unique<ReLU>("r"));
+  m->add(std::make_unique<MaxPool>("p", 4, 4));
+  m->add(std::make_unique<Flatten>("f"));
+  m->add(std::make_unique<Linear>("fc", 8 * 8 * 8, 10, 2));
+
+  GaussianTextures data(60, 10, 3, /*noise=*/0.4);
+  std::vector<Tensor> protos;
+  for (std::size_t c = 0; c < 10; ++c) protos.push_back(data.prototype(c));
+  imprint_classifier(*m, protos);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (argmax_class(m->forward(data.sample(i).image, false)) ==
+        data.sample(i).label)
+      ++correct;
+  EXPECT_GT(double(correct) / double(data.size()), 0.7);  // chance = 0.1
+}
+
+TEST(Imprint, PrototypeScoresItselfHighest) {
+  auto m = std::make_unique<Model>("mlp");
+  m->add(std::make_unique<Flatten>("f"));
+  m->add(std::make_unique<Linear>("fc", 3 * 32 * 32, 5, 4));
+  GaussianTextures data(5, 5, 5, 0.4);
+  std::vector<Tensor> protos;
+  for (std::size_t c = 0; c < 5; ++c) protos.push_back(data.prototype(c));
+  imprint_classifier(*m, protos);
+  for (std::size_t c = 0; c < 5; ++c)
+    EXPECT_EQ(argmax_class(m->forward(protos[c], false)), c) << c;
+}
+
+TEST(Imprint, WeightRowsAreUnitNorm) {
+  auto m = std::make_unique<Model>("mlp");
+  m->add(std::make_unique<Flatten>("f"));
+  m->add(std::make_unique<Linear>("fc", 3 * 32 * 32, 4, 6));
+  GaussianTextures data(4, 4, 7, 0.4);
+  std::vector<Tensor> protos;
+  for (std::size_t c = 0; c < 4; ++c) protos.push_back(data.prototype(c));
+  imprint_classifier(*m, protos);
+  auto& fc = static_cast<Linear&>(m->layer(1));
+  for (std::size_t c = 0; c < 4; ++c) {
+    double ss = 0.0;
+    for (std::size_t i = 0; i < fc.in_features(); ++i) {
+      const double w = fc.weights()[c * fc.in_features() + i];
+      ss += w * w;
+    }
+    EXPECT_NEAR(ss, 1.0, 1e-4);
+    EXPECT_EQ(fc.bias()[c], 0.0f);
+  }
+}
+
+TEST(Imprint, ArityChecks) {
+  auto m = std::make_unique<Model>("mlp");
+  m->add(std::make_unique<Flatten>("f"));
+  m->add(std::make_unique<Linear>("fc", 12, 3, 8));
+  std::vector<Tensor> wrong_count(2, Tensor({1, 3, 2, 2}));
+  EXPECT_THROW(imprint_classifier(*m, wrong_count), Error);
+  Model no_fc("conv_only");
+  no_fc.add(std::make_unique<Conv2D>("c", ConvSpec{1, 1, 1, 1, 1, 0}, 9));
+  std::vector<Tensor> one(1, Tensor({1, 1, 2, 2}));
+  EXPECT_THROW(imprint_classifier(no_fc, one), Error);
+}
+
+TEST(Imprint, ResNet18HeadImprintsAndClassifies) {
+  auto m = make_resnet18(10, 20);  // 20 classes to keep it quick
+  GaussianTextures data(10, 20, 11, 0.3);
+  std::vector<Tensor> protos;
+  for (std::size_t c = 0; c < 20; ++c) protos.push_back(data.prototype(c));
+  imprint_classifier(*m, protos);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (argmax_class(m->forward(data.sample(i).image, false)) ==
+        data.sample(i).label)
+      ++correct;
+  EXPECT_GT(double(correct) / double(data.size()), 0.5);  // chance = 0.05
+}
+
+}  // namespace
+}  // namespace deepcam::nn

@@ -1,0 +1,153 @@
+#include "core/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace deepcam::core {
+namespace {
+
+TEST(Mapping, PaperExampleSection4B) {
+  // "a single-channeled input of size 32x32 and 6 weight-kernels of size
+  //  5x5 with stride 1": 28*28 = 784 patches, 6 kernels, 64 CAM rows.
+  const LayerWork work{784, 6};
+
+  const MappingPlan ws = plan_mapping(work, 64, Dataflow::kWeightStationary);
+  EXPECT_EQ(ws.passes, 1u);
+  EXPECT_EQ(ws.searches, 784u);
+  // Paper: utilization 6/64 = 9.4%.
+  EXPECT_NEAR(ws.utilization, 6.0 / 64.0, 1e-9);
+
+  const MappingPlan as =
+      plan_mapping(work, 64, Dataflow::kActivationStationary);
+  EXPECT_EQ(as.passes, 13u);  // ceil(784/64)
+  EXPECT_EQ(as.searches, 13u * 6u);
+  // Paper: "utilization becomes 100%" — 12 full passes, one partial (16/64):
+  // mean is ~94.7%, i.e. near-full; far above the 9.4% of WS.
+  EXPECT_GT(as.utilization, 0.9);
+  EXPECT_GT(as.utilization / ws.utilization, 9.0);
+  // And AS needs far fewer searches.
+  EXPECT_LT(as.searches * 10, ws.searches);
+}
+
+TEST(Mapping, DotProductInvariant) {
+  // Every mapping must produce exactly P*K dot products.
+  for (std::size_t p : {1u, 13u, 784u})
+    for (std::size_t k : {1u, 6u, 512u})
+      for (std::size_t r : {1u, 64u, 512u})
+        for (auto df : {Dataflow::kWeightStationary,
+                        Dataflow::kActivationStationary}) {
+          const MappingPlan plan = plan_mapping({p, k}, r, df);
+          EXPECT_EQ(plan.dot_products, p * k);
+          // searches * rows >= dot products (capacity covers the work).
+          EXPECT_GE(plan.searches * r, p * k);
+        }
+}
+
+TEST(Mapping, RowsWrittenEqualsStationaryCount) {
+  EXPECT_EQ(plan_mapping({100, 7}, 64, Dataflow::kWeightStationary)
+                .rows_written,
+            7u);
+  EXPECT_EQ(plan_mapping({100, 7}, 64, Dataflow::kActivationStationary)
+                .rows_written,
+            100u);
+}
+
+TEST(Mapping, ExactFitGivesFullUtilization) {
+  const MappingPlan plan =
+      plan_mapping({128, 5}, 64, Dataflow::kActivationStationary);
+  EXPECT_EQ(plan.passes, 2u);
+  EXPECT_DOUBLE_EQ(plan.utilization, 1.0);
+  EXPECT_EQ(plan.searches, 10u);
+}
+
+TEST(Mapping, SingleRowCam) {
+  const MappingPlan plan =
+      plan_mapping({10, 3}, 1, Dataflow::kWeightStationary);
+  EXPECT_EQ(plan.passes, 3u);
+  EXPECT_EQ(plan.searches, 30u);
+  EXPECT_DOUBLE_EQ(plan.utilization, 1.0);
+}
+
+TEST(Mapping, FcLayersFavorWeightStationary) {
+  // P=1 (one activation vector): AS wastes the array, WS fills it.
+  const LayerWork fc{1, 512};
+  const MappingPlan ws = plan_mapping(fc, 64, Dataflow::kWeightStationary);
+  const MappingPlan as =
+      plan_mapping(fc, 64, Dataflow::kActivationStationary);
+  EXPECT_DOUBLE_EQ(ws.utilization, 1.0);
+  EXPECT_NEAR(as.utilization, 1.0 / 64.0, 1e-9);
+  EXPECT_LT(ws.searches, as.searches);
+}
+
+TEST(Mapping, MoreRowsNeverIncreasesSearches) {
+  // Monotonicity property behind the paper's rows sweep (Fig. 9: 64 -> 512
+  // rows improves ResNet18 cycles 3.3x -> 26.4x).
+  for (auto df :
+       {Dataflow::kWeightStationary, Dataflow::kActivationStationary}) {
+    std::size_t prev = SIZE_MAX;
+    for (std::size_t rows : {64u, 128u, 256u, 512u}) {
+      const MappingPlan plan = plan_mapping({784, 96}, rows, df);
+      EXPECT_LE(plan.searches, prev);
+      prev = plan.searches;
+    }
+  }
+}
+
+TEST(Mapping, InvalidInputsThrow) {
+  EXPECT_THROW(plan_mapping({0, 5}, 64, Dataflow::kWeightStationary),
+               deepcam::Error);
+  EXPECT_THROW(plan_mapping({5, 0}, 64, Dataflow::kWeightStationary),
+               deepcam::Error);
+  EXPECT_THROW(plan_mapping({5, 5}, 0, Dataflow::kWeightStationary),
+               deepcam::Error);
+}
+
+TEST(Mapping, DataflowNames) {
+  EXPECT_STREQ(dataflow_name(Dataflow::kWeightStationary),
+               "weight-stationary");
+  EXPECT_STREQ(dataflow_name(Dataflow::kActivationStationary),
+               "activation-stationary");
+}
+
+// Brute-force cross-check of the closed forms on a parameter grid.
+class MappingBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MappingBruteForce, MatchesEnumeration) {
+  const auto [p, k, r] = GetParam();
+  const LayerWork work{static_cast<std::size_t>(p),
+                       static_cast<std::size_t>(k)};
+  for (auto df :
+       {Dataflow::kWeightStationary, Dataflow::kActivationStationary}) {
+    const MappingPlan plan = plan_mapping(work, static_cast<std::size_t>(r),
+                                          df);
+    // Enumerate passes.
+    const std::size_t stationary =
+        df == Dataflow::kWeightStationary ? work.kernels : work.patches;
+    const std::size_t streamed =
+        df == Dataflow::kWeightStationary ? work.patches : work.kernels;
+    std::size_t passes = 0, searches = 0, written = 0;
+    for (std::size_t base = 0; base < stationary;
+         base += static_cast<std::size_t>(r)) {
+      ++passes;
+      written += std::min<std::size_t>(r, stationary - base);
+      searches += streamed;
+    }
+    EXPECT_EQ(plan.passes, passes);
+    EXPECT_EQ(plan.searches, searches);
+    EXPECT_EQ(plan.rows_written, written);
+    EXPECT_EQ(written, stationary);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MappingBruteForce,
+    ::testing::Combine(::testing::Values(1, 16, 65, 784),
+                       ::testing::Values(1, 6, 64, 100),
+                       ::testing::Values(1, 64, 128, 512)));
+
+}  // namespace
+}  // namespace deepcam::core

@@ -1,0 +1,95 @@
+#include "common/minifloat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepcam {
+namespace {
+
+TEST(MiniFloat, ZeroRoundTrips) {
+  EXPECT_EQ(MiniFloat::decode(MiniFloat::encode(0.0f)), 0.0f);
+  EXPECT_EQ(MiniFloat::decode(MiniFloat::encode(-0.0f)), -0.0f);
+}
+
+TEST(MiniFloat, ExactValuesRoundTrip) {
+  // Powers of two and values with <=3 mantissa bits are exactly
+  // representable within the normal range.
+  for (float v : {1.0f, 2.0f, 0.5f, 0.25f, 1.5f, 1.25f, 1.125f, 3.0f, 96.0f,
+                  448.0f, 0.015625f}) {
+    EXPECT_EQ(MiniFloat::quantize(v), v) << v;
+    EXPECT_EQ(MiniFloat::quantize(-v), -v) << -v;
+  }
+}
+
+TEST(MiniFloat, MaxValue) {
+  EXPECT_EQ(MiniFloat::quantize(MiniFloat::kMax), MiniFloat::kMax);
+  // Values above max saturate to max.
+  EXPECT_EQ(MiniFloat::quantize(1e6f), MiniFloat::kMax);
+  EXPECT_EQ(MiniFloat::quantize(-1e6f), -MiniFloat::kMax);
+}
+
+TEST(MiniFloat, SubnormalsRepresentable) {
+  EXPECT_EQ(MiniFloat::quantize(MiniFloat::kMinSubnormal),
+            MiniFloat::kMinSubnormal);
+  // Half the min subnormal underflows to zero (round to nearest even).
+  EXPECT_EQ(MiniFloat::quantize(MiniFloat::kMinSubnormal * 0.49f), 0.0f);
+}
+
+TEST(MiniFloat, RelativeErrorBoundedForNormals) {
+  // E4M3 has 3 mantissa bits: relative error <= 2^-4 = 6.25% for normals.
+  for (float v = 0.02f; v < 400.0f; v *= 1.17f) {
+    const float q = MiniFloat::quantize(v);
+    EXPECT_NEAR(q, v, v * 0.0625f) << v;
+  }
+}
+
+TEST(MiniFloat, MonotoneNondecreasing) {
+  float prev = MiniFloat::quantize(0.0f);
+  for (float v = 0.0f; v < 500.0f; v += 0.37f) {
+    const float q = MiniFloat::quantize(v);
+    EXPECT_GE(q, prev) << "at " << v;
+    prev = q;
+  }
+}
+
+TEST(MiniFloat, AllCodesDecodeEncodeStable) {
+  // decode(encode(decode(c))) == decode(c): every representable value is a
+  // fixed point of quantization.
+  for (int c = 0; c < 256; ++c) {
+    const float v = MiniFloat::decode(static_cast<std::uint8_t>(c));
+    EXPECT_EQ(MiniFloat::quantize(v), v) << "code=" << c;
+  }
+}
+
+TEST(MiniFloat, SignHandling) {
+  EXPECT_LT(MiniFloat::decode(MiniFloat::encode(-2.0f)), 0.0f);
+  EXPECT_GT(MiniFloat::decode(MiniFloat::encode(2.0f)), 0.0f);
+}
+
+TEST(MiniFloat, NanMapsToZeroMagnitude) {
+  EXPECT_EQ(MiniFloat::decode(MiniFloat::encode(std::nanf(""))), 0.0f);
+}
+
+TEST(MiniFloat, RoundToNearest) {
+  // Between 1.0 and 1.125 the midpoint 1.0625 rounds to even (1.0).
+  EXPECT_EQ(MiniFloat::quantize(1.0624f), 1.0f);
+  EXPECT_EQ(MiniFloat::quantize(1.0626f), 1.125f);
+}
+
+class MiniFloatSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(MiniFloatSweep, QuantizeIsIdempotent) {
+  const float v = GetParam();
+  const float q1 = MiniFloat::quantize(v);
+  const float q2 = MiniFloat::quantize(q1);
+  EXPECT_EQ(q1, q2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, MiniFloatSweep,
+                         ::testing::Values(0.001f, 0.013f, 0.17f, 0.9f, 1.1f,
+                                           7.3f, 42.0f, 100.5f, 479.0f,
+                                           481.0f, -3.7f, -0.002f));
+
+}  // namespace
+}  // namespace deepcam

@@ -1,0 +1,142 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pointwise.hpp"
+
+namespace deepcam::nn {
+namespace {
+
+std::unique_ptr<Model> tiny_mlp() {
+  auto m = std::make_unique<Model>("tiny");
+  m->add(std::make_unique<Linear>("fc1", 4, 8, 1));
+  m->add(std::make_unique<ReLU>("r1"));
+  m->add(std::make_unique<Linear>("fc2", 8, 3, 2));
+  return m;
+}
+
+TEST(Model, SequentialDetection) {
+  auto m = tiny_mlp();
+  EXPECT_TRUE(m->is_sequential());
+  EXPECT_EQ(m->node_count(), 3u);
+}
+
+TEST(Model, ForwardProducesLogits) {
+  auto m = tiny_mlp();
+  Tensor in({1, 4, 1, 1});
+  in.fill(0.5f);
+  Tensor out = m->forward(in, false);
+  EXPECT_TRUE((out.shape() == Shape{1, 3, 1, 1}));
+}
+
+TEST(Model, ForwardAllReturnsEveryNode) {
+  auto m = tiny_mlp();
+  Tensor in({1, 4, 1, 1});
+  auto outs = m->forward_all(in);
+  EXPECT_EQ(outs.size(), 3u);
+  EXPECT_EQ(outs[0].shape().c, 8u);
+  EXPECT_EQ(outs[2].shape().c, 3u);
+}
+
+TEST(Model, ResidualGraphEvaluates) {
+  Model m("res");
+  const int a = m.add(std::make_unique<Linear>("fc1", 4, 4, 3));
+  const int b = m.add(std::make_unique<ReLU>("r"), a);
+  const int c = m.add(std::make_unique<Add>("add"), b, a);  // skip connection
+  (void)c;
+  EXPECT_FALSE(m.is_sequential());
+  Tensor in({1, 4, 1, 1});
+  in.fill(1.0f);
+  Tensor out = m.forward(in, false);
+  // add = relu(fc1(x)) + fc1(x): where fc1(x) >= 0 output is 2*fc1(x).
+  auto outs = m.forward_all(in);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const float fc = outs[0][i];
+    const float expect = (fc > 0 ? 2.0f * fc : fc);
+    EXPECT_FLOAT_EQ(out[i], expect);
+  }
+}
+
+TEST(Model, BadInputIndexThrows) {
+  Model m("bad");
+  EXPECT_THROW(m.add(std::make_unique<ReLU>("r"), 5), Error);
+  EXPECT_THROW(m.add(std::make_unique<ReLU>("r"), -2), Error);
+}
+
+TEST(Model, BackwardRequiresSequential) {
+  Model m("res");
+  const int a = m.add(std::make_unique<Linear>("fc1", 2, 2, 4));
+  m.add(std::make_unique<Add>("add"), a, a);
+  Tensor g({1, 2, 1, 1});
+  EXPECT_THROW(m.backward(g), Error);
+}
+
+TEST(Model, ParamCount) {
+  auto m = tiny_mlp();
+  // fc1: 4*8+8, fc2: 8*3+3.
+  EXPECT_EQ(m->param_count(), 4u * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(ArgmaxClass, PicksLargest) {
+  Tensor logits({2, 3, 1, 1});
+  logits.at(0, 1, 0, 0) = 5.0f;
+  logits.at(1, 2, 0, 0) = 2.0f;
+  EXPECT_EQ(argmax_class(logits, 0), 1u);
+  EXPECT_EQ(argmax_class(logits, 1), 2u);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogits) {
+  Tensor logits({1, 4, 1, 1});
+  Tensor grad;
+  const float loss = softmax_cross_entropy(logits, {2}, &grad);
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5);
+  // Gradient: p - onehot = 0.25 everywhere except 0.25-1 at the label.
+  EXPECT_NEAR(grad[0], 0.25f, 1e-5);
+  EXPECT_NEAR(grad[2], -0.75f, 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZero) {
+  Tensor logits({2, 5, 1, 1});
+  for (std::size_t i = 0; i < 10; ++i)
+    logits[i] = static_cast<float>(i) * 0.1f;
+  Tensor grad;
+  softmax_cross_entropy(logits, {1, 3}, &grad);
+  for (std::size_t n = 0; n < 2; ++n) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 5; ++c) sum += grad.at(n, c, 0, 0);
+    EXPECT_NEAR(sum, 0.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectHasLowLoss) {
+  Tensor logits({1, 3, 1, 1});
+  logits[0] = 10.0f;
+  const float loss = softmax_cross_entropy(logits, {0}, nullptr);
+  EXPECT_LT(loss, 0.01f);
+}
+
+TEST(Model, TrainingStepReducesLoss) {
+  auto m = tiny_mlp();
+  Tensor in({4, 4, 1, 1});
+  for (std::size_t i = 0; i < in.numel(); ++i)
+    in[i] = static_cast<float>((i % 7)) * 0.2f - 0.5f;
+  const std::vector<std::size_t> labels = {0, 1, 2, 0};
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 200; ++step) {
+    Tensor logits = m->forward(in, true);
+    Tensor grad;
+    const float loss = softmax_cross_entropy(logits, labels, &grad);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    m->backward(grad);
+    m->update(0.2f);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5f);
+}
+
+}  // namespace
+}  // namespace deepcam::nn

@@ -1,0 +1,97 @@
+#include "pim/comparators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "nn/topologies.hpp"
+
+namespace deepcam::pim {
+namespace {
+
+TEST(Crossbar, TileCountFromGeometry) {
+  CrossbarConfig cfg;
+  cfg.tile_rows = 128;
+  cfg.tile_cols = 128;
+  const CrossbarLayerResult r = simulate_layer({"l", 10, 300, 200}, cfg);
+  // ceil(200/128)=2 row tiles x ceil(300/128)=3 col tiles.
+  EXPECT_EQ(r.tiles, 6u);
+}
+
+TEST(Crossbar, CyclesScaleWithInputsAndWaves) {
+  CrossbarConfig cfg;
+  cfg.tile_rows = 128;
+  cfg.tile_cols = 128;
+  cfg.parallel_tiles = 2;
+  cfg.input_serial_cycles = 8;
+  cfg.adcs_per_tile = 16;
+  cfg.adc_cycles = 10;
+  const CrossbarLayerResult r = simulate_layer({"l", 10, 128, 256}, cfg);
+  // 2 row tiles, 1 col tile -> 2 tiles -> 1 wave of 2.
+  // latency = 8 + ceil(128/16)*10 = 88; cycles = 10 * 1 * 88.
+  EXPECT_EQ(r.cycles, 880u);
+}
+
+TEST(Crossbar, EnergyIsPerMac) {
+  CrossbarConfig cfg;
+  cfg.energy_per_mac = 1e-12;
+  const CrossbarLayerResult r = simulate_layer({"l", 10, 10, 10}, cfg);
+  EXPECT_NEAR(r.energy, 1000.0 * 1e-12, 1e-18);
+}
+
+TEST(Comparators, NeuroSimVgg11MatchesPublishedMagnitudes) {
+  // Table II: NeuroSim RRAM on VGG11/CIFAR10 = 34.98 uJ, 5.74e5 cycles.
+  auto m = nn::make_vgg11(1, 10);
+  const auto r = simulate_crossbar(*m, {1, 3, 32, 32},
+                                   neurosim_rram_config());
+  const double uj = to_uJ(r.total_energy());
+  EXPECT_GT(uj, 20.0);
+  EXPECT_LT(uj, 50.0);
+  EXPECT_GT(r.total_cycles(), 2.0e5);
+  EXPECT_LT(r.total_cycles(), 1.2e6);
+}
+
+TEST(Comparators, ValaviVgg11MatchesPublishedMagnitudes) {
+  // Table II: Valavi SRAM on VGG11/CIFAR10 = 3.55 uJ, 2.56e5 cycles.
+  auto m = nn::make_vgg11(2, 10);
+  const auto r =
+      simulate_crossbar(*m, {1, 3, 32, 32}, valavi_sram_config());
+  const double uj = to_uJ(r.total_energy());
+  EXPECT_GT(uj, 1.5);
+  EXPECT_LT(uj, 6.0);
+  EXPECT_GT(r.total_cycles(), 0.5e5);
+  EXPECT_LT(r.total_cycles(), 6.0e5);
+}
+
+TEST(Comparators, SramChargeDomainCheaperThanRram) {
+  auto m = nn::make_vgg11(3, 10);
+  const auto rram =
+      simulate_crossbar(*m, {1, 3, 32, 32}, neurosim_rram_config());
+  const auto sram =
+      simulate_crossbar(*m, {1, 3, 32, 32}, valavi_sram_config());
+  // Table II shows ~10x energy gap between the two analog designs.
+  EXPECT_GT(rram.total_energy() / sram.total_energy(), 5.0);
+}
+
+TEST(Crossbar, ModelAggregation) {
+  auto m = nn::make_lenet5(4);
+  const auto r =
+      simulate_crossbar(*m, {1, 1, 28, 28}, neurosim_rram_config());
+  EXPECT_EQ(r.layers.size(), 5u);
+  std::size_t cyc = 0;
+  double e = 0.0;
+  for (const auto& l : r.layers) {
+    cyc += l.cycles;
+    e += l.energy;
+  }
+  EXPECT_EQ(r.total_cycles(), cyc);
+  EXPECT_DOUBLE_EQ(r.total_energy(), e);
+}
+
+TEST(Crossbar, InvalidConfigThrows) {
+  CrossbarConfig cfg;
+  cfg.tile_rows = 0;
+  EXPECT_THROW(simulate_layer({"l", 1, 1, 1}, cfg), deepcam::Error);
+}
+
+}  // namespace
+}  // namespace deepcam::pim

@@ -1,0 +1,64 @@
+#include "nn/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace deepcam::nn {
+namespace {
+
+TEST(Quantize, ScaleCoversMax) {
+  std::vector<float> x = {-2.0f, 1.0f, 0.5f};
+  const QuantParams qp = choose_scale(x);
+  EXPECT_FLOAT_EQ(qp.scale, 2.0f / 127.0f);
+}
+
+TEST(Quantize, ZeroVectorSafe) {
+  std::vector<float> x(4, 0.0f);
+  const QuantParams qp = choose_scale(x);
+  EXPECT_EQ(qp.scale, 1.0f);
+  const auto q = quantize_int8(x, qp);
+  for (auto v : q) EXPECT_EQ(v, 0);
+}
+
+TEST(Quantize, RoundTripErrorBounded) {
+  Rng rng(31);
+  std::vector<float> x(256);
+  for (auto& v : x) v = static_cast<float>(rng.gaussian(0.0, 2.0));
+  const QuantParams qp = choose_scale(x);
+  const auto q = quantize_int8(x, qp);
+  const auto back = dequantize_int8(q, qp);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(back[i], x[i], qp.scale * 0.5f + 1e-6f);
+}
+
+TEST(Quantize, SaturatesAtPlusMinus127) {
+  std::vector<float> x = {1.0f};
+  QuantParams qp{0.001f};
+  const auto q = quantize_int8(x, qp);
+  EXPECT_EQ(q[0], 127);
+  std::vector<float> y = {-1.0f};
+  EXPECT_EQ(quantize_int8(y, qp)[0], -127);
+}
+
+TEST(Quantize, FakeQuantizeIdempotent) {
+  Rng rng(32);
+  Tensor t({1, 2, 4, 4});
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.gaussian());
+  Tensor q1 = fake_quantize(t);
+  Tensor q2 = fake_quantize(q1);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_NEAR(q1[i], q2[i], 1e-6f);
+}
+
+TEST(Quantize, SymmetricInSign) {
+  std::vector<float> x = {0.7f, -0.7f};
+  const QuantParams qp = choose_scale(x);
+  const auto q = quantize_int8(x, qp);
+  EXPECT_EQ(q[0], -q[1]);
+}
+
+}  // namespace
+}  // namespace deepcam::nn

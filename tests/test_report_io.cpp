@@ -1,0 +1,75 @@
+#include "core/report_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pointwise.hpp"
+
+namespace deepcam::core {
+namespace {
+
+RunReport make_report() {
+  nn::Model m("tiny");
+  m.add(std::make_unique<nn::Conv2D>("conv1", nn::ConvSpec{1, 4, 3, 3, 1, 0},
+                                     1));
+  m.add(std::make_unique<nn::ReLU>("r"));
+  m.add(std::make_unique<nn::Flatten>("f"));
+  m.add(std::make_unique<nn::Linear>("fc", 4 * 36, 5, 2));
+  DeepCamAccelerator acc(m, {});
+  RunReport rep;
+  nn::Tensor in({1, 1, 8, 8});
+  in.fill(0.5f);
+  acc.run(in, &rep);
+  return rep;
+}
+
+TEST(ReportIo, CsvHasHeaderAndOneRowPerLayer) {
+  const RunReport rep = make_report();
+  const std::string csv = report_to_csv(rep);
+  std::istringstream is(csv);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 1 + rep.layers.size());
+  EXPECT_NE(csv.find("layer,patches,kernels"), std::string::npos);
+  EXPECT_NE(csv.find("conv1,36,4,9,1024"), std::string::npos);
+  EXPECT_NE(csv.find("fc,1,5,144,1024"), std::string::npos);
+}
+
+TEST(ReportIo, CsvFieldCountConsistent) {
+  const std::string csv = report_to_csv(make_report());
+  std::istringstream is(csv);
+  std::string line;
+  std::size_t expected = 0;
+  while (std::getline(is, line)) {
+    const std::size_t commas =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), ','));
+    if (expected == 0)
+      expected = commas;
+    else
+      EXPECT_EQ(commas, expected) << line;
+  }
+  EXPECT_EQ(expected, 13u);
+}
+
+TEST(ReportIo, SummaryMentionsTotalsAndLayers) {
+  const RunReport rep = make_report();
+  const std::string s = report_summary(rep);
+  EXPECT_NE(s.find("DeepCAM run: 2 CAM layers"), std::string::npos);
+  EXPECT_NE(s.find("conv1"), std::string::npos);
+  EXPECT_NE(s.find("fc"), std::string::npos);
+  EXPECT_NE(s.find("uJ"), std::string::npos);
+}
+
+TEST(ReportIo, EmptyReportSafe) {
+  RunReport rep;
+  EXPECT_NO_THROW(report_to_csv(rep));
+  EXPECT_NO_THROW(report_summary(rep));
+}
+
+}  // namespace
+}  // namespace deepcam::core

@@ -1,0 +1,133 @@
+#include "systolic/scale_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/tech.hpp"
+#include "nn/topologies.hpp"
+#include "systolic/eyeriss.hpp"
+
+namespace deepcam::systolic {
+namespace {
+
+TEST(ScaleSim, SingleFoldHandComputed) {
+  // K=14 fills the rows exactly, N=12 the columns: one fold.
+  ArrayConfig cfg;
+  cfg.rows = 14;
+  cfg.cols = 12;
+  cfg.model_memory = false;
+  const LayerResult r = simulate_layer({"l", 100, 12, 14}, cfg);
+  // fill(14) + stream(100) + drain(12) - 1 = 125.
+  EXPECT_EQ(r.compute_cycles, 125u);
+  EXPECT_EQ(r.macs, 100u * 12 * 14);
+  // Utilization = busy/(cycles*PEs) = (14*12*100)/(125*168).
+  EXPECT_NEAR(r.utilization, 14.0 * 12 * 100 / (125.0 * 168), 1e-9);
+}
+
+TEST(ScaleSim, FoldCountsMatchCeilDiv) {
+  ArrayConfig cfg;
+  cfg.rows = 14;
+  cfg.cols = 12;
+  cfg.model_memory = false;
+  // K=25 -> 2 row folds (14+11), N=6 -> 1 col fold.
+  const LayerResult r = simulate_layer({"conv1", 576, 6, 25}, cfg);
+  const std::size_t fold1 = 14 + 576 + 6 - 1;
+  const std::size_t fold2 = 11 + 576 + 6 - 1;
+  EXPECT_EQ(r.compute_cycles, fold1 + fold2);
+}
+
+TEST(ScaleSim, UtilizationAtMostOne) {
+  ArrayConfig cfg = eyeriss_config();
+  for (const auto& dims :
+       {nn::GemmDims{"a", 1, 1, 1}, nn::GemmDims{"b", 1000, 512, 4608},
+        nn::GemmDims{"c", 1, 512, 512}}) {
+    const LayerResult r = simulate_layer(dims, cfg);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+  }
+}
+
+TEST(ScaleSim, BigLayersApproachFullUtilization) {
+  ArrayConfig cfg;
+  cfg.rows = 14;
+  cfg.cols = 12;
+  cfg.model_memory = false;
+  const LayerResult r = simulate_layer({"big", 4096, 120, 140}, cfg);
+  EXPECT_GT(r.utilization, 0.9);
+}
+
+TEST(ScaleSim, TinyFcLayersWasteTheArray) {
+  // The effect that makes CPUs/systolic arrays slow on LeNet FCs: M=1.
+  ArrayConfig cfg = eyeriss_config();
+  cfg.model_memory = false;
+  const LayerResult r = simulate_layer({"fc", 1, 120, 256}, cfg);
+  EXPECT_LT(r.utilization, 0.1);
+}
+
+TEST(ScaleSim, MemoryStallsOnlyWhenDramBound) {
+  ArrayConfig cfg = eyeriss_config();
+  // Compute-bound shape (high arithmetic intensity, fits in the global
+  // buffer): no stalls.
+  const LayerResult dense = simulate_layer({"d", 300, 120, 140}, cfg);
+  EXPECT_EQ(dense.stall_cycles, 0u);
+  // Memory-bound shape (tiny compute per byte): stalls appear.
+  const LayerResult lean = simulate_layer({"l", 64, 12, 14}, cfg);
+  EXPECT_GT(lean.stall_cycles, 0u);
+  // Oversized working set triggers ifmap reload amplification.
+  const LayerResult huge = simulate_layer({"h", 4096, 512, 4608}, cfg);
+  EXPECT_GT(huge.dram_bytes,
+            static_cast<std::size_t>(4096u * 4608u));
+}
+
+TEST(ScaleSim, SramAccessesIncludePartialSums) {
+  ArrayConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  cfg.model_memory = false;
+  // K=8 -> 2 row folds: each output read+written once extra.
+  const LayerResult r = simulate_layer({"l", 10, 4, 8}, cfg);
+  EXPECT_EQ(r.sram_accesses, 2u * r.macs + 10u * 4 * 3);
+}
+
+TEST(ScaleSim, ModelSimAggregates) {
+  auto m = nn::make_lenet5(1);
+  const ModelResult r = simulate_eyeriss(*m, {1, 1, 28, 28});
+  EXPECT_EQ(r.layers.size(), 5u);
+  EXPECT_EQ(r.total_macs(), nn::total_macs(*m, {1, 1, 28, 28}));
+  EXPECT_GT(r.total_cycles(), 0u);
+  EXPECT_GT(r.total_energy(), 0.0);
+  EXPECT_GT(r.mean_utilization(), 0.0);
+  EXPECT_LE(r.mean_utilization(), 1.0);
+}
+
+TEST(ScaleSim, EnergyDominatedByMemoryHierarchy) {
+  // With SRAM at 6x and DRAM at 200x MAC energy (paper's ratios), memory
+  // should dominate compute — the motivation stated in the paper's intro.
+  auto m = nn::make_vgg11(2, 10);
+  const ModelResult r = simulate_eyeriss(*m, {1, 3, 32, 32});
+  double mac_energy = 0.0;
+  for (const auto& l : r.layers)
+    mac_energy += static_cast<double>(l.macs) * tech::kMacInt8Energy;
+  EXPECT_GT(r.total_energy(), 5.0 * mac_energy);
+}
+
+TEST(ScaleSim, CyclesScaleWithModelSize) {
+  auto lenet = nn::make_lenet5(3);
+  auto vgg = nn::make_vgg11(4, 10);
+  auto resnet = nn::make_resnet18(5, 100);
+  const auto c_lenet = simulate_eyeriss(*lenet, {1, 1, 28, 28}).total_cycles();
+  const auto c_vgg = simulate_eyeriss(*vgg, {1, 3, 32, 32}).total_cycles();
+  const auto c_resnet =
+      simulate_eyeriss(*resnet, {1, 3, 32, 32}).total_cycles();
+  EXPECT_LT(c_lenet, c_vgg);
+  EXPECT_LT(c_vgg, c_resnet);
+}
+
+TEST(ScaleSim, EyerissConfigMatchesPaper) {
+  const ArrayConfig cfg = eyeriss_config();
+  EXPECT_EQ(cfg.rows, 14u);
+  EXPECT_EQ(cfg.cols, 12u);
+  EXPECT_EQ(cfg.bytes_per_elem, 1u);  // INT8
+}
+
+}  // namespace
+}  // namespace deepcam::systolic

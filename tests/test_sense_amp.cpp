@@ -1,0 +1,72 @@
+#include "cam/sense_amp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepcam::cam {
+namespace {
+
+TEST(SenseAmp, IdealModeIsExact) {
+  SenseAmp sa(SenseAmpConfig{SenseMode::kIdeal, 256, 8});
+  for (std::size_t hd : {0u, 1u, 7u, 128u, 512u, 1024u})
+    EXPECT_EQ(sa.measure(hd), hd);
+}
+
+TEST(SenseAmp, QuantizedModeExactForZeroAndOne) {
+  SenseAmp sa(SenseAmpConfig{SenseMode::kQuantized, 256, 8});
+  EXPECT_EQ(sa.measure(0), 0u);  // never discharges
+  EXPECT_EQ(sa.measure(1), 1u);  // slowest discharge, full window
+}
+
+TEST(SenseAmp, QuantizedSmallDistancesExact) {
+  // With tau = 256 bins, discharge times for HD <= ~sqrt(tau) fall in
+  // distinct, unambiguous bins, so small distances read back exactly.
+  SenseAmp sa(SenseAmpConfig{SenseMode::kQuantized, 256, 8});
+  for (std::size_t hd = 1; hd <= 15; ++hd)
+    EXPECT_EQ(sa.measure(hd), hd) << hd;
+}
+
+TEST(SenseAmp, QuantizedErrorGrowsWithDistance) {
+  SenseAmp sa(SenseAmpConfig{SenseMode::kQuantized, 256, 8});
+  // Large HDs hit the 1-bin floor: everything >= tau reads as tau.
+  EXPECT_EQ(sa.measure(256), 256u);
+  EXPECT_EQ(sa.measure(1000), 256u);
+  // Mid-range error bounded by the hyperbolic bin width.
+  for (std::size_t hd = 17; hd <= 255; hd += 7) {
+    const double rel_err =
+        std::abs(double(sa.measure(hd)) - double(hd)) / double(hd);
+    EXPECT_LE(rel_err, 0.5) << hd;
+  }
+}
+
+TEST(SenseAmp, QuantizedMonotoneNondecreasing) {
+  SenseAmp sa(SenseAmpConfig{SenseMode::kQuantized, 256, 8});
+  std::size_t prev = 0;
+  for (std::size_t hd = 0; hd <= 300; ++hd) {
+    const std::size_t m = sa.measure(hd);
+    EXPECT_GE(m, prev) << hd;
+    prev = m;
+  }
+}
+
+TEST(SenseAmp, WindowCyclesFromResolution) {
+  SenseAmp sa(SenseAmpConfig{SenseMode::kIdeal, 256, 8});
+  EXPECT_EQ(sa.window_cycles(), 32u);
+  SenseAmp sa2(SenseAmpConfig{SenseMode::kIdeal, 100, 8});
+  EXPECT_EQ(sa2.window_cycles(), 13u);  // ceil(100/8)
+}
+
+TEST(SenseAmp, HigherResolutionReducesError) {
+  SenseAmp coarse(SenseAmpConfig{SenseMode::kQuantized, 64, 8});
+  SenseAmp fine(SenseAmpConfig{SenseMode::kQuantized, 1024, 8});
+  double err_coarse = 0.0, err_fine = 0.0;
+  for (std::size_t hd = 1; hd <= 64; ++hd) {
+    err_coarse += std::abs(double(coarse.measure(hd)) - double(hd));
+    err_fine += std::abs(double(fine.measure(hd)) - double(hd));
+  }
+  EXPECT_LE(err_fine, err_coarse);
+}
+
+}  // namespace
+}  // namespace deepcam::cam

@@ -1,0 +1,161 @@
+#include "hash/simhash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "hash/cosine_approx.hpp"
+
+namespace deepcam::hash {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  deepcam::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+double exact_dot(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += double(a[i]) * b[i];
+  return s;
+}
+
+TEST(L2Norm, KnownValues) {
+  std::vector<float> v = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(l2_norm(v), 5.0);
+  std::vector<float> zero(10, 0.0f);
+  EXPECT_DOUBLE_EQ(l2_norm(zero), 0.0);
+}
+
+TEST(SimHasher, SignatureNormMatchesL2) {
+  SimHasher h(16, 1);
+  const auto v = random_vec(16, 2);
+  const Signature s = h.hash(v);
+  EXPECT_DOUBLE_EQ(s.norm, l2_norm(v));
+  EXPECT_EQ(s.bits.size(), kMaxHashBits);
+}
+
+TEST(SimHasher, SelfAngleIsZero) {
+  SimHasher h(8, 3);
+  const auto v = random_vec(8, 4);
+  const Signature s = h.hash(v);
+  for (std::size_t k : {256u, 512u, 768u, 1024u})
+    EXPECT_DOUBLE_EQ(h.estimate_angle(s, s, k), 0.0);
+}
+
+TEST(SimHasher, OppositeVectorsNearPi) {
+  SimHasher h(8, 5);
+  auto v = random_vec(8, 6);
+  auto neg = v;
+  for (auto& x : neg) x = -x;
+  const Signature a = h.hash(v);
+  const Signature b = h.hash(neg);
+  // sign(x.C) and sign(-x.C) differ in every bit (ties measure-zero).
+  EXPECT_NEAR(h.estimate_angle(a, b, 1024), 3.14159265, 1e-6);
+}
+
+TEST(SimHasher, PaperExampleFig2) {
+  // The paper's §II-B example: algebraic dot-product 2.0765. The approx
+  // dot should converge toward it as the hash length grows.
+  std::vector<float> x = {0.6012f, 0.8383f, 0.6859f, 0.5712f};
+  std::vector<float> y = {0.9044f, 0.5352f, 0.8110f, 0.9243f};
+  const double exact = exact_dot(x, y);
+  EXPECT_NEAR(exact, 2.0765, 1e-3);
+  // Average over independent hashers to control SimHash variance.
+  double err_short = 0.0, err_long = 0.0;
+  const int trials = 16;
+  for (int t = 0; t < trials; ++t) {
+    SimHasher h(4, 100 + static_cast<std::uint64_t>(t));
+    const Signature a = h.hash(x);
+    const Signature b = h.hash(y);
+    err_short +=
+        std::abs(h.approx_dot(a, b, 64, /*use_pwl=*/false) - exact);
+    err_long +=
+        std::abs(h.approx_dot(a, b, 1024, /*use_pwl=*/false) - exact);
+  }
+  err_short /= trials;
+  err_long /= trials;
+  EXPECT_LT(err_long, err_short + 0.05);  // longer hashes at least as good
+  EXPECT_LT(err_long / exact, 0.15);      // within ~15% at k=1024
+}
+
+TEST(SimHasher, ApproxDotTracksExactForRandomVectors) {
+  const std::size_t n = 64;
+  SimHasher h(n, 7);
+  double rel_err_sum = 0.0;
+  int count = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto a = random_vec(n, 200 + s);
+    const auto b = random_vec(n, 300 + s);
+    const double exact = exact_dot(a, b);
+    const double norm_product = l2_norm(a) * l2_norm(b);
+    if (std::abs(exact) < 0.05 * norm_product) continue;  // ill-conditioned
+    const Signature sa = h.hash(a);
+    const Signature sb = h.hash(b);
+    const double approx = h.approx_dot(sa, sb, 1024, /*use_pwl=*/false);
+    rel_err_sum += std::abs(approx - exact) / norm_product;
+    ++count;
+  }
+  ASSERT_GT(count, 5);
+  // Mean deviation relative to |x||y| stays small at k=1024.
+  EXPECT_LT(rel_err_sum / count, 0.08);
+}
+
+// Property: prefix-derived hashes (our VHL trick) have the same estimation
+// quality as independently drawn matrices of that length.
+TEST(SimHasher, PrefixHashStatisticallyEquivalentToFresh) {
+  const std::size_t n = 32, k = 256;
+  const auto x = random_vec(n, 50);
+  const auto y = random_vec(n, 51);
+  const double true_angle =
+      std::acos(exact_dot(x, y) / (l2_norm(x) * l2_norm(y)));
+
+  double prefix_est = 0.0, fresh_est = 0.0;
+  const int trials = 24;
+  for (int t = 0; t < trials; ++t) {
+    SimHasher big(n, 400 + static_cast<std::uint64_t>(t));  // 1024-bit
+    prefix_est += big.estimate_angle(big.hash(x), big.hash(y), k);
+    SimHasher small(n, 700 + static_cast<std::uint64_t>(t), k);
+    small.hash(x);
+    fresh_est += small.estimate_angle(small.hash(x), small.hash(y), k);
+  }
+  prefix_est /= trials;
+  fresh_est /= trials;
+  EXPECT_NEAR(prefix_est, true_angle, 0.12);
+  EXPECT_NEAR(fresh_est, true_angle, 0.12);
+  EXPECT_NEAR(prefix_est, fresh_est, 0.15);
+}
+
+class HashLengthErrorSweep : public ::testing::TestWithParam<int> {};
+
+// Fig. 2 property: approximation error decreases (stochastically) with k.
+TEST_P(HashLengthErrorSweep, ErrorWithinJLBound) {
+  const std::size_t k = static_cast<std::size_t>(GetParam());
+  const std::size_t n = 32;
+  double mean_abs_angle_err = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const auto a = random_vec(n, 900 + static_cast<std::uint64_t>(t));
+    const auto b = random_vec(n, 1900 + static_cast<std::uint64_t>(t));
+    const double cosv =
+        exact_dot(a, b) / (l2_norm(a) * l2_norm(b));
+    const double angle = std::acos(std::clamp(cosv, -1.0, 1.0));
+    SimHasher h(n, 5000 + static_cast<std::uint64_t>(t));
+    const double est = h.estimate_angle(h.hash(a), h.hash(b), k);
+    mean_abs_angle_err += std::abs(est - angle);
+  }
+  mean_abs_angle_err /= trials;
+  // E|err| <= ~pi * sqrt(p(1-p)/k) <= pi/(2 sqrt(k)); allow 2.5x slack.
+  EXPECT_LT(mean_abs_angle_err, 2.5 * 3.141592 / (2.0 * std::sqrt(double(k))))
+      << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(HashLengths, HashLengthErrorSweep,
+                         ::testing::Values(256, 512, 768, 1024));
+
+}  // namespace
+}  // namespace deepcam::hash

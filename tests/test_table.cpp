@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace deepcam {
+namespace {
+
+TEST(Table, PrintsHeadersAndRows) {
+  Table t({"model", "cycles"});
+  t.add_row({"lenet5", "123"});
+  t.add_row({"vgg11", "456789"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_NE(s.find("lenet5"), std::string::npos);
+  EXPECT_NE(s.find("456789"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumFormatsPlainAndScientific) {
+  EXPECT_EQ(Table::num(1.5, 2), "1.50");
+  EXPECT_EQ(Table::num(0.0, 1), "0.0");
+  const std::string big = Table::num(2.5e8, 2);
+  EXPECT_NE(big.find('e'), std::string::npos);
+  const std::string small = Table::num(1e-5, 2);
+  EXPECT_NE(small.find('e'), std::string::npos);
+}
+
+TEST(Table, RatioFormat) {
+  EXPECT_EQ(Table::ratio(12.345, 2), "12.35x");
+  EXPECT_EQ(Table::ratio(1.0, 1), "1.0x");
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "verylongheader"});
+  t.add_row({"longercell", "y"});
+  std::ostringstream os;
+  t.print(os);
+  std::string line;
+  std::istringstream is(os.str());
+  std::vector<std::size_t> lengths;
+  while (std::getline(is, line)) lengths.push_back(line.size());
+  ASSERT_GE(lengths.size(), 3u);
+  EXPECT_EQ(lengths[0], lengths[1]);
+  EXPECT_EQ(lengths[0], lengths[2]);
+}
+
+}  // namespace
+}  // namespace deepcam

@@ -1,0 +1,99 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcam::nn {
+namespace {
+
+TEST(Shape, NumelAndEquality) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.numel(), 120u);
+  EXPECT_TRUE((s == Shape{2, 3, 4, 5}));
+  EXPECT_FALSE((s == Shape{2, 3, 4, 6}));
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({1, 2, 3, 3});
+  EXPECT_EQ(t.numel(), 18u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, AtIndexingRowMajorNCHW) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  // Flat index = ((n*C + c)*H + h)*W + w.
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({1, 1, 2, 2});
+  EXPECT_THROW(t.at(0, 0, 2, 0), Error);
+  EXPECT_THROW(t.at(0, 1, 0, 0), Error);
+  EXPECT_THROW(t.at(1, 0, 0, 0), Error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) t[i] = static_cast<float>(i);
+  Tensor r = t.reshaped({1, 8, 1, 1});
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+  EXPECT_THROW(t.reshaped({1, 7, 1, 1}), Error);
+}
+
+TEST(Tensor, FillSetsAll) {
+  Tensor t({1, 1, 3, 3});
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(ExtractPatch, IdentityWindowNoPad) {
+  Tensor in({1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) in[i] = static_cast<float>(i + 1);
+  std::vector<float> patch(4);
+  extract_patch(in, 0, 0, 0, 2, 2, 1, 0, patch);
+  EXPECT_EQ(patch, (std::vector<float>{1, 2, 4, 5}));
+  extract_patch(in, 0, 1, 1, 2, 2, 1, 0, patch);
+  EXPECT_EQ(patch, (std::vector<float>{5, 6, 8, 9}));
+}
+
+TEST(ExtractPatch, ZeroPadding) {
+  Tensor in({1, 1, 2, 2});
+  in.at(0, 0, 0, 0) = 1.0f;
+  in.at(0, 0, 0, 1) = 2.0f;
+  in.at(0, 0, 1, 0) = 3.0f;
+  in.at(0, 0, 1, 1) = 4.0f;
+  std::vector<float> patch(9);
+  // 3x3 window centred at (0,0) with pad 1: top row and left col are zero.
+  extract_patch(in, 0, 0, 0, 3, 3, 1, 1, patch);
+  EXPECT_EQ(patch, (std::vector<float>{0, 0, 0, 0, 1, 2, 0, 3, 4}));
+}
+
+TEST(ExtractPatch, ChannelMajorOrder) {
+  // The context layout the paper's Fig. 4 shows: channel-major.
+  Tensor in({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) in[i] = static_cast<float>(i);
+  std::vector<float> patch(8);
+  extract_patch(in, 0, 0, 0, 2, 2, 1, 0, patch);
+  // Channel 0 block first (0..3), then channel 1 block (4..7).
+  EXPECT_EQ(patch, (std::vector<float>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ExtractPatch, StrideRespected) {
+  Tensor in({1, 1, 5, 5});
+  for (std::size_t i = 0; i < 25; ++i) in[i] = static_cast<float>(i);
+  std::vector<float> patch(1);
+  extract_patch(in, 0, 1, 2, 1, 1, 2, 0, patch);
+  // Window top-left at (1*2, 2*2) = (2,4) -> flat 2*5+4 = 14.
+  EXPECT_EQ(patch[0], 14.0f);
+}
+
+TEST(ExtractPatch, BatchIndexing) {
+  Tensor in({2, 1, 2, 2});
+  in.at(1, 0, 0, 0) = 42.0f;
+  std::vector<float> patch(4);
+  extract_patch(in, 1, 0, 0, 2, 2, 1, 0, patch);
+  EXPECT_EQ(patch[0], 42.0f);
+}
+
+}  // namespace
+}  // namespace deepcam::nn

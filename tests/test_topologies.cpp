@@ -1,0 +1,102 @@
+#include "nn/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/workload.hpp"
+
+namespace deepcam::nn {
+namespace {
+
+Shape input_shape(const std::string& name) {
+  const InputSpec spec = input_spec_for(name);
+  return {1, spec.channels, spec.height, spec.width};
+}
+
+TEST(Topologies, LeNet5ShapesAndOutput) {
+  auto m = make_lenet5(1);
+  Tensor in(input_shape("lenet5"));
+  Tensor out = m->forward(in, false);
+  EXPECT_TRUE((out.shape() == Shape{1, 10, 1, 1}));
+  EXPECT_TRUE(m->is_sequential());
+  // Classic LeNet5 parameter count (valid conv variant): conv1 156,
+  // conv2 2416, fc1 30840, fc2 10164, fc3 850.
+  EXPECT_EQ(m->param_count(), 156u + 2416 + 30840 + 10164 + 850);
+}
+
+TEST(Topologies, Vgg11ShapesAndWorkload) {
+  auto m = make_vgg11(2, 10);
+  Tensor in(input_shape("vgg11"));
+  Tensor out = m->forward(in, false);
+  EXPECT_TRUE((out.shape() == Shape{1, 10, 1, 1}));
+  const auto work = extract_gemm_workload(*m, input_shape("vgg11"));
+  // 8 convs + 2 FCs.
+  EXPECT_EQ(work.size(), 10u);
+  // First conv: 32x32 patches of len 27, 64 filters.
+  EXPECT_EQ(work[0].m, 1024u);
+  EXPECT_EQ(work[0].n, 64u);
+  EXPECT_EQ(work[0].k, 27u);
+}
+
+TEST(Topologies, Vgg16HasThirteenConvs) {
+  auto m = make_vgg16(3, 100);
+  const auto work = extract_gemm_workload(*m, input_shape("vgg16"));
+  EXPECT_EQ(work.size(), 13u + 2u);
+  Tensor in(input_shape("vgg16"));
+  Tensor out = m->forward(in, false);
+  EXPECT_EQ(out.shape().c, 100u);
+}
+
+TEST(Topologies, ResNet18StructureAndForward) {
+  auto m = make_resnet18(4, 100);
+  EXPECT_FALSE(m->is_sequential());  // has skip connections
+  Tensor in(input_shape("resnet18"));
+  Tensor out = m->forward(in, false);
+  EXPECT_TRUE((out.shape() == Shape{1, 100, 1, 1}));
+  const auto work = extract_gemm_workload(*m, input_shape("resnet18"));
+  // Stem + 16 block convs + 3 downsample 1x1 convs + 1 FC = 21.
+  EXPECT_EQ(work.size(), 21u);
+}
+
+TEST(Topologies, ResNet18MacCount) {
+  auto m = make_resnet18(5, 100);
+  const std::size_t macs = total_macs(*m, input_shape("resnet18"));
+  // CIFAR ResNet18 is ~0.5 GMACs; sanity band.
+  EXPECT_GT(macs, 400u * 1000 * 1000);
+  EXPECT_LT(macs, 700u * 1000 * 1000);
+}
+
+TEST(Topologies, Vgg11MacCount) {
+  auto m = make_vgg11(6, 10);
+  const std::size_t macs = total_macs(*m, input_shape("vgg11"));
+  // CIFAR VGG11 is ~0.15 GMACs.
+  EXPECT_GT(macs, 120u * 1000 * 1000);
+  EXPECT_LT(macs, 200u * 1000 * 1000);
+}
+
+TEST(Topologies, MakeModelDispatch) {
+  for (const auto* name : {"lenet5", "vgg11", "vgg16", "resnet18"}) {
+    auto m = make_model(name, 7);
+    EXPECT_EQ(m->name(), name);
+  }
+  EXPECT_THROW(make_model("alexnet", 7), Error);
+  EXPECT_THROW(input_spec_for("alexnet"), Error);
+}
+
+TEST(Topologies, DeterministicWeights) {
+  auto a = make_lenet5(42);
+  auto b = make_lenet5(42);
+  Tensor in(input_shape("lenet5"));
+  in.fill(0.3f);
+  Tensor oa = a->forward(in, false);
+  Tensor ob = b->forward(in, false);
+  for (std::size_t i = 0; i < oa.numel(); ++i) EXPECT_EQ(oa[i], ob[i]);
+  auto c = make_lenet5(43);
+  Tensor oc = c->forward(in, false);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < oa.numel(); ++i)
+    if (oa[i] != oc[i]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace deepcam::nn
