@@ -4,13 +4,17 @@
 // kernels (prefix-hash vs fresh-hash, PWL cosine vs libm).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "cam/dynamic_cam.hpp"
 #include "common/rng.hpp"
 #include "core/context.hpp"
+#include "core/engine.hpp"
 #include "hash/cosine_approx.hpp"
 #include "hash/simhash.hpp"
+#include "nn/topologies.hpp"
 
 using namespace deepcam;
 
@@ -100,6 +104,74 @@ void BM_PrefixVsFresh_Fresh(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(narrow.hash(v));
 }
 BENCHMARK(BM_PrefixVsFresh_Fresh);
+
+void BM_CamWriteRow(benchmark::State& state) {
+  // The row-program hot path: word-copy via BitVec::assign_prefix.
+  cam::DynamicCam cam(cam::CamConfig{64, 256, 4});
+  Rng rng(11);
+  BitVec v(1024);
+  for (std::size_t i = 0; i < 1024; ++i) v.set(i, rng.uniform() < 0.5);
+  std::size_t r = 0;
+  for (auto _ : state) {
+    cam.write_row(r, v);
+    r = (r + 1) & 63;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CamWriteRow);
+
+void BM_CamSearchInto(benchmark::State& state) {
+  // Allocation-free steady-state search (reused SearchResult buffer).
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  cam::DynamicCam cam(cam::CamConfig{rows, 256, 4});
+  Rng rng(12);
+  for (std::size_t r = 0; r < rows; ++r) {
+    BitVec v(1024);
+    for (std::size_t i = 0; i < 1024; ++i) v.set(i, rng.uniform() < 0.5);
+    cam.write_row(r, v);
+  }
+  BitVec key(1024);
+  for (std::size_t i = 0; i < 1024; ++i) key.set(i, rng.uniform() < 0.5);
+  cam::DynamicCam::SearchResult buf;
+  for (auto _ : state) {
+    cam.search_into(key, buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_CamSearchInto)->Arg(64)->Arg(256);
+
+// Engine throughput: items/s == samples/s on the LeNet pipeline, at 1
+// thread vs the machine's hardware concurrency. The ratio of the two
+// items_per_second numbers is the threading speedup.
+void BM_EngineRunBatch(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  static auto model = nn::make_lenet5(13);
+  core::DeepCamConfig cfg;
+  cfg.cam_rows = 64;
+  cfg.default_hash_bits = 256;
+  auto compiled = std::make_shared<const core::CompiledModel>(*model, cfg);
+  core::InferenceEngine engine(compiled, threads);
+  std::vector<nn::Tensor> batch;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Rng rng(14 + i);
+    nn::Tensor t({1, 1, 28, 28});
+    for (std::size_t j = 0; j < t.numel(); ++j)
+      t[j] = static_cast<float>(rng.gaussian());
+    batch.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_batch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_EngineRunBatch)
+    ->Arg(1)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

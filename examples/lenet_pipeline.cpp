@@ -4,10 +4,13 @@
 //
 // This is the end-to-end workflow the paper describes: pretrained CNN ->
 // context generator -> variable-hash-length CAM inference.
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/engine.hpp"
 #include "core/hash_tuner.hpp"
 #include "nn/dataset.hpp"
 #include "nn/topologies.hpp"
@@ -17,7 +20,7 @@
 using namespace deepcam;
 
 int main() {
-  std::printf("[1/4] training LeNet5 on synthetic digits "
+  std::printf("[1/5] training LeNet5 on synthetic digits "
               "(+ hash-noise-aware fine-tune)...\n");
   auto model = nn::make_lenet5(7);
   nn::SyntheticDigits train(4000, 100, 0.2);
@@ -36,7 +39,7 @@ int main() {
   const double sw_acc = nn::evaluate_accuracy(*model, test);
   std::printf("      software (BL) accuracy: %.1f%%\n\n", 100.0 * sw_acc);
 
-  std::printf("[2/4] tuning per-layer hash lengths (end-to-end mode)...\n");
+  std::printf("[2/5] tuning per-layer hash lengths (end-to-end mode)...\n");
   std::vector<nn::Tensor> probes;
   for (std::size_t i = 0; i < 12; ++i) probes.push_back(test.sample(i).image);
   core::TunerConfig tcfg;
@@ -51,7 +54,7 @@ int main() {
                 l.metric[0], l.metric[1], l.metric[2], l.metric[3]);
   }
 
-  std::printf("\n[3/4] DeepCAM inference with the tuned VHL config...\n");
+  std::printf("\n[3/5] DeepCAM inference with the tuned VHL config...\n");
   core::DeepCamConfig cfg;
   cfg.cam_rows = 64;
   cfg.dataflow = core::Dataflow::kActivationStationary;
@@ -60,8 +63,12 @@ int main() {
   std::size_t correct = 0;
   const std::size_t eval_n = 60;
   core::RunReport rep;
+  std::vector<nn::Tensor> eval_images;
+  std::vector<std::size_t> eval_labels;
   for (std::size_t i = 0; i < eval_n; ++i) {
     const auto& s = test.sample(i);
+    eval_images.push_back(s.image);
+    eval_labels.push_back(s.label);
     if (nn::argmax_class(acc.run(s.image, i == 0 ? &rep : nullptr)) ==
         s.label)
       ++correct;
@@ -73,7 +80,7 @@ int main() {
               rep.total_cycles(), rep.total_energy() * 1e6,
               100.0 * rep.mean_utilization());
 
-  std::printf("\n[4/4] Eyeriss baseline comparison...\n");
+  std::printf("\n[4/5] Eyeriss baseline comparison...\n");
   const auto eyeriss = systolic::simulate_eyeriss(*model, {1, 1, 28, 28});
   std::printf("      Eyeriss: %zu cycles, %.3f uJ\n", eyeriss.total_cycles(),
               eyeriss.total_energy() * 1e6);
@@ -88,6 +95,30 @@ int main() {
                 l.hash_bits, l.plan.passes, l.plan.searches,
                 100.0 * l.plan.utilization, l.cycles,
                 l.total_energy() * 1e9);
+  }
+
+  std::printf("\n[5/5] batched multi-threaded engine (same CompiledModel, "
+              "1 vs N threads)...\n");
+  const std::size_t hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  double samples_per_s_1 = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, hw_threads}) {
+    core::InferenceEngine engine(acc.compiled(), threads);
+    core::BatchReport br;
+    const auto logits = engine.run_batch(eval_images, &br);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < logits.size(); ++i)
+      if (nn::argmax_class(logits[i]) == eval_labels[i]) ++agree;
+    if (threads == 1) samples_per_s_1 = br.throughput();
+    std::printf("      %2zu thread%s: %6.1f samples/s host "
+                "(%.2fx vs 1 thread) | %.0f samples/s simulated HW | "
+                "accuracy %.1f%% (matches facade: %s)\n",
+                threads, threads == 1 ? " " : "s", br.throughput(),
+                samples_per_s_1 > 0.0 ? br.throughput() / samples_per_s_1
+                                      : 1.0,
+                br.simulated_throughput(),
+                100.0 * double(agree) / double(logits.size()),
+                agree == correct ? "yes" : "NO");
   }
   return 0;
 }

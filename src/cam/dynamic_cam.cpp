@@ -31,26 +31,21 @@ void DynamicCam::set_hash_length(std::size_t hash_bits) {
 
 void DynamicCam::clear() {
   occupied_.assign(cfg_.rows, false);
+  occupied_count_ = 0;
 }
 
 void DynamicCam::write_row(std::size_t row, const BitVec& bits) {
   DEEPCAM_CHECK_MSG(row < cfg_.rows, "CAM row out of range");
   const std::size_t k = active_bits();
   DEEPCAM_CHECK_MSG(bits.size() >= k, "context shorter than active word");
-  BitVec stored(cfg_.max_word_bits());
-  for (std::size_t i = 0; i < k; ++i) stored.set(i, bits.get(i));
-  rows_[row] = std::move(stored);
-  occupied_[row] = true;
+  rows_[row].assign_prefix(bits, k);
+  if (!occupied_[row]) {
+    occupied_[row] = true;
+    ++occupied_count_;
+  }
   ++stats_.row_writes;
   stats_.cycles += tech::kCamWriteCyclesPerRow;
   stats_.write_energy += CamCostModel::write_energy(cfg_, k);
-}
-
-std::size_t DynamicCam::occupied_rows() const {
-  std::size_t n = 0;
-  for (bool o : occupied_)
-    if (o) ++n;
-  return n;
 }
 
 std::size_t DynamicCam::search_cycles() const {
@@ -59,20 +54,24 @@ std::size_t DynamicCam::search_cycles() const {
              active_chunks_;
 }
 
-DynamicCam::SearchResult DynamicCam::search(const BitVec& key) {
+DynamicCam::SearchResult DynamicCam::search(const BitVec& key) const {
+  SearchResult result;
+  search_into(key, result);
+  return result;
+}
+
+void DynamicCam::search_into(const BitVec& key, SearchResult& out) const {
   const std::size_t k = active_bits();
   DEEPCAM_CHECK_MSG(key.size() >= k, "search key shorter than active word");
-  SearchResult result;
-  result.row_hd.resize(cfg_.rows);
+  out.row_hd.assign(cfg_.rows, std::nullopt);
   for (std::size_t r = 0; r < cfg_.rows; ++r) {
     if (!occupied_[r]) continue;
     const std::size_t true_hd = key.hamming_prefix(rows_[r], k);
-    result.row_hd[r] = sense_amp_.measure(true_hd);
+    out.row_hd[r] = sense_amp_.measure(true_hd);
   }
   ++stats_.searches;
   stats_.cycles += search_cycles();
   stats_.search_energy += CamCostModel::search_energy(cfg_, k);
-  return result;
 }
 
 void DynamicCam::inject_bit_fault(std::size_t row, std::size_t bit) {

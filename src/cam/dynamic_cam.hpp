@@ -48,10 +48,13 @@ class DynamicCam {
   void clear();
 
   /// Programs `bits` (must be >= active_bits() long; the first active_bits()
-  /// are stored) into row `row` and marks it occupied.
+  /// are stored) into row `row` and marks it occupied. Copies 64-bit words,
+  /// not individual bits.
   void write_row(std::size_t row, const BitVec& bits);
 
-  std::size_t occupied_rows() const;
+  /// Number of occupied rows — O(1), maintained as a counter by
+  /// write_row()/clear() instead of scanning the occupancy vector.
+  std::size_t occupied_rows() const { return occupied_count_; }
   bool row_occupied(std::size_t row) const { return occupied_[row]; }
 
   /// Result of one parallel search.
@@ -62,7 +65,14 @@ class DynamicCam {
 
   /// Searches `key` (first active_bits() used) against all occupied rows in
   /// parallel — O(1) in rows and word length, one sense window in time.
-  SearchResult search(const BitVec& key);
+  /// Logically const: the array contents are read-only during a search;
+  /// only the observability counters (CamStats) advance.
+  SearchResult search(const BitVec& key) const;
+
+  /// Buffer-reuse variant of search(): overwrites `out.row_hd` in place so
+  /// steady-state searching performs no heap allocation. `out` may be the
+  /// result of a previous call on any DynamicCam.
+  void search_into(const BitVec& key, SearchResult& out) const;
 
   /// Flips one stored bit (FeFET retention/program fault model).
   void inject_bit_fault(std::size_t row, std::size_t bit);
@@ -79,7 +89,10 @@ class DynamicCam {
   std::size_t active_chunks_;
   std::vector<BitVec> rows_;
   std::vector<bool> occupied_;
-  CamStats stats_;
+  std::size_t occupied_count_ = 0;
+  // Hardware counters: advanced by logically-read-only operations (search),
+  // hence mutable.
+  mutable CamStats stats_;
 };
 
 }  // namespace deepcam::cam

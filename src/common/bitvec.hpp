@@ -81,6 +81,23 @@ class BitVec {
     return d;
   }
 
+  /// Overwrites this vector with the first `k` bits of `src` and zeroes the
+  /// rest, copying whole 64-bit words (the CAM row-program hot path; the
+  /// per-bit get/set loop it replaces dominated `DynamicCam::write_row`).
+  /// Requires k <= size() of both vectors. Length is unchanged.
+  void assign_prefix(const BitVec& src, std::size_t k) {
+    DEEPCAM_CHECK(k <= nbits_ && k <= src.nbits_);
+    const std::size_t full_words = k >> 6;
+    for (std::size_t i = 0; i < full_words; ++i) words_[i] = src.words_[i];
+    const std::size_t rem = k & 63;
+    std::size_t next = full_words;
+    if (rem != 0) {
+      words_[full_words] = src.words_[full_words] & ((1ULL << rem) - 1);
+      next = full_words + 1;
+    }
+    for (std::size_t i = next; i < words_.size(); ++i) words_[i] = 0ULL;
+  }
+
   /// Returns a copy truncated to the first `k` bits.
   BitVec prefix(std::size_t k) const {
     DEEPCAM_CHECK(k <= nbits_);

@@ -1,266 +1,10 @@
 #include "core/accelerator.hpp"
 
-#include <algorithm>
-
-#include "common/tech.hpp"
-#include "nn/pointwise.hpp"
-#include "nn/pooling.hpp"
-
 namespace deepcam::core {
 
-std::size_t RunReport::total_cycles() const {
-  std::size_t c = peripheral_cycles;
-  for (const auto& l : layers) c += l.cycles;
-  return c;
-}
-
-double RunReport::total_energy() const {
-  double e = 0.0;
-  for (const auto& l : layers) e += l.total_energy();
-  return e;
-}
-
-std::size_t RunReport::total_searches() const {
-  std::size_t s = 0;
-  for (const auto& l : layers) s += l.plan.searches;
-  return s;
-}
-
-std::size_t RunReport::total_dot_products() const {
-  std::size_t s = 0;
-  for (const auto& l : layers) s += l.plan.dot_products;
-  return s;
-}
-
-double RunReport::mean_utilization() const {
-  if (layers.empty()) return 0.0;
-  // Weight utilization by passes so reload-heavy layers dominate, matching
-  // how hardware occupancy over time would be measured.
-  double util = 0.0, weight = 0.0;
-  for (const auto& l : layers) {
-    util += l.plan.utilization * static_cast<double>(l.plan.passes);
-    weight += static_cast<double>(l.plan.passes);
-  }
-  return weight == 0.0 ? 0.0 : util / weight;
-}
-
-double RunReport::time_seconds() const {
-  return static_cast<double>(total_cycles()) * tech::kCycleSeconds;
-}
-
-DeepCamAccelerator::DeepCamAccelerator(nn::Model& model, DeepCamConfig cfg)
-    : model_(model),
-      cfg_(cfg),
-      cam_(cam::CamConfig{cfg.cam_rows, 256, 4, cfg.tech}, cfg.sense),
-      postproc_(cfg.postproc) {
-  DEEPCAM_CHECK_MSG(cfg_.cam_rows > 0, "CAM needs rows");
-  // Enumerate CAM-mapped layers and pre-hash their weights.
-  for (std::size_t i = 0; i < model_.node_count(); ++i) {
-    nn::Layer& layer = model_.layer(i);
-    if (layer.kind() == nn::LayerKind::kConv2D) {
-      auto& conv = static_cast<nn::Conv2D&>(layer);
-      CamLayer cl;
-      cl.node_index = i;
-      cl.ctxgen = std::make_unique<ContextGenerator>(
-          conv.spec().patch_len(), layer_hash_seed(cfg_.hash_seed, i));
-      cl.weight_ctx = cl.ctxgen->weight_contexts(conv);
-      cam_layers_.push_back(std::move(cl));
-    } else if (layer.kind() == nn::LayerKind::kLinear) {
-      auto& fc = static_cast<nn::Linear&>(layer);
-      CamLayer cl;
-      cl.node_index = i;
-      cl.ctxgen = std::make_unique<ContextGenerator>(
-          fc.in_features(), layer_hash_seed(cfg_.hash_seed, i));
-      cl.weight_ctx = cl.ctxgen->weight_contexts(fc);
-      cam_layers_.push_back(std::move(cl));
-    }
-  }
-  if (!cfg_.layer_hash_bits.empty()) {
-    DEEPCAM_CHECK_MSG(cfg_.layer_hash_bits.size() == cam_layers_.size(),
-                      "layer_hash_bits arity != CAM layer count");
-  }
-}
-
-std::vector<std::string> DeepCamAccelerator::cam_layer_names() const {
-  std::vector<std::string> names;
-  names.reserve(cam_layers_.size());
-  for (const auto& cl : cam_layers_)
-    names.push_back(model_.layer(cl.node_index).name());
-  return names;
-}
-
-std::size_t DeepCamAccelerator::context_len(std::size_t i) const {
-  DEEPCAM_CHECK(i < cam_layers_.size());
-  return cam_layers_[i].ctxgen->input_dim();
-}
-
-std::size_t DeepCamAccelerator::hash_bits_for(std::size_t idx) const {
-  const std::size_t k = cfg_.layer_hash_bits.empty()
-                            ? cfg_.default_hash_bits
-                            : cfg_.layer_hash_bits[idx];
-  DEEPCAM_CHECK_MSG(k >= 1 && k <= hash::kMaxHashBits,
-                    "hash length out of range");
-  return k;
-}
-
-std::size_t DeepCamAccelerator::search_cycles_for(
-    std::size_t hash_bits) const {
-  if (cfg_.preset == CyclePreset::kIdealized) return 1;
-  const std::size_t chunks = (hash_bits + 255) / 256;
-  return static_cast<std::size_t>(tech::kCamSearchBaseCycles) +
-         static_cast<std::size_t>(tech::kCamSearchCyclesPerChunk) * chunks;
-}
-
-LayerReport DeepCamAccelerator::simulate_cam_layer(
-    std::size_t cam_idx, const std::vector<Context>& act_ctx,
-    const std::vector<float>& bias, bool online_ctxgen,
-    std::vector<double>& out_flat) {
-  CamLayer& cl = cam_layers_[cam_idx];
-  const std::vector<Context>& w_ctx = cl.weight_ctx;
-  const std::size_t P = act_ctx.size();
-  const std::size_t K = w_ctx.size();
-  const std::size_t k_bits = hash_bits_for(cam_idx);
-  const std::size_t R = cfg_.cam_rows;
-
-  LayerReport rep;
-  rep.name = model_.layer(cl.node_index).name();
-  rep.patches = P;
-  rep.kernels = K;
-  rep.context_len = cl.ctxgen->input_dim();
-  rep.hash_bits = k_bits;
-  rep.plan = plan_mapping({P, K}, R, cfg_.dataflow);
-
-  const bool ws = cfg_.dataflow == Dataflow::kWeightStationary;
-  const std::vector<Context>& stationary = ws ? w_ctx : act_ctx;
-  const std::vector<Context>& streamed = ws ? act_ctx : w_ctx;
-
-  const double cam_e0 = cam_.stats().total_energy();
-  const auto pp0 = postproc_.stats();
-
-  cam_.set_hash_length(k_bits);
-  out_flat.assign(K * P, 0.0);
-
-  std::size_t base = 0;
-  while (base < stationary.size()) {
-    const std::size_t count = std::min(R, stationary.size() - base);
-    cam_.clear();
-    for (std::size_t r = 0; r < count; ++r)
-      cam_.write_row(r, stationary[base + r].bits);
-    for (std::size_t sidx = 0; sidx < streamed.size(); ++sidx) {
-      const auto result = cam_.search(streamed[sidx].bits);
-      for (std::size_t r = 0; r < count; ++r) {
-        DEEPCAM_CHECK(result.row_hd[r].has_value());
-        const std::size_t hd = *result.row_hd[r];
-        const std::size_t kernel = ws ? (base + r) : sidx;
-        const std::size_t patch = ws ? sidx : (base + r);
-        out_flat[kernel * P + patch] = postproc_.finish_dot_product(
-            w_ctx[kernel], act_ctx[patch], hd, k_bits, bias[kernel]);
-      }
-    }
-    base += count;
-  }
-
-  // Online context generation cost for this layer's activation contexts.
-  if (online_ctxgen) {
-    for (std::size_t p = 0; p < P; ++p)
-      postproc_.charge_context_generation(rep.context_len, k_bits);
-  }
-
-  // Cycle accounting under the chosen preset.
-  const std::size_t t_search = search_cycles_for(k_bits);
-  std::size_t cycles = rep.plan.searches * t_search;
-  if (cfg_.preset == CyclePreset::kConservative) {
-    cycles += rep.plan.rows_written *
-              static_cast<std::size_t>(tech::kCamWriteCyclesPerRow);
-    cycles += rep.plan.passes *
-              static_cast<std::size_t>(tech::kCamPassDrainCycles);
-    if (online_ctxgen)
-      cycles += P * static_cast<std::size_t>(tech::kXbarInputBits);
-  }
-  rep.cycles = cycles;
-
-  rep.cam_energy = cam_.stats().total_energy() - cam_e0;
-  const auto pp1 = postproc_.stats();
-  rep.postproc_energy = pp1.energy - pp0.energy;
-  rep.ctxgen_energy = pp1.ctxgen_energy - pp0.ctxgen_energy;
-  return rep;
-}
-
-nn::Tensor DeepCamAccelerator::run(const nn::Tensor& input,
-                                   RunReport* report) {
-  DEEPCAM_CHECK_MSG(input.shape().n == 1,
-                    "accelerator simulates batch size 1");
-  RunReport local_report;
-  RunReport& rep = report != nullptr ? *report : local_report;
-  rep = {};
-  rep.cam_area_um2 = cam_.area_um2();
-
-  std::vector<nn::Tensor> outs;
-  outs.reserve(model_.node_count());
-  std::size_t cam_idx = 0;
-  bool first_cam_layer = true;
-
-  for (std::size_t i = 0; i < model_.node_count(); ++i) {
-    nn::Layer& layer = model_.layer(i);
-    const auto& inputs = model_.inputs_of(i);
-    auto fetch = [&](int idx) -> const nn::Tensor& {
-      return idx == nn::kModelInput ? input
-                                    : outs[static_cast<std::size_t>(idx)];
-    };
-    const nn::Tensor& in = fetch(inputs[0]);
-
-    if (layer.kind() == nn::LayerKind::kConv2D) {
-      auto& conv = static_cast<nn::Conv2D&>(layer);
-      const nn::ConvSpec& spec = conv.spec();
-      CamLayer& cl = cam_layers_[cam_idx];
-      DEEPCAM_CHECK(cl.node_index == i);
-      const auto act_ctx = cl.ctxgen->activation_contexts(in, spec);
-      std::vector<double> flat;
-      LayerReport lrep = simulate_cam_layer(cam_idx, act_ctx, conv.bias(),
-                                            !first_cam_layer, flat);
-      const std::size_t oh = spec.out_h(in.shape().h);
-      const std::size_t ow = spec.out_w(in.shape().w);
-      nn::Tensor out({1, spec.out_channels, oh, ow});
-      for (std::size_t oc = 0; oc < spec.out_channels; ++oc)
-        for (std::size_t p = 0; p < oh * ow; ++p)
-          out[oc * oh * ow + p] = static_cast<float>(flat[oc * oh * ow + p]);
-      outs.push_back(std::move(out));
-      rep.layers.push_back(std::move(lrep));
-      first_cam_layer = false;
-      ++cam_idx;
-    } else if (layer.kind() == nn::LayerKind::kLinear) {
-      auto& fc = static_cast<nn::Linear&>(layer);
-      CamLayer& cl = cam_layers_[cam_idx];
-      DEEPCAM_CHECK(cl.node_index == i);
-      std::vector<Context> act_ctx;
-      act_ctx.push_back(cl.ctxgen->activation_context_flat(in));
-      std::vector<double> flat;
-      LayerReport lrep = simulate_cam_layer(cam_idx, act_ctx, fc.bias(),
-                                            !first_cam_layer, flat);
-      nn::Tensor out({1, fc.out_features(), 1, 1});
-      for (std::size_t o = 0; o < fc.out_features(); ++o)
-        out[o] = static_cast<float>(flat[o]);
-      outs.push_back(std::move(out));
-      rep.layers.push_back(std::move(lrep));
-      first_cam_layer = false;
-      ++cam_idx;
-    } else if (inputs.size() == 2) {
-      auto* add = dynamic_cast<nn::Add*>(&layer);
-      DEEPCAM_CHECK(add != nullptr);
-      nn::Tensor out = add->forward2(fetch(inputs[0]), fetch(inputs[1]));
-      postproc_.charge_peripheral(out.numel());
-      outs.push_back(std::move(out));
-    } else {
-      nn::Tensor out = layer.forward(in, false);
-      // Peripheral digital ops run one element per lane-cycle; charged as
-      // energy plus (conservative preset) elements/16 cycles.
-      postproc_.charge_peripheral(out.numel());
-      if (cfg_.preset == CyclePreset::kConservative)
-        rep.peripheral_cycles += (out.numel() + 15) / 16;
-      outs.push_back(std::move(out));
-    }
-  }
-  return outs.back();
-}
+DeepCamAccelerator::DeepCamAccelerator(const nn::Model& model,
+                                       DeepCamConfig cfg)
+    : compiled_(std::make_shared<CompiledModel>(model, std::move(cfg))),
+      worker_(*compiled_) {}
 
 }  // namespace deepcam::core

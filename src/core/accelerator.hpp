@@ -19,6 +19,12 @@
 //    context generation);
 //  * kIdealized — the paper's abstraction: 1-cycle O(1) search, writes and
 //    context generation fully hidden behind the search pipeline.
+//
+// Since the engine split (see core/compiled_model.hpp), this class is a thin
+// single-sample facade: it compiles the model into an immutable CompiledModel
+// and runs every call through one embedded Worker. Batched / multi-threaded
+// execution lives in core/engine.hpp (InferenceEngine) and can share the
+// facade's CompiledModel via compiled().
 #pragma once
 
 #include <cstdint>
@@ -26,104 +32,50 @@
 #include <string>
 #include <vector>
 
-#include "cam/dynamic_cam.hpp"
-#include "core/context.hpp"
-#include "core/mapping.hpp"
-#include "core/postproc.hpp"
-#include "nn/model.hpp"
+#include "core/compiled_model.hpp"
+#include "core/engine.hpp"
 
 namespace deepcam::core {
-
-enum class CyclePreset { kConservative, kIdealized };
-
-struct DeepCamConfig {
-  std::size_t cam_rows = 64;
-  Dataflow dataflow = Dataflow::kActivationStationary;
-  CyclePreset preset = CyclePreset::kConservative;
-  cam::CellTech tech = cam::CellTech::kFeFET;
-  cam::SenseAmpConfig sense = {};
-  PostProcessingUnit::Options postproc = {};
-  /// Hash length per CAM layer (bits, multiples of 256 up to 1024). Empty =
-  /// homogeneous `default_hash_bits`.
-  std::vector<std::size_t> layer_hash_bits = {};
-  std::size_t default_hash_bits = hash::kMaxHashBits;
-  std::uint64_t hash_seed = 42;
-};
-
-/// Per-CAM-layer simulation report.
-struct LayerReport {
-  std::string name;
-  std::size_t patches = 0;       // P
-  std::size_t kernels = 0;       // K
-  std::size_t context_len = 0;   // n
-  std::size_t hash_bits = 0;     // k
-  MappingPlan plan;
-  std::size_t cycles = 0;        // per chosen preset
-  double cam_energy = 0.0;       // joules (search + write)
-  double postproc_energy = 0.0;  // joules (cosine/mult/bias + peripherals)
-  double ctxgen_energy = 0.0;    // joules (online context generation)
-
-  double total_energy() const {
-    return cam_energy + postproc_energy + ctxgen_energy;
-  }
-};
-
-struct RunReport {
-  std::vector<LayerReport> layers;
-  std::size_t peripheral_cycles = 0;  // non-CAM layers (pool/ReLU/BN)
-
-  std::size_t total_cycles() const;
-  double total_energy() const;
-  std::size_t total_searches() const;
-  std::size_t total_dot_products() const;
-  double mean_utilization() const;
-  double time_seconds() const;  // at the 300 MHz system clock
-  double cam_area_um2 = 0.0;
-};
 
 class DeepCamAccelerator {
  public:
   /// Prepares the accelerator for `model`: builds one ContextGenerator per
   /// CAM-mapped layer and pre-hashes all weight contexts (the paper's
-  /// offline software step). `model` must outlive the accelerator.
-  DeepCamAccelerator(nn::Model& model, DeepCamConfig cfg);
+  /// offline software step). `model` must outlive the accelerator; it is
+  /// only ever read.
+  DeepCamAccelerator(const nn::Model& model, DeepCamConfig cfg);
+  /// A temporary Model would dangle (the compilation stores a pointer to
+  /// it) — reject it at compile time.
+  DeepCamAccelerator(nn::Model&&, DeepCamConfig) = delete;
 
-  const DeepCamConfig& config() const { return cfg_; }
+  const DeepCamConfig& config() const { return compiled_->config(); }
+
+  /// The shared-immutable compilation backing this facade. Hand it to an
+  /// InferenceEngine to run the same model batched across threads.
+  const std::shared_ptr<const CompiledModel>& compiled() const {
+    return compiled_;
+  }
 
   /// Number of CAM-mapped (Conv2D/Linear) layers.
-  std::size_t cam_layer_count() const { return cam_layers_.size(); }
+  std::size_t cam_layer_count() const { return compiled_->cam_layer_count(); }
   /// Names of the CAM-mapped layers, in execution order.
-  std::vector<std::string> cam_layer_names() const;
+  std::vector<std::string> cam_layer_names() const {
+    return compiled_->cam_layer_names();
+  }
   /// Context length n of CAM layer `i`.
-  std::size_t context_len(std::size_t i) const;
+  std::size_t context_len(std::size_t i) const {
+    return compiled_->context_len(i);
+  }
 
   /// Runs one input (batch size must be 1). Returns the hardware-functional
   /// output logits; fills `report` if non-null.
-  nn::Tensor run(const nn::Tensor& input, RunReport* report = nullptr);
+  nn::Tensor run(const nn::Tensor& input, RunReport* report = nullptr) {
+    return worker_.run(input, report);
+  }
 
  private:
-  struct CamLayer {
-    std::size_t node_index;  // in the model graph
-    std::unique_ptr<ContextGenerator> ctxgen;
-    std::vector<Context> weight_ctx;  // pre-hashed kernels
-  };
-
-  std::size_t hash_bits_for(std::size_t cam_layer_idx) const;
-  std::size_t search_cycles_for(std::size_t hash_bits) const;
-
-  /// Simulates one CAM layer; writes dot-products into `out_flat` laid out
-  /// as [kernel][patch]. Returns the layer report.
-  LayerReport simulate_cam_layer(std::size_t cam_idx,
-                                 const std::vector<Context>& act_ctx,
-                                 const std::vector<float>& bias,
-                                 bool online_ctxgen,
-                                 std::vector<double>& out_flat);
-
-  nn::Model& model_;
-  DeepCamConfig cfg_;
-  std::vector<CamLayer> cam_layers_;
-  cam::DynamicCam cam_;
-  PostProcessingUnit postproc_;
+  std::shared_ptr<const CompiledModel> compiled_;
+  Worker worker_;
 };
 
 }  // namespace deepcam::core

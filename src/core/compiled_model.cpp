@@ -1,0 +1,109 @@
+#include "core/compiled_model.hpp"
+
+#include "common/tech.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace deepcam::core {
+
+std::size_t RunReport::total_cycles() const {
+  std::size_t c = peripheral_cycles;
+  for (const auto& l : layers) c += l.cycles;
+  return c;
+}
+
+double RunReport::total_energy() const {
+  double e = 0.0;
+  for (const auto& l : layers) e += l.total_energy();
+  return e;
+}
+
+std::size_t RunReport::total_searches() const {
+  std::size_t s = 0;
+  for (const auto& l : layers) s += l.plan.searches;
+  return s;
+}
+
+std::size_t RunReport::total_dot_products() const {
+  std::size_t s = 0;
+  for (const auto& l : layers) s += l.plan.dot_products;
+  return s;
+}
+
+double RunReport::mean_utilization() const {
+  if (layers.empty()) return 0.0;
+  // Weight utilization by passes so reload-heavy layers dominate, matching
+  // how hardware occupancy over time would be measured.
+  double util = 0.0, weight = 0.0;
+  for (const auto& l : layers) {
+    util += l.plan.utilization * static_cast<double>(l.plan.passes);
+    weight += static_cast<double>(l.plan.passes);
+  }
+  return weight == 0.0 ? 0.0 : util / weight;
+}
+
+double RunReport::time_seconds() const {
+  return static_cast<double>(total_cycles()) * tech::kCycleSeconds;
+}
+
+CompiledModel::CompiledModel(const nn::Model& model, DeepCamConfig cfg)
+    : model_(&model), cfg_(std::move(cfg)) {
+  DEEPCAM_CHECK_MSG(cfg_.cam_rows > 0, "CAM needs rows");
+  // Enumerate CAM-mapped layers and pre-hash their weights (the paper's
+  // offline software step).
+  for (std::size_t i = 0; i < model_->node_count(); ++i) {
+    const nn::Layer& layer = model_->layer(i);
+    if (layer.kind() == nn::LayerKind::kConv2D) {
+      const auto& conv = static_cast<const nn::Conv2D&>(layer);
+      CamLayer cl;
+      cl.node_index = i;
+      cl.ctxgen = std::make_unique<ContextGenerator>(
+          conv.spec().patch_len(), layer_hash_seed(cfg_.hash_seed, i));
+      cl.weight_ctx = cl.ctxgen->weight_contexts(conv);
+      cl.bias = conv.bias();
+      cam_layers_.push_back(std::move(cl));
+    } else if (layer.kind() == nn::LayerKind::kLinear) {
+      const auto& fc = static_cast<const nn::Linear&>(layer);
+      CamLayer cl;
+      cl.node_index = i;
+      cl.ctxgen = std::make_unique<ContextGenerator>(
+          fc.in_features(), layer_hash_seed(cfg_.hash_seed, i));
+      cl.weight_ctx = cl.ctxgen->weight_contexts(fc);
+      cl.bias = fc.bias();
+      cam_layers_.push_back(std::move(cl));
+    }
+  }
+  if (!cfg_.layer_hash_bits.empty()) {
+    DEEPCAM_CHECK_MSG(cfg_.layer_hash_bits.size() == cam_layers_.size(),
+                      "layer_hash_bits arity != CAM layer count");
+  }
+  for (std::size_t i = 0; i < cam_layers_.size(); ++i) {
+    const std::size_t k = cfg_.layer_hash_bits.empty()
+                              ? cfg_.default_hash_bits
+                              : cfg_.layer_hash_bits[i];
+    DEEPCAM_CHECK_MSG(k >= 1 && k <= hash::kMaxHashBits,
+                      "hash length out of range");
+    cam_layers_[i].hash_bits = k;
+  }
+}
+
+std::vector<std::string> CompiledModel::cam_layer_names() const {
+  std::vector<std::string> names;
+  names.reserve(cam_layers_.size());
+  for (const auto& cl : cam_layers_)
+    names.push_back(model_->layer(cl.node_index).name());
+  return names;
+}
+
+std::size_t CompiledModel::context_len(std::size_t i) const {
+  return cam_layer(i).ctxgen->input_dim();
+}
+
+std::size_t CompiledModel::search_cycles_for(std::size_t hash_bits) const {
+  if (cfg_.preset == CyclePreset::kIdealized) return 1;
+  const std::size_t chunks = (hash_bits + 255) / 256;
+  return static_cast<std::size_t>(tech::kCamSearchBaseCycles) +
+         static_cast<std::size_t>(tech::kCamSearchCyclesPerChunk) * chunks;
+}
+
+}  // namespace deepcam::core

@@ -1,0 +1,137 @@
+// CompiledModel: the shared-immutable half of the DeepCAM execution engine.
+//
+// The engine splits the simulator state the way poplibs-style
+// estimator/engine designs do:
+//
+//   CompiledModel  — everything derivable from (model, config) alone:
+//                    CAM-layer enumeration, per-layer ContextGenerators,
+//                    pre-hashed weight contexts (the paper's offline
+//                    software step), resolved hash lengths and bias copies.
+//                    Built once, immutable afterwards, shareable across any
+//                    number of threads without synchronization.
+//
+//   Worker         — the per-run mutable state (a DynamicCam instance, a
+//                    PostProcessingUnit, reusable scratch buffers). One per
+//                    thread. See core/engine.hpp.
+//
+//   InferenceEngine— a std::thread pool of Workers executing batches
+//                    against one CompiledModel. See core/engine.hpp.
+//
+// DeepCamAccelerator (core/accelerator.hpp) remains as a thin single-sample
+// facade over CompiledModel + one Worker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cam/config.hpp"
+#include "cam/sense_amp.hpp"
+#include "core/context.hpp"
+#include "core/mapping.hpp"
+#include "core/postproc.hpp"
+#include "nn/model.hpp"
+
+namespace deepcam::core {
+
+enum class CyclePreset { kConservative, kIdealized };
+
+struct DeepCamConfig {
+  std::size_t cam_rows = 64;
+  Dataflow dataflow = Dataflow::kActivationStationary;
+  CyclePreset preset = CyclePreset::kConservative;
+  cam::CellTech tech = cam::CellTech::kFeFET;
+  cam::SenseAmpConfig sense = {};
+  PostProcessingUnit::Options postproc = {};
+  /// Hash length per CAM layer (bits, multiples of 256 up to 1024). Empty =
+  /// homogeneous `default_hash_bits`.
+  std::vector<std::size_t> layer_hash_bits = {};
+  std::size_t default_hash_bits = hash::kMaxHashBits;
+  std::uint64_t hash_seed = 42;
+};
+
+/// Per-CAM-layer simulation report.
+struct LayerReport {
+  std::string name;
+  std::size_t patches = 0;       // P
+  std::size_t kernels = 0;       // K
+  std::size_t context_len = 0;   // n
+  std::size_t hash_bits = 0;     // k
+  MappingPlan plan;
+  std::size_t cycles = 0;        // per chosen preset
+  double cam_energy = 0.0;       // joules (search + write)
+  double postproc_energy = 0.0;  // joules (cosine/mult/bias + peripherals)
+  double ctxgen_energy = 0.0;    // joules (online context generation)
+
+  double total_energy() const {
+    return cam_energy + postproc_energy + ctxgen_energy;
+  }
+};
+
+struct RunReport {
+  std::vector<LayerReport> layers;
+  std::size_t peripheral_cycles = 0;  // non-CAM layers (pool/ReLU/BN)
+
+  std::size_t total_cycles() const;
+  double total_energy() const;
+  std::size_t total_searches() const;
+  std::size_t total_dot_products() const;
+  double mean_utilization() const;
+  double time_seconds() const;  // at the 300 MHz system clock
+  double cam_area_um2 = 0.0;
+};
+
+/// Immutable compilation of a model for DeepCAM execution. Holds the
+/// pre-hashed weight contexts and per-layer geometry; never mutated after
+/// construction, so one instance can back any number of concurrent Workers.
+/// The model must outlive the CompiledModel; it is only read (const) here
+/// and at run time.
+class CompiledModel {
+ public:
+  /// One CAM-mapped (Conv2D/Linear) layer, fully prepared for execution.
+  struct CamLayer {
+    std::size_t node_index;  // in the model graph
+    std::unique_ptr<ContextGenerator> ctxgen;
+    std::vector<Context> weight_ctx;  // pre-hashed kernels
+    std::vector<float> bias;          // copy of the layer's bias vector
+    std::size_t hash_bits = 0;        // resolved hash length k
+  };
+
+  CompiledModel(const nn::Model& model, DeepCamConfig cfg);
+  /// A temporary Model would dangle (only a pointer is stored) — reject it
+  /// at compile time.
+  CompiledModel(nn::Model&&, DeepCamConfig) = delete;
+
+  const nn::Model& model() const { return *model_; }
+  const DeepCamConfig& config() const { return cfg_; }
+
+  /// Geometry of the CAM array every Worker instantiates.
+  cam::CamConfig cam_config() const {
+    return cam::CamConfig{cfg_.cam_rows, 256, 4, cfg_.tech};
+  }
+
+  /// Number of CAM-mapped (Conv2D/Linear) layers.
+  std::size_t cam_layer_count() const { return cam_layers_.size(); }
+  const CamLayer& cam_layer(std::size_t i) const {
+    DEEPCAM_CHECK(i < cam_layers_.size());
+    return cam_layers_[i];
+  }
+  /// Names of the CAM-mapped layers, in execution order.
+  std::vector<std::string> cam_layer_names() const;
+  /// Context length n of CAM layer `i`.
+  std::size_t context_len(std::size_t i) const;
+  /// Resolved hash length k of CAM layer `i`.
+  std::size_t hash_bits_for(std::size_t i) const {
+    return cam_layer(i).hash_bits;
+  }
+  /// Search latency (cycles) at hash length `hash_bits` under the preset.
+  std::size_t search_cycles_for(std::size_t hash_bits) const;
+
+ private:
+  const nn::Model* model_;
+  DeepCamConfig cfg_;
+  std::vector<CamLayer> cam_layers_;
+};
+
+}  // namespace deepcam::core

@@ -1,0 +1,345 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/tech.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pointwise.hpp"
+
+namespace deepcam::core {
+
+Worker::Worker(const CompiledModel& compiled)
+    : compiled_(&compiled),
+      cam_(compiled.cam_config(), compiled.config().sense),
+      postproc_(compiled.config().postproc) {}
+
+LayerReport Worker::simulate_cam_layer(std::size_t cam_idx,
+                                       const std::vector<Context>& act_ctx,
+                                       bool online_ctxgen) {
+  const DeepCamConfig& cfg = compiled_->config();
+  const CompiledModel::CamLayer& cl = compiled_->cam_layer(cam_idx);
+  const std::vector<Context>& w_ctx = cl.weight_ctx;
+  const std::size_t P = act_ctx.size();
+  const std::size_t K = w_ctx.size();
+  const std::size_t k_bits = cl.hash_bits;
+  const std::size_t R = cfg.cam_rows;
+
+  LayerReport rep;
+  rep.name = compiled_->model().layer(cl.node_index).name();
+  rep.patches = P;
+  rep.kernels = K;
+  rep.context_len = cl.ctxgen->input_dim();
+  rep.hash_bits = k_bits;
+  rep.plan = plan_mapping({P, K}, R, cfg.dataflow);
+
+  const bool ws = cfg.dataflow == Dataflow::kWeightStationary;
+  const std::vector<Context>& stationary = ws ? w_ctx : act_ctx;
+  const std::vector<Context>& streamed = ws ? act_ctx : w_ctx;
+
+  const double cam_e0 = cam_.stats().total_energy();
+  const auto pp0 = postproc_.stats();
+
+  cam_.set_hash_length(k_bits);
+  flat_.assign(K * P, 0.0);
+
+  std::size_t base = 0;
+  while (base < stationary.size()) {
+    const std::size_t count = std::min(R, stationary.size() - base);
+    cam_.clear();
+    for (std::size_t r = 0; r < count; ++r)
+      cam_.write_row(r, stationary[base + r].bits);
+    for (std::size_t sidx = 0; sidx < streamed.size(); ++sidx) {
+      cam_.search_into(streamed[sidx].bits, search_buf_);
+      for (std::size_t r = 0; r < count; ++r) {
+        DEEPCAM_CHECK(search_buf_.row_hd[r].has_value());
+        const std::size_t hd = *search_buf_.row_hd[r];
+        const std::size_t kernel = ws ? (base + r) : sidx;
+        const std::size_t patch = ws ? sidx : (base + r);
+        flat_[kernel * P + patch] = postproc_.finish_dot_product(
+            w_ctx[kernel], act_ctx[patch], hd, k_bits, cl.bias[kernel]);
+      }
+    }
+    base += count;
+  }
+
+  // Online context generation cost for this layer's activation contexts.
+  if (online_ctxgen) {
+    for (std::size_t p = 0; p < P; ++p)
+      postproc_.charge_context_generation(rep.context_len, k_bits);
+  }
+
+  // Cycle accounting under the chosen preset.
+  const std::size_t t_search = compiled_->search_cycles_for(k_bits);
+  std::size_t cycles = rep.plan.searches * t_search;
+  if (cfg.preset == CyclePreset::kConservative) {
+    cycles += rep.plan.rows_written *
+              static_cast<std::size_t>(tech::kCamWriteCyclesPerRow);
+    cycles += rep.plan.passes *
+              static_cast<std::size_t>(tech::kCamPassDrainCycles);
+    if (online_ctxgen)
+      cycles += P * static_cast<std::size_t>(tech::kXbarInputBits);
+  }
+  rep.cycles = cycles;
+
+  rep.cam_energy = cam_.stats().total_energy() - cam_e0;
+  const auto pp1 = postproc_.stats();
+  rep.postproc_energy = pp1.energy - pp0.energy;
+  rep.ctxgen_energy = pp1.ctxgen_energy - pp0.ctxgen_energy;
+  return rep;
+}
+
+nn::Tensor Worker::run(const nn::Tensor& input, RunReport* report) {
+  DEEPCAM_CHECK_MSG(input.shape().n == 1,
+                    "accelerator simulates batch size 1");
+  // Reset the hardware counters so every report (and its floating-point
+  // energy sums) is a pure function of (CompiledModel, input) — the
+  // determinism the batched engine needs to match sequential runs bitwise.
+  cam_.reset_stats();
+  postproc_.reset_stats();
+
+  RunReport local_report;
+  RunReport& rep = report != nullptr ? *report : local_report;
+  rep = {};
+  rep.cam_area_um2 = cam_.area_um2();
+
+  const nn::Model& model = compiled_->model();
+  const DeepCamConfig& cfg = compiled_->config();
+  outs_.clear();
+  outs_.reserve(model.node_count());
+  std::size_t cam_idx = 0;
+  bool first_cam_layer = true;
+
+  for (std::size_t i = 0; i < model.node_count(); ++i) {
+    const nn::Layer& layer = model.layer(i);
+    const auto& inputs = model.inputs_of(i);
+    auto fetch = [&](int idx) -> const nn::Tensor& {
+      return idx == nn::kModelInput ? input
+                                    : outs_[static_cast<std::size_t>(idx)];
+    };
+    const nn::Tensor& in = fetch(inputs[0]);
+
+    if (layer.kind() == nn::LayerKind::kConv2D) {
+      const auto& conv = static_cast<const nn::Conv2D&>(layer);
+      const nn::ConvSpec& spec = conv.spec();
+      const CompiledModel::CamLayer& cl = compiled_->cam_layer(cam_idx);
+      DEEPCAM_CHECK(cl.node_index == i);
+      const auto act_ctx = cl.ctxgen->activation_contexts(in, spec);
+      LayerReport lrep =
+          simulate_cam_layer(cam_idx, act_ctx, !first_cam_layer);
+      const std::size_t oh = spec.out_h(in.shape().h);
+      const std::size_t ow = spec.out_w(in.shape().w);
+      nn::Tensor out({1, spec.out_channels, oh, ow});
+      for (std::size_t oc = 0; oc < spec.out_channels; ++oc)
+        for (std::size_t p = 0; p < oh * ow; ++p)
+          out[oc * oh * ow + p] =
+              static_cast<float>(flat_[oc * oh * ow + p]);
+      outs_.push_back(std::move(out));
+      rep.layers.push_back(std::move(lrep));
+      first_cam_layer = false;
+      ++cam_idx;
+    } else if (layer.kind() == nn::LayerKind::kLinear) {
+      const auto& fc = static_cast<const nn::Linear&>(layer);
+      const CompiledModel::CamLayer& cl = compiled_->cam_layer(cam_idx);
+      DEEPCAM_CHECK(cl.node_index == i);
+      std::vector<Context> act_ctx;
+      act_ctx.push_back(cl.ctxgen->activation_context_flat(in));
+      LayerReport lrep =
+          simulate_cam_layer(cam_idx, act_ctx, !first_cam_layer);
+      nn::Tensor out({1, fc.out_features(), 1, 1});
+      for (std::size_t o = 0; o < fc.out_features(); ++o)
+        out[o] = static_cast<float>(flat_[o]);
+      outs_.push_back(std::move(out));
+      rep.layers.push_back(std::move(lrep));
+      first_cam_layer = false;
+      ++cam_idx;
+    } else if (inputs.size() == 2) {
+      const auto* add = dynamic_cast<const nn::Add*>(&layer);
+      DEEPCAM_CHECK(add != nullptr);
+      nn::Tensor out = add->forward2(fetch(inputs[0]), fetch(inputs[1]));
+      postproc_.charge_peripheral(out.numel());
+      outs_.push_back(std::move(out));
+    } else {
+      nn::Tensor out = layer.infer(in);
+      // Peripheral digital ops run one element per lane-cycle; charged as
+      // energy plus (conservative preset) elements/16 cycles.
+      postproc_.charge_peripheral(out.numel());
+      if (cfg.preset == CyclePreset::kConservative)
+        rep.peripheral_cycles += (out.numel() + 15) / 16;
+      outs_.push_back(std::move(out));
+    }
+  }
+  nn::Tensor result = std::move(outs_.back());
+  outs_.clear();
+  return result;
+}
+
+namespace {
+
+/// Sample-order merge of per-sample reports into batch totals. Geometry
+/// fields (name, context_len, hash_bits, kernels, cam_area_um2) stay
+/// constants; work/cost fields (patches, plan counters, cycles, energies)
+/// accumulate. The caller seeds `agg` with the first sample's report.
+void merge_report(RunReport& agg, const RunReport& r) {
+  DEEPCAM_CHECK_MSG(agg.layers.size() == r.layers.size(),
+                    "cannot merge reports of different layer structure");
+  agg.peripheral_cycles += r.peripheral_cycles;
+  for (std::size_t l = 0; l < agg.layers.size(); ++l) {
+    LayerReport& a = agg.layers[l];
+    const LayerReport& b = r.layers[l];
+    DEEPCAM_CHECK_MSG(a.name == b.name && a.hash_bits == b.hash_bits,
+                      "cannot merge reports of different layers");
+    a.patches += b.patches;
+    a.cycles += b.cycles;
+    a.cam_energy += b.cam_energy;
+    a.postproc_energy += b.postproc_energy;
+    a.ctxgen_energy += b.ctxgen_energy;
+    // Passes-weighted utilization keeps RunReport::mean_utilization()
+    // meaningful on the aggregate.
+    const double wa = static_cast<double>(a.plan.passes);
+    const double wb = static_cast<double>(b.plan.passes);
+    if (wa + wb > 0.0)
+      a.plan.utilization =
+          (a.plan.utilization * wa + b.plan.utilization * wb) / (wa + wb);
+    a.plan.passes += b.plan.passes;
+    a.plan.searches += b.plan.searches;
+    a.plan.rows_written += b.plan.rows_written;
+    a.plan.dot_products += b.plan.dot_products;
+  }
+}
+
+}  // namespace
+
+double BatchReport::simulated_throughput() const {
+  const double total_s = aggregate.time_seconds();
+  if (total_s <= 0.0 || threads == 0) return 0.0;
+  // Independent CAM pipelines drain the batch in parallel, but no more of
+  // them can be busy than there are samples.
+  const double pipelines =
+      static_cast<double>(std::min(threads, std::max<std::size_t>(samples, 1)));
+  return static_cast<double>(samples) * pipelines / total_s;
+}
+
+InferenceEngine::InferenceEngine(
+    std::shared_ptr<const CompiledModel> compiled, std::size_t num_threads)
+    : compiled_(std::move(compiled)) {
+  DEEPCAM_CHECK_MSG(compiled_ != nullptr, "engine needs a compiled model");
+  std::size_t n = num_threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.push_back(std::make_unique<Worker>(*compiled_));
+  threads_.reserve(n);
+  try {
+    for (std::size_t i = 0; i < n; ++i)
+      threads_.emplace_back([this, i] { worker_loop(i); });
+  } catch (...) {
+    // Spawn failed partway: shut down the threads that did start before the
+    // vector of joinable threads is destroyed (which would std::terminate).
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    throw;
+  }
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void InferenceEngine::worker_loop(std::size_t worker_idx) {
+  Worker& worker = *workers_[worker_idx];
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] {
+      return shutdown_ || (batch_inputs_ != nullptr &&
+                           next_sample_ < batch_inputs_->size());
+    });
+    if (shutdown_) return;
+    while (batch_inputs_ != nullptr &&
+           next_sample_ < batch_inputs_->size()) {
+      const std::size_t s = next_sample_++;
+      const std::vector<nn::Tensor>& inputs = *batch_inputs_;
+      std::vector<nn::Tensor>& outputs = *batch_outputs_;
+      std::vector<RunReport>& reports = *batch_reports_;
+      lk.unlock();
+      std::exception_ptr error;
+      try {
+        outputs[s] = worker.run(inputs[s], &reports[s]);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lk.lock();
+      if (error != nullptr &&
+          (batch_error_ == nullptr || s < batch_error_sample_)) {
+        batch_error_ = error;
+        batch_error_sample_ = s;
+      }
+      if (--pending_samples_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<nn::Tensor> InferenceEngine::run_batch(
+    const std::vector<nn::Tensor>& inputs, BatchReport* report) {
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  std::vector<nn::Tensor> outputs(inputs.size());
+  std::vector<RunReport> reports(inputs.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!inputs.empty()) {
+    std::unique_lock<std::mutex> lk(mu_);
+    batch_inputs_ = &inputs;
+    batch_outputs_ = &outputs;
+    batch_reports_ = &reports;
+    next_sample_ = 0;
+    pending_samples_ = inputs.size();
+    work_cv_.notify_all();
+    done_cv_.wait(lk, [this] { return pending_samples_ == 0; });
+    batch_inputs_ = nullptr;
+    batch_outputs_ = nullptr;
+    batch_reports_ = nullptr;
+    if (batch_error_ != nullptr) {
+      std::exception_ptr error = batch_error_;
+      batch_error_ = nullptr;
+      batch_error_sample_ = 0;
+      lk.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (report != nullptr) {
+    *report = {};
+    report->samples = inputs.size();
+    report->threads = thread_count();
+    report->wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (i == 0)
+        report->aggregate = reports[i];
+      else
+        merge_report(report->aggregate, reports[i]);
+    }
+    report->per_sample = std::move(reports);
+  }
+  return outputs;
+}
+
+std::vector<nn::Tensor> InferenceEngine::run_batch(const nn::Tensor& batched,
+                                                   BatchReport* report) {
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(batched.shape().n);
+  for (std::size_t n = 0; n < batched.shape().n; ++n)
+    inputs.push_back(batched.slice_sample(n));
+  return run_batch(inputs, report);
+}
+
+}  // namespace deepcam::core

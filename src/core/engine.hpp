@@ -1,0 +1,138 @@
+// Batched multi-threaded DeepCAM inference engine.
+//
+// Worker owns the per-run mutable half of the simulator state — a DynamicCam
+// instance, a PostProcessingUnit, and reusable search/scratch buffers — and
+// executes single samples against a shared-immutable CompiledModel (see
+// core/compiled_model.hpp for the architecture overview).
+//
+// InferenceEngine owns a std::thread pool with one Worker per thread and
+// dispatches the samples of run_batch() to whichever worker is free.
+// Determinism contract: a sample's logits and its RunReport depend only on
+// (CompiledModel, input) — Workers reset their hardware counters at the
+// start of every run, all randomness is seeded at compile time, and the
+// per-sample reports are merged into the BatchReport in sample order — so
+// run_batch() is bitwise-reproducible for any thread count, and identical
+// to running the samples sequentially through DeepCamAccelerator::run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cam/dynamic_cam.hpp"
+#include "core/compiled_model.hpp"
+#include "core/postproc.hpp"
+
+namespace deepcam::core {
+
+/// Per-run mutable execution state: one CAM array, one post-processing unit
+/// and the scratch buffers a single in-flight sample needs. NOT thread-safe
+/// itself — the engine gives each thread its own Worker; sharing is done at
+/// the CompiledModel level.
+class Worker {
+ public:
+  /// `compiled` must outlive the worker.
+  explicit Worker(const CompiledModel& compiled);
+
+  const CompiledModel& compiled() const { return *compiled_; }
+
+  /// Runs one input (batch size must be 1). Returns the hardware-functional
+  /// output logits; fills `report` if non-null. Deterministic: the result
+  /// and report depend only on (CompiledModel, input), never on what this
+  /// worker executed before.
+  nn::Tensor run(const nn::Tensor& input, RunReport* report = nullptr);
+
+ private:
+  /// Simulates one CAM layer; writes dot-products into `flat_` laid out as
+  /// [kernel][patch]. Returns the layer report.
+  LayerReport simulate_cam_layer(std::size_t cam_idx,
+                                 const std::vector<Context>& act_ctx,
+                                 bool online_ctxgen);
+
+  const CompiledModel* compiled_;
+  cam::DynamicCam cam_;
+  PostProcessingUnit postproc_;
+  // Reusable scratch (per-run buffers; avoid per-search/per-layer heap
+  // allocation on the hot path).
+  cam::DynamicCam::SearchResult search_buf_;
+  std::vector<double> flat_;
+  std::vector<nn::Tensor> outs_;
+};
+
+/// Aggregated result of one run_batch() call.
+struct BatchReport {
+  /// Per-sample reports, in input order.
+  std::vector<RunReport> per_sample;
+  /// Deterministic sample-order merge of `per_sample`: layer reports carry
+  /// summed cycles/energy/plan totals across the batch and peripheral
+  /// cycles accumulate; cam_area_um2 stays the (shared) array's area, not
+  /// a sum.
+  RunReport aggregate;
+  std::size_t samples = 0;
+  std::size_t threads = 0;      // pool size used
+  double wall_seconds = 0.0;    // host wall-clock of the batch
+
+  /// Host throughput in samples per second.
+  double throughput() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(samples) / wall_seconds
+               : 0.0;
+  }
+  /// Simulated-hardware throughput assuming one CAM pipeline per thread.
+  double simulated_throughput() const;
+};
+
+/// Thread-pooled batch runner over one shared CompiledModel.
+class InferenceEngine {
+ public:
+  /// `compiled` is shared (kept alive) by the engine. `num_threads` = 0
+  /// selects std::thread::hardware_concurrency().
+  explicit InferenceEngine(std::shared_ptr<const CompiledModel> compiled,
+                           std::size_t num_threads = 0);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  std::size_t thread_count() const { return threads_.size(); }
+  const CompiledModel& compiled() const { return *compiled_; }
+
+  /// Runs every input (each a batch-1 tensor) through the worker pool.
+  /// Returns the logits in input order; fills `report` if non-null.
+  std::vector<nn::Tensor> run_batch(const std::vector<nn::Tensor>& inputs,
+                                    BatchReport* report = nullptr);
+
+  /// Convenience overload: splits a batched {N,C,H,W} tensor into N samples.
+  std::vector<nn::Tensor> run_batch(const nn::Tensor& batched,
+                                    BatchReport* report = nullptr);
+
+ private:
+  void worker_loop(std::size_t worker_idx);
+
+  std::shared_ptr<const CompiledModel> compiled_;
+  std::vector<std::unique_ptr<Worker>> workers_;  // one per thread
+  std::vector<std::thread> threads_;
+
+  // Serializes run_batch() callers; one batch is in flight at a time.
+  std::mutex submit_mu_;
+
+  // Batch dispatch state, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // run_batch waits for completion
+  const std::vector<nn::Tensor>* batch_inputs_ = nullptr;
+  std::vector<nn::Tensor>* batch_outputs_ = nullptr;
+  std::vector<RunReport>* batch_reports_ = nullptr;
+  std::size_t next_sample_ = 0;
+  std::size_t pending_samples_ = 0;
+  // Error of the lowest-index failing sample, so which exception run_batch
+  // rethrows does not depend on thread-completion order.
+  std::exception_ptr batch_error_;
+  std::size_t batch_error_sample_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace deepcam::core

@@ -18,7 +18,7 @@ Conv2D::Conv2D(std::string name, ConvSpec spec, std::uint64_t seed)
   for (auto& w : weights_) w = static_cast<float>(rng.gaussian(0.0, std));
 }
 
-Tensor Conv2D::forward(const Tensor& in, bool train) {
+Tensor Conv2D::infer(const Tensor& in) const {
   const Shape& s = in.shape();
   DEEPCAM_CHECK_MSG(s.c == spec_.in_channels, "conv input channel mismatch");
   const std::size_t oh = spec_.out_h(s.h);
@@ -26,7 +26,33 @@ Tensor Conv2D::forward(const Tensor& in, bool train) {
   Tensor out({s.n, spec_.out_channels, oh, ow});
   const std::size_t plen = spec_.patch_len();
   std::vector<float> patch(plen);
-  const bool noisy = train && noise_scale_ > 0.0f;
+  for (std::size_t n = 0; n < s.n; ++n) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        extract_patch(in, n, oy, ox, spec_.kernel_h, spec_.kernel_w,
+                      spec_.stride, spec_.pad, patch);
+        for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+          const float* w = &weights_[oc * plen];
+          float acc = bias_[oc];
+          for (std::size_t i = 0; i < plen; ++i) acc += w[i] * patch[i];
+          out.at(n, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::forward(const Tensor& in, bool train) {
+  if (!train) return infer(in);
+  const Shape& s = in.shape();
+  DEEPCAM_CHECK_MSG(s.c == spec_.in_channels, "conv input channel mismatch");
+  const std::size_t oh = spec_.out_h(s.h);
+  const std::size_t ow = spec_.out_w(s.w);
+  Tensor out({s.n, spec_.out_channels, oh, ow});
+  const std::size_t plen = spec_.patch_len();
+  std::vector<float> patch(plen);
+  const bool noisy = noise_scale_ > 0.0f;
   // Per-kernel norms for the noise model (only when noise is enabled).
   std::vector<float> w_norms;
   if (noisy) {
@@ -64,10 +90,8 @@ Tensor Conv2D::forward(const Tensor& in, bool train) {
       }
     }
   }
-  if (train) {
-    cached_in_ = in;
-    has_cache_ = true;
-  }
+  cached_in_ = in;
+  has_cache_ = true;
   return out;
 }
 

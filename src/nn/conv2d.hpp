@@ -43,6 +43,7 @@ class Conv2D final : public Layer {
   const ConvSpec& spec() const { return spec_; }
 
   Tensor forward(const Tensor& in, bool train) override;
+  Tensor infer(const Tensor& in) const override;
   Tensor backward(const Tensor& grad_out) override;
   void update(float lr) override;
   std::size_t param_count() const override {

@@ -40,6 +40,11 @@ class Layer {
   /// whatever backward() needs.
   virtual Tensor forward(const Tensor& in, bool train = false) = 0;
 
+  /// Inference-only forward pass: no gradient caching, no training noise, no
+  /// mutation of any member. Safe to call concurrently from many threads on
+  /// a shared model — this is the path the batched InferenceEngine uses.
+  virtual Tensor infer(const Tensor& in) const = 0;
+
   /// Propagates gradients; returns d(loss)/d(input). Only layers used by the
   /// trainer implement this; the default reports non-trainable.
   virtual Tensor backward(const Tensor& grad_out);

@@ -18,12 +18,30 @@ Linear::Linear(std::string name, std::size_t in_features,
   for (auto& w : weights_) w = static_cast<float>(rng.gaussian(0.0, std));
 }
 
-Tensor Linear::forward(const Tensor& in, bool train) {
+Tensor Linear::infer(const Tensor& in) const {
   const Shape& s = in.shape();
   const std::size_t feat = s.c * s.h * s.w;
   DEEPCAM_CHECK_MSG(feat == in_, "linear input feature mismatch");
   Tensor out({s.n, out_, 1, 1});
-  const bool noisy = train && noise_scale_ > 0.0f;
+  for (std::size_t n = 0; n < s.n; ++n) {
+    const float* x = in.data() + n * feat;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* w = &weights_[o * in_];
+      float acc = bias_[o];
+      for (std::size_t i = 0; i < in_; ++i) acc += w[i] * x[i];
+      out.at(n, o, 0, 0) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Linear::forward(const Tensor& in, bool train) {
+  if (!train) return infer(in);
+  const Shape& s = in.shape();
+  const std::size_t feat = s.c * s.h * s.w;
+  DEEPCAM_CHECK_MSG(feat == in_, "linear input feature mismatch");
+  Tensor out({s.n, out_, 1, 1});
+  const bool noisy = noise_scale_ > 0.0f;
   std::vector<float> w_norms;
   if (noisy) {
     w_norms.resize(out_);
@@ -54,10 +72,8 @@ Tensor Linear::forward(const Tensor& in, bool train) {
       out.at(n, o, 0, 0) = acc;
     }
   }
-  if (train) {
-    cached_in_ = in;
-    has_cache_ = true;
-  }
+  cached_in_ = in;
+  has_cache_ = true;
   return out;
 }
 

@@ -24,6 +24,7 @@ class Linear final : public Layer {
   std::size_t out_features() const { return out_; }
 
   Tensor forward(const Tensor& in, bool train) override;
+  Tensor infer(const Tensor& in) const override;
   Tensor backward(const Tensor& grad_out) override;
   void update(float lr) override;
   std::size_t param_count() const override {

@@ -57,6 +57,31 @@ std::vector<Tensor> Model::forward_all(const Tensor& input) {
   return forward_all_impl(input, false);
 }
 
+std::vector<Tensor> Model::infer_all(const Tensor& input) const {
+  std::vector<Tensor> outs;
+  outs.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& node = nodes_[i];
+    auto fetch = [&](int idx) -> const Tensor& {
+      return idx == kModelInput ? input : outs[static_cast<std::size_t>(idx)];
+    };
+    if (node.inputs.size() == 2) {
+      const auto* add = dynamic_cast<const Add*>(node.layer.get());
+      DEEPCAM_CHECK_MSG(add != nullptr, "two-input node must be Add");
+      outs.push_back(add->forward2(fetch(node.inputs[0]),
+                                   fetch(node.inputs[1])));
+    } else {
+      outs.push_back(node.layer->infer(fetch(node.inputs[0])));
+    }
+  }
+  return outs;
+}
+
+Tensor Model::infer(const Tensor& input) const {
+  std::vector<Tensor> outs = infer_all(input);
+  return outs.back();
+}
+
 bool Model::is_sequential() const {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].inputs.size() != 1) return false;

@@ -44,6 +44,14 @@ class Model {
   /// hardware simulators, which need per-layer inputs.
   std::vector<Tensor> forward_all(const Tensor& input);
 
+  /// Const inference pass: identical numerics to forward(input, false) but
+  /// touches no mutable layer state, so a shared const Model can be run
+  /// concurrently from many threads (the InferenceEngine relies on this).
+  Tensor infer(const Tensor& input) const;
+
+  /// Const-inference variant of forward_all().
+  std::vector<Tensor> infer_all(const Tensor& input) const;
+
   /// True if every node has exactly one input which is the previous node.
   bool is_sequential() const;
 

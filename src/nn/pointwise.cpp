@@ -6,15 +6,19 @@
 
 namespace deepcam::nn {
 
-Tensor ReLU::forward(const Tensor& in, bool train) {
+Tensor ReLU::infer(const Tensor& in) const {
   Tensor out = in;
   for (std::size_t i = 0; i < out.numel(); ++i)
     if (out[i] < 0.0f) out[i] = 0.0f;
+  return out;
+}
+
+Tensor ReLU::forward(const Tensor& in, bool train) {
   if (train) {
     cached_in_ = in;
     has_cache_ = true;
   }
-  return out;
+  return infer(in);
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
@@ -25,13 +29,17 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+Tensor Flatten::infer(const Tensor& in) const {
+  const Shape& s = in.shape();
+  return in.reshaped({s.n, s.c * s.h * s.w, 1, 1});
+}
+
 Tensor Flatten::forward(const Tensor& in, bool train) {
   if (train) {
     cached_shape_ = in.shape();
     has_cache_ = true;
   }
-  const Shape& s = in.shape();
-  return in.reshaped({s.n, s.c * s.h * s.w, 1, 1});
+  return infer(in);
 }
 
 Tensor Flatten::backward(const Tensor& grad_out) {
@@ -40,6 +48,10 @@ Tensor Flatten::backward(const Tensor& grad_out) {
 }
 
 Tensor Softmax::forward(const Tensor& in, bool /*train*/) {
+  return infer(in);
+}
+
+Tensor Softmax::infer(const Tensor& in) const {
   const Shape& s = in.shape();
   const std::size_t feat = s.c * s.h * s.w;
   Tensor out = in;
@@ -70,6 +82,10 @@ BatchNorm::BatchNorm(std::string name, std::size_t channels,
 }
 
 Tensor BatchNorm::forward(const Tensor& in, bool /*train*/) {
+  return infer(in);
+}
+
+Tensor BatchNorm::infer(const Tensor& in) const {
   const Shape& s = in.shape();
   DEEPCAM_CHECK_MSG(s.c == gamma_.size(), "batchnorm channel mismatch");
   Tensor out = in;
@@ -82,6 +98,10 @@ Tensor BatchNorm::forward(const Tensor& in, bool /*train*/) {
 }
 
 Tensor Add::forward(const Tensor& /*in*/, bool /*train*/) {
+  throw Error("Add is a two-input node; use forward2 via the graph Model");
+}
+
+Tensor Add::infer(const Tensor& /*in*/) const {
   throw Error("Add is a two-input node; use forward2 via the graph Model");
 }
 

@@ -18,6 +18,7 @@ class ReLU final : public Layer {
   LayerKind kind() const override { return LayerKind::kReLU; }
   std::string name() const override { return name_; }
   Tensor forward(const Tensor& in, bool train) override;
+  Tensor infer(const Tensor& in) const override;
   Tensor backward(const Tensor& grad_out) override;
 
  private:
@@ -32,6 +33,7 @@ class Flatten final : public Layer {
   LayerKind kind() const override { return LayerKind::kFlatten; }
   std::string name() const override { return name_; }
   Tensor forward(const Tensor& in, bool train) override;
+  Tensor infer(const Tensor& in) const override;
   Tensor backward(const Tensor& grad_out) override;
 
  private:
@@ -46,6 +48,7 @@ class Softmax final : public Layer {
   LayerKind kind() const override { return LayerKind::kSoftmax; }
   std::string name() const override { return name_; }
   Tensor forward(const Tensor& in, bool train) override;
+  Tensor infer(const Tensor& in) const override;
 
  private:
   std::string name_;
@@ -61,6 +64,7 @@ class BatchNorm final : public Layer {
   LayerKind kind() const override { return LayerKind::kBatchNorm; }
   std::string name() const override { return name_; }
   Tensor forward(const Tensor& in, bool train) override;
+  Tensor infer(const Tensor& in) const override;
   std::size_t param_count() const override { return 2 * gamma_.size(); }
 
   std::vector<float>& gamma() { return gamma_; }
@@ -79,6 +83,7 @@ class Add final : public Layer {
   LayerKind kind() const override { return LayerKind::kAdd; }
   std::string name() const override { return name_; }
   Tensor forward(const Tensor& in, bool train) override;  // throws: needs 2
+  Tensor infer(const Tensor& in) const override;          // throws: needs 2
   Tensor forward2(const Tensor& a, const Tensor& b) const;
 
  private:

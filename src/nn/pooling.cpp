@@ -4,16 +4,13 @@
 
 namespace deepcam::nn {
 
-Tensor MaxPool::forward(const Tensor& in, bool train) {
+Tensor MaxPool::pool(const Tensor& in,
+                     std::vector<std::size_t>* argmax) const {
   const Shape& s = in.shape();
   const std::size_t oh = (s.h - window_) / stride_ + 1;
   const std::size_t ow = (s.w - window_) / stride_ + 1;
   Tensor out({s.n, s.c, oh, ow});
-  if (train) {
-    argmax_.assign(out.numel(), 0);
-    cached_in_shape_ = s;
-    has_cache_ = true;
-  }
+  if (argmax != nullptr) argmax->assign(out.numel(), 0);
   std::size_t oidx = 0;
   for (std::size_t n = 0; n < s.n; ++n) {
     for (std::size_t c = 0; c < s.c; ++c) {
@@ -33,12 +30,21 @@ Tensor MaxPool::forward(const Tensor& in, bool train) {
             }
           }
           out.at(n, c, oy, ox) = best;
-          if (train) argmax_[oidx] = best_idx;
+          if (argmax != nullptr) (*argmax)[oidx] = best_idx;
         }
       }
     }
   }
   return out;
+}
+
+Tensor MaxPool::infer(const Tensor& in) const { return pool(in, nullptr); }
+
+Tensor MaxPool::forward(const Tensor& in, bool train) {
+  if (!train) return infer(in);
+  cached_in_shape_ = in.shape();
+  has_cache_ = true;
+  return pool(in, &argmax_);
 }
 
 Tensor MaxPool::backward(const Tensor& grad_out) {
@@ -50,6 +56,10 @@ Tensor MaxPool::backward(const Tensor& grad_out) {
 }
 
 Tensor AvgPool::forward(const Tensor& in, bool /*train*/) {
+  return infer(in);
+}
+
+Tensor AvgPool::infer(const Tensor& in) const {
   const Shape& s = in.shape();
   const std::size_t oh = (s.h - window_) / stride_ + 1;
   const std::size_t ow = (s.w - window_) / stride_ + 1;

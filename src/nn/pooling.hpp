@@ -20,9 +20,14 @@ class MaxPool final : public Layer {
   std::size_t stride() const { return stride_; }
 
   Tensor forward(const Tensor& in, bool train) override;
+  Tensor infer(const Tensor& in) const override;
   Tensor backward(const Tensor& grad_out) override;
 
  private:
+  /// Shared pooling kernel; records argmax indices into `*argmax` when
+  /// non-null (training path only).
+  Tensor pool(const Tensor& in, std::vector<std::size_t>* argmax) const;
+
   std::string name_;
   std::size_t window_, stride_;
   Shape cached_in_shape_;
@@ -41,6 +46,7 @@ class AvgPool final : public Layer {
   std::size_t stride() const { return stride_; }
 
   Tensor forward(const Tensor& in, bool train) override;
+  Tensor infer(const Tensor& in) const override;
 
  private:
   std::string name_;

@@ -54,6 +54,17 @@ class Tensor {
     return Tensor(s, data_);
   }
 
+  /// Copies batch sample `n` out of an {N,C,H,W} tensor as {1,C,H,W} — the
+  /// batch entry point the InferenceEngine uses to fan a batched tensor out
+  /// over its workers.
+  Tensor slice_sample(std::size_t n) const {
+    DEEPCAM_CHECK_MSG(n < shape_.n, "sample index out of batch range");
+    const std::size_t chw = shape_.c * shape_.h * shape_.w;
+    return Tensor({1, shape_.c, shape_.h, shape_.w},
+                  std::vector<float>(data_.begin() + n * chw,
+                                     data_.begin() + (n + 1) * chw));
+  }
+
   void fill(float v) {
     for (auto& x : data_) x = v;
   }

@@ -155,6 +155,51 @@ TEST(DynamicCam, RowRangeChecks) {
   EXPECT_THROW(cam.write_row(0, small), deepcam::Error);
 }
 
+TEST(DynamicCam, OccupiedRowsCounterMatchesOccupancy) {
+  // occupied_rows() is a counter now, not a scan; it must stay exact under
+  // rewrites (same row written twice counts once) and clears.
+  DynamicCam cam(CamConfig{8, 256, 4});
+  EXPECT_EQ(cam.occupied_rows(), 0u);
+  cam.write_row(2, random_bits(1024, 1));
+  cam.write_row(5, random_bits(1024, 2));
+  cam.write_row(2, random_bits(1024, 3));  // rewrite, not a new occupancy
+  EXPECT_EQ(cam.occupied_rows(), 2u);
+  EXPECT_TRUE(cam.row_occupied(2));
+  EXPECT_TRUE(cam.row_occupied(5));
+  cam.clear();
+  EXPECT_EQ(cam.occupied_rows(), 0u);
+  cam.write_row(0, random_bits(1024, 4));
+  EXPECT_EQ(cam.occupied_rows(), 1u);
+}
+
+TEST(DynamicCam, SearchIntoMatchesSearchAndReusesBuffer) {
+  DynamicCam cam(CamConfig{16, 256, 4});
+  for (std::size_t r = 0; r < 5; ++r) cam.write_row(r, random_bits(1024, r));
+  DynamicCam::SearchResult buf;
+  for (std::size_t q = 0; q < 3; ++q) {
+    const BitVec key = random_bits(1024, 100 + q);
+    cam.search_into(key, buf);  // same buffer across queries
+    const auto fresh = cam.search(key);
+    ASSERT_EQ(buf.row_hd.size(), fresh.row_hd.size());
+    for (std::size_t r = 0; r < buf.row_hd.size(); ++r)
+      EXPECT_EQ(buf.row_hd[r], fresh.row_hd[r]);
+  }
+}
+
+TEST(DynamicCam, WordCopyWriteZeroesTailLikeBitWrite) {
+  // write_row copies 64-bit words; at a 257-bit word length the partial-word
+  // mask and tail-zeroing must reproduce the old per-bit semantics exactly.
+  DynamicCam cam(CamConfig{4, 257, 4});
+  cam.set_active_chunks(1);  // 257 active bits: 4 full words + 1 bit
+  BitVec data(1028);
+  for (std::size_t i = 0; i < 1028; ++i) data.set(i, true);
+  cam.write_row(0, data);
+  cam.set_active_chunks(4);
+  BitVec key(1028);  // all zeros
+  // 257 stored ones mismatch the zero key; the zeroed tail matches.
+  EXPECT_EQ(*cam.search(key).row_hd[0], 257u);
+}
+
 TEST(DynamicCam, WriteEnergyScalesWithActiveBits) {
   DynamicCam a(CamConfig{4, 256, 4});
   a.set_active_chunks(1);
