@@ -1,0 +1,30 @@
+// Batch-size sweep across every registered backend: how cycles/inference
+// and simulated throughput scale with batch on each platform (the analytic
+// baselines are exactly linear; DeepCAM is executed functionally and must
+// land on the same line — the backend contract tests assert it).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim/comparison.hpp"
+#include "sim/report_io.hpp"
+
+using namespace deepcam;
+
+int main() {
+  std::printf("== Backend batch sweep (lenet5) ==\n\n");
+  const sim::BackendRegistry registry = sim::default_registry();
+  const sim::ComparisonRunner runner(registry);
+  const sim::ComparisonReport report =
+      runner.run({{"lenet5", /*seed=*/1, /*batch_sizes=*/{1, 2, 4, 8}}});
+
+  Table t({"backend", "batch", "cycles/inf", "samples/s", "energy/inf (uJ)"});
+  for (const auto& r : report.rows)
+    t.add_row({r.backend, std::to_string(r.batch),
+               Table::num(r.cycles_per_inference(), 1),
+               Table::num(r.throughput(), 1),
+               r.energy_modeled
+                   ? Table::num(r.energy_per_inference_j() * 1e6, 4)
+                   : "n/a"});
+  t.print();
+  return 0;
+}

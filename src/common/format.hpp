@@ -1,0 +1,42 @@
+// Locale-proof number formatting for serializers.
+//
+// printf-family float conversions honor the process-global LC_NUMERIC
+// locale: under e.g. de_DE a "%.6f" prints "0,5" and silently corrupts CSV
+// output (and any golden-file diff). std::to_chars is specified to be
+// locale-independent, so every serializer that promises byte-exact output
+// (core/report_io, sim/report_io) formats through these helpers instead of
+// snprintf. Integers and strings are locale-safe already.
+#pragma once
+
+#include <charconv>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace deepcam {
+
+/// "%.<prec>f" equivalent, independent of the global locale.
+inline std::string format_fixed(double v, int prec) {
+  char buf[64];
+  const auto res =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, prec);
+  DEEPCAM_CHECK_MSG(res.ec == std::errc(), "format_fixed overflow");
+  return std::string(buf, res.ptr);
+}
+
+/// "%.<prec>e" equivalent, independent of the global locale.
+inline std::string format_sci(double v, int prec) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v,
+                                 std::chars_format::scientific, prec);
+  DEEPCAM_CHECK_MSG(res.ec == std::errc(), "format_sci overflow");
+  return std::string(buf, res.ptr);
+}
+
+/// Right-aligns `s` to `width` (no-op when already wider).
+inline std::string pad_left(std::string s, std::size_t width) {
+  return s.size() >= width ? s
+                           : std::string(width - s.size(), ' ') + std::move(s);
+}
+
+}  // namespace deepcam

@@ -1,9 +1,9 @@
 #include "common/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "common/error.hpp"
+#include "common/format.hpp"
 
 namespace deepcam {
 
@@ -34,19 +34,14 @@ void Table::print(std::ostream& os) const {
 }
 
 std::string Table::num(double v, int prec) {
-  char buf[64];
-  if (v != 0.0 && (v >= 1e6 || v < 1e-3)) {
-    std::snprintf(buf, sizeof buf, "%.*e", prec, v);
-  } else {
-    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
-  }
-  return buf;
+  // format.hpp keeps the output locale-proof (a user locale with a comma
+  // decimal point must not change table bytes — the goldens depend on it).
+  if (v != 0.0 && (v >= 1e6 || v < 1e-3)) return format_sci(v, prec);
+  return format_fixed(v, prec);
 }
 
 std::string Table::ratio(double v, int prec) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*fx", prec, v);
-  return buf;
+  return format_fixed(v, prec) + "x";
 }
 
 }  // namespace deepcam

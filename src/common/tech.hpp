@@ -103,6 +103,9 @@ inline constexpr double kDramBytesPerCycle = 4.0;
 // ---------------------------------------------------------------------------
 // CPU baseline (Intel Skylake, AVX-512 VNNI-class INT8)
 // ---------------------------------------------------------------------------
+/// [arch] Skylake-class core clock; the paper compares raw computation
+/// cycles, but throughput (samples/s) must use each platform's own clock.
+inline constexpr double kCpuClockHz = 3.2e9;
 /// [arch] peak INT8 MACs per cycle per core: 2 FMA ports x 64 INT8 lanes.
 inline constexpr int kCpuPeakMacsPerCycle = 128;
 /// [arch] achievable fraction of peak on large GEMM-shaped layers.

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/format.hpp"
+
 namespace deepcam::core {
 
 std::string report_to_csv(const RunReport& report) {
@@ -10,16 +12,14 @@ std::string report_to_csv(const RunReport& report) {
   os << "layer,patches,kernels,context_len,hash_bits,passes,searches,"
         "rows_written,utilization,dot_products,cycles,cam_energy_j,"
         "postproc_energy_j,ctxgen_energy_j\n";
-  char buf[128];
   for (const auto& l : report.layers) {
     os << l.name << ',' << l.patches << ',' << l.kernels << ','
        << l.context_len << ',' << l.hash_bits << ',' << l.plan.passes << ','
-       << l.plan.searches << ',' << l.plan.rows_written << ',';
-    std::snprintf(buf, sizeof buf, "%.6f", l.plan.utilization);
-    os << buf << ',' << l.plan.dot_products << ',' << l.cycles << ',';
-    std::snprintf(buf, sizeof buf, "%.6e,%.6e,%.6e", l.cam_energy,
-                  l.postproc_energy, l.ctxgen_energy);
-    os << buf << '\n';
+       << l.plan.searches << ',' << l.plan.rows_written << ','
+       << format_fixed(l.plan.utilization, 6) << ',' << l.plan.dot_products
+       << ',' << l.cycles << ',' << format_sci(l.cam_energy, 6) << ','
+       << format_sci(l.postproc_energy, 6) << ','
+       << format_sci(l.ctxgen_energy, 6) << '\n';
   }
   return os.str();
 }
@@ -27,22 +27,27 @@ std::string report_to_csv(const RunReport& report) {
 std::string report_summary(const RunReport& report) {
   std::ostringstream os;
   char buf[256];
+  // Float conversions go through format.hpp (locale-proof); snprintf only
+  // assembles integers and pre-formatted strings.
   std::snprintf(buf, sizeof buf,
                 "DeepCAM run: %zu CAM layers, %zu searches, %zu dot-products"
-                "\n  cycles: %zu (%.3f us @300 MHz)  energy: %.3f uJ  "
-                "mean utilization: %.1f%%  CAM area: %.0f um^2\n",
+                "\n  cycles: %zu (%s us @300 MHz)  energy: %s uJ  "
+                "mean utilization: %s%%  CAM area: %s um^2\n",
                 report.layers.size(), report.total_searches(),
                 report.total_dot_products(), report.total_cycles(),
-                report.time_seconds() * 1e6, report.total_energy() * 1e6,
-                100.0 * report.mean_utilization(), report.cam_area_um2);
+                format_fixed(report.time_seconds() * 1e6, 3).c_str(),
+                format_fixed(report.total_energy() * 1e6, 3).c_str(),
+                format_fixed(100.0 * report.mean_utilization(), 1).c_str(),
+                format_fixed(report.cam_area_um2, 0).c_str());
   os << buf;
   for (const auto& l : report.layers) {
-    std::snprintf(buf, sizeof buf,
-                  "  %-12s P=%-5zu K=%-5zu n=%-5zu k=%-4zu util=%5.1f%% "
-                  "cycles=%-8zu energy=%.3e J\n",
-                  l.name.c_str(), l.patches, l.kernels, l.context_len,
-                  l.hash_bits, 100.0 * l.plan.utilization, l.cycles,
-                  l.total_energy());
+    std::snprintf(
+        buf, sizeof buf,
+        "  %-12s P=%-5zu K=%-5zu n=%-5zu k=%-4zu util=%s%% "
+        "cycles=%-8zu energy=%s J\n",
+        l.name.c_str(), l.patches, l.kernels, l.context_len, l.hash_bits,
+        pad_left(format_fixed(100.0 * l.plan.utilization, 1), 5).c_str(),
+        l.cycles, format_sci(l.total_energy(), 3).c_str());
     os << buf;
   }
   return os.str();

@@ -49,6 +49,10 @@ std::size_t CpuModelResult::total_macs() const {
   return m;
 }
 
+double CpuModelResult::total_seconds() const {
+  return total_cycles() / tech::kCpuClockHz;
+}
+
 double CpuModelResult::mean_efficiency() const {
   const double c = total_cycles();
   return c == 0.0 ? 0.0

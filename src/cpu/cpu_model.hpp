@@ -34,6 +34,9 @@ struct CpuModelResult {
   double total_cycles() const;
   std::size_t total_macs() const;
   double mean_efficiency() const;
+  /// Wall time of one inference at the Skylake core clock (tech.hpp) —
+  /// cross-platform throughput must not assume the 300 MHz ASIC clock.
+  double total_seconds() const;
 };
 
 /// Simulates one GEMM-shaped layer on the CPU model.

@@ -21,6 +21,9 @@ struct InputSpec {
   std::size_t height;
   std::size_t width;
   std::size_t classes;
+
+  /// The {1,C,H,W} input shape this topology expects.
+  Shape shape() const { return {1, channels, height, width}; }
 };
 
 std::unique_ptr<Model> make_lenet5(std::uint64_t seed);

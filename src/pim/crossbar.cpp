@@ -8,6 +8,10 @@ namespace {
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 }  // namespace
 
+std::size_t peak_macs_per_cycle(const CrossbarConfig& cfg) {
+  return cfg.parallel_tiles * cfg.tile_rows * cfg.tile_cols;
+}
+
 CrossbarLayerResult simulate_layer(const nn::GemmDims& dims,
                                    const CrossbarConfig& cfg) {
   DEEPCAM_CHECK(cfg.tile_rows > 0 && cfg.tile_cols > 0);

@@ -43,6 +43,11 @@ struct CrossbarModelResult {
   double total_energy() const;
 };
 
+/// Upper bound on MACs the macro retires per cycle: every cell of every
+/// concurrently active tile firing at once. Denominator of the
+/// peak-efficiency fraction the sim::Backend adapter reports.
+std::size_t peak_macs_per_cycle(const CrossbarConfig& cfg);
+
 CrossbarLayerResult simulate_layer(const nn::GemmDims& dims,
                                    const CrossbarConfig& cfg);
 

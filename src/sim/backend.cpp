@@ -1,0 +1,39 @@
+#include "sim/backend.hpp"
+
+#include "common/rng.hpp"
+
+namespace deepcam::sim {
+
+double PlatformResult::layer_cycle_sum() const {
+  double c = extra_cycles;
+  for (const auto& l : layers) c += l.cycles;
+  return c;
+}
+
+double PlatformResult::layer_energy_sum() const {
+  double e = 0.0;
+  for (const auto& l : layers) e += l.energy_j;
+  return e;
+}
+
+std::size_t PlatformResult::total_macs() const {
+  std::size_t m = 0;
+  for (const auto& l : layers) m += l.macs;
+  return m;
+}
+
+std::vector<nn::Tensor> make_probe_batch(nn::Shape input_shape,
+                                         std::size_t batch,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<nn::Tensor> probes;
+  probes.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    nn::Tensor t({1, input_shape.c, input_shape.h, input_shape.w});
+    for (auto& v : t.flat()) v = static_cast<float>(rng.uniform());
+    probes.push_back(std::move(t));
+  }
+  return probes;
+}
+
+}  // namespace deepcam::sim

@@ -1,0 +1,117 @@
+// Unified hardware-backend abstraction (paper Tables I/II).
+//
+// The paper's headline results are cross-platform comparisons — DeepCAM
+// against an Eyeriss-class systolic array, a Skylake AVX-512 CPU and two
+// analog PIM crossbar macros — but each cost model in this repo grew its own
+// API and result struct. `Backend` is the one interface they all adapt to
+// (src/sim/backends.hpp) and `PlatformResult` the normalized result every
+// comparison consumes: per-layer + total cycles, energy in joules,
+// throughput in samples/s at the platform clock, and the achieved fraction
+// of platform peak. Every future backend (sharded CAM, GPU model, a new
+// crossbar config) plugs in here and inherits the ComparisonRunner sweeps,
+// serializers and the generic backend-contract test suite for free.
+//
+// Conventions:
+//  * `simulate(model, input_shape, batch)` costs `batch` independent
+//    inferences of `model` on `{1,C,H,W}` inputs; per-layer and total
+//    figures are batch totals (so cost is monotonic in `batch`).
+//  * Functional backends (DeepCAM executes real arithmetic) consume the
+//    deterministic probe inputs from make_probe_batch(); analytic cost
+//    models ignore input data entirely.
+//  * total_cycles/total_energy_j come from the wrapped model's own totals;
+//    the contract suite cross-checks them against the per-layer sums.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tech.hpp"
+#include "nn/model.hpp"
+#include "nn/workload.hpp"
+
+namespace deepcam::sim {
+
+/// Normalized per-layer cost of one GEMM-shaped (Conv2D/Linear) layer,
+/// totaled over the batch.
+struct PlatformLayerResult {
+  std::string layer_name;
+  std::size_t macs = 0;     // INT8-equivalent multiply-accumulates
+  double cycles = 0.0;      // platform cycles (double: CPU model is analytic)
+  double energy_j = 0.0;    // joules; 0 when the backend models no energy
+};
+
+/// Normalized result of simulating `batch` inferences on one platform.
+struct PlatformResult {
+  std::string backend;          // Backend::name() that produced this
+  std::string model;            // nn::Model::name()
+  std::size_t batch = 1;
+  std::vector<PlatformLayerResult> layers;
+  /// Cycles spent outside the GEMM layers (e.g. DeepCAM's digital
+  /// peripherals running pool/ReLU/BN exactly). Zero for pure-GEMM models.
+  double extra_cycles = 0.0;
+  double total_cycles = 0.0;
+  double total_energy_j = 0.0;
+  /// False when the platform's energy is out of scope (the paper excludes
+  /// CPU energy from Table I); total_energy_j is 0 in that case.
+  bool energy_modeled = true;
+  double clock_hz = tech::kClockHz;
+  /// Achieved fraction of the platform's peak compute (utilization for
+  /// array-shaped platforms, efficiency for the CPU).
+  double peak_efficiency = 0.0;
+
+  /// Sum of per-layer cycles plus extra_cycles; the backend contract
+  /// requires this to match total_cycles.
+  double layer_cycle_sum() const;
+  /// Sum of per-layer energy; the backend contract requires this to match
+  /// total_energy_j when energy_modeled.
+  double layer_energy_sum() const;
+  std::size_t total_macs() const;
+
+  double seconds() const {
+    return clock_hz > 0.0 ? total_cycles / clock_hz : 0.0;
+  }
+  /// Simulated-hardware throughput in samples/s at the platform clock.
+  double throughput() const {
+    const double s = seconds();
+    return s > 0.0 ? static_cast<double>(batch) / s : 0.0;
+  }
+  double cycles_per_inference() const {
+    return batch > 0 ? total_cycles / static_cast<double>(batch) : 0.0;
+  }
+  double energy_per_inference_j() const {
+    return batch > 0 ? total_energy_j / static_cast<double>(batch) : 0.0;
+  }
+};
+
+/// One simulated hardware platform. Implementations are stateless across
+/// simulate() calls (each call compiles/maps the model from scratch), so a
+/// single instance can serve any number of sweeps.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Stable registry key, e.g. "deepcam", "eyeriss", "pim-neurosim".
+  virtual std::string name() const = 0;
+
+  /// Costs `batch` inferences of `model` on `{1,C,H,W}` inputs shaped by
+  /// `input_shape` (the n field is ignored). `model` must stay alive for
+  /// the duration of the call only.
+  virtual PlatformResult simulate(const nn::Model& model,
+                                  nn::Shape input_shape,
+                                  std::size_t batch) const = 0;
+};
+
+/// Seed all functional backends default to for probe generation, so two
+/// independently constructed backends cost the exact same input batch.
+inline constexpr std::uint64_t kProbeSeed = 0xD15C0;
+
+/// Deterministic batch of `batch` inputs, each {1,C,H,W} with values
+/// uniform in [0,1). Pure function of (input_shape, batch, seed): the
+/// compare_platforms driver relies on this to reproduce a backend's input
+/// batch bit-for-bit outside the backend.
+std::vector<nn::Tensor> make_probe_batch(nn::Shape input_shape,
+                                         std::size_t batch,
+                                         std::uint64_t seed = kProbeSeed);
+
+}  // namespace deepcam::sim

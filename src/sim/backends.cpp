@@ -1,0 +1,146 @@
+#include "sim/backends.hpp"
+
+#include <utility>
+
+#include "core/engine.hpp"
+#include "cpu/cpu_model.hpp"
+#include "systolic/eyeriss.hpp"
+
+namespace deepcam::sim {
+
+namespace {
+
+/// Scales one per-inference layer cost to a batch total.
+PlatformLayerResult scaled_layer(const std::string& name, std::size_t macs,
+                                 double cycles, double energy_j,
+                                 std::size_t batch) {
+  const double b = static_cast<double>(batch);
+  return {name, macs * batch, cycles * b, energy_j * b};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeepCAM
+// ---------------------------------------------------------------------------
+
+DeepCamBackend::DeepCamBackend(Options opts) : opts_(std::move(opts)) {}
+
+DeepCamBackend::DeepCamBackend() : DeepCamBackend(Options{}) {}
+
+PlatformResult DeepCamBackend::simulate(const nn::Model& model,
+                                        nn::Shape input_shape,
+                                        std::size_t batch) const {
+  auto compiled =
+      std::make_shared<const core::CompiledModel>(model, opts_.config);
+  core::InferenceEngine engine(compiled, opts_.threads);
+  const auto probes = make_probe_batch(input_shape, batch, opts_.probe_seed);
+  core::BatchReport br;
+  engine.run_batch(probes, &br);
+
+  PlatformResult r;
+  r.backend = opts_.name;
+  r.model = model.name();
+  r.batch = batch;
+  // The aggregate's layer counters are already batch totals (sample-order
+  // merge); one CAM dot-product of context length n is n MAC-equivalents.
+  for (const auto& l : br.aggregate.layers)
+    r.layers.push_back({l.name, l.plan.dot_products * l.context_len,
+                        static_cast<double>(l.cycles), l.total_energy()});
+  r.extra_cycles = static_cast<double>(br.aggregate.peripheral_cycles);
+  r.total_cycles = static_cast<double>(br.aggregate.total_cycles());
+  r.total_energy_j = br.aggregate.total_energy();
+  r.clock_hz = tech::kClockHz;
+  r.peak_efficiency = br.aggregate.mean_utilization();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Eyeriss systolic array
+// ---------------------------------------------------------------------------
+
+EyerissBackend::EyerissBackend(systolic::ArrayConfig cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name)) {}
+
+EyerissBackend::EyerissBackend()
+    : EyerissBackend(systolic::eyeriss_config()) {}
+
+PlatformResult EyerissBackend::simulate(const nn::Model& model,
+                                        nn::Shape input_shape,
+                                        std::size_t batch) const {
+  const auto mr = systolic::simulate_model(model, input_shape, cfg_);
+
+  PlatformResult r;
+  r.backend = name_;
+  r.model = model.name();
+  r.batch = batch;
+  for (const auto& l : mr.layers)
+    r.layers.push_back(scaled_layer(
+        l.layer_name, l.macs, static_cast<double>(l.total_cycles()),
+        l.energy(), batch));
+  r.total_cycles =
+      static_cast<double>(mr.total_cycles()) * static_cast<double>(batch);
+  r.total_energy_j = mr.total_energy() * static_cast<double>(batch);
+  r.clock_hz = tech::kClockHz;
+  r.peak_efficiency = mr.mean_utilization();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Skylake AVX-512 CPU
+// ---------------------------------------------------------------------------
+
+PlatformResult CpuBackend::simulate(const nn::Model& model,
+                                    nn::Shape input_shape,
+                                    std::size_t batch) const {
+  const auto mr = cpu::simulate_cpu(model, input_shape);
+
+  PlatformResult r;
+  r.backend = name();
+  r.model = model.name();
+  r.batch = batch;
+  for (const auto& l : mr.layers)
+    r.layers.push_back(scaled_layer(l.layer_name, l.macs, l.cycles,
+                                    /*energy_j=*/0.0, batch));
+  r.total_cycles = mr.total_cycles() * static_cast<double>(batch);
+  r.total_energy_j = 0.0;
+  r.energy_modeled = false;  // Table I excludes CPU energy, as in the paper
+  r.clock_hz = tech::kCpuClockHz;
+  r.peak_efficiency = mr.mean_efficiency();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Analog PIM crossbar
+// ---------------------------------------------------------------------------
+
+CrossbarBackend::CrossbarBackend(pim::CrossbarConfig cfg, std::string name)
+    : cfg_(std::move(cfg)), name_(std::move(name)) {}
+
+PlatformResult CrossbarBackend::simulate(const nn::Model& model,
+                                         nn::Shape input_shape,
+                                         std::size_t batch) const {
+  const auto mr = pim::simulate_crossbar(model, input_shape, cfg_);
+
+  PlatformResult r;
+  r.backend = name_;
+  r.model = model.name();
+  r.batch = batch;
+  for (const auto& l : mr.layers)
+    r.layers.push_back(scaled_layer(l.layer_name, l.macs,
+                                    static_cast<double>(l.cycles), l.energy,
+                                    batch));
+  r.total_cycles =
+      static_cast<double>(mr.total_cycles()) * static_cast<double>(batch);
+  r.total_energy_j = mr.total_energy() * static_cast<double>(batch);
+  r.clock_hz = tech::kClockHz;
+  const double peak =
+      static_cast<double>(pim::peak_macs_per_cycle(cfg_));
+  r.peak_efficiency =
+      r.total_cycles > 0.0 && peak > 0.0
+          ? static_cast<double>(r.total_macs()) / (r.total_cycles * peak)
+          : 0.0;
+  return r;
+}
+
+}  // namespace deepcam::sim

@@ -1,0 +1,93 @@
+// The four platform adapters behind the Backend interface (paper Tables
+// I/II): DeepCAM itself (functional, via the batched InferenceEngine), the
+// Eyeriss-class systolic array, the Skylake AVX-512 CPU, and the analog PIM
+// crossbar macros (NeuroSim RRAM / Valavi SRAM — one adapter, two configs).
+//
+// Each adapter owns its platform configuration and translates the wrapped
+// simulator's native result struct into the normalized PlatformResult. The
+// analytic backends (Eyeriss/CPU/PIM) cost one inference and scale by
+// `batch`; DeepCAM actually executes the probe batch through a thread pool
+// (its cycle/energy counts are input-independent, so batch cost stays
+// exactly linear — the contract tests check this).
+#pragma once
+
+#include "core/compiled_model.hpp"
+#include "pim/crossbar.hpp"
+#include "sim/backend.hpp"
+#include "systolic/scale_sim.hpp"
+
+namespace deepcam::sim {
+
+/// DeepCAM via CompiledModel + InferenceEngine. The reported cycles/energy
+/// are the BatchReport aggregate of running make_probe_batch() through the
+/// engine — bit-identical to driving InferenceEngine directly on the same
+/// config and probes (compare_platforms asserts this).
+class DeepCamBackend : public Backend {
+ public:
+  struct Options {
+    core::DeepCamConfig config = {};
+    /// Engine pool size; 0 = hardware concurrency. Any value yields the
+    /// same counts (engine determinism contract), only host speed differs.
+    std::size_t threads = 0;
+    std::uint64_t probe_seed = kProbeSeed;
+    /// Registry key; the VHL-tuned variant registers as "deepcam-vhl".
+    std::string name = "deepcam";
+  };
+
+  explicit DeepCamBackend(Options opts);
+  /// Defaults: registry config ("deepcam", fixed default-length hashes).
+  DeepCamBackend();
+
+  const Options& options() const { return opts_; }
+
+  std::string name() const override { return opts_.name; }
+  PlatformResult simulate(const nn::Model& model, nn::Shape input_shape,
+                          std::size_t batch) const override;
+
+ private:
+  Options opts_;
+};
+
+/// Eyeriss-class systolic array via the SCALE-Sim-style analytic model.
+class EyerissBackend : public Backend {
+ public:
+  explicit EyerissBackend(systolic::ArrayConfig cfg,
+                          std::string name = "eyeriss");
+  /// Defaults to the paper's 14x12 INT8 Eyeriss configuration.
+  EyerissBackend();
+
+  std::string name() const override { return name_; }
+  PlatformResult simulate(const nn::Model& model, nn::Shape input_shape,
+                          std::size_t batch) const override;
+
+ private:
+  systolic::ArrayConfig cfg_;
+  std::string name_;
+};
+
+/// Skylake AVX-512 VNNI CPU via the analytic core model. Energy is not
+/// modeled (the paper excludes CPU energy from Table I): energy_modeled is
+/// false and all energy figures are 0.
+class CpuBackend : public Backend {
+ public:
+  std::string name() const override { return "cpu-avx512"; }
+  PlatformResult simulate(const nn::Model& model, nn::Shape input_shape,
+                          std::size_t batch) const override;
+};
+
+/// Analog PIM crossbar macro; instantiate once per CrossbarConfig
+/// (pim::neurosim_rram_config() / pim::valavi_sram_config()).
+class CrossbarBackend : public Backend {
+ public:
+  CrossbarBackend(pim::CrossbarConfig cfg, std::string name);
+
+  std::string name() const override { return name_; }
+  PlatformResult simulate(const nn::Model& model, nn::Shape input_shape,
+                          std::size_t batch) const override;
+
+ private:
+  pim::CrossbarConfig cfg_;
+  std::string name_;
+};
+
+}  // namespace deepcam::sim

@@ -1,0 +1,107 @@
+#include "sim/comparison.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "nn/topologies.hpp"
+#include "sim/backends.hpp"
+
+namespace deepcam::sim {
+
+namespace {
+
+std::vector<const PlatformResult*> cell_rows(
+    const std::vector<PlatformResult>& rows, const std::string& model,
+    std::size_t batch) {
+  std::vector<const PlatformResult*> out;
+  for (const auto& r : rows)
+    if (r.model == model && r.batch == batch) out.push_back(&r);
+  return out;
+}
+
+}  // namespace
+
+std::vector<const PlatformResult*> ComparisonReport::ranked_by_cycles(
+    const std::string& model, std::size_t batch) const {
+  auto cell = cell_rows(rows, model, batch);
+  std::stable_sort(cell.begin(), cell.end(),
+                   [](const PlatformResult* a, const PlatformResult* b) {
+                     return a->total_cycles < b->total_cycles;
+                   });
+  return cell;
+}
+
+std::vector<const PlatformResult*> ComparisonReport::ranked_by_energy(
+    const std::string& model, std::size_t batch) const {
+  auto cell = cell_rows(rows, model, batch);
+  std::stable_sort(cell.begin(), cell.end(),
+                   [](const PlatformResult* a, const PlatformResult* b) {
+                     if (a->energy_modeled != b->energy_modeled)
+                       return a->energy_modeled;  // unmodeled sorts last
+                     return a->total_energy_j < b->total_energy_j;
+                   });
+  return cell;
+}
+
+std::vector<std::pair<std::string, std::size_t>> ComparisonReport::cells()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const auto& r : rows) {
+    const auto cell = std::make_pair(r.model, r.batch);
+    if (std::find(out.begin(), out.end(), cell) == out.end())
+      out.push_back(cell);
+  }
+  return out;
+}
+
+ComparisonRunner::ComparisonRunner(const BackendRegistry& registry,
+                                   ComparisonOptions opts)
+    : registry_(&registry), opts_(std::move(opts)) {}
+
+core::TuneResult ComparisonRunner::tune_workload(
+    const WorkloadSpec& spec) const {
+  auto model = nn::make_model(spec.model_name, spec.seed);
+  return tune_model(*model, nn::input_spec_for(spec.model_name).shape());
+}
+
+core::TuneResult ComparisonRunner::tune_model(nn::Model& model,
+                                              nn::Shape input_shape) const {
+  const auto probes =
+      make_probe_batch(input_shape, opts_.vhl_probes, kProbeSeed);
+  return core::tune_hash_lengths(model, probes, opts_.tuner);
+}
+
+ComparisonReport ComparisonRunner::run(
+    const std::vector<WorkloadSpec>& workloads) const {
+  ComparisonReport report;
+  for (const auto& spec : workloads) {
+    DEEPCAM_CHECK_MSG(!spec.batch_sizes.empty(),
+                      "workload has no batch sizes");
+    auto model = nn::make_model(spec.model_name, spec.seed);
+    const nn::Shape shape = nn::input_spec_for(spec.model_name).shape();
+
+    // Tune once per workload, reused across its batch sizes.
+    std::unique_ptr<DeepCamBackend> vhl;
+    if (opts_.include_vhl_deepcam) {
+      report.vhl_tuning.push_back(tune_model(*model, shape));
+      const core::TuneResult& tuned = report.vhl_tuning.back();
+      DeepCamBackend::Options dc;
+      dc.config = opts_.deepcam_config;
+      dc.config.layer_hash_bits = tuned.hash_bits;
+      dc.threads = opts_.deepcam_threads;
+      dc.name = "deepcam-vhl";
+      vhl = std::make_unique<DeepCamBackend>(dc);
+    }
+
+    for (const std::size_t batch : spec.batch_sizes) {
+      DEEPCAM_CHECK_MSG(batch > 0, "batch size must be positive");
+      for (const auto& backend : *registry_)
+        report.rows.push_back(backend->simulate(*model, shape, batch));
+      if (vhl) report.rows.push_back(vhl->simulate(*model, shape, batch));
+    }
+  }
+  return report;
+}
+
+}  // namespace deepcam::sim

@@ -1,0 +1,49 @@
+#include "sim/registry.hpp"
+
+#include "common/error.hpp"
+#include "pim/comparators.hpp"
+#include "sim/backends.hpp"
+
+namespace deepcam::sim {
+
+void BackendRegistry::add(std::unique_ptr<Backend> backend) {
+  DEEPCAM_CHECK_MSG(backend != nullptr, "null backend");
+  DEEPCAM_CHECK_MSG(!backend->name().empty(), "backend name empty");
+  DEEPCAM_CHECK_MSG(find(backend->name()) == nullptr,
+                    "duplicate backend name");
+  backends_.push_back(std::move(backend));
+}
+
+const Backend& BackendRegistry::at(std::size_t i) const {
+  DEEPCAM_CHECK(i < backends_.size());
+  return *backends_[i];
+}
+
+const Backend* BackendRegistry::find(const std::string& name) const {
+  for (const auto& b : backends_)
+    if (b->name() == name) return b.get();
+  return nullptr;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->name());
+  return out;
+}
+
+BackendRegistry default_registry(std::size_t deepcam_threads) {
+  BackendRegistry reg;
+  DeepCamBackend::Options dc;
+  dc.threads = deepcam_threads;
+  reg.add(std::make_unique<DeepCamBackend>(dc));
+  reg.add(std::make_unique<EyerissBackend>());
+  reg.add(std::make_unique<CpuBackend>());
+  reg.add(std::make_unique<CrossbarBackend>(pim::neurosim_rram_config(),
+                                            "pim-neurosim"));
+  reg.add(std::make_unique<CrossbarBackend>(pim::valavi_sram_config(),
+                                            "pim-valavi"));
+  return reg;
+}
+
+}  // namespace deepcam::sim

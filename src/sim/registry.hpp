@@ -1,0 +1,41 @@
+// Backend registry: the named set of platforms a comparison sweeps.
+//
+// The ComparisonRunner and the generic backend-contract test suite iterate a
+// registry rather than hard-coding platforms, so adding a backend to
+// default_registry() automatically enrolls it in every sweep, serializer
+// and contract check.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/backend.hpp"
+
+namespace deepcam::sim {
+
+class BackendRegistry {
+ public:
+  /// Registers `backend` under its name(); rejects duplicate names.
+  void add(std::unique_ptr<Backend> backend);
+
+  std::size_t size() const { return backends_.size(); }
+  const Backend& at(std::size_t i) const;
+  /// Lookup by registry key; nullptr when absent.
+  const Backend* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  auto begin() const { return backends_.begin(); }
+  auto end() const { return backends_.end(); }
+
+ private:
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+/// The paper's Table I/II platform set: "deepcam" (fixed default-length
+/// hashes), "eyeriss", "cpu-avx512", "pim-neurosim", "pim-valavi".
+/// `deepcam_threads` sizes the DeepCAM engine pool (0 = hardware
+/// concurrency); it affects host speed only, never results.
+BackendRegistry default_registry(std::size_t deepcam_threads = 0);
+
+}  // namespace deepcam::sim

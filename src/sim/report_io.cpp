@@ -1,0 +1,78 @@
+#include "sim/report_io.hpp"
+
+#include <sstream>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace deepcam::sim {
+
+std::string comparison_to_csv(const ComparisonReport& report) {
+  std::ostringstream os;
+  os << "model,backend,batch,total_cycles,cycles_per_inference,"
+        "total_energy_j,energy_per_inference_j,throughput_samples_s,"
+        "peak_efficiency,clock_hz,energy_modeled\n";
+  for (const auto& r : report.rows) {
+    os << r.model << ',' << r.backend << ',' << r.batch << ','
+       << format_fixed(r.total_cycles, 2) << ','
+       << format_fixed(r.cycles_per_inference(), 2) << ','
+       << format_sci(r.total_energy_j, 6) << ','
+       << format_sci(r.energy_per_inference_j(), 6) << ','
+       << format_fixed(r.throughput(), 3) << ','
+       << format_fixed(r.peak_efficiency, 6) << ','
+       << format_sci(r.clock_hz, 2) << ',' << (r.energy_modeled ? 1 : 0)
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string comparison_layers_to_csv(const ComparisonReport& report) {
+  std::ostringstream os;
+  os << "model,backend,batch,layer,macs,cycles,energy_j\n";
+  for (const auto& r : report.rows)
+    for (const auto& l : r.layers)
+      os << r.model << ',' << r.backend << ',' << r.batch << ','
+         << l.layer_name << ',' << l.macs << ','
+         << format_fixed(l.cycles, 2) << ',' << format_sci(l.energy_j, 6)
+         << '\n';
+  return os.str();
+}
+
+std::string comparison_summary(const ComparisonReport& report) {
+  std::ostringstream os;
+  for (const auto& [model, batch] : report.cells()) {
+    const auto by_cycles = report.ranked_by_cycles(model, batch);
+    const auto by_energy = report.ranked_by_energy(model, batch);
+    if (by_cycles.empty()) continue;
+    os << "== " << model << " @ batch " << batch << " (ranked by cycles) ==\n";
+    const double best_cycles = by_cycles.front()->total_cycles;
+    Table t({"rank", "backend", "cycles/inf", "vs best", "energy/inf (uJ)",
+             "energy rank", "samples/s", "peak eff"});
+    for (std::size_t i = 0; i < by_cycles.size(); ++i) {
+      const PlatformResult& r = *by_cycles[i];
+      std::size_t erank = 0;
+      while (erank < by_energy.size() && by_energy[erank] != &r) ++erank;
+      t.add_row({std::to_string(i + 1), r.backend,
+                 Table::num(r.cycles_per_inference(), 1),
+                 best_cycles > 0.0
+                     ? Table::ratio(r.total_cycles / best_cycles, 2)
+                     : "-",
+                 r.energy_modeled
+                     ? Table::num(to_uJ(r.energy_per_inference_j()), 4)
+                     : "n/a",
+                 r.energy_modeled ? std::to_string(erank + 1) : "n/a",
+                 Table::num(r.throughput(), 1),
+                 // Table::num falls back to scientific for the analog PIM
+                 // macros' structurally tiny fractions (see EXPERIMENTS.md)
+                 // instead of collapsing them to "0.00".
+                 Table::num(100.0 * r.peak_efficiency, 2) + "%"});
+    }
+    std::ostringstream ts;
+    t.print(ts);
+    os << ts.str() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace deepcam::sim

@@ -1,0 +1,31 @@
+// ComparisonReport serialization: CSV for spreadsheets/plotting pipelines
+// and an aligned human-readable table in the paper's Table-I style.
+//
+// Companion of core/report_io.hpp (which serializes a single DeepCAM
+// RunReport); everything here is a pure, locale-proof function of the
+// report — byte-exact output is regression-tested against checked-in
+// goldens (tests/golden/).
+#pragma once
+
+#include <string>
+
+#include "sim/comparison.hpp"
+
+namespace deepcam::sim {
+
+/// One CSV row per (model, batch, backend) with header:
+/// model,backend,batch,total_cycles,cycles_per_inference,total_energy_j,
+/// energy_per_inference_j,throughput_samples_s,peak_efficiency,clock_hz,
+/// energy_modeled
+std::string comparison_to_csv(const ComparisonReport& report);
+
+/// Per-layer drill-down CSV with header:
+/// model,backend,batch,layer,macs,cycles,energy_j
+std::string comparison_layers_to_csv(const ComparisonReport& report);
+
+/// Aligned table per (model, batch) cell, ranked by ascending cycles per
+/// inference, with a "vs best" cycle ratio column and energy ranking —
+/// the Table-I-style view. Energy prints "n/a" for unmodeled platforms.
+std::string comparison_summary(const ComparisonReport& report);
+
+}  // namespace deepcam::sim

@@ -100,15 +100,17 @@ double ModelResult::mean_utilization() const {
   return den == 0.0 ? 0.0 : num / den;
 }
 
+double LayerResult::energy() const {
+  return static_cast<double>(macs) * tech::kMacInt8Energy +
+         static_cast<double>(sram_accesses) * tech::kSramAccessFactor *
+             tech::kMacInt8Energy +
+         static_cast<double>(dram_bytes) * tech::kDramAccessFactor *
+             tech::kMacInt8Energy;
+}
+
 double ModelResult::total_energy() const {
   double e = 0.0;
-  for (const auto& l : layers) {
-    e += static_cast<double>(l.macs) * tech::kMacInt8Energy;
-    e += static_cast<double>(l.sram_accesses) * tech::kSramAccessFactor *
-         tech::kMacInt8Energy;
-    e += static_cast<double>(l.dram_bytes) * tech::kDramAccessFactor *
-         tech::kMacInt8Energy;
-  }
+  for (const auto& l : layers) e += l.energy();
   return e;
 }
 

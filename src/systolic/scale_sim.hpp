@@ -41,6 +41,9 @@ struct LayerResult {
   std::size_t dram_bytes = 0;
 
   std::size_t total_cycles() const { return compute_cycles + stall_cycles; }
+  /// Dynamic energy (J) of this layer: MACs + SRAM + DRAM at the tech.hpp
+  /// cost ratios. ModelResult::total_energy() is the sum of these.
+  double energy() const;
 };
 
 struct ModelResult {

@@ -136,5 +136,85 @@ TEST_P(BitVecMetricTest, MetricAxioms) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BitVecMetricTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+BitVec random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.uniform() < 0.5);
+  return v;
+}
+
+// assign_prefix is the CAM row-program hot path and copies whole 64-bit
+// words with a masked tail — the word-boundary cases are exactly where a
+// mask slip would corrupt rows. Property checked at every boundary k:
+// bits [0,k) equal the source, bits [k,size) are zero, length unchanged.
+class BitVecAssignPrefixTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecAssignPrefixTest, CopiesPrefixZeroesTailAtWordBoundaries) {
+  const std::size_t k = GetParam();
+  const BitVec src = random_vec(1024, 0xABCDEF + k);
+  BitVec dst = random_vec(1024, 0x123456 + k);  // pre-dirtied destination
+  dst.assign_prefix(src, k);
+  ASSERT_EQ(dst.size(), 1024u);
+  for (std::size_t i = 0; i < 1024; ++i)
+    ASSERT_EQ(dst.get(i), i < k ? src.get(i) : false) << "bit " << i;
+  // Idempotent: re-assigning the same prefix changes nothing.
+  const BitVec once = dst;
+  dst.assign_prefix(src, k);
+  EXPECT_TRUE(dst == once);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, BitVecAssignPrefixTest,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 128, 129,
+                                           255, 256, 511, 512, 1023, 1024));
+
+TEST(BitVec, AssignPrefixFromShorterSource) {
+  // Source shorter than destination: any k <= src.size() is legal and the
+  // whole destination tail beyond k must be cleared, including the words
+  // the short source never had.
+  for (const std::size_t src_bits : {65, 128, 200}) {
+    const BitVec src = random_vec(src_bits, src_bits);
+    for (const std::size_t k : {std::size_t{0}, std::size_t{63},
+                                std::size_t{64}, src_bits}) {
+      BitVec dst = random_vec(1024, 99 + k);
+      dst.assign_prefix(src, k);
+      for (std::size_t i = 0; i < 1024; ++i)
+        ASSERT_EQ(dst.get(i), i < k ? src.get(i) : false)
+            << "src_bits=" << src_bits << " k=" << k << " bit " << i;
+    }
+  }
+}
+
+TEST(BitVec, AssignPrefixWholeVectorEqualsSource) {
+  const BitVec src = random_vec(1024, 7);
+  BitVec dst(1024);
+  dst.assign_prefix(src, 1024);
+  EXPECT_TRUE(dst == src);
+}
+
+TEST(BitVec, AssignPrefixRangeChecks) {
+  const BitVec src(128);
+  BitVec dst(64);
+  EXPECT_THROW(dst.assign_prefix(src, 65), Error);   // k > dest size
+  BitVec big(256);
+  EXPECT_THROW(big.assign_prefix(src, 129), Error);  // k > source size
+  EXPECT_NO_THROW(big.assign_prefix(src, 128));
+}
+
+TEST(BitVec, AssignPrefixAgreesWithPerBitReference) {
+  // Cross-check the word-copy implementation against the per-bit loop it
+  // replaced, on lengths straddling every word boundary.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const BitVec src = random_vec(320, seed);
+    for (std::size_t k = 0; k <= 320; k += 7) {
+      BitVec fast = random_vec(320, seed + 1000);
+      BitVec ref(320);
+      for (std::size_t i = 0; i < k; ++i) ref.set(i, src.get(i));
+      fast.assign_prefix(src, k);
+      ASSERT_TRUE(fast == ref) << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace deepcam

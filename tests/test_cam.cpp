@@ -210,5 +210,79 @@ TEST(DynamicCam, WriteEnergyScalesWithActiveBits) {
   EXPECT_NEAR(b.stats().write_energy / a.stats().write_energy, 4.0, 1e-9);
 }
 
+// write_row copies 64-bit words with a masked tail; chunk_bits straddling a
+// word boundary (63/64/65) at every chunk count exercises each mask shape.
+// Property: the stored row, observed through an exact-sense search at the
+// same word length, Hamming-matches the written prefix for every key.
+class CamWriteRowBoundaryTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CamWriteRowBoundaryTest, SearchSeesExactlyTheWrittenPrefix) {
+  const std::size_t chunk_bits = GetParam();
+  DynamicCam cam(CamConfig{2, chunk_bits, 4});
+  for (std::size_t chunks = 1; chunks <= 4; ++chunks) {
+    cam.set_active_chunks(chunks);
+    const std::size_t k = chunks * chunk_bits;
+    const BitVec data = random_bits(4 * chunk_bits, 77 + k);
+    cam.write_row(0, data);
+    const BitVec key = random_bits(4 * chunk_bits, 900 + k);
+    std::size_t expect = 0;
+    for (std::size_t i = 0; i < k; ++i)
+      if (data.get(i) != key.get(i)) ++expect;
+    ASSERT_EQ(*cam.search(key).row_hd[0], expect)
+        << "chunk_bits=" << chunk_bits << " chunks=" << chunks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, CamWriteRowBoundaryTest,
+                         ::testing::Values(63, 64, 65, 128, 256));
+
+TEST(DynamicCam, WriteRowSourceShorterThanStoredWordIsAccepted) {
+  // The source only needs active_bits() bits; rows physically store the
+  // full max word. A 63-bit source programming a 63-bit active word must
+  // work even though the row itself is 252 bits wide.
+  DynamicCam cam(CamConfig{2, 63, 4});
+  cam.set_active_chunks(1);
+  const BitVec data = random_bits(63, 3);
+  cam.write_row(0, data);
+  BitVec key(63);
+  EXPECT_EQ(*cam.search(key).row_hd[0], data.popcount());
+  // One bit short of the active word still throws.
+  cam.set_active_chunks(2);
+  EXPECT_THROW(cam.write_row(0, random_bits(125, 4)), deepcam::Error);
+}
+
+TEST(DynamicCam, RewriteAtShorterWordClearsStaleTail) {
+  // Program a full 1024-bit word, reconfigure to 256 bits and rewrite the
+  // row: widening back to 1024 must observe zeros beyond bit 256, not the
+  // stale bits of the first write (assign_prefix zeroes the tail).
+  DynamicCam cam(CamConfig{2, 256, 4});
+  cam.set_active_chunks(4);
+  cam.write_row(0, random_bits(1024, 11));
+  cam.set_active_chunks(1);
+  const BitVec short_data = random_bits(1024, 12);
+  cam.write_row(0, short_data);
+  cam.set_active_chunks(4);
+  BitVec key(1024);  // all-zero key: distance == stored popcount
+  std::size_t prefix_pop = 0;
+  for (std::size_t i = 0; i < 256; ++i)
+    if (short_data.get(i)) ++prefix_pop;
+  EXPECT_EQ(*cam.search(key).row_hd[0], prefix_pop);
+}
+
+TEST(DynamicCam, RewriteKeepsOccupancyAndRowIndependence) {
+  // Rewriting one row at a word boundary must not disturb neighbors.
+  DynamicCam cam(CamConfig{3, 64, 4});
+  cam.set_active_chunks(2);
+  const BitVec a = random_bits(256, 1), b = random_bits(256, 2);
+  cam.write_row(0, a);
+  cam.write_row(2, b);
+  cam.write_row(0, random_bits(256, 3));
+  EXPECT_EQ(cam.occupied_rows(), 2u);
+  const auto res = cam.search(b);
+  EXPECT_EQ(*res.row_hd[2], 0u);
+  EXPECT_FALSE(res.row_hd[1].has_value());
+}
+
 }  // namespace
 }  // namespace deepcam::cam

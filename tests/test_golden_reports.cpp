@@ -1,0 +1,221 @@
+// Golden-file regression tests for every report serializer: byte-exact
+// comparison against checked-in goldens in tests/golden/, built from
+// synthetic fixtures (hand-set fields, no simulation) so the bytes depend
+// only on the serializers — not on optimization-level FP accumulation.
+//
+// The locale variants re-serialize under a comma-decimal locale (de_DE/fr_FR
+// when installed, GTEST_SKIP otherwise): output must not change by a byte,
+// proving the formatting is locale-proof.
+//
+// Regenerating after an intentional format change:
+//   DEEPCAM_UPDATE_GOLDEN=1 ./build/test_golden_reports
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/report_io.hpp"
+#include "sim/report_io.hpp"
+
+#ifndef DEEPCAM_GOLDEN_DIR
+#error "DEEPCAM_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace deepcam {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(DEEPCAM_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Compares `actual` against the checked-in golden; with
+/// DEEPCAM_UPDATE_GOLDEN=1 rewrites the golden instead.
+void expect_matches_golden(const std::string& actual,
+                           const std::string& name) {
+  const std::string path = golden_path(name);
+  if (std::getenv("DEEPCAM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to write " << path;
+    return;
+  }
+  std::ifstream probe(path);
+  ASSERT_TRUE(probe.good())
+      << "missing golden " << path
+      << " (regenerate with DEEPCAM_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(actual, read_file(path)) << "serializer output drifted from "
+                                     << name;
+}
+
+/// Switches LC_ALL to a comma-decimal locale for the test body; returns
+/// false when none is installed. Restores the previous locale on scope exit.
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() : saved_(std::setlocale(LC_ALL, nullptr)) {
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+      if (std::setlocale(LC_ALL, name) != nullptr) {
+        active_ = true;
+        break;
+      }
+    }
+  }
+  ~CommaLocaleGuard() { std::setlocale(LC_ALL, saved_.c_str()); }
+  bool active() const { return active_; }
+
+ private:
+  std::string saved_;
+  bool active_ = false;
+};
+
+/// Synthetic two-layer DeepCAM run report with hand-set fields.
+core::RunReport make_run_report_fixture() {
+  core::RunReport rep;
+  core::LayerReport conv;
+  conv.name = "conv1";
+  conv.patches = 36;
+  conv.kernels = 4;
+  conv.context_len = 9;
+  conv.hash_bits = 1024;
+  conv.plan.passes = 1;
+  conv.plan.searches = 4;
+  conv.plan.rows_written = 36;
+  conv.plan.utilization = 0.5625;
+  conv.plan.dot_products = 144;
+  conv.cycles = 1234;
+  conv.cam_energy = 1.5e-9;
+  conv.postproc_energy = 2.5e-10;
+  conv.ctxgen_energy = 3.125e-11;
+  rep.layers.push_back(conv);
+
+  core::LayerReport fc;
+  fc.name = "fc1";
+  fc.patches = 1;
+  fc.kernels = 5;
+  fc.context_len = 144;
+  fc.hash_bits = 512;
+  fc.plan.passes = 1;
+  fc.plan.searches = 5;
+  fc.plan.rows_written = 1;
+  fc.plan.utilization = 0.015625;
+  fc.plan.dot_products = 5;
+  fc.cycles = 68;
+  fc.cam_energy = 4.75e-11;
+  fc.postproc_energy = 8.0e-12;
+  fc.ctxgen_energy = 0.0;
+  rep.layers.push_back(fc);
+
+  rep.peripheral_cycles = 77;
+  rep.cam_area_um2 = 1792.0;
+  return rep;
+}
+
+/// Synthetic three-row comparison report (one energy-unmodeled platform).
+sim::ComparisonReport make_comparison_fixture() {
+  sim::ComparisonReport report;
+
+  sim::PlatformResult dc;
+  dc.backend = "deepcam";
+  dc.model = "lenet5";
+  dc.batch = 2;
+  dc.layers = {{"conv1", 172800, 4410.0, 4.375e-8},
+               {"fc1", 61440, 2436.0, 4.1875e-9}};
+  dc.extra_cycles = 154.0;
+  dc.total_cycles = 7000.0;
+  dc.total_energy_j = 4.79375e-8;
+  dc.clock_hz = 300.0e6;
+  dc.peak_efficiency = 0.7734375;
+  report.rows.push_back(dc);
+
+  sim::PlatformResult eye;
+  eye.backend = "eyeriss";
+  eye.model = "lenet5";
+  eye.batch = 2;
+  eye.layers = {{"conv1", 172800, 9002.0, 2.39330e-6},
+                {"fc1", 61440, 15548.0, 3.3226e-6}};
+  eye.total_cycles = 24550.0;
+  eye.total_energy_j = 5.71590e-6;
+  eye.clock_hz = 300.0e6;
+  eye.peak_efficiency = 0.40625;
+  report.rows.push_back(eye);
+
+  sim::PlatformResult cpu;
+  cpu.backend = "cpu-avx512";
+  cpu.model = "lenet5";
+  cpu.batch = 2;
+  cpu.layers = {{"conv1", 172800, 69808.0, 0.0},
+                {"fc1", 61440, 5504.0, 0.0}};
+  cpu.total_cycles = 75312.0;
+  cpu.total_energy_j = 0.0;
+  cpu.energy_modeled = false;
+  cpu.clock_hz = 3.2e9;
+  cpu.peak_efficiency = 0.04296875;
+  report.rows.push_back(cpu);
+
+  return report;
+}
+
+TEST(GoldenReports, RunReportCsv) {
+  expect_matches_golden(core::report_to_csv(make_run_report_fixture()),
+                        "run_report.csv");
+}
+
+TEST(GoldenReports, RunReportSummary) {
+  expect_matches_golden(core::report_summary(make_run_report_fixture()),
+                        "run_report_summary.txt");
+}
+
+TEST(GoldenReports, ComparisonCsv) {
+  expect_matches_golden(sim::comparison_to_csv(make_comparison_fixture()),
+                        "comparison.csv");
+}
+
+TEST(GoldenReports, ComparisonLayersCsv) {
+  expect_matches_golden(
+      sim::comparison_layers_to_csv(make_comparison_fixture()),
+      "comparison_layers.csv");
+}
+
+TEST(GoldenReports, ComparisonSummary) {
+  expect_matches_golden(sim::comparison_summary(make_comparison_fixture()),
+                        "comparison_summary.txt");
+}
+
+TEST(GoldenReports, OutputIsLocaleProof) {
+  // Serialize everything once in the default locale, then again under a
+  // comma-decimal locale: the bytes must be identical (and equal to the
+  // goldens, which the tests above already pinned).
+  const auto rep = make_run_report_fixture();
+  const auto cmp = make_comparison_fixture();
+  const std::string before =
+      core::report_to_csv(rep) + core::report_summary(rep) +
+      sim::comparison_to_csv(cmp) + sim::comparison_layers_to_csv(cmp) +
+      sim::comparison_summary(cmp);
+
+  CommaLocaleGuard guard;
+  if (!guard.active())
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  // Sanity: the locale really does use a comma decimal point for printf.
+  char probe[16];
+  std::snprintf(probe, sizeof probe, "%.1f", 0.5);
+  ASSERT_STREQ(probe, "0,5") << "locale did not switch";
+
+  const std::string after =
+      core::report_to_csv(rep) + core::report_summary(rep) +
+      sim::comparison_to_csv(cmp) + sim::comparison_layers_to_csv(cmp) +
+      sim::comparison_summary(cmp);
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace deepcam

@@ -1,0 +1,94 @@
+// End-to-end pairing of the HashTuner (kLayerLocal) with the batched
+// InferenceEngine on LeNet5: per-layer hash lengths chosen from layer-local
+// sensitivity must cost no more than the configured agreement budget in
+// Top-1 fidelity versus the fixed 1024-bit configuration when the whole
+// tuned network runs through the engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/hash_tuner.hpp"
+#include "nn/topologies.hpp"
+#include "sim/backend.hpp"
+
+namespace deepcam::core {
+namespace {
+
+/// Fraction of probes where the engine's Top-1 equals the FP32 model's.
+double engine_agreement(const nn::Model& model, const DeepCamConfig& cfg,
+                        const std::vector<nn::Tensor>& probes) {
+  const auto compiled = std::make_shared<const CompiledModel>(model, cfg);
+  InferenceEngine engine(compiled, 2);
+  const auto logits = engine.run_batch(probes);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    if (nn::argmax_class(logits[i]) == nn::argmax_class(model.infer(probes[i])))
+      ++agree;
+  return static_cast<double>(agree) / static_cast<double>(probes.size());
+}
+
+TEST(VhlEndToEnd, TunedConfigStaysWithinAgreementBudgetOfFixed1024) {
+  // The budget the tuned configuration may lose vs fixed 1024-bit hashes.
+  constexpr double kAgreementBudget = 0.25;
+  constexpr std::size_t kProbes = 12;
+
+  auto model = nn::make_lenet5(/*seed=*/7);
+  const nn::Shape shape = nn::input_spec_for("lenet5").shape();
+  const auto probes = sim::make_probe_batch(shape, kProbes);
+
+  TunerConfig tcfg;
+  tcfg.mode = TunerMode::kLayerLocal;
+  const TuneResult tuned = tune_hash_lengths(*model, probes, tcfg);
+
+  // One choice per CAM layer, each a legal hash length.
+  const std::size_t cam_layers =
+      CompiledModel(*model, DeepCamConfig{}).cam_layer_count();
+  ASSERT_EQ(tuned.hash_bits.size(), cam_layers);
+  ASSERT_EQ(tuned.layers.size(), cam_layers);
+  for (const std::size_t bits : tuned.hash_bits) {
+    EXPECT_GE(bits, 256u);
+    EXPECT_LE(bits, 1024u);
+    EXPECT_EQ(bits % 256, 0u);
+  }
+  EXPECT_LE(tuned.mean_hash_bits(), 1024.0);
+
+  DeepCamConfig fixed;  // homogeneous default (1024-bit) hashes
+  DeepCamConfig vhl = fixed;
+  vhl.layer_hash_bits = tuned.hash_bits;
+
+  const double fixed_agreement = engine_agreement(*model, fixed, probes);
+  const double vhl_agreement = engine_agreement(*model, vhl, probes);
+  EXPECT_GE(vhl_agreement, fixed_agreement - kAgreementBudget)
+      << "tuned=" << vhl_agreement << " fixed=" << fixed_agreement;
+}
+
+TEST(VhlEndToEnd, TunedNeverCostsMoreCyclesThanFixed1024) {
+  // Shorter hashes may trade fidelity, never cycles: the tuned engine run
+  // must be at most as expensive as the fixed-1024 run on the same batch.
+  auto model = nn::make_lenet5(/*seed=*/7);
+  const nn::Shape shape = nn::input_spec_for("lenet5").shape();
+  const auto probes = sim::make_probe_batch(shape, 2);
+
+  TunerConfig tcfg;
+  tcfg.mode = TunerMode::kLayerLocal;
+  const TuneResult tuned = tune_hash_lengths(*model, probes, tcfg);
+
+  DeepCamConfig fixed;
+  DeepCamConfig vhl = fixed;
+  vhl.layer_hash_bits = tuned.hash_bits;
+
+  auto cycles_of = [&](const DeepCamConfig& cfg) {
+    const auto compiled =
+        std::make_shared<const CompiledModel>(*model, cfg);
+    InferenceEngine engine(compiled, 1);
+    BatchReport br;
+    engine.run_batch(probes, &br);
+    return br.aggregate.total_cycles();
+  };
+  EXPECT_LE(cycles_of(vhl), cycles_of(fixed));
+}
+
+}  // namespace
+}  // namespace deepcam::core
