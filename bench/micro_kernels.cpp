@@ -4,6 +4,7 @@
 // kernels (prefix-hash vs fresh-hash, PWL cosine vs libm).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -84,7 +85,7 @@ void BM_ContextGeneration(benchmark::State& state) {
   const auto v = random_vec(n, 6);
   for (auto _ : state) benchmark::DoNotOptimize(gen.make_context(v));
 }
-BENCHMARK(BM_ContextGeneration)->Arg(25)->Arg(576)->Arg(4608);
+BENCHMARK(BM_ContextGeneration)->Arg(25)->Arg(150)->Arg(576)->Arg(4608);
 
 // Ablation: deriving a 256-bit signature from a 1024-bit hash prefix versus
 // hashing with a fresh 256-column matrix. The prefix approach reuses the
@@ -141,6 +142,64 @@ void BM_CamSearchInto(benchmark::State& state) {
                           static_cast<std::int64_t>(rows));
 }
 BENCHMARK(BM_CamSearchInto)->Arg(64)->Arg(256);
+
+// Batched SimHash kernel: the blocked patch×column GEMM plus 64-bit sign
+// packing. items/s = contexts hashed per second; compare against
+// BM_ContextGeneration (the per-patch scalar path) at the same n. Args are
+// {input_dim, patch_count}: LeNet conv2 geometry (150, 576-at-conv1-scale)
+// and a VGG-ish wide layer.
+void BM_SignHashBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t patches = static_cast<std::size_t>(state.range(1));
+  hash::RandomProjection proj(n, hash::kMaxHashBits, 21);
+  std::vector<float> xs(n * patches);
+  Rng rng(22);
+  for (auto& x : xs) x = static_cast<float>(rng.gaussian());
+  std::vector<std::uint64_t> sigs(patches * proj.words_per_sig());
+  std::vector<float> scratch;
+  for (auto _ : state) {
+    proj.sign_hash_batch(xs.data(), patches, hash::kMaxHashBits, sigs.data(),
+                         scratch);
+    benchmark::DoNotOptimize(sigs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(patches));
+}
+BENCHMARK(BM_SignHashBatch)->Args({25, 576})->Args({150, 64})->Args({576, 256});
+
+// Full conv-layer context generation through the SoA ContextBatch arena:
+// im2col patch matrix + batched hash + norms, steady-state allocation-free.
+// items/s = contexts per second; the per-context time divided by
+// BM_ContextGeneration at the same patch_len is the pipeline speedup. Args
+// are {in_channels, image_hw, hash_bits} with a 5x5 kernel (LeNet conv1
+// geometry); hash_bits=256 is the engine's online operating point under the
+// default VHL-able config, 1024 the full-width signature.
+void BM_ContextBatchConv(benchmark::State& state) {
+  nn::ConvSpec spec;
+  spec.in_channels = static_cast<std::size_t>(state.range(0));
+  spec.out_channels = 1;
+  spec.kernel_h = spec.kernel_w = 5;
+  const std::size_t hw = static_cast<std::size_t>(state.range(1));
+  const std::size_t hash_bits = static_cast<std::size_t>(state.range(2));
+  core::ContextGenerator gen(spec.patch_len(), 23);
+  nn::Tensor in({1, spec.in_channels, hw, hw});
+  Rng rng(24);
+  for (std::size_t i = 0; i < in.numel(); ++i)
+    in[i] = static_cast<float>(rng.gaussian());
+  const std::size_t patches = spec.out_h(hw) * spec.out_w(hw);
+  core::ContextBatch batch;
+  for (auto _ : state) {
+    gen.activation_contexts_into(in, spec, batch, 0, hash_bits);
+    benchmark::DoNotOptimize(batch.sig(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(patches));
+}
+BENCHMARK(BM_ContextBatchConv)
+    ->Args({1, 28, 256})
+    ->Args({1, 28, 1024})
+    ->Args({6, 12, 256})
+    ->Args({6, 12, 1024});
 
 // Engine throughput: items/s == samples/s on the LeNet pipeline, at 1
 // thread vs the machine's hardware concurrency. The ratio of the two

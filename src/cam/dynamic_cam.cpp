@@ -1,13 +1,18 @@
 #include "cam/dynamic_cam.hpp"
 
+#include <algorithm>
+
 #include "common/tech.hpp"
 
 namespace deepcam::cam {
 
 DynamicCam::DynamicCam(CamConfig cfg, SenseAmpConfig sa_cfg)
-    : cfg_(cfg), sense_amp_(sa_cfg), active_chunks_(cfg.num_chunks) {
+    : cfg_(cfg),
+      sense_amp_(sa_cfg),
+      active_chunks_(cfg.num_chunks),
+      words_per_row_((cfg.max_word_bits() + 63) / 64) {
   cfg_.validate();
-  rows_.assign(cfg_.rows, BitVec(cfg_.max_word_bits()));
+  row_words_.assign(cfg_.rows * words_per_row_, 0ULL);
   occupied_.assign(cfg_.rows, false);
 }
 
@@ -32,17 +37,33 @@ void DynamicCam::set_hash_length(std::size_t hash_bits) {
 void DynamicCam::clear() {
   occupied_.assign(cfg_.rows, false);
   occupied_count_ = 0;
+  max_occupied_row_ = 0;
 }
 
 void DynamicCam::write_row(std::size_t row, const BitVec& bits) {
+  DEEPCAM_CHECK_MSG(bits.size() >= active_bits(),
+                    "context shorter than active word");
+  write_row(row, std::span<const std::uint64_t>(bits.data(),
+                                                bits.word_count()));
+}
+
+void DynamicCam::write_row(std::size_t row,
+                           std::span<const std::uint64_t> words) {
   DEEPCAM_CHECK_MSG(row < cfg_.rows, "CAM row out of range");
   const std::size_t k = active_bits();
-  DEEPCAM_CHECK_MSG(bits.size() >= k, "context shorter than active word");
-  rows_[row].assign_prefix(bits, k);
+  DEEPCAM_CHECK_MSG(words.size() * 64 >= k,
+                    "context shorter than active word");
+  // Prefix-copy with stale-tail clearing (same primitive as
+  // BitVec::assign_prefix): the bits past the active word are zeroed so a
+  // later word-length increase never observes a previous write's data.
+  copy_prefix_words(&row_words_[row * words_per_row_], words.data(), k,
+                    words_per_row_);
+
   if (!occupied_[row]) {
     occupied_[row] = true;
     ++occupied_count_;
   }
+  max_occupied_row_ = std::max(max_occupied_row_, row);
   ++stats_.row_writes;
   stats_.cycles += tech::kCamWriteCyclesPerRow;
   stats_.write_energy += CamCostModel::write_energy(cfg_, k);
@@ -66,9 +87,35 @@ void DynamicCam::search_into(const BitVec& key, SearchResult& out) const {
   out.row_hd.assign(cfg_.rows, std::nullopt);
   for (std::size_t r = 0; r < cfg_.rows; ++r) {
     if (!occupied_[r]) continue;
-    const std::size_t true_hd = key.hamming_prefix(rows_[r], k);
+    const std::size_t true_hd =
+        hamming_prefix_words(key.data(), &row_words_[r * words_per_row_], k);
     out.row_hd[r] = sense_amp_.measure(true_hd);
   }
+  ++stats_.searches;
+  stats_.cycles += search_cycles();
+  stats_.search_energy += CamCostModel::search_energy(cfg_, k);
+}
+
+void DynamicCam::search_flat(std::span<const std::uint64_t> key_words,
+                             FlatSearchResult& out) const {
+  const std::size_t k = active_bits();
+  DEEPCAM_CHECK_MSG(key_words.size() * 64 >= k,
+                    "search key shorter than active word");
+  DEEPCAM_CHECK_MSG(prefix_occupancy(),
+                    "search_flat requires rows occupied contiguously from 0");
+  // uint16_t results: ideal mode is bounded by the word length (<= 1024);
+  // quantized mode saturates at tau_unit_bins, which must therefore fit.
+  DEEPCAM_CHECK_MSG(sense_amp_.config().mode == SenseMode::kIdeal ||
+                        sense_amp_.config().tau_unit_bins <= 0xFFFF,
+                    "quantized sense-amp tau exceeds uint16 HD range");
+  out.occupied = occupied_count_;
+  if (out.row_hd.size() < occupied_count_) out.row_hd.resize(occupied_count_);
+  const std::uint64_t* key = key_words.data();
+  const std::uint64_t* row = row_words_.data();
+  for (std::size_t r = 0; r < occupied_count_; ++r, row += words_per_row_)
+    out.row_hd[r] =
+        static_cast<std::uint16_t>(sense_amp_.measure(
+            hamming_prefix_words(key, row, k)));
   ++stats_.searches;
   stats_.cycles += search_cycles();
   stats_.search_energy += CamCostModel::search_energy(cfg_, k);
@@ -77,7 +124,7 @@ void DynamicCam::search_into(const BitVec& key, SearchResult& out) const {
 void DynamicCam::inject_bit_fault(std::size_t row, std::size_t bit) {
   DEEPCAM_CHECK(row < cfg_.rows);
   DEEPCAM_CHECK(bit < cfg_.max_word_bits());
-  rows_[row].flip(bit);
+  row_words_[row * words_per_row_ + (bit >> 6)] ^= 1ULL << (bit & 63);
 }
 
 }  // namespace deepcam::cam

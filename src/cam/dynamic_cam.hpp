@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cam/config.hpp"
@@ -52,6 +53,12 @@ class DynamicCam {
   /// not individual bits.
   void write_row(std::size_t row, const BitVec& bits);
 
+  /// Word-span overload for callers whose signatures live in a flat arena
+  /// (ContextBatch): programs the first active_bits() bits of `words`
+  /// (at least ceil(active_bits()/64) words) into row `row`. Identical
+  /// semantics, occupancy and stats to the BitVec overload.
+  void write_row(std::size_t row, std::span<const std::uint64_t> words);
+
   /// Number of occupied rows — O(1), maintained as a counter by
   /// write_row()/clear() instead of scanning the occupancy vector.
   std::size_t occupied_rows() const { return occupied_count_; }
@@ -74,6 +81,22 @@ class DynamicCam {
   /// result of a previous call on any DynamicCam.
   void search_into(const BitVec& key, SearchResult& out) const;
 
+  /// Dense result of one parallel search over a contiguously occupied CAM:
+  /// row r's measured HD at row_hd[r] for r < occupied — no optionals to
+  /// unwrap, no per-row occupancy branch in the consumer's inner loop.
+  /// uint16_t suffices: HDs are bounded by the 1024-bit max word length.
+  struct FlatSearchResult {
+    std::vector<std::uint16_t> row_hd;
+    std::size_t occupied = 0;
+  };
+
+  /// Flat-result search for the engine's inner loop. Requires the occupied
+  /// rows to be exactly [0, occupied_rows()) — the clear(); write_row(0..n)
+  /// pattern every mapping pass uses (checked once per search, not per
+  /// row). Same Hamming/sense-amp math and stats charges as search().
+  void search_flat(std::span<const std::uint64_t> key_words,
+                   FlatSearchResult& out) const;
+
   /// Flips one stored bit (FeFET retention/program fault model).
   void inject_bit_fault(std::size_t row, std::size_t bit);
 
@@ -87,9 +110,22 @@ class DynamicCam {
   CamConfig cfg_;
   SenseAmp sense_amp_;
   std::size_t active_chunks_;
-  std::vector<BitVec> rows_;
+  // Row storage is one contiguous word arena (row r at r*words_per_row_)
+  // instead of a BitVec per row: searches stream it linearly and writes are
+  // word copies into place, with no per-row indirection.
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> row_words_;
   std::vector<bool> occupied_;
   std::size_t occupied_count_ = 0;
+  // Highest row index ever written since the last clear(). The occupied set
+  // is a subset of [0, max_occupied_row_], so it equals the prefix
+  // [0, occupied_count_) — the search_flat precondition — exactly when
+  // occupied_count_ == max_occupied_row_ + 1, regardless of write order.
+  std::size_t max_occupied_row_ = 0;
+
+  bool prefix_occupancy() const {
+    return occupied_count_ == 0 || occupied_count_ == max_occupied_row_ + 1;
+  }
   // Hardware counters: advanced by logically-read-only operations (search),
   // hence mutable.
   mutable CamStats stats_;

@@ -17,6 +17,44 @@
 
 namespace deepcam {
 
+/// Copies the first `k` bits of packed word array `src` into `dst` (masking
+/// the partial last word) and zeroes dst words [ceil(k/64), dst_words) — the
+/// shared prefix-copy-with-clean-tail primitive behind BitVec::assign_prefix
+/// and DynamicCam's row programming. `src` must hold at least ceil(k/64)
+/// words; `dst` at least dst_words.
+inline void copy_prefix_words(std::uint64_t* dst, const std::uint64_t* src,
+                              std::size_t k, std::size_t dst_words) {
+  const std::size_t full_words = k >> 6;
+  for (std::size_t i = 0; i < full_words; ++i) dst[i] = src[i];
+  const std::size_t rem = k & 63;
+  std::size_t next = full_words;
+  if (rem != 0) {
+    dst[full_words] = src[full_words] & ((1ULL << rem) - 1);
+    next = full_words + 1;
+  }
+  for (std::size_t i = next; i < dst_words; ++i) dst[i] = 0ULL;
+}
+
+/// Hamming distance over the first `k` bits of two packed word arrays — the
+/// word-span counterpart of BitVec::hamming_prefix for callers (ContextBatch,
+/// DynamicCam's flat row arena) that store signatures outside BitVec objects.
+/// Both arrays must hold at least ceil(k/64) words.
+inline std::size_t hamming_prefix_words(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        std::size_t k) {
+  std::size_t d = 0;
+  const std::size_t full_words = k >> 6;
+  for (std::size_t i = 0; i < full_words; ++i)
+    d += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  const std::size_t rem = k & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    d += static_cast<std::size_t>(
+        std::popcount((a[full_words] ^ b[full_words]) & mask));
+  }
+  return d;
+}
+
 class BitVec {
  public:
   BitVec() = default;
@@ -28,6 +66,10 @@ class BitVec {
   std::size_t size() const { return nbits_; }
   std::size_t word_count() const { return words_.size(); }
   const std::uint64_t* data() const { return words_.data(); }
+  /// Mutable word access for bulk writers (sign packing, word copies). The
+  /// caller must keep bits past size() zero — every prefix/Hamming routine
+  /// assumes a clean tail.
+  std::uint64_t* data() { return words_.data(); }
 
   bool get(std::size_t i) const {
     DEEPCAM_CHECK(i < nbits_);
@@ -68,17 +110,7 @@ class BitVec {
   /// Requires k <= size() of both vectors.
   std::size_t hamming_prefix(const BitVec& other, std::size_t k) const {
     DEEPCAM_CHECK(k <= nbits_ && k <= other.nbits_);
-    std::size_t d = 0;
-    const std::size_t full_words = k >> 6;
-    for (std::size_t i = 0; i < full_words; ++i)
-      d += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
-    const std::size_t rem = k & 63;
-    if (rem != 0) {
-      const std::uint64_t mask = (1ULL << rem) - 1;
-      d += static_cast<std::size_t>(
-          std::popcount((words_[full_words] ^ other.words_[full_words]) & mask));
-    }
-    return d;
+    return hamming_prefix_words(words_.data(), other.words_.data(), k);
   }
 
   /// Overwrites this vector with the first `k` bits of `src` and zeroes the
@@ -87,15 +119,7 @@ class BitVec {
   /// Requires k <= size() of both vectors. Length is unchanged.
   void assign_prefix(const BitVec& src, std::size_t k) {
     DEEPCAM_CHECK(k <= nbits_ && k <= src.nbits_);
-    const std::size_t full_words = k >> 6;
-    for (std::size_t i = 0; i < full_words; ++i) words_[i] = src.words_[i];
-    const std::size_t rem = k & 63;
-    std::size_t next = full_words;
-    if (rem != 0) {
-      words_[full_words] = src.words_[full_words] & ((1ULL << rem) - 1);
-      next = full_words + 1;
-    }
-    for (std::size_t i = next; i < words_.size(); ++i) words_[i] = 0ULL;
+    copy_prefix_words(words_.data(), src.words_.data(), k, words_.size());
   }
 
   /// Returns a copy truncated to the first `k` bits.

@@ -59,7 +59,7 @@ CompiledModel::CompiledModel(const nn::Model& model, DeepCamConfig cfg)
       cl.node_index = i;
       cl.ctxgen = std::make_unique<ContextGenerator>(
           conv.spec().patch_len(), layer_hash_seed(cfg_.hash_seed, i));
-      cl.weight_ctx = cl.ctxgen->weight_contexts(conv);
+      cl.weight_ctx = cl.ctxgen->weight_context_batch(conv);
       cl.bias = conv.bias();
       cam_layers_.push_back(std::move(cl));
     } else if (layer.kind() == nn::LayerKind::kLinear) {
@@ -68,7 +68,7 @@ CompiledModel::CompiledModel(const nn::Model& model, DeepCamConfig cfg)
       cl.node_index = i;
       cl.ctxgen = std::make_unique<ContextGenerator>(
           fc.in_features(), layer_hash_seed(cfg_.hash_seed, i));
-      cl.weight_ctx = cl.ctxgen->weight_contexts(fc);
+      cl.weight_ctx = cl.ctxgen->weight_context_batch(fc);
       cl.bias = fc.bias();
       cam_layers_.push_back(std::move(cl));
     }

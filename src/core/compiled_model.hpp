@@ -93,9 +93,9 @@ class CompiledModel {
   struct CamLayer {
     std::size_t node_index;  // in the model graph
     std::unique_ptr<ContextGenerator> ctxgen;
-    std::vector<Context> weight_ctx;  // pre-hashed kernels
-    std::vector<float> bias;          // copy of the layer's bias vector
-    std::size_t hash_bits = 0;        // resolved hash length k
+    ContextBatch weight_ctx;   // pre-hashed kernels, SoA arena
+    std::vector<float> bias;   // copy of the layer's bias vector
+    std::size_t hash_bits = 0; // resolved hash length k
   };
 
   CompiledModel(const nn::Model& model, DeepCamConfig cfg);

@@ -70,6 +70,73 @@ std::vector<Context> ContextGenerator::activation_contexts(
   return out;
 }
 
+void ContextGenerator::contexts_into(const float* xs, std::size_t count,
+                                     ContextBatch& out,
+                                     std::size_t hash_bits) const {
+  const std::size_t dim = hasher_.input_dim();
+  const hash::RandomProjection& proj = hasher_.projection();
+  const std::size_t k = hash_bits == 0 ? proj.hash_bits() : hash_bits;
+  out.reset(count, k);
+  proj.sign_hash_batch(xs, count, k, out.words_.data(), out.proj_scratch_);
+  for (std::size_t p = 0; p < count; ++p) {
+    const double norm = hash::l2_norm(std::span<const float>(xs + p * dim, dim));
+    out.exact_norm_[p] = norm;
+    out.norm_code_[p] = MiniFloat::encode(static_cast<float>(norm));
+  }
+}
+
+void ContextGenerator::activation_contexts_into(const nn::Tensor& input,
+                                                const nn::ConvSpec& spec,
+                                                ContextBatch& out,
+                                                std::size_t n,
+                                                std::size_t hash_bits) const {
+  const nn::Shape& s = input.shape();
+  DEEPCAM_CHECK(s.c == spec.in_channels);
+  const std::size_t oh = spec.out_h(s.h);
+  const std::size_t ow = spec.out_w(s.w);
+  const std::size_t plen = spec.patch_len();
+  DEEPCAM_CHECK(plen == hasher_.input_dim());
+  const std::size_t patches = oh * ow;
+  std::vector<float>& mat = out.patch_scratch_;
+  if (mat.size() < patches * plen) mat.resize(patches * plen);
+  std::size_t p = 0;
+  for (std::size_t oy = 0; oy < oh; ++oy)
+    for (std::size_t ox = 0; ox < ow; ++ox, ++p)
+      nn::extract_patch(input, n, oy, ox, spec.kernel_h, spec.kernel_w,
+                        spec.stride, spec.pad,
+                        std::span<float>(&mat[p * plen], plen));
+  contexts_into(mat.data(), patches, out, hash_bits);
+}
+
+void ContextGenerator::activation_context_flat_into(const nn::Tensor& input,
+                                                    ContextBatch& out,
+                                                    std::size_t n,
+                                                    std::size_t hash_bits) const {
+  const nn::Shape& s = input.shape();
+  const std::size_t feat = s.c * s.h * s.w;
+  DEEPCAM_CHECK(feat == hasher_.input_dim());
+  contexts_into(input.data() + n * feat, 1, out, hash_bits);
+}
+
+ContextBatch ContextGenerator::weight_context_batch(
+    const nn::Conv2D& conv) const {
+  const nn::ConvSpec& spec = conv.spec();
+  DEEPCAM_CHECK(spec.patch_len() == hasher_.input_dim());
+  ContextBatch out;
+  contexts_into(conv.weights().data(), spec.out_channels, out);
+  out.release_scratch();  // weight batches live as long as the model
+  return out;
+}
+
+ContextBatch ContextGenerator::weight_context_batch(
+    const nn::Linear& fc) const {
+  DEEPCAM_CHECK(fc.in_features() == hasher_.input_dim());
+  ContextBatch out;
+  contexts_into(fc.weights().data(), fc.out_features(), out);
+  out.release_scratch();
+  return out;
+}
+
 Context ContextGenerator::activation_context_flat(const nn::Tensor& input,
                                                   std::size_t n) const {
   const nn::Shape& s = input.shape();

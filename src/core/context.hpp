@@ -38,6 +38,80 @@ struct Context {
   double norm() const { return MiniFloat::decode(norm_code); }
 };
 
+/// Borrowed view of one context stored in a ContextBatch: a pointer into the
+/// batch's signature word arena plus the two norm encodings. Cheap to copy;
+/// valid only while the owning batch is alive and unmodified.
+struct ContextRef {
+  const std::uint64_t* sig = nullptr;  ///< words_per_sig() packed words
+  std::uint8_t norm_code = 0;
+  double exact_norm = 0.0;
+
+  /// The norm as hardware would decode it.
+  double norm() const { return MiniFloat::decode(norm_code); }
+};
+
+/// Structure-of-arrays arena of contexts: one contiguous word buffer for all
+/// signatures plus flat norm-code / exact-norm arrays. This replaces
+/// std::vector<Context> on the execution hot path — reset() never shrinks
+/// capacity, so a Worker that reuses one batch across layers and samples
+/// performs no steady-state heap allocation (the builder scratch for the
+/// im2col patch matrix and the projection tile lives here too, for the same
+/// reason). Accessors are unchecked, like indexing the vector they replace.
+class ContextBatch {
+ public:
+  /// Prepares the arena for `count` contexts of `sig_bits` signature bits.
+  /// Contents become unspecified; capacity only grows.
+  void reset(std::size_t count, std::size_t sig_bits) {
+    count_ = count;
+    sig_bits_ = sig_bits;
+    wps_ = (sig_bits + 63) / 64;
+    if (words_.size() < count * wps_) words_.resize(count * wps_);
+    if (norm_code_.size() < count) norm_code_.resize(count);
+    if (exact_norm_.size() < count) exact_norm_.resize(count);
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t sig_bits() const { return sig_bits_; }
+  std::size_t words_per_sig() const { return wps_; }
+
+  const std::uint64_t* sig(std::size_t i) const {
+    return words_.data() + i * wps_;
+  }
+  std::uint64_t* sig(std::size_t i) { return words_.data() + i * wps_; }
+  std::span<const std::uint64_t> sig_span(std::size_t i) const {
+    return {sig(i), wps_};
+  }
+
+  std::uint8_t norm_code(std::size_t i) const { return norm_code_[i]; }
+  double exact_norm(std::size_t i) const { return exact_norm_[i]; }
+
+  ContextRef operator[](std::size_t i) const {
+    return ContextRef{sig(i), norm_code_[i], exact_norm_[i]};
+  }
+
+  /// Frees the builder scratch (im2col matrix + projection tile) while
+  /// keeping the contexts. Call on batches that outlive their construction
+  /// (pre-hashed weight contexts, tuner probe caches) — a Worker's reused
+  /// arena should keep its scratch, that is the point of the arena.
+  void release_scratch() {
+    patch_scratch_ = {};
+    proj_scratch_ = {};
+  }
+
+ private:
+  friend class ContextGenerator;  // builders fill the arrays + use scratch
+
+  std::size_t count_ = 0;
+  std::size_t sig_bits_ = 0;
+  std::size_t wps_ = 0;
+  std::vector<std::uint64_t> words_;      // count × wps_
+  std::vector<std::uint8_t> norm_code_;   // count
+  std::vector<double> exact_norm_;        // count
+  std::vector<float> patch_scratch_;      // im2col patch matrix (P × n)
+  std::vector<float> proj_scratch_;       // projection tile of the hash GEMM
+};
+
 class ContextGenerator {
  public:
   /// `input_dim` = context vector length n (C·kh·kw for conv, in_features
@@ -65,6 +139,39 @@ class ContextGenerator {
   /// Context of a flattened activation vector (for linear layers).
   Context activation_context_flat(const nn::Tensor& input,
                                   std::size_t n = 0) const;
+
+  // ---- allocation-free SoA batch pipeline -------------------------------
+  // The *_into builders are the execution hot path: one blocked batch-GEMM
+  // hash over a contiguous patch matrix instead of a GEMV + BitVec per
+  // patch. Outputs are bitwise identical to the per-Context methods above
+  // (which stay as the reference implementation and test oracle).
+
+  /// Hashes `count` contiguous row-major vectors (count × input_dim) into
+  /// `out`, with `hash_bits` signature bits (0 = full width). Signatures are
+  /// prefixes of i.i.d. columns, so hashing straight to a layer's resolved
+  /// hash length k is bitwise identical to hashing full-width and reading
+  /// the first k bits — at k/1024 of the GEMM work. Bitwise identical to
+  /// `count` make_context() calls (truncated to hash_bits).
+  void contexts_into(const float* xs, std::size_t count, ContextBatch& out,
+                     std::size_t hash_bits = 0) const;
+
+  /// Batch equivalent of activation_contexts(): contexts of every im2col
+  /// patch in (oy, ox) row-major order, built from a patch matrix assembled
+  /// once per layer in `out`'s reusable scratch.
+  void activation_contexts_into(const nn::Tensor& input,
+                                const nn::ConvSpec& spec, ContextBatch& out,
+                                std::size_t n = 0,
+                                std::size_t hash_bits = 0) const;
+
+  /// Batch equivalent of activation_context_flat(): a one-context batch.
+  void activation_context_flat_into(const nn::Tensor& input, ContextBatch& out,
+                                    std::size_t n = 0,
+                                    std::size_t hash_bits = 0) const;
+
+  /// Batch equivalents of weight_contexts() (kernels are already stored as
+  /// contiguous rows, so these are a single contexts_into call).
+  ContextBatch weight_context_batch(const nn::Conv2D& conv) const;
+  ContextBatch weight_context_batch(const nn::Linear& fc) const;
 
  private:
   hash::SimHasher hasher_;

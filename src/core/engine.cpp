@@ -17,11 +17,11 @@ Worker::Worker(const CompiledModel& compiled)
       postproc_(compiled.config().postproc) {}
 
 LayerReport Worker::simulate_cam_layer(std::size_t cam_idx,
-                                       const std::vector<Context>& act_ctx,
+                                       const ContextBatch& act_ctx,
                                        bool online_ctxgen) {
   const DeepCamConfig& cfg = compiled_->config();
   const CompiledModel::CamLayer& cl = compiled_->cam_layer(cam_idx);
-  const std::vector<Context>& w_ctx = cl.weight_ctx;
+  const ContextBatch& w_ctx = cl.weight_ctx;
   const std::size_t P = act_ctx.size();
   const std::size_t K = w_ctx.size();
   const std::size_t k_bits = cl.hash_bits;
@@ -36,30 +36,31 @@ LayerReport Worker::simulate_cam_layer(std::size_t cam_idx,
   rep.plan = plan_mapping({P, K}, R, cfg.dataflow);
 
   const bool ws = cfg.dataflow == Dataflow::kWeightStationary;
-  const std::vector<Context>& stationary = ws ? w_ctx : act_ctx;
-  const std::vector<Context>& streamed = ws ? act_ctx : w_ctx;
+  const ContextBatch& stationary = ws ? w_ctx : act_ctx;
+  const ContextBatch& streamed = ws ? act_ctx : w_ctx;
 
   const double cam_e0 = cam_.stats().total_energy();
   const auto pp0 = postproc_.stats();
 
   cam_.set_hash_length(k_bits);
-  flat_.assign(K * P, 0.0);
+  // Resize-only scratch: every [kernel][patch] cell is written by the pass
+  // loop below, so a zero-fill would be pure overhead.
+  if (flat_.size() < K * P) flat_.resize(K * P);
 
   std::size_t base = 0;
   while (base < stationary.size()) {
     const std::size_t count = std::min(R, stationary.size() - base);
     cam_.clear();
     for (std::size_t r = 0; r < count; ++r)
-      cam_.write_row(r, stationary[base + r].bits);
+      cam_.write_row(r, stationary.sig_span(base + r));
     for (std::size_t sidx = 0; sidx < streamed.size(); ++sidx) {
-      cam_.search_into(streamed[sidx].bits, search_buf_);
+      cam_.search_flat(streamed.sig_span(sidx), search_buf_);
+      const std::uint16_t* hd = search_buf_.row_hd.data();
       for (std::size_t r = 0; r < count; ++r) {
-        DEEPCAM_CHECK(search_buf_.row_hd[r].has_value());
-        const std::size_t hd = *search_buf_.row_hd[r];
         const std::size_t kernel = ws ? (base + r) : sidx;
         const std::size_t patch = ws ? sidx : (base + r);
         flat_[kernel * P + patch] = postproc_.finish_dot_product(
-            w_ctx[kernel], act_ctx[patch], hd, k_bits, cl.bias[kernel]);
+            w_ctx[kernel], act_ctx[patch], hd[r], k_bits, cl.bias[kernel]);
       }
     }
     base += count;
@@ -126,9 +127,12 @@ nn::Tensor Worker::run(const nn::Tensor& input, RunReport* report) {
       const nn::ConvSpec& spec = conv.spec();
       const CompiledModel::CamLayer& cl = compiled_->cam_layer(cam_idx);
       DEEPCAM_CHECK(cl.node_index == i);
-      const auto act_ctx = cl.ctxgen->activation_contexts(in, spec);
+      // Hash straight to this layer's resolved length: prefix-of-iid-columns
+      // makes the k-bit signature bitwise identical to the first k bits of
+      // the full hash, at k/1024 of the GEMM cost.
+      cl.ctxgen->activation_contexts_into(in, spec, act_ctx_, 0, cl.hash_bits);
       LayerReport lrep =
-          simulate_cam_layer(cam_idx, act_ctx, !first_cam_layer);
+          simulate_cam_layer(cam_idx, act_ctx_, !first_cam_layer);
       const std::size_t oh = spec.out_h(in.shape().h);
       const std::size_t ow = spec.out_w(in.shape().w);
       nn::Tensor out({1, spec.out_channels, oh, ow});
@@ -144,10 +148,9 @@ nn::Tensor Worker::run(const nn::Tensor& input, RunReport* report) {
       const auto& fc = static_cast<const nn::Linear&>(layer);
       const CompiledModel::CamLayer& cl = compiled_->cam_layer(cam_idx);
       DEEPCAM_CHECK(cl.node_index == i);
-      std::vector<Context> act_ctx;
-      act_ctx.push_back(cl.ctxgen->activation_context_flat(in));
+      cl.ctxgen->activation_context_flat_into(in, act_ctx_, 0, cl.hash_bits);
       LayerReport lrep =
-          simulate_cam_layer(cam_idx, act_ctx, !first_cam_layer);
+          simulate_cam_layer(cam_idx, act_ctx_, !first_cam_layer);
       nn::Tensor out({1, fc.out_features(), 1, 1});
       for (std::size_t o = 0; o < fc.out_features(); ++o)
         out[o] = static_cast<float>(flat_[o]);

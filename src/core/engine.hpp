@@ -49,15 +49,19 @@ class Worker {
   /// Simulates one CAM layer; writes dot-products into `flat_` laid out as
   /// [kernel][patch]. Returns the layer report.
   LayerReport simulate_cam_layer(std::size_t cam_idx,
-                                 const std::vector<Context>& act_ctx,
+                                 const ContextBatch& act_ctx,
                                  bool online_ctxgen);
 
   const CompiledModel* compiled_;
   cam::DynamicCam cam_;
   PostProcessingUnit postproc_;
   // Reusable scratch (per-run buffers; avoid per-search/per-layer heap
-  // allocation on the hot path).
-  cam::DynamicCam::SearchResult search_buf_;
+  // allocation on the hot path). act_ctx_ is the SoA arena the online
+  // context generator fills layer after layer, sample after sample; flat_
+  // grows monotonically and is fully overwritten each layer, so it is never
+  // zero-filled.
+  ContextBatch act_ctx_;
+  cam::DynamicCam::FlatSearchResult search_buf_;
   std::vector<double> flat_;
   std::vector<nn::Tensor> outs_;
 };

@@ -22,20 +22,20 @@ std::vector<std::size_t> cam_nodes(const nn::Model& model) {
 
 /// Approximate outputs [K][P] of one CAM layer from pre-hashed contexts at
 /// hash length k (software evaluation — identical math to the hardware).
-std::vector<double> approx_layer_out(const std::vector<Context>& w_ctx,
-                                     const std::vector<Context>& a_ctx,
+std::vector<double> approx_layer_out(const ContextBatch& w_ctx,
+                                     const ContextBatch& a_ctx,
                                      const std::vector<float>& bias,
                                      std::size_t k, const TunerConfig& cfg) {
   const std::size_t K = w_ctx.size();
   const std::size_t P = a_ctx.size();
   std::vector<double> out(K * P);
   for (std::size_t kk = 0; kk < K; ++kk) {
-    const double nw =
-        cfg.minifloat_norms ? w_ctx[kk].norm() : w_ctx[kk].exact_norm;
+    const ContextRef w = w_ctx[kk];
+    const double nw = cfg.minifloat_norms ? w.norm() : w.exact_norm;
     for (std::size_t p = 0; p < P; ++p) {
-      const double na =
-          cfg.minifloat_norms ? a_ctx[p].norm() : a_ctx[p].exact_norm;
-      const std::size_t hd = w_ctx[kk].bits.hamming_prefix(a_ctx[p].bits, k);
+      const ContextRef a = a_ctx[p];
+      const double na = cfg.minifloat_norms ? a.norm() : a.exact_norm;
+      const std::size_t hd = hamming_prefix_words(w.sig, a.sig, k);
       out[kk * P + p] = hash::approx_dot(nw, na, hd, k, cfg.use_pwl_cosine) +
                         static_cast<double>(bias[kk]);
     }
@@ -64,8 +64,8 @@ nn::Tensor recompute_suffix(nn::Model& model, const nn::Tensor& input,
 }
 
 struct LayerContexts {
-  std::vector<Context> weights;
-  std::vector<std::vector<Context>> activations;  // per probe
+  ContextBatch weights;
+  std::vector<ContextBatch> activations;  // per probe
   std::vector<float> bias;
   std::vector<const nn::Tensor*> exact_out;  // per probe (borrowed)
   nn::Shape out_shape;
@@ -104,26 +104,32 @@ TuneResult tune_hash_lengths(nn::Model& model,
       auto& conv = static_cast<nn::Conv2D&>(layer);
       gen = std::make_unique<ContextGenerator>(
           conv.spec().patch_len(), layer_hash_seed(cfg.hash_seed, node));
-      lc.weights = gen->weight_contexts(conv);
+      lc.weights = gen->weight_context_batch(conv);
       lc.bias = conv.bias();
       for (std::size_t pi = 0; pi < probes.size(); ++pi) {
         const nn::Tensor& in = in_node == nn::kModelInput
                                    ? probes[pi]
                                    : exact[pi][static_cast<std::size_t>(in_node)];
-        lc.activations.push_back(gen->activation_contexts(in, conv.spec()));
+        ContextBatch acts;
+        gen->activation_contexts_into(in, conv.spec(), acts);
+        acts.release_scratch();  // cached for the whole k sweep
+        lc.activations.push_back(std::move(acts));
         lc.exact_out.push_back(&exact[pi][node]);
       }
     } else {
       auto& fc = static_cast<nn::Linear&>(layer);
       gen = std::make_unique<ContextGenerator>(
           fc.in_features(), layer_hash_seed(cfg.hash_seed, node));
-      lc.weights = gen->weight_contexts(fc);
+      lc.weights = gen->weight_context_batch(fc);
       lc.bias = fc.bias();
       for (std::size_t pi = 0; pi < probes.size(); ++pi) {
         const nn::Tensor& in = in_node == nn::kModelInput
                                    ? probes[pi]
                                    : exact[pi][static_cast<std::size_t>(in_node)];
-        lc.activations.push_back({gen->activation_context_flat(in)});
+        ContextBatch acts;
+        gen->activation_context_flat_into(in, acts);
+        acts.release_scratch();
+        lc.activations.push_back(std::move(acts));
         lc.exact_out.push_back(&exact[pi][node]);
       }
     }

@@ -10,6 +10,18 @@ double PostProcessingUnit::finish_dot_product(const Context& weight,
                                               std::size_t hamming,
                                               std::size_t hash_len,
                                               float bias) {
+  return finish_dot_product(
+      ContextRef{weight.bits.data(), weight.norm_code, weight.exact_norm},
+      ContextRef{activation.bits.data(), activation.norm_code,
+                 activation.exact_norm},
+      hamming, hash_len, bias);
+}
+
+double PostProcessingUnit::finish_dot_product(const ContextRef& weight,
+                                              const ContextRef& activation,
+                                              std::size_t hamming,
+                                              std::size_t hash_len,
+                                              float bias) {
   const double nw = opts_.minifloat_norms ? weight.norm() : weight.exact_norm;
   const double na =
       opts_.minifloat_norms ? activation.norm() : activation.exact_norm;

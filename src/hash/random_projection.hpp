@@ -37,6 +37,8 @@ class RandomProjection {
 
   std::size_t input_dim() const { return input_dim_; }
   std::size_t hash_bits() const { return hash_bits_; }
+  /// Words of one packed signature (64 sign bits per word).
+  std::size_t words_per_sig() const { return (hash_bits_ + 63) / 64; }
 
   /// Raw matrix element C[row][col].
   float at(std::size_t row, std::size_t col) const {
@@ -47,13 +49,44 @@ class RandomProjection {
   /// `out` must have hash_bits elements.
   void project(std::span<const float> x, std::span<float> out) const;
 
+  /// Projects x onto the first out.size() columns only. Each column's sum is
+  /// independent, so this equals the first out.size() entries of project()
+  /// bitwise, at a proportional fraction of the cost.
+  void project_prefix(std::span<const float> x, std::span<float> out) const;
+
+  /// Batched projection of `count` row-major vectors (xs = count×input_dim,
+  /// contiguous): out[p*hash_bits + j] = Σ_i xs[p][i]·C_ij. Cache-blocked
+  /// over patches × columns; for every output the accumulation order over i
+  /// matches project(), so results are bitwise identical to `count`
+  /// individual project() calls.
+  void project_batch(const float* xs, std::size_t count, float* out) const;
+
+  /// Batched SimHash: hashes `count` row-major vectors to `k` bits
+  /// (projecting only the first k columns) and packs the sign bits into
+  /// `sig_words` (count × ceil(k/64) words, one 64-bit word write per 64
+  /// bits). Bitwise identical to `count` sign_hash_prefix() calls — and,
+  /// for k == hash_bits(), to `count` sign_hash() calls. `proj_scratch` is
+  /// resized internally (to one patch-block tile, not the full batch) and
+  /// reused across calls, so steady state allocates nothing.
+  void sign_hash_batch(const float* xs, std::size_t count, std::size_t k,
+                       std::uint64_t* sig_words,
+                       std::vector<float>& proj_scratch) const;
+
   /// Full SimHash signature: bit j = (x·C_col_j >= 0).
   BitVec sign_hash(std::span<const float> x) const;
 
-  /// SimHash signature truncated to the first `k` bits.
+  /// SimHash signature truncated to the first `k` bits. Projects only the
+  /// first k columns — bitwise identical to sign_hash(x).prefix(k) (prefix
+  /// of i.i.d. columns) at k/hash_bits of the work.
   BitVec sign_hash_prefix(std::span<const float> x, std::size_t k) const;
 
  private:
+  /// The one blocked GEMM kernel behind every projection entry point:
+  /// computes the first `ncols` columns for `count` vectors into `out`
+  /// (count × ncols row-major).
+  void project_cols(const float* xs, std::size_t count, std::size_t ncols,
+                    float* out) const;
+
   std::size_t input_dim_;
   std::size_t hash_bits_;
   std::vector<float> c_;  // row-major [input_dim][hash_bits]

@@ -270,6 +270,126 @@ TEST(DynamicCam, RewriteAtShorterWordClearsStaleTail) {
   EXPECT_EQ(*cam.search(key).row_hd[0], prefix_pop);
 }
 
+// ---- flat word-arena API: write_row(span) + search_flat ----------------
+
+TEST(DynamicCam, WriteRowWordSpanMatchesBitVecOverload) {
+  // Two CAMs programmed through the two overloads must be indistinguishable
+  // under search, across hash lengths (including after a length shrink that
+  // exercises the stale-tail clearing).
+  DynamicCam a(CamConfig{8, 256, 4}), b(CamConfig{8, 256, 4});
+  for (std::size_t k : {1024u, 256u}) {
+    a.set_hash_length(k);
+    b.set_hash_length(k);
+    a.clear();
+    b.clear();
+    for (std::size_t r = 0; r < 8; ++r) {
+      const BitVec bits = random_bits(1024, 50 * k + r);
+      a.write_row(r, bits);
+      b.write_row(r, std::span<const std::uint64_t>(bits.data(),
+                                                    bits.word_count()));
+    }
+    // Compare at full width too: the cleared tails must agree.
+    a.set_hash_length(1024);
+    b.set_hash_length(1024);
+    const BitVec key = random_bits(1024, 777);
+    const auto ra = a.search(key), rb = b.search(key);
+    for (std::size_t r = 0; r < 8; ++r)
+      EXPECT_EQ(*ra.row_hd[r], *rb.row_hd[r]) << "k=" << k << " r=" << r;
+  }
+}
+
+TEST(DynamicCam, SearchFlatMatchesSearchIntoAndStats) {
+  DynamicCam cam(CamConfig{64, 256, 4});
+  cam.set_hash_length(512);
+  const std::size_t occupied = 23;  // partial occupancy, rows 0..22
+  for (std::size_t r = 0; r < occupied; ++r)
+    cam.write_row(r, random_bits(1024, 300 + r));
+  const BitVec key = random_bits(1024, 888);
+
+  const CamStats s0 = cam.stats();
+  DynamicCam::SearchResult ref;
+  cam.search_into(key, ref);
+  const CamStats s1 = cam.stats();
+
+  DynamicCam::FlatSearchResult flat;
+  cam.search_flat(std::span<const std::uint64_t>(key.data(),
+                                                 key.word_count()),
+                  flat);
+  const CamStats s2 = cam.stats();
+
+  EXPECT_EQ(flat.occupied, occupied);
+  ASSERT_GE(flat.row_hd.size(), occupied);
+  for (std::size_t r = 0; r < occupied; ++r)
+    EXPECT_EQ(flat.row_hd[r], *ref.row_hd[r]) << r;
+
+  // search_flat must charge exactly what search_into charges.
+  EXPECT_EQ(s2.searches - s1.searches, s1.searches - s0.searches);
+  EXPECT_EQ(s2.cycles - s1.cycles, s1.cycles - s0.cycles);
+  EXPECT_DOUBLE_EQ(s2.search_energy - s1.search_energy,
+                   s1.search_energy - s0.search_energy);
+}
+
+TEST(DynamicCam, SearchFlatQuantizedSenseAmpMatchesSearch) {
+  SenseAmpConfig sa;
+  sa.mode = SenseMode::kQuantized;
+  DynamicCam cam(CamConfig{16, 256, 4}, sa);
+  for (std::size_t r = 0; r < 16; ++r)
+    cam.write_row(r, random_bits(1024, 40 + r));
+  const BitVec key = random_bits(1024, 41);
+  const auto ref = cam.search(key);
+  DynamicCam::FlatSearchResult flat;
+  cam.search_flat(std::span<const std::uint64_t>(key.data(),
+                                                 key.word_count()),
+                  flat);
+  for (std::size_t r = 0; r < 16; ++r)
+    EXPECT_EQ(flat.row_hd[r], *ref.row_hd[r]) << r;
+}
+
+TEST(DynamicCam, SearchFlatRequiresContiguousOccupancy) {
+  DynamicCam cam(CamConfig{8, 256, 4});
+  cam.write_row(3, random_bits(1024, 1));  // hole at rows 0..2
+  const BitVec key = random_bits(1024, 2);
+  DynamicCam::FlatSearchResult flat;
+  EXPECT_THROW(cam.search_flat(std::span<const std::uint64_t>(
+                                   key.data(), key.word_count()),
+                               flat),
+               deepcam::Error);
+  // clear() restores the precondition.
+  cam.clear();
+  cam.write_row(0, random_bits(1024, 3));
+  cam.search_flat(std::span<const std::uint64_t>(key.data(),
+                                                 key.word_count()),
+                  flat);
+  EXPECT_EQ(flat.occupied, 1u);
+}
+
+TEST(DynamicCam, SearchFlatAcceptsOutOfOrderPrefixWrites) {
+  // The precondition is on the occupancy *set*, not the write order:
+  // writing rows {1, 0} leaves the valid prefix {0, 1}.
+  DynamicCam cam(CamConfig{8, 256, 4});
+  cam.write_row(1, random_bits(1024, 61));
+  cam.write_row(0, random_bits(1024, 62));
+  const BitVec key = random_bits(1024, 63);
+  DynamicCam::FlatSearchResult flat;
+  cam.search_flat(std::span<const std::uint64_t>(key.data(),
+                                                 key.word_count()),
+                  flat);
+  EXPECT_EQ(flat.occupied, 2u);
+  const auto ref = cam.search(key);
+  EXPECT_EQ(flat.row_hd[0], *ref.row_hd[0]);
+  EXPECT_EQ(flat.row_hd[1], *ref.row_hd[1]);
+}
+
+TEST(DynamicCam, SearchFlatEmptyCamReportsZeroOccupied) {
+  DynamicCam cam(CamConfig{8, 256, 4});
+  const BitVec key = random_bits(1024, 5);
+  DynamicCam::FlatSearchResult flat;
+  cam.search_flat(std::span<const std::uint64_t>(key.data(),
+                                                 key.word_count()),
+                  flat);
+  EXPECT_EQ(flat.occupied, 0u);
+}
+
 TEST(DynamicCam, RewriteKeepsOccupancyAndRowIndependence) {
   // Rewriting one row at a word boundary must not disturb neighbors.
   DynamicCam cam(CamConfig{3, 64, 4});

@@ -97,5 +97,117 @@ TEST(Context, SameSeedSameSignature) {
   EXPECT_TRUE(a.make_context(v).bits == b.make_context(v).bits);
 }
 
+// ---- SoA ContextBatch pipeline: must match the per-Context reference ----
+
+/// Full equivalence of one batch entry against a reference Context:
+/// signature words, minifloat norm code, exact norm (bitwise).
+void expect_ctx_equal(const ContextBatch& batch, std::size_t i,
+                      const Context& ref) {
+  ASSERT_EQ(batch.sig_bits(), ref.bits.size());
+  for (std::size_t w = 0; w < batch.words_per_sig(); ++w)
+    ASSERT_EQ(batch.sig(i)[w], ref.bits.data()[w]) << "ctx " << i;
+  EXPECT_EQ(batch.norm_code(i), ref.norm_code);
+  EXPECT_EQ(batch.exact_norm(i), ref.exact_norm);
+  const ContextRef view = batch[i];
+  EXPECT_EQ(view.norm(), ref.norm());
+}
+
+TEST(ContextBatch, ActivationContextsMatchScalarPath) {
+  nn::ConvSpec spec{2, 4, 3, 3, 1, 1};
+  ContextGenerator gen(spec.patch_len(), 11);
+  nn::Tensor in({1, 2, 5, 5});
+  Rng rng(12);
+  for (std::size_t i = 0; i < in.numel(); ++i)
+    in[i] = (i % 4 == 0) ? 0.0f : static_cast<float>(rng.gaussian());
+  const auto ref = gen.activation_contexts(in, spec);
+  ContextBatch batch;
+  gen.activation_contexts_into(in, spec, batch);
+  ASSERT_EQ(batch.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    expect_ctx_equal(batch, i, ref[i]);
+}
+
+TEST(ContextBatch, WeightContextsMatchScalarPath) {
+  nn::Conv2D conv("c", nn::ConvSpec{2, 5, 3, 3, 1, 1}, 4);
+  ContextGenerator gen(conv.spec().patch_len(), 5);
+  const auto ref = gen.weight_contexts(conv);
+  const ContextBatch batch = gen.weight_context_batch(conv);
+  ASSERT_EQ(batch.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    expect_ctx_equal(batch, i, ref[i]);
+
+  nn::Linear fc("f", 8, 3, 6);
+  ContextGenerator fgen(8, 7);
+  const auto fref = fgen.weight_contexts(fc);
+  const ContextBatch fbatch = fgen.weight_context_batch(fc);
+  ASSERT_EQ(fbatch.size(), fref.size());
+  for (std::size_t i = 0; i < fref.size(); ++i)
+    expect_ctx_equal(fbatch, i, fref[i]);
+}
+
+TEST(ContextBatch, FlatActivationMatchesScalarPath) {
+  ContextGenerator gen(12, 9);
+  nn::Tensor in({1, 3, 2, 2});
+  for (std::size_t i = 0; i < in.numel(); ++i)
+    in[i] = static_cast<float>(i) - 5.5f;
+  const Context ref = gen.activation_context_flat(in);
+  ContextBatch batch;
+  gen.activation_context_flat_into(in, batch);
+  ASSERT_EQ(batch.size(), 1u);
+  expect_ctx_equal(batch, 0, ref);
+}
+
+TEST(ContextBatch, PrefixHashLengthMatchesFullHashPrefix) {
+  // Hashing straight to k bits (the engine's online path) must equal the
+  // first k bits of the full-width signature.
+  nn::ConvSpec spec{1, 1, 2, 2, 1, 0};
+  ContextGenerator gen(spec.patch_len(), 31);
+  nn::Tensor in({1, 1, 4, 4});
+  Rng rng(13);
+  for (std::size_t i = 0; i < in.numel(); ++i)
+    in[i] = static_cast<float>(rng.gaussian());
+  ContextBatch full, pre;
+  gen.activation_contexts_into(in, spec, full);
+  for (std::size_t k : {std::size_t{256}, std::size_t{512}}) {
+    gen.activation_contexts_into(in, spec, pre, 0, k);
+    ASSERT_EQ(pre.size(), full.size());
+    ASSERT_EQ(pre.sig_bits(), k);
+    for (std::size_t i = 0; i < pre.size(); ++i) {
+      for (std::size_t w = 0; w < pre.words_per_sig(); ++w)
+        ASSERT_EQ(pre.sig(i)[w], full.sig(i)[w]) << "k=" << k;
+      EXPECT_EQ(pre.norm_code(i), full.norm_code(i));
+      EXPECT_EQ(pre.exact_norm(i), full.exact_norm(i));
+    }
+  }
+}
+
+TEST(ContextBatch, ArenaReuseAcrossLayerShapes) {
+  // One batch reused large -> small -> large (the Worker's usage pattern)
+  // must stay correct; capacity may be retained but contents must match.
+  ContextGenerator big(27, 41), small(4, 42);
+  nn::ConvSpec big_spec{3, 1, 3, 3, 1, 0};
+  nn::ConvSpec small_spec{1, 1, 2, 2, 1, 0};
+  nn::Tensor big_in({1, 3, 6, 6}), small_in({1, 1, 3, 3});
+  Rng rng(14);
+  for (std::size_t i = 0; i < big_in.numel(); ++i)
+    big_in[i] = static_cast<float>(rng.gaussian());
+  for (std::size_t i = 0; i < small_in.numel(); ++i)
+    small_in[i] = static_cast<float>(rng.gaussian());
+
+  ContextBatch batch;
+  big.activation_contexts_into(big_in, big_spec, batch);
+  small.activation_contexts_into(small_in, small_spec, batch);
+  const auto small_ref = small.activation_contexts(small_in, small_spec);
+  ASSERT_EQ(batch.size(), small_ref.size());
+  for (std::size_t i = 0; i < small_ref.size(); ++i)
+    expect_ctx_equal(batch, i, small_ref[i]);
+
+  big.activation_contexts_into(big_in, big_spec, batch);
+  const auto big_ref = big.activation_contexts(big_in, big_spec);
+  ASSERT_EQ(batch.size(), big_ref.size());
+  for (std::size_t i = 0; i < big_ref.size(); ++i)
+    expect_ctx_equal(batch, i, big_ref[i]);
+}
+
 }  // namespace
 }  // namespace deepcam::core

@@ -1,0 +1,128 @@
+// Property tests for the blocked batch-GEMM SimHash kernel: sign_hash_batch
+// and project_batch must be bitwise identical to the per-vector reference
+// path (sign_hash / project) across awkward input dimensions, patch counts,
+// partial-word hash lengths, and IEEE-754 edge-case inputs (zeros,
+// negative zero, denormals).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/random_projection.hpp"
+
+namespace deepcam::hash {
+namespace {
+
+/// Deterministic input matrix salted with FP edge cases: exact zeros (the
+/// kernel's skip path), negative zeros (sign of 0·C must not flip bits),
+/// denormals, and large-magnitude values.
+std::vector<float> edge_case_matrix(std::size_t count, std::size_t dim,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> xs(count * dim);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    switch (i % 7) {
+      case 0: xs[i] = 0.0f; break;
+      case 1: xs[i] = -0.0f; break;
+      case 2: xs[i] = 1e-41f; break;   // denormal
+      case 3: xs[i] = -1e-41f; break;  // negative denormal
+      case 4: xs[i] = 3.0e8f; break;
+      default: xs[i] = static_cast<float>(rng.gaussian()); break;
+    }
+  }
+  return xs;
+}
+
+TEST(SignHashBatch, BitwiseIdenticalToPerVectorAcrossDimsAndCounts) {
+  const std::size_t dims[] = {1, 63, 64, 65, 150, 1024};
+  const std::size_t counts[] = {0, 1, 7, 33};
+  for (std::size_t dim : dims) {
+    RandomProjection proj(dim, kMaxHashBits, 1000 + dim);
+    const std::size_t wps = proj.words_per_sig();
+    std::vector<float> scratch;
+    for (std::size_t count : counts) {
+      const auto xs = edge_case_matrix(count, dim, 77 * dim + count);
+      std::vector<std::uint64_t> sigs(count * wps, 0xDEADBEEFDEADBEEFULL);
+      proj.sign_hash_batch(xs.data(), count, kMaxHashBits, sigs.data(),
+                           scratch);
+      for (std::size_t p = 0; p < count; ++p) {
+        const BitVec ref = proj.sign_hash(
+            std::span<const float>(&xs[p * dim], dim));
+        for (std::size_t w = 0; w < wps; ++w)
+          ASSERT_EQ(sigs[p * wps + w], ref.data()[w])
+              << "dim=" << dim << " count=" << count << " p=" << p
+              << " word=" << w;
+      }
+    }
+  }
+}
+
+TEST(SignHashBatch, PrefixLengthsMatchPerVectorPrefixHash) {
+  const std::size_t dim = 65;
+  RandomProjection proj(dim, kMaxHashBits, 9);
+  const std::size_t count = 7;
+  const auto xs = edge_case_matrix(count, dim, 5);
+  std::vector<float> scratch;
+  for (std::size_t k : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                        std::size_t{65}, std::size_t{256}, std::size_t{768}}) {
+    const std::size_t wps = (k + 63) / 64;
+    std::vector<std::uint64_t> sigs(count * wps);
+    proj.sign_hash_batch(xs.data(), count, k, sigs.data(), scratch);
+    for (std::size_t p = 0; p < count; ++p) {
+      const BitVec ref = proj.sign_hash_prefix(
+          std::span<const float>(&xs[p * dim], dim), k);
+      for (std::size_t w = 0; w < wps; ++w)
+        ASSERT_EQ(sigs[p * wps + w], ref.data()[w])
+            << "k=" << k << " p=" << p << " word=" << w;
+    }
+  }
+}
+
+TEST(ProjectBatch, BitwiseIdenticalToPerVectorProject) {
+  const std::size_t dims[] = {1, 64, 150};
+  for (std::size_t dim : dims) {
+    RandomProjection proj(dim, 300, 31 + dim);  // non-multiple-of-64 width
+    const std::size_t count = 11;
+    const auto xs = edge_case_matrix(count, dim, dim);
+    std::vector<float> batch_out(count * 300);
+    proj.project_batch(xs.data(), count, batch_out.data());
+    std::vector<float> ref(300);
+    for (std::size_t p = 0; p < count; ++p) {
+      proj.project(std::span<const float>(&xs[p * dim], dim), ref);
+      for (std::size_t j = 0; j < 300; ++j) {
+        // Bit-level equality (covers ±0 distinctions a plain == would hide).
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(batch_out[p * 300 + j]),
+                  std::bit_cast<std::uint32_t>(ref[j]))
+            << "dim=" << dim << " p=" << p << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(SignHashBatch, ScratchReuseAcrossShapesIsClean) {
+  // One scratch buffer shared across projections of different widths and
+  // batch sizes must not leak state between calls.
+  std::vector<float> scratch;
+  RandomProjection big(150, kMaxHashBits, 3);
+  RandomProjection small(5, kMaxHashBits, 4);
+  const auto xs_big = edge_case_matrix(33, 150, 1);
+  const auto xs_small = edge_case_matrix(2, 5, 2);
+  std::vector<std::uint64_t> sig_big(33 * big.words_per_sig());
+  std::vector<std::uint64_t> sig_small(2 * small.words_per_sig());
+  big.sign_hash_batch(xs_big.data(), 33, kMaxHashBits, sig_big.data(),
+                      scratch);
+  small.sign_hash_batch(xs_small.data(), 2, kMaxHashBits, sig_small.data(),
+                        scratch);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const BitVec ref = small.sign_hash(
+        std::span<const float>(&xs_small[p * 5], 5));
+    for (std::size_t w = 0; w < small.words_per_sig(); ++w)
+      EXPECT_EQ(sig_small[p * small.words_per_sig() + w], ref.data()[w]);
+  }
+}
+
+}  // namespace
+}  // namespace deepcam::hash

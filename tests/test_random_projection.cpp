@@ -74,6 +74,36 @@ TEST(RandomProjection, PrefixHashIsPrefixOfFullHash) {
   }
 }
 
+TEST(RandomProjection, SignHashPrefixEqualsTruncatedFullHash) {
+  // sign_hash_prefix projects only the first k columns; the prefix-of-iid-
+  // columns property demands exact (bitwise) agreement with truncating the
+  // full 1024-column hash, including at non-word-aligned k.
+  RandomProjection p(150, 1024, 21);
+  Rng rng(6);
+  std::vector<float> x(150);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = (i % 5 == 0) ? 0.0f : static_cast<float>(rng.gaussian());
+  const BitVec full = p.sign_hash(x);
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                        std::size_t{64}, std::size_t{65}, std::size_t{256},
+                        std::size_t{1023}, std::size_t{1024}}) {
+    EXPECT_TRUE(p.sign_hash_prefix(x, k) == full.prefix(k)) << "k=" << k;
+  }
+}
+
+TEST(RandomProjection, ProjectPrefixMatchesFullProjectionPrefix) {
+  RandomProjection p(64, 512, 23);
+  Rng rng(7);
+  std::vector<float> x(64);
+  for (auto& v : x) v = static_cast<float>(rng.gaussian());
+  std::vector<float> full(512);
+  p.project(x, full);
+  std::vector<float> pre(100);
+  p.project_prefix(x, pre);
+  for (std::size_t j = 0; j < pre.size(); ++j)
+    EXPECT_EQ(pre[j], full[j]) << j;
+}
+
 TEST(RandomProjection, DimMismatchThrows) {
   RandomProjection p(4, 8, 1);
   std::vector<float> wrong(5, 0.0f);
