@@ -1,0 +1,166 @@
+// Online serving demo: multi-model sessions under trace-driven load.
+//
+// Hosts several DeepCAM sessions behind one Server (by default LeNet-5 at
+// two quality/latency tiers: the full k=1024 hash and a 4x-cheaper k=256
+// tier), generates a seeded arrival trace (Poisson, bursty or closed-loop)
+// with the LoadGenerator, replays it, and prints the per-session server
+// summary plus the end-to-end latency distribution (p50/p95/p99).
+//
+// Flags:
+//   --models lenet5,...      comma-separated nn/topologies names; every
+//                            model is hosted at k=1024 and k=256
+//   --mode poisson|bursty|closed
+//   --requests N             trace length                (default 96)
+//   --rate R                 open-loop offered load, req/s (default 400)
+//   --workers N              server batcher threads       (default 4)
+//   --engine-threads N       simulated CAM pipelines per session (default 2)
+//   --batch N                micro-batch size bound       (default 8)
+//   --delay-us D             micro-batch delay bound      (default 2000)
+//   --clients N              closed-loop concurrency      (default 8)
+//   --seed S                 trace seed                   (default 1)
+//   --json                   additionally print the summary as JSON
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/topologies.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/report_io.hpp"
+#include "serve/server.hpp"
+
+using namespace deepcam;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> model_names = {"lenet5"};
+  std::string mode = "poisson";
+  std::size_t requests = 96, workers = 4, engine_threads = 2, batch = 8;
+  std::size_t clients = 8;
+  long delay_us = 2000;
+  double rate = 400.0;
+  std::uint64_t seed = 1;
+  bool emit_json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--models") == 0) model_names = split_csv(next());
+    else if (std::strcmp(argv[i], "--mode") == 0) mode = next();
+    else if (std::strcmp(argv[i], "--requests") == 0) requests = std::strtoul(next(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--rate") == 0) rate = std::strtod(next(), nullptr);
+    else if (std::strcmp(argv[i], "--workers") == 0) workers = std::strtoul(next(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--engine-threads") == 0) engine_threads = std::strtoul(next(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--batch") == 0) batch = std::strtoul(next(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--delay-us") == 0) delay_us = std::strtol(next(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--clients") == 0) clients = std::strtoul(next(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--seed") == 0) seed = std::strtoull(next(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--json") == 0) emit_json = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // --- sessions: every model at two hash-length tiers --------------------
+  serve::ServerConfig cfg;
+  cfg.num_workers = workers;
+  cfg.queue_capacity = 512;
+  cfg.batch.max_batch_size = batch;
+  cfg.batch.max_queue_delay = std::chrono::microseconds(delay_us);
+  serve::Server server(cfg);
+
+  std::vector<std::unique_ptr<nn::Model>> models;  // outlive the server
+  std::vector<std::string> session_names;
+  std::vector<nn::Shape> session_shapes;
+  for (const std::string& name : model_names) {
+    const nn::InputSpec spec = nn::input_spec_for(name);
+    models.push_back(nn::make_model(name, /*seed=*/7));
+    for (const std::size_t k : {std::size_t{1024}, std::size_t{256}}) {
+      core::DeepCamConfig dc;
+      dc.default_hash_bits = k;
+      auto compiled =
+          std::make_shared<const core::CompiledModel>(*models.back(), dc);
+      const std::string session = name + "-k" + std::to_string(k);
+      server.sessions().add_session(session, std::move(compiled),
+                                    engine_threads);
+      session_names.push_back(session);
+      session_shapes.push_back(spec.shape());
+    }
+  }
+  server.start();
+
+  // --- trace -------------------------------------------------------------
+  serve::TraceConfig tc;
+  tc.requests = requests;
+  tc.rate_rps = rate;
+  tc.sessions = session_names;
+  tc.seed = seed;
+  serve::ReplayOptions opts;
+  if (mode == "bursty") {
+    tc.arrivals = serve::ArrivalProcess::kBursty;
+    tc.burst_rate_rps = 4.0 * rate;
+    tc.rate_rps = 0.25 * rate;
+  } else if (mode == "closed") {
+    opts.mode = serve::ReplayOptions::Mode::kClosedLoop;
+    opts.closed_loop_clients = clients;
+  } else if (mode != "poisson") {
+    std::fprintf(stderr, "unknown --mode %s\n", mode.c_str());
+    return 2;
+  }
+  const serve::Trace trace = serve::make_trace(tc);
+
+  std::printf("== serve_loadgen: %zu sessions, %zu requests, %s mode ==\n",
+              session_names.size(), trace.events.size(), mode.c_str());
+  for (const auto& s : session_names) std::printf("  session %s\n", s.c_str());
+
+  serve::LoadGenerator loadgen(server, session_shapes);
+  const serve::LoadReport load = loadgen.replay(trace, opts);
+  server.drain();
+  server.stop();
+
+  std::printf("\noffered %.1f req/s -> achieved %.1f req/s  "
+              "(%zu ok, %zu rejected, %zu errors)\n",
+              load.offered_rps, load.achieved_rps,
+              load.sent - load.errors, load.rejected, load.errors);
+  std::printf("latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n\n",
+              load.percentile_ms(50), load.percentile_ms(95),
+              load.percentile_ms(99), load.latency.max() * 1e3);
+
+  const serve::ServerSummary summary = server.summary();
+  std::printf("%s", serve::server_summary_text(summary).c_str());
+  if (emit_json)
+    std::printf("\n%s\n", serve::server_summary_to_json(summary).c_str());
+
+  // Smoke invariant for CI: every admitted request was answered.
+  const std::size_t answered = load.sent + load.rejected;
+  if (answered != trace.events.size()) {
+    std::fprintf(stderr, "BUG: %zu of %zu requests unaccounted\n",
+                 trace.events.size() - answered, trace.events.size());
+    return 1;
+  }
+  return 0;
+}

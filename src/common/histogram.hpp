@@ -1,0 +1,174 @@
+// Latency histogram: fixed geometric buckets + exact small-N percentiles.
+//
+// ServerMetrics and bench/serve_throughput need p50/p95/p99 over latency
+// samples whose magnitudes span decades (microseconds to seconds), at
+// bounded memory. The histogram keeps:
+//
+//  * a fixed array of geometrically-spaced buckets over [min_value,
+//    max_value] (values outside clamp into the edge buckets), and
+//  * the raw samples, exactly, up to `exact_cap` of them.
+//
+// While count() <= exact_cap, percentile() is exact (nearest-rank on a
+// sorted copy) — the common case for tests and short benchmark runs. Past
+// the cap the raw samples are dropped and percentile() falls back to linear
+// interpolation inside the covering bucket, clamped to the observed
+// min/max. Everything is deterministic: same insertion multiset, same
+// answers.
+//
+// Not thread-safe; callers (ServerMetrics) synchronize externally.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace deepcam {
+
+class Histogram {
+ public:
+  /// Buckets span [min_value, max_value] geometrically. Requirements:
+  /// 0 < min_value < max_value, buckets >= 1.
+  explicit Histogram(double min_value = 1e-6, double max_value = 1e3,
+                     std::size_t buckets = 96, std::size_t exact_cap = 4096)
+      : min_value_(min_value),
+        max_value_(max_value),
+        exact_cap_(exact_cap),
+        inv_log_ratio_(0.0),
+        counts_(buckets, 0) {
+    DEEPCAM_CHECK_MSG(buckets >= 1, "histogram needs at least one bucket");
+    DEEPCAM_CHECK_MSG(min_value > 0.0 && max_value > min_value,
+                      "histogram range must satisfy 0 < min < max");
+    if (buckets > 1)
+      inv_log_ratio_ = static_cast<double>(buckets) /
+                       std::log(max_value_ / min_value_);
+  }
+
+  void add(double v) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_seen_) min_seen_ = v;
+    if (count_ == 1 || v > max_seen_) max_seen_ = v;
+    ++counts_[bucket_index(v)];
+    sorted_valid_ = false;
+    // Keep the raw set only while it covers every sample; past the cap it
+    // would be a biased subset, so drop it for good.
+    if (samples_.size() + 1 == count_ && count_ <= exact_cap_) {
+      samples_.push_back(v);
+    } else if (!samples_.empty()) {
+      samples_.clear();
+      samples_.shrink_to_fit();
+    }
+  }
+
+  /// Adds every sample of `other` (bucket geometry must match). Exactness
+  /// survives only if the merged count still fits the exact cap.
+  void merge(const Histogram& other) {
+    DEEPCAM_CHECK_MSG(counts_.size() == other.counts_.size() &&
+                          min_value_ == other.min_value_ &&
+                          max_value_ == other.max_value_,
+                      "cannot merge histograms of different geometry");
+    if (other.count_ == 0) return;
+    const bool was_exact = count_ == 0 || exact();
+    if (count_ == 0 || other.min_seen_ < min_seen_) min_seen_ = other.min_seen_;
+    if (count_ == 0 || other.max_seen_ > max_seen_) max_seen_ = other.max_seen_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sorted_valid_ = false;
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+      counts_[b] += other.counts_[b];
+    if (was_exact && other.exact() && count_ <= exact_cap_) {
+      samples_.insert(samples_.end(), other.samples_.begin(),
+                      other.samples_.end());
+    } else {
+      samples_.clear();
+      samples_.shrink_to_fit();
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return count_ > 0 ? min_seen_ : 0.0; }
+  double max() const { return count_ > 0 ? max_seen_ : 0.0; }
+  /// True while percentile() answers from the full raw-sample set.
+  bool exact() const { return count_ > 0 && samples_.size() == count_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// p in [0, 100]. Empty histogram -> 0. p=0 -> min, p=100 -> max. Exact
+  /// (nearest-rank) while count() <= exact_cap, bucket-interpolated after.
+  double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return min_seen_;
+    if (p >= 100.0) return max_seen_;
+    if (exact()) {
+      // Lazily sorted view of the raw set, reused until the next add/merge
+      // (ServerMetrics::snapshot asks for several percentiles in a row).
+      if (!sorted_valid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_valid_ = true;
+      }
+      // Nearest-rank: smallest value with at least ceil(p/100 * N) samples
+      // at or below it.
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+      return sorted_[std::max<std::size_t>(rank, 1) - 1];
+    }
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      if (counts_[b] == 0) continue;
+      if (cum + counts_[b] >= target) {
+        // Linear interpolation for the target rank inside this bucket.
+        const double frac =
+            (static_cast<double>(target - cum) - 0.5) /
+            static_cast<double>(counts_[b]);
+        const double lo = bucket_lower(b);
+        const double hi = bucket_upper(b);
+        return std::clamp(lo + frac * (hi - lo), min_seen_, max_seen_);
+      }
+      cum += counts_[b];
+    }
+    return max_seen_;  // unreachable: buckets cover every sample
+  }
+
+  /// Geometric lower/upper bound of bucket `b` (clamped to the range).
+  double bucket_lower(std::size_t b) const {
+    return b == 0 ? min_value_
+                  : min_value_ * std::exp(static_cast<double>(b) /
+                                          inv_log_ratio_);
+  }
+  double bucket_upper(std::size_t b) const {
+    return b + 1 >= counts_.size() ? max_value_ : bucket_lower(b + 1);
+  }
+
+ private:
+  std::size_t bucket_index(double v) const {
+    if (!(v > min_value_)) return 0;
+    if (v >= max_value_ || counts_.size() == 1) return counts_.size() - 1;
+    const auto idx = static_cast<std::size_t>(
+        std::log(v / min_value_) * inv_log_ratio_);
+    return std::min(idx, counts_.size() - 1);
+  }
+
+  double min_value_;
+  double max_value_;
+  std::size_t exact_cap_;
+  double inv_log_ratio_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> samples_;  // raw values while count_ <= exact_cap_
+  mutable std::vector<double> sorted_;  // percentile() cache of samples_
+  mutable bool sorted_valid_ = false;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace deepcam

@@ -1,0 +1,161 @@
+// Minimal locale-proof JSON writer for report serializers.
+//
+// The serving/bench artifacts (BENCH_pr4.json, server summaries) need one
+// shared JSON shape instead of ad-hoc printing, and — like the CSV
+// serializers (see common/format.hpp) — byte-exact output independent of the
+// process locale. JsonWriter emits numbers through std::to_chars (shortest
+// round-trip form for doubles), escapes strings per RFC 8259, and tracks
+// nesting so commas/keys are placed automatically. No parsing, no DOM: the
+// writers here only ever produce JSON.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace deepcam {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    begin_value();
+    out_ += '{';
+    stack_.push_back(kObject);
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    pop(kObject);
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    begin_value();
+    out_ += '[';
+    stack_.push_back(kArray);
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    pop(kArray);
+    out_ += ']';
+    return *this;
+  }
+
+  /// Key of the next value; only valid directly inside an object.
+  JsonWriter& key(const std::string& name) {
+    DEEPCAM_CHECK_MSG(!stack_.empty() && stack_.back() == kObject,
+                      "JSON key outside of an object");
+    DEEPCAM_CHECK_MSG(!have_key_, "JSON key without a value");
+    comma();
+    append_quoted(name);
+    out_ += ':';
+    have_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    begin_value();
+    append_quoted(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v) {
+    begin_value();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    begin_value();
+    if (!std::isfinite(v)) {  // JSON has no NaN/Inf; null is the convention
+      out_ += "null";
+      return *this;
+    }
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    DEEPCAM_CHECK_MSG(res.ec == std::errc(), "JSON number overflow");
+    out_.append(buf, res.ptr);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    begin_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    begin_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  // Catch the common integer types without double-ambiguity. (std::size_t
+  // is std::uint64_t on every target we build for.)
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& kv(const std::string& name, T v) {
+    return key(name).value(v);
+  }
+
+  /// Finished document. Valid once every container is closed.
+  const std::string& str() const {
+    DEEPCAM_CHECK_MSG(stack_.empty(), "unclosed JSON container");
+    return out_;
+  }
+
+ private:
+  enum Scope : char { kObject, kArray };
+
+  void comma() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+  void begin_value() {
+    if (!stack_.empty() && stack_.back() == kObject) {
+      DEEPCAM_CHECK_MSG(have_key_, "JSON value in object without a key");
+      have_key_ = false;
+    } else {
+      comma();
+    }
+  }
+  void pop(Scope s) {
+    DEEPCAM_CHECK_MSG(!stack_.empty() && stack_.back() == s && !have_key_,
+                      "mismatched JSON container close");
+    stack_.pop_back();
+    first_ = false;
+  }
+  void append_quoted(const std::string& s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<char> stack_;
+  bool first_ = true;
+  bool have_key_ = false;
+};
+
+}  // namespace deepcam

@@ -225,6 +225,26 @@ double BatchReport::simulated_throughput() const {
   return static_cast<double>(samples) * pipelines / total_s;
 }
 
+bool BatchFuture::ready() const {
+  DEEPCAM_CHECK_MSG(valid(), "BatchFuture already consumed (or empty)");
+  std::lock_guard<std::mutex> lk(engine_->mu_);
+  return state_->done;
+}
+
+void BatchFuture::wait() const {
+  DEEPCAM_CHECK_MSG(valid(), "BatchFuture already consumed (or empty)");
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  engine_->done_cv_.wait(lk, [this] { return state_->done; });
+}
+
+std::vector<nn::Tensor> BatchFuture::get(BatchReport* report) {
+  DEEPCAM_CHECK_MSG(valid(), "BatchFuture already consumed (or empty)");
+  InferenceEngine* engine = engine_;
+  std::shared_ptr<detail::BatchState> state = std::move(state_);
+  engine_ = nullptr;
+  return engine->collect(*state, report);
+}
+
 InferenceEngine::InferenceEngine(
     std::shared_ptr<const CompiledModel> compiled, std::size_t num_threads)
     : compiled_(std::move(compiled)) {
@@ -252,6 +272,9 @@ InferenceEngine::InferenceEngine(
 }
 
 InferenceEngine::~InferenceEngine() {
+  // shutdown_ means "no new submissions; exit once the FIFO is drained" —
+  // workers finish every already-submitted batch so outstanding futures
+  // complete instead of hanging.
   {
     std::lock_guard<std::mutex> lk(mu_);
     shutdown_ = true;
@@ -264,76 +287,114 @@ void InferenceEngine::worker_loop(std::size_t worker_idx) {
   Worker& worker = *workers_[worker_idx];
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    work_cv_.wait(lk, [this] {
-      return shutdown_ || (batch_inputs_ != nullptr &&
-                           next_sample_ < batch_inputs_->size());
-    });
-    if (shutdown_) return;
-    while (batch_inputs_ != nullptr &&
-           next_sample_ < batch_inputs_->size()) {
-      const std::size_t s = next_sample_++;
-      const std::vector<nn::Tensor>& inputs = *batch_inputs_;
-      std::vector<nn::Tensor>& outputs = *batch_outputs_;
-      std::vector<RunReport>& reports = *batch_reports_;
-      lk.unlock();
-      std::exception_ptr error;
-      try {
-        outputs[s] = worker.run(inputs[s], &reports[s]);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      lk.lock();
-      if (error != nullptr &&
-          (batch_error_ == nullptr || s < batch_error_sample_)) {
-        batch_error_ = error;
-        batch_error_sample_ = s;
-      }
-      if (--pending_samples_ == 0) done_cv_.notify_all();
+    work_cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    // FIFO dispatch: drain the front batch's samples first; a later batch
+    // only starts once every sample of the earlier ones is dispatched (its
+    // execution still overlaps the earlier batches' in-flight tails).
+    std::shared_ptr<detail::BatchState> state = queue_.front();
+    const std::size_t s = state->next_sample++;
+    if (state->next_sample >= state->inputs->size()) queue_.pop_front();
+    lk.unlock();
+    std::exception_ptr error;
+    try {
+      state->outputs[s] = worker.run((*state->inputs)[s], &state->reports[s]);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lk.lock();
+    if (error != nullptr &&
+        (state->error == nullptr || s < state->error_sample)) {
+      state->error = error;
+      state->error_sample = s;
+    }
+    if (--state->pending == 0) {
+      state->done = true;
+      state->wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                state->t_submit)
+                                .count();
+      --in_flight_;
+      done_cv_.notify_all();
     }
   }
 }
 
-std::vector<nn::Tensor> InferenceEngine::run_batch(
-    const std::vector<nn::Tensor>& inputs, BatchReport* report) {
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
-  std::vector<nn::Tensor> outputs(inputs.size());
-  std::vector<RunReport> reports(inputs.size());
-  const auto t0 = std::chrono::steady_clock::now();
-  if (!inputs.empty()) {
-    std::unique_lock<std::mutex> lk(mu_);
-    batch_inputs_ = &inputs;
-    batch_outputs_ = &outputs;
-    batch_reports_ = &reports;
-    next_sample_ = 0;
-    pending_samples_ = inputs.size();
-    work_cv_.notify_all();
-    done_cv_.wait(lk, [this] { return pending_samples_ == 0; });
-    batch_inputs_ = nullptr;
-    batch_outputs_ = nullptr;
-    batch_reports_ = nullptr;
-    if (batch_error_ != nullptr) {
-      std::exception_ptr error = batch_error_;
-      batch_error_ = nullptr;
-      batch_error_sample_ = 0;
-      lk.unlock();
-      std::rethrow_exception(error);
+void InferenceEngine::enqueue(
+    const std::shared_ptr<detail::BatchState>& state) {
+  const std::size_t n = state->inputs->size();
+  state->outputs.resize(n);
+  state->reports.resize(n);
+  state->pending = n;
+  state->t_submit = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    DEEPCAM_CHECK_MSG(!shutdown_, "submit on a shutting-down engine");
+    ++in_flight_;
+    if (n == 0) {
+      // Nothing to dispatch: complete inline so get() does not hang.
+      state->done = true;
+      --in_flight_;
+      return;
     }
+    queue_.push_back(state);
   }
-  const auto t1 = std::chrono::steady_clock::now();
+  if (n == 1)
+    work_cv_.notify_one();
+  else
+    work_cv_.notify_all();
+}
+
+BatchFuture InferenceEngine::submit(std::vector<nn::Tensor> inputs) {
+  auto state = std::make_shared<detail::BatchState>();
+  state->owned_inputs = std::move(inputs);
+  state->inputs = &state->owned_inputs;
+  enqueue(state);
+  return BatchFuture(this, std::move(state));
+}
+
+std::size_t InferenceEngine::in_flight_batches() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
+std::vector<nn::Tensor> InferenceEngine::collect(detail::BatchState& state,
+                                                 BatchReport* report) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&state] { return state.done; });
+  }
+  // Past this point the workers are finished with `state`; its fields are
+  // plain data owned by this thread (the unlock/lock pair above published
+  // them).
+  if (state.error != nullptr) std::rethrow_exception(state.error);
   if (report != nullptr) {
     *report = {};
-    report->samples = inputs.size();
+    report->samples = state.reports.size();
     report->threads = thread_count();
-    report->wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-    for (std::size_t i = 0; i < reports.size(); ++i) {
+    report->wall_seconds = state.wall_seconds;
+    for (std::size_t i = 0; i < state.reports.size(); ++i) {
       if (i == 0)
-        report->aggregate = reports[i];
+        report->aggregate = state.reports[i];
       else
-        merge_report(report->aggregate, reports[i]);
+        merge_report(report->aggregate, state.reports[i]);
     }
-    report->per_sample = std::move(reports);
+    report->per_sample = std::move(state.reports);
   }
-  return outputs;
+  return std::move(state.outputs);
+}
+
+std::vector<nn::Tensor> InferenceEngine::run_batch(
+    const std::vector<nn::Tensor>& inputs, BatchReport* report) {
+  // Thin wrapper over the submit/collect path; borrows the caller's inputs
+  // (they outlive the wait below) instead of copying them.
+  auto state = std::make_shared<detail::BatchState>();
+  state->inputs = &inputs;
+  enqueue(state);
+  return collect(*state, report);
 }
 
 std::vector<nn::Tensor> InferenceEngine::run_batch(const nn::Tensor& batched,

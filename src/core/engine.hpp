@@ -5,18 +5,27 @@
 // executes single samples against a shared-immutable CompiledModel (see
 // core/compiled_model.hpp for the architecture overview).
 //
-// InferenceEngine owns a std::thread pool with one Worker per thread and
-// dispatches the samples of run_batch() to whichever worker is free.
+// InferenceEngine owns a std::thread pool with one Worker per thread and a
+// FIFO of in-flight batches. submit() enqueues a batch without blocking and
+// returns a BatchFuture; each batch carries its own completion state, so any
+// number of batches can be in flight concurrently and their samples drain
+// through the same pool in submission order (the online serving layer in
+// src/serve pipelines micro-batches through exactly this path). run_batch()
+// is a thin submit()+get() wrapper.
+//
 // Determinism contract: a sample's logits and its RunReport depend only on
 // (CompiledModel, input) — Workers reset their hardware counters at the
 // start of every run, all randomness is seeded at compile time, and the
 // per-sample reports are merged into the BatchReport in sample order — so
-// run_batch() is bitwise-reproducible for any thread count, and identical
-// to running the samples sequentially through DeepCamAccelerator::run.
+// run_batch() is bitwise-reproducible for any thread count and any number of
+// concurrently in-flight batches, and identical to running the samples
+// sequentially through DeepCamAccelerator::run.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -66,7 +75,7 @@ class Worker {
   std::vector<nn::Tensor> outs_;
 };
 
-/// Aggregated result of one run_batch() call.
+/// Aggregated result of one run_batch() / BatchFuture::get() call.
 struct BatchReport {
   /// Per-sample reports, in input order.
   std::vector<RunReport> per_sample;
@@ -77,7 +86,7 @@ struct BatchReport {
   RunReport aggregate;
   std::size_t samples = 0;
   std::size_t threads = 0;      // pool size used
-  double wall_seconds = 0.0;    // host wall-clock of the batch
+  double wall_seconds = 0.0;    // host wall-clock, submit to completion
 
   /// Host throughput in samples per second.
   double throughput() const {
@@ -89,6 +98,61 @@ struct BatchReport {
   double simulated_throughput() const;
 };
 
+namespace detail {
+
+/// Completion state of one in-flight batch. Owned jointly by the engine's
+/// FIFO (until all samples are dispatched) and the BatchFuture; every field
+/// is guarded by the engine's mutex.
+struct BatchState {
+  // Either the batch owns its inputs (submit) or borrows the caller's
+  // vector, which must stay alive until completion (run_batch wrapper).
+  std::vector<nn::Tensor> owned_inputs;
+  const std::vector<nn::Tensor>* inputs = nullptr;
+  std::vector<nn::Tensor> outputs;
+  std::vector<RunReport> reports;
+  std::size_t next_sample = 0;    // first undispatched sample
+  std::size_t pending = 0;        // dispatched or undispatched samples left
+  // Error of the lowest-index failing sample, so which exception get()
+  // rethrows does not depend on thread-completion order.
+  std::exception_ptr error;
+  std::size_t error_sample = 0;
+  bool done = false;
+  std::chrono::steady_clock::time_point t_submit;
+  double wall_seconds = 0.0;
+};
+
+}  // namespace detail
+
+class InferenceEngine;
+
+/// Handle to one submitted batch. get() blocks until every sample of the
+/// batch completed, rethrows the lowest-index failing sample's error, and
+/// returns the logits in input order (one-shot: the future is empty
+/// afterwards). Futures must be consumed before the engine is destroyed.
+class BatchFuture {
+ public:
+  BatchFuture() = default;
+
+  /// True while a result (or error) can still be collected.
+  bool valid() const { return state_ != nullptr; }
+  /// True once every sample of the batch completed (never blocks).
+  bool ready() const;
+  /// Blocks until the batch completed (does not consume the result).
+  void wait() const;
+  /// Blocks, then returns the logits in input order; fills `report` if
+  /// non-null. Rethrows the lowest-index failing sample's exception.
+  std::vector<nn::Tensor> get(BatchReport* report = nullptr);
+
+ private:
+  friend class InferenceEngine;
+  BatchFuture(InferenceEngine* engine,
+              std::shared_ptr<detail::BatchState> state)
+      : engine_(engine), state_(std::move(state)) {}
+
+  InferenceEngine* engine_ = nullptr;
+  std::shared_ptr<detail::BatchState> state_;
+};
+
 /// Thread-pooled batch runner over one shared CompiledModel.
 class InferenceEngine {
  public:
@@ -96,6 +160,9 @@ class InferenceEngine {
   /// selects std::thread::hardware_concurrency().
   explicit InferenceEngine(std::shared_ptr<const CompiledModel> compiled,
                            std::size_t num_threads = 0);
+  /// Drains every still-in-flight batch, then joins the pool. Outstanding
+  /// BatchFutures keep their shared state alive but must not be touched
+  /// after the engine is gone.
   ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
@@ -104,8 +171,18 @@ class InferenceEngine {
   std::size_t thread_count() const { return threads_.size(); }
   const CompiledModel& compiled() const { return *compiled_; }
 
-  /// Runs every input (each a batch-1 tensor) through the worker pool.
-  /// Returns the logits in input order; fills `report` if non-null.
+  /// Enqueues `inputs` (each a batch-1 tensor) as one batch and returns
+  /// immediately. Batches dispatch FIFO, but samples of later batches start
+  /// as soon as workers free up — multiple batches overlap in flight.
+  BatchFuture submit(std::vector<nn::Tensor> inputs);
+
+  /// Batches currently submitted but not yet completed.
+  std::size_t in_flight_batches() const;
+
+  /// Runs every input (each a batch-1 tensor) through the worker pool and
+  /// waits. Returns the logits in input order; fills `report` if non-null.
+  /// Equivalent to submit(inputs).get(report) minus the input copy; safe to
+  /// call from any number of threads concurrently.
   std::vector<nn::Tensor> run_batch(const std::vector<nn::Tensor>& inputs,
                                     BatchReport* report = nullptr);
 
@@ -114,28 +191,28 @@ class InferenceEngine {
                                     BatchReport* report = nullptr);
 
  private:
+  friend class BatchFuture;
+
   void worker_loop(std::size_t worker_idx);
+  /// Enqueues a prepared BatchState (lock taken inside).
+  void enqueue(const std::shared_ptr<detail::BatchState>& state);
+  /// Blocks until `state->done`, then rethrows its recorded error (if any)
+  /// and fills `report`/returns outputs exactly like the old run_batch.
+  std::vector<nn::Tensor> collect(detail::BatchState& state,
+                                  BatchReport* report);
 
   std::shared_ptr<const CompiledModel> compiled_;
   std::vector<std::unique_ptr<Worker>> workers_;  // one per thread
   std::vector<std::thread> threads_;
 
-  // Serializes run_batch() callers; one batch is in flight at a time.
-  std::mutex submit_mu_;
-
-  // Batch dispatch state, guarded by mu_.
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a batch
-  std::condition_variable done_cv_;   // run_batch waits for completion
-  const std::vector<nn::Tensor>* batch_inputs_ = nullptr;
-  std::vector<nn::Tensor>* batch_outputs_ = nullptr;
-  std::vector<RunReport>* batch_reports_ = nullptr;
-  std::size_t next_sample_ = 0;
-  std::size_t pending_samples_ = 0;
-  // Error of the lowest-index failing sample, so which exception run_batch
-  // rethrows does not depend on thread-completion order.
-  std::exception_ptr batch_error_;
-  std::size_t batch_error_sample_ = 0;
+  // Batch FIFO + completion state, guarded by mu_. queue_ holds batches
+  // with undispatched samples; in_flight_ counts submitted-but-not-done
+  // batches (so it can exceed queue_.size() while tails are executing).
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for queued samples
+  std::condition_variable done_cv_;   // futures wait for their batch
+  std::deque<std::shared_ptr<detail::BatchState>> queue_;
+  std::size_t in_flight_ = 0;
   bool shutdown_ = false;
 };
 

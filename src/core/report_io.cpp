@@ -53,4 +53,57 @@ std::string report_summary(const RunReport& report) {
   return os.str();
 }
 
+void run_report_json(JsonWriter& json, const RunReport& report) {
+  json.begin_object();
+  json.kv("total_cycles", report.total_cycles());
+  json.kv("peripheral_cycles", report.peripheral_cycles);
+  json.kv("total_energy_j", report.total_energy());
+  json.kv("total_searches", report.total_searches());
+  json.kv("total_dot_products", report.total_dot_products());
+  json.kv("mean_utilization", report.mean_utilization());
+  json.kv("time_seconds", report.time_seconds());
+  json.kv("cam_area_um2", report.cam_area_um2);
+  json.key("layers").begin_array();
+  for (const auto& l : report.layers) {
+    json.begin_object();
+    json.kv("name", l.name);
+    json.kv("patches", l.patches);
+    json.kv("kernels", l.kernels);
+    json.kv("context_len", l.context_len);
+    json.kv("hash_bits", l.hash_bits);
+    json.kv("passes", l.plan.passes);
+    json.kv("searches", l.plan.searches);
+    json.kv("rows_written", l.plan.rows_written);
+    json.kv("utilization", l.plan.utilization);
+    json.kv("dot_products", l.plan.dot_products);
+    json.kv("cycles", l.cycles);
+    json.kv("cam_energy_j", l.cam_energy);
+    json.kv("postproc_energy_j", l.postproc_energy);
+    json.kv("ctxgen_energy_j", l.ctxgen_energy);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string batch_report_to_json(const BatchReport& report,
+                                 bool include_per_sample) {
+  JsonWriter json;
+  json.begin_object();
+  json.kv("samples", report.samples);
+  json.kv("threads", report.threads);
+  json.kv("wall_seconds", report.wall_seconds);
+  json.kv("samples_per_second", report.throughput());
+  json.kv("simulated_samples_per_second", report.simulated_throughput());
+  json.key("aggregate");
+  run_report_json(json, report.aggregate);
+  if (include_per_sample) {
+    json.key("per_sample").begin_array();
+    for (const auto& r : report.per_sample) run_report_json(json, r);
+    json.end_array();
+  }
+  json.end_object();
+  return json.str();
+}
+
 }  // namespace deepcam::core

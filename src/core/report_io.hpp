@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "common/json.hpp"
 #include "core/accelerator.hpp"
 
 namespace deepcam::core {
@@ -19,5 +20,16 @@ std::string report_to_csv(const RunReport& report);
 
 /// Multi-line human-readable summary (totals + per-layer one-liners).
 std::string report_summary(const RunReport& report);
+
+/// Appends one JSON object for `report` (totals + per-layer array) to an
+/// in-progress JsonWriter — the shared building block for every artifact
+/// that embeds a run report (server summaries, BENCH_pr4.json).
+void run_report_json(JsonWriter& json, const RunReport& report);
+
+/// One self-contained JSON object for a BatchReport: samples/threads/wall
+/// seconds, host + simulated throughput, the aggregate run report and
+/// (optionally) the per-sample reports. Locale-proof, byte-stable.
+std::string batch_report_to_json(const BatchReport& report,
+                                 bool include_per_sample = false);
 
 }  // namespace deepcam::core

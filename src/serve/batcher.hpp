@@ -1,0 +1,43 @@
+// DynamicBatcher: micro-batch formation policy over a RequestQueue.
+//
+// Coalesces pending single-sample requests of one session into a
+// micro-batch, dispatching when either the batch is full
+// (policy.max_batch_size) or the oldest pending request has waited
+// policy.max_queue_delay — the classic throughput/latency knob of online
+// serving: larger batches amortize per-dispatch overhead and fill the
+// engine's worker pool; the delay bound caps the queueing latency a lone
+// request can accrue waiting for company.
+//
+// The extraction itself runs inside RequestQueue::pop_micro_batch (it must
+// be atomic with head selection — see request_queue.hpp); DynamicBatcher
+// owns the policy and gives each server worker its dispatch loop. Several
+// DynamicBatchers can drain one queue concurrently: that is what lets
+// micro-batches of different (or the same) session be in flight at once.
+#pragma once
+
+#include "serve/request_queue.hpp"
+
+namespace deepcam::serve {
+
+class DynamicBatcher {
+ public:
+  /// `queue` must outlive the batcher.
+  DynamicBatcher(RequestQueue& queue, BatchPolicy policy)
+      : queue_(&queue), policy_(policy) {
+    DEEPCAM_CHECK_MSG(policy.max_batch_size >= 1,
+                      "batch policy needs max_batch_size >= 1");
+  }
+
+  const BatchPolicy& policy() const { return policy_; }
+
+  /// Blocks for the next micro-batch (all requests share one session).
+  /// Empty result means the queue is closed and drained — the dispatch
+  /// loop should exit.
+  std::vector<Request> next() { return queue_->pop_micro_batch(policy_); }
+
+ private:
+  RequestQueue* queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace deepcam::serve

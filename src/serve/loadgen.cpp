@@ -1,0 +1,186 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace deepcam::serve {
+
+Trace make_trace(const TraceConfig& cfg) {
+  DEEPCAM_CHECK_MSG(!cfg.sessions.empty(), "trace needs >= 1 session");
+  DEEPCAM_CHECK_MSG(cfg.rate_rps > 0.0, "trace needs a positive rate");
+  if (cfg.arrivals == ArrivalProcess::kBursty)
+    DEEPCAM_CHECK_MSG(cfg.burst_rate_rps > 0.0,
+                      "bursty trace needs a positive burst rate");
+  Trace trace;
+  trace.sessions = cfg.sessions;
+  trace.events.reserve(cfg.requests);
+  Rng rng(cfg.seed);
+  double t = 0.0;
+  for (std::size_t i = 0; i < cfg.requests; ++i) {
+    double rate = cfg.rate_rps;
+    if (cfg.arrivals == ArrivalProcess::kBursty && cfg.period_seconds > 0.0) {
+      // On/off modulation: the burst window covers the first burst_fraction
+      // of every period. The gap is drawn at the rate active at the current
+      // time — a standard (approximate) piecewise-Poisson thinning.
+      const double phase = std::fmod(t, cfg.period_seconds);
+      if (phase < cfg.burst_fraction * cfg.period_seconds)
+        rate = cfg.burst_rate_rps;
+    }
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();  // guard log(0)
+    t += -std::log(u) / rate;            // Exp(rate) inter-arrival gap
+    TraceEvent e;
+    e.t_seconds = t;
+    e.session = static_cast<std::size_t>(
+        rng.uniform_index(cfg.sessions.size()));
+    e.input_seed = rng.next();
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+LoadGenerator::LoadGenerator(Server& server,
+                             std::vector<nn::Shape> input_shapes)
+    : server_(&server), input_shapes_(std::move(input_shapes)) {}
+
+nn::Tensor LoadGenerator::make_input(const nn::Shape& shape,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor t(shape);
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.gaussian());
+  return t;
+}
+
+namespace {
+
+/// Shared completion state of one replay: counts outstanding requests and
+/// publishes each worker-thread record write to the replaying thread.
+struct ReplaySync {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;
+};
+
+}  // namespace
+
+LoadReport LoadGenerator::replay(const Trace& trace,
+                                 const ReplayOptions& opts) {
+  DEEPCAM_CHECK_MSG(input_shapes_.size() == trace.sessions.size(),
+                    "one input shape per trace session required");
+  DEEPCAM_CHECK_MSG(opts.time_scale > 0.0, "time_scale must be positive");
+  LoadReport report;
+  report.records.resize(trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    report.records[i].event = i;
+    report.records[i].session = trace.events[i].session;
+  }
+  if (trace.events.empty()) return report;
+
+  ReplaySync sync;
+  const Clock::time_point t0 = Clock::now();
+
+  if (opts.mode == ReplayOptions::Mode::kOpenLoop) {
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+      const TraceEvent& e = trace.events[i];
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(e.t_seconds /
+                                                 opts.time_scale)));
+      RequestRecord& rec = report.records[i];
+      {
+        std::lock_guard<std::mutex> lk(sync.mu);
+        ++sync.outstanding;
+      }
+      const Admission verdict = server_->submit(
+          trace.sessions[e.session],
+          make_input(input_shapes_[e.session], e.input_seed),
+          [&sync, &rec](Response&& resp) {
+            // Notify *under* the lock: sync lives on the replaying thread's
+            // stack, and replay() returns (destroying it) as soon as the
+            // waiter observes outstanding == 0 — an unlocked notify could
+            // touch a dead condition_variable.
+            std::lock_guard<std::mutex> lk(sync.mu);
+            rec.response = std::move(resp);
+            rec.completed = true;
+            --sync.outstanding;
+            sync.cv.notify_one();
+          });
+      rec.admission = verdict;
+      if (verdict != Admission::kAccepted) {
+        std::lock_guard<std::mutex> lk(sync.mu);
+        --sync.outstanding;
+      }
+    }
+    std::unique_lock<std::mutex> lk(sync.mu);
+    sync.cv.wait(lk, [&sync] { return sync.outstanding == 0; });
+  } else {
+    // Closed loop: each client keeps one request outstanding; trace arrival
+    // times are ignored, ordering comes from the shared event cursor.
+    std::atomic<std::size_t> cursor{0};
+    const std::size_t clients =
+        std::max<std::size_t>(1, opts.closed_loop_clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i =
+              cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= trace.events.size()) return;
+          const TraceEvent& e = trace.events[i];
+          Response resp = server_->run(
+              trace.sessions[e.session],
+              make_input(input_shapes_[e.session], e.input_seed));
+          std::lock_guard<std::mutex> lk(sync.mu);
+          RequestRecord& rec = report.records[i];
+          rec.response = std::move(resp);
+          rec.completed = true;
+          // run() reports failed admission as an error response.
+          rec.admission = rec.response.ok() || rec.response.batch_size > 0
+                              ? Admission::kAccepted
+                              : Admission::kRejectedClosed;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  report.duration_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const RequestRecord& rec : report.records) {
+    if (!rec.completed) {
+      ++report.rejected;
+      continue;
+    }
+    if (rec.admission != Admission::kAccepted) {
+      ++report.rejected;
+      continue;
+    }
+    ++report.sent;
+    if (!rec.response.ok())
+      ++report.errors;
+    else
+      report.latency.add(rec.response.total_seconds);
+  }
+  const double span = trace.duration_seconds();
+  report.offered_rps =
+      span > 0.0 ? static_cast<double>(trace.events.size()) /
+                       (span / opts.time_scale)
+                 : 0.0;
+  report.achieved_rps =
+      report.duration_seconds > 0.0
+          ? static_cast<double>(report.sent - report.errors) /
+                report.duration_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace deepcam::serve

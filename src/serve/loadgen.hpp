@@ -1,0 +1,119 @@
+// Trace-driven load generator for the serving subsystem.
+//
+// Reproducible load experiments need the *workload* separated from the
+// *replay*: make_trace() expands a seeded TraceConfig into an explicit
+// arrival trace (timestamps, session picks, per-request input seeds — a
+// pure function of the config), and LoadGenerator::replay() drives a
+// running Server with it:
+//
+//  * open-loop  — requests fire at the trace's arrival times regardless of
+//    completions (offered load is held; overload shows up as queue growth,
+//    backpressure rejections and p99 inflation), with Poisson or
+//    on/off-bursty arrivals;
+//  * closed-loop — K concurrent clients each keep exactly one request
+//    outstanding (classic saturation measurement; arrival times ignored).
+//
+// Per-request inputs are synthesized deterministically from the trace's
+// input_seed, so a trace replayed against any server configuration (worker
+// count, batch policy) yields bitwise-identical per-request logits — the
+// serving determinism contract tested in tests/test_serve.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "nn/tensor.hpp"
+#include "serve/server.hpp"
+
+namespace deepcam::serve {
+
+struct TraceEvent {
+  double t_seconds = 0.0;       // arrival offset from trace start
+  std::size_t session = 0;      // index into Trace::sessions
+  std::uint64_t input_seed = 0; // seeds the synthetic input tensor
+};
+
+struct Trace {
+  std::vector<std::string> sessions;  // session names, uniformly sampled
+  std::vector<TraceEvent> events;     // sorted by t_seconds
+
+  /// Arrival time of the last event (0 for empty traces).
+  double duration_seconds() const {
+    return events.empty() ? 0.0 : events.back().t_seconds;
+  }
+};
+
+enum class ArrivalProcess {
+  kPoisson,  // stationary Poisson at rate_rps
+  kBursty,   // on/off-modulated Poisson: burst_rate_rps for the first
+             // burst_fraction of every period_seconds, rate_rps after
+};
+
+struct TraceConfig {
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  double rate_rps = 200.0;
+  double burst_rate_rps = 2000.0;
+  double burst_fraction = 0.25;
+  double period_seconds = 0.2;
+  std::size_t requests = 128;
+  std::vector<std::string> sessions;  // at least one name
+  std::uint64_t seed = 1;
+};
+
+/// Expands `cfg` into an explicit trace. Deterministic in `cfg`.
+Trace make_trace(const TraceConfig& cfg);
+
+/// Outcome of one trace event after a replay.
+struct RequestRecord {
+  std::size_t event = 0;  // index into Trace::events
+  std::size_t session = 0;
+  Admission admission = Admission::kAccepted;
+  bool completed = false;
+  Response response;  // valid iff completed
+};
+
+struct LoadReport {
+  std::size_t sent = 0;      // admitted requests
+  std::size_t rejected = 0;  // admission-control rejections (backpressure)
+  std::size_t errors = 0;    // admitted but failed
+  double duration_seconds = 0.0;  // first submit -> last response
+  double offered_rps = 0.0;       // trace arrival rate (after time_scale)
+  double achieved_rps = 0.0;      // completions / duration
+  Histogram latency{1e-6, 1e3, 96, 65536};  // end-to-end seconds
+  std::vector<RequestRecord> records;       // one per trace event, in order
+
+  double percentile_ms(double p) const { return latency.percentile(p) * 1e3; }
+};
+
+struct ReplayOptions {
+  enum class Mode { kOpenLoop, kClosedLoop };
+  Mode mode = Mode::kOpenLoop;
+  std::size_t closed_loop_clients = 4;
+  /// Open-loop speedup: arrival times are divided by this (2 = replay the
+  /// trace twice as fast).
+  double time_scale = 1.0;
+};
+
+class LoadGenerator {
+ public:
+  /// `server` must be start()ed and outlive the generator;
+  /// `input_shapes[i]` is the input geometry for Trace::sessions[i].
+  LoadGenerator(Server& server, std::vector<nn::Shape> input_shapes);
+
+  /// Deterministic synthetic sample: i.i.d. standard-normal pixels from
+  /// `seed` (the per-event input the determinism contract is built on).
+  static nn::Tensor make_input(const nn::Shape& shape, std::uint64_t seed);
+
+  /// Drives the server with `trace`; blocks until every admitted request
+  /// completed. Thread-safe against concurrent server traffic from other
+  /// sources (their stats simply don't appear in the returned report).
+  LoadReport replay(const Trace& trace, const ReplayOptions& opts = {});
+
+ private:
+  Server* server_;
+  std::vector<nn::Shape> input_shapes_;
+};
+
+}  // namespace deepcam::serve

@@ -1,0 +1,139 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace deepcam::serve {
+
+std::uint64_t ServerSummary::total_completed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions) n += s.completed;
+  return n;
+}
+
+std::uint64_t ServerSummary::total_rejected() const {
+  std::uint64_t n = unknown_session_rejected;
+  for (const auto& s : sessions) n += s.rejected;
+  return n;
+}
+
+double ServerSummary::throughput_rps() const {
+  return elapsed_seconds > 0.0
+             ? static_cast<double>(total_completed()) / elapsed_seconds
+             : 0.0;
+}
+
+ServerMetrics::ServerMetrics(std::size_t num_sessions)
+    : sessions_(num_sessions) {}
+
+void ServerMetrics::on_admission(std::size_t session, Admission verdict) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DEEPCAM_CHECK(session < sessions_.size());
+  if (verdict == Admission::kAccepted)
+    ++sessions_[session].accepted;
+  else
+    ++sessions_[session].rejected;
+}
+
+void ServerMetrics::on_unknown_session() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++unknown_session_;
+}
+
+std::uint64_t ServerMetrics::unknown_session_rejections() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return unknown_session_;
+}
+
+void ServerMetrics::on_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lk(mu_);
+  queue_depths_.add(static_cast<double>(depth));
+}
+
+double ServerMetrics::queue_depth_percentile(double p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_depths_.percentile(p);
+}
+
+void ServerMetrics::on_batch_dispatch(std::size_t session,
+                                      std::size_t batch_size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DEEPCAM_CHECK(session < sessions_.size());
+  SessionCounters& s = sessions_[session];
+  ++s.batches;
+  s.batched_requests += batch_size;
+  s.batch_sizes.add(static_cast<double>(batch_size));
+  s.max_batch_size = std::max<std::uint64_t>(s.max_batch_size, batch_size);
+  ++s.in_flight;
+  s.max_in_flight = std::max(s.max_in_flight, s.in_flight);
+  ++in_flight_;
+  max_in_flight_ = std::max(max_in_flight_, in_flight_);
+}
+
+void ServerMetrics::on_batch_complete(std::size_t session) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DEEPCAM_CHECK(session < sessions_.size());
+  DEEPCAM_CHECK(sessions_[session].in_flight > 0 && in_flight_ > 0);
+  --sessions_[session].in_flight;
+  --in_flight_;
+}
+
+void ServerMetrics::on_response(const Response& response) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DEEPCAM_CHECK(response.session < sessions_.size());
+  SessionCounters& s = sessions_[response.session];
+  ++s.completed;
+  if (!response.ok()) ++s.errors;
+  s.latency.add(response.total_seconds);
+  s.queue_wait.add(response.queue_seconds);
+}
+
+std::uint64_t ServerMetrics::in_flight_batches() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
+std::uint64_t ServerMetrics::max_in_flight_batches() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_in_flight_;
+}
+
+std::vector<SessionSummary> ServerMetrics::snapshot(
+    const std::vector<std::string>& names, double elapsed_seconds) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  DEEPCAM_CHECK_MSG(names.size() == sessions_.size(),
+                    "one name per session required");
+  std::vector<SessionSummary> out(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    const SessionCounters& c = sessions_[i];
+    SessionSummary& s = out[i];
+    s.name = names[i];
+    s.accepted = c.accepted;
+    s.rejected = c.rejected;
+    s.completed = c.completed;
+    s.errors = c.errors;
+    s.batches = c.batches;
+    s.mean_batch_size =
+        c.batches > 0 ? static_cast<double>(c.batched_requests) /
+                            static_cast<double>(c.batches)
+                      : 0.0;
+    s.batch_size_p50 = c.batch_sizes.percentile(50.0);
+    s.max_batch_size = c.max_batch_size;
+    s.max_in_flight_batches = c.max_in_flight;
+    s.latency_p50_ms = c.latency.percentile(50.0) * 1e3;
+    s.latency_p95_ms = c.latency.percentile(95.0) * 1e3;
+    s.latency_p99_ms = c.latency.percentile(99.0) * 1e3;
+    s.latency_mean_ms = c.latency.mean() * 1e3;
+    s.latency_max_ms = c.latency.max() * 1e3;
+    s.queue_wait_p50_ms = c.queue_wait.percentile(50.0) * 1e3;
+    s.queue_wait_p99_ms = c.queue_wait.percentile(99.0) * 1e3;
+    s.throughput_rps =
+        elapsed_seconds > 0.0
+            ? static_cast<double>(c.completed) / elapsed_seconds
+            : 0.0;
+  }
+  return out;
+}
+
+}  // namespace deepcam::serve

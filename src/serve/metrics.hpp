@@ -1,0 +1,120 @@
+// ServerMetrics: per-session serving counters and distributions.
+//
+// Tracks, per named session: admission counters, completed/error counts,
+// end-to-end latency and queue-wait histograms (p50/p95/p99 via
+// common/histogram.hpp), micro-batch size distribution, and the number of
+// concurrently in-flight micro-batches (current + high-water mark — the
+// acceptance signal that the serving layer really pipelines batches instead
+// of serializing them like the old engine-global single-flight path).
+//
+// Updates come from several server worker threads; one mutex guards the
+// whole object (all updates are O(1)-ish and off the engine's inner loop).
+// snapshot() freezes everything into the plain-data ServerSummary that
+// serve/report_io serializes.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "serve/request.hpp"
+
+namespace deepcam::serve {
+
+/// Frozen per-session statistics (all latencies in milliseconds).
+struct SessionSummary {
+  std::string name;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;   // backpressure + closed (session resolved)
+  std::uint64_t completed = 0;  // responses delivered, including errors
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;    // micro-batches dispatched
+  double mean_batch_size = 0.0;
+  double batch_size_p50 = 0.0;
+  std::uint64_t max_batch_size = 0;
+  std::uint64_t max_in_flight_batches = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double throughput_rps = 0.0;  // completed / elapsed
+};
+
+/// Frozen whole-server statistics.
+struct ServerSummary {
+  double elapsed_seconds = 0.0;
+  std::size_t workers = 0;         // batcher threads
+  std::size_t queue_capacity = 0;
+  std::uint64_t max_queue_depth = 0;
+  double queue_depth_p50 = 0.0;    // depth observed at each admission
+  double queue_depth_p99 = 0.0;
+  std::uint64_t max_in_flight_batches = 0;  // across all sessions
+  // Rejections that never resolved to a session (mistyped session name);
+  // they have no SessionSummary row to live in.
+  std::uint64_t unknown_session_rejected = 0;
+  std::vector<SessionSummary> sessions;
+
+  std::uint64_t total_completed() const;
+  /// Per-session rejections plus unknown_session_rejected.
+  std::uint64_t total_rejected() const;
+  /// Completed requests per second across all sessions.
+  double throughput_rps() const;
+};
+
+class ServerMetrics {
+ public:
+  explicit ServerMetrics(std::size_t num_sessions);
+
+  void on_admission(std::size_t session, Admission verdict);
+  /// A request named a session that does not exist.
+  void on_unknown_session();
+  std::uint64_t unknown_session_rejections() const;
+  /// Queue depth observed right after an accepted admission.
+  void on_queue_depth(std::size_t depth);
+  /// A micro-batch of `batch_size` requests entered the engine; `session`'s
+  /// in-flight gauge rises until the matching on_batch_complete.
+  void on_batch_dispatch(std::size_t session, std::size_t batch_size);
+  void on_batch_complete(std::size_t session);
+  /// A response was delivered (error or not).
+  void on_response(const Response& response);
+
+  std::uint64_t in_flight_batches() const;
+  std::uint64_t max_in_flight_batches() const;
+
+  /// Freezes per-session stats. `names[i]` labels session i; `elapsed`
+  /// converts completion counts into throughput.
+  std::vector<SessionSummary> snapshot(const std::vector<std::string>& names,
+                                       double elapsed_seconds) const;
+  /// Percentile of the admission-time queue-depth distribution.
+  double queue_depth_percentile(double p) const;
+
+ private:
+  struct SessionCounters {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batched_requests = 0;
+    std::uint64_t max_batch_size = 0;
+    std::uint64_t in_flight = 0;
+    std::uint64_t max_in_flight = 0;
+    Histogram latency{1e-6, 1e3, 96, 65536};     // seconds
+    Histogram queue_wait{1e-6, 1e3, 96, 65536};  // seconds
+    Histogram batch_sizes{0.5, 4096.0, 64, 65536};
+  };
+
+  mutable std::mutex mu_;
+  std::vector<SessionCounters> sessions_;
+  Histogram queue_depths_{0.5, 1 << 20, 64, 65536};
+  std::uint64_t unknown_session_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t max_in_flight_ = 0;
+};
+
+}  // namespace deepcam::serve

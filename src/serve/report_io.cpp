@@ -1,0 +1,95 @@
+#include "serve/report_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace deepcam::serve {
+
+void server_summary_json(JsonWriter& json, const ServerSummary& s) {
+  json.begin_object();
+  json.kv("elapsed_seconds", s.elapsed_seconds);
+  json.kv("workers", s.workers);
+  json.kv("queue_capacity", s.queue_capacity);
+  json.kv("max_queue_depth", s.max_queue_depth);
+  json.kv("queue_depth_p50", s.queue_depth_p50);
+  json.kv("queue_depth_p99", s.queue_depth_p99);
+  json.kv("max_in_flight_batches", s.max_in_flight_batches);
+  json.kv("unknown_session_rejected", s.unknown_session_rejected);
+  json.kv("total_completed", s.total_completed());
+  json.kv("total_rejected", s.total_rejected());
+  json.kv("throughput_rps", s.throughput_rps());
+  json.key("sessions").begin_array();
+  for (const auto& sess : s.sessions) {
+    json.begin_object();
+    json.kv("name", sess.name);
+    json.kv("accepted", sess.accepted);
+    json.kv("rejected", sess.rejected);
+    json.kv("completed", sess.completed);
+    json.kv("errors", sess.errors);
+    json.kv("batches", sess.batches);
+    json.kv("mean_batch_size", sess.mean_batch_size);
+    json.kv("batch_size_p50", sess.batch_size_p50);
+    json.kv("max_batch_size", sess.max_batch_size);
+    json.kv("max_in_flight_batches", sess.max_in_flight_batches);
+    json.kv("latency_p50_ms", sess.latency_p50_ms);
+    json.kv("latency_p95_ms", sess.latency_p95_ms);
+    json.kv("latency_p99_ms", sess.latency_p99_ms);
+    json.kv("latency_mean_ms", sess.latency_mean_ms);
+    json.kv("latency_max_ms", sess.latency_max_ms);
+    json.kv("queue_wait_p50_ms", sess.queue_wait_p50_ms);
+    json.kv("queue_wait_p99_ms", sess.queue_wait_p99_ms);
+    json.kv("throughput_rps", sess.throughput_rps);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string server_summary_to_json(const ServerSummary& summary) {
+  JsonWriter json;
+  server_summary_json(json, summary);
+  return json.str();
+}
+
+std::string server_summary_text(const ServerSummary& s) {
+  std::ostringstream os;
+  char buf[320];
+  // Float conversions go through format.hpp (locale-proof); snprintf only
+  // assembles integers and pre-formatted strings.
+  std::snprintf(buf, sizeof buf,
+                "Server: %zu workers, queue %zu (max depth %llu, p99 %s), "
+                "%llu completed, %llu rejected in %s s (%s req/s, "
+                "max %llu batches in flight)\n",
+                s.workers, s.queue_capacity,
+                static_cast<unsigned long long>(s.max_queue_depth),
+                format_fixed(s.queue_depth_p99, 1).c_str(),
+                static_cast<unsigned long long>(s.total_completed()),
+                static_cast<unsigned long long>(s.total_rejected()),
+                format_fixed(s.elapsed_seconds, 3).c_str(),
+                format_fixed(s.throughput_rps(), 1).c_str(),
+                static_cast<unsigned long long>(s.max_in_flight_batches));
+  os << buf;
+  for (const auto& sess : s.sessions) {
+    std::snprintf(
+        buf, sizeof buf,
+        "  %-14s %6llu ok %4llu err %4llu rej  batches=%-5llu "
+        "(mean %s, max %llu)  p50=%s p95=%s p99=%s ms  %s req/s\n",
+        sess.name.c_str(),
+        static_cast<unsigned long long>(sess.completed - sess.errors),
+        static_cast<unsigned long long>(sess.errors),
+        static_cast<unsigned long long>(sess.rejected),
+        static_cast<unsigned long long>(sess.batches),
+        format_fixed(sess.mean_batch_size, 2).c_str(),
+        static_cast<unsigned long long>(sess.max_batch_size),
+        format_fixed(sess.latency_p50_ms, 3).c_str(),
+        format_fixed(sess.latency_p95_ms, 3).c_str(),
+        format_fixed(sess.latency_p99_ms, 3).c_str(),
+        format_fixed(sess.throughput_rps, 1).c_str());
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace deepcam::serve

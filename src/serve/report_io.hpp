@@ -1,0 +1,29 @@
+// Serving report serialization: JSON + human-readable server summaries.
+//
+// One shared, locale-proof format (common/json.hpp + common/format.hpp)
+// for every artifact the serving layer produces — the serve_loadgen
+// example, bench/serve_throughput's BENCH_pr4.json and the CI artifact all
+// emit these serializers instead of ad-hoc printing. Both functions are
+// pure: byte-identical output for equal summaries, pinned by the golden
+// tests in tests/golden/.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "serve/metrics.hpp"
+
+namespace deepcam::serve {
+
+/// Appends `summary` as one JSON object ({elapsed, workers, queue stats,
+/// sessions:[...]}) to an in-progress writer — embeddable into larger
+/// artifacts (BENCH_pr4.json).
+void server_summary_json(JsonWriter& json, const ServerSummary& summary);
+
+/// Self-contained JSON document for one ServerSummary.
+std::string server_summary_to_json(const ServerSummary& summary);
+
+/// Multi-line human-readable view (totals + one line per session).
+std::string server_summary_text(const ServerSummary& summary);
+
+}  // namespace deepcam::serve

@@ -1,0 +1,68 @@
+// Online serving request/response types.
+//
+// The serving subsystem (src/serve) turns the batched InferenceEngine into
+// an online, multi-tenant service: single-sample requests arrive at a
+// bounded RequestQueue, a DynamicBatcher coalesces them into micro-batches
+// per session, and Server workers pipeline those micro-batches through the
+// engine's non-blocking submit() path. These are the plain-data types that
+// flow through that pipeline.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace deepcam::serve {
+
+using Clock = std::chrono::steady_clock;
+
+struct Response;
+
+/// One single-sample inference request. `session` is the index the
+/// SessionManager resolved from the session name; `on_done` is invoked
+/// exactly once, from a server worker thread, after the micro-batch the
+/// request rode in completed (or failed, or the server shut down first).
+struct Request {
+  std::uint64_t id = 0;
+  std::size_t session = 0;
+  nn::Tensor input;
+  Clock::time_point enqueued{};
+  std::function<void(Response&&)> on_done;
+};
+
+/// Completion record handed to Request::on_done.
+struct Response {
+  std::uint64_t id = 0;
+  std::size_t session = 0;
+  nn::Tensor logits;           // valid iff error == nullptr
+  std::exception_ptr error;    // per-sample failure (or shutdown)
+  double queue_seconds = 0.0;  // enqueue -> micro-batch dispatch
+  double total_seconds = 0.0;  // enqueue -> completion
+  std::size_t batch_size = 0;  // size of the micro-batch it rode in
+
+  bool ok() const { return error == nullptr; }
+};
+
+/// Admission-control verdict of Server::submit / RequestQueue::try_push.
+enum class Admission {
+  kAccepted,
+  kRejectedFull,           // backpressure: queue at capacity
+  kRejectedClosed,         // server stopping
+  kRejectedUnknownSession, // no session with that name
+};
+
+inline const char* to_string(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kRejectedFull: return "rejected-full";
+    case Admission::kRejectedClosed: return "rejected-closed";
+    case Admission::kRejectedUnknownSession: return "rejected-unknown-session";
+  }
+  return "?";
+}
+
+}  // namespace deepcam::serve

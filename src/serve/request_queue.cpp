@@ -1,0 +1,98 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace deepcam::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  DEEPCAM_CHECK_MSG(capacity >= 1, "request queue needs capacity >= 1");
+}
+
+Admission RequestQueue::try_push(Request&& r) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return Admission::kRejectedClosed;
+    if (q_.size() >= capacity_) return Admission::kRejectedFull;
+    r.enqueued = Clock::now();
+    q_.push_back(std::move(r));
+    max_depth_ = std::max(max_depth_, q_.size());
+  }
+  data_cv_.notify_all();
+  return Admission::kAccepted;
+}
+
+bool RequestQueue::push(Request&& r) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    space_cv_.wait(lk, [this] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    r.enqueued = Clock::now();
+    q_.push_back(std::move(r));
+    max_depth_ = std::max(max_depth_, q_.size());
+  }
+  data_cv_.notify_all();
+  return true;
+}
+
+std::vector<Request> RequestQueue::pop_micro_batch(const BatchPolicy& policy) {
+  const std::size_t max_n = std::max<std::size_t>(policy.max_batch_size, 1);
+  std::vector<Request> batch;
+  std::unique_lock<std::mutex> lk(mu_);
+  data_cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return batch;  // closed and drained
+
+  // Head selection and first extraction are atomic (we hold the lock), so
+  // concurrent batchers always leave with a non-empty batch.
+  const std::size_t session = q_.front().session;
+  const Clock::time_point deadline = q_.front().enqueued +
+                                     policy.max_queue_delay;
+  auto extract = [&] {
+    for (auto it = q_.begin(); it != q_.end() && batch.size() < max_n;) {
+      if (it->session == session) {
+        batch.push_back(std::move(*it));
+        it = q_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  extract();
+  space_cv_.notify_all();
+
+  // Coalesce late same-session arrivals until the batch is full or the
+  // oldest collected request hits its delay bound. close() flushes early.
+  while (batch.size() < max_n && !closed_) {
+    if (data_cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    extract();
+    space_cv_.notify_all();
+  }
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  data_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+std::size_t RequestQueue::max_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_depth_;
+}
+
+}  // namespace deepcam::serve

@@ -1,0 +1,77 @@
+// Bounded MPMC request queue with admission control and backpressure.
+//
+// Producers are client threads (Server::submit / LoadGenerator); consumers
+// are the server's batcher workers pulling micro-batches. The queue is the
+// admission-control point: try_push() rejects instead of blocking when the
+// queue is at capacity (open-loop backpressure), push() blocks for space
+// (closed-loop clients), and close() flushes — pending requests still drain
+// through pop_micro_batch(), which returns empty only when closed AND
+// drained.
+//
+// Micro-batch formation lives here (under the queue's one mutex) because it
+// must be atomic with head selection: a batcher picks the oldest request,
+// then collects same-session requests — possibly waiting for late arrivals
+// — without another batcher stealing its head. DynamicBatcher
+// (serve/batcher.hpp) owns the policy; the queue owns the mechanism.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace deepcam::serve {
+
+/// Micro-batching policy: dispatch when `max_batch_size` same-session
+/// requests are pending, or when the oldest of them has waited
+/// `max_queue_delay`, whichever happens first.
+struct BatchPolicy {
+  std::size_t max_batch_size = 8;
+  std::chrono::microseconds max_queue_delay{2000};
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Non-blocking admission: stamps `r.enqueued` and accepts, or rejects
+  /// when at capacity (kRejectedFull) / closed (kRejectedClosed). `r` is
+  /// untouched on rejection.
+  Admission try_push(Request&& r);
+
+  /// Blocking admission: waits for space. Returns false (request dropped)
+  /// only when the queue is closed while waiting.
+  bool push(Request&& r);
+
+  /// Waits until at least one request is pending, then collects up to
+  /// `policy.max_batch_size` requests of the oldest request's session —
+  /// waiting for late same-session arrivals until the oldest collected
+  /// request has been queued for `policy.max_queue_delay`. Requests of
+  /// other sessions keep their relative order. Returns an empty vector
+  /// only when the queue is closed and fully drained.
+  std::vector<Request> pop_micro_batch(const BatchPolicy& policy);
+
+  /// Rejects future pushes and wakes every waiter; pending requests still
+  /// drain through pop_micro_batch.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Highest depth() ever observed after a push.
+  std::size_t max_depth() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;  // producers wait for capacity
+  std::condition_variable data_cv_;   // batchers wait for requests
+  std::deque<Request> q_;
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace deepcam::serve

@@ -1,0 +1,240 @@
+#include "serve/server.hpp"
+
+#include <condition_variable>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace deepcam::serve {
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(cfg), queue_(cfg.queue_capacity) {
+  DEEPCAM_CHECK_MSG(cfg.num_workers >= 1, "server needs >= 1 worker");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  DEEPCAM_CHECK_MSG(!running_ && !stopped_, "server already started");
+  DEEPCAM_CHECK_MSG(sessions_.count() >= 1,
+                    "register at least one session before start()");
+  metrics_ = std::make_unique<ServerMetrics>(sessions_.count());
+  t_start_ = Clock::now();
+  running_ = true;
+  workers_.reserve(cfg_.num_workers);
+  try {
+    for (std::size_t i = 0; i < cfg_.num_workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  } catch (...) {
+    queue_.close();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    running_ = false;
+    throw;
+  }
+}
+
+Admission Server::submit(const std::string& session, nn::Tensor input,
+                         std::function<void(Response&&)> on_done) {
+  if (!running_) return Admission::kRejectedClosed;
+  const auto idx = sessions_.find(session);
+  if (!idx.has_value()) {
+    metrics_->on_unknown_session();
+    return Admission::kRejectedUnknownSession;
+  }
+
+  Request req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.session = *idx;
+  req.input = std::move(input);
+  req.on_done = std::move(on_done);
+  // Count the admission *before* the push: once the request is visible to a
+  // batcher it can be answered, and drain() must never see answered_ >
+  // accepted_.
+  {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    ++accepted_;
+  }
+  const Admission verdict = queue_.try_push(std::move(req));
+  if (verdict != Admission::kAccepted) {
+    {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      --accepted_;
+    }
+    done_cv_.notify_all();
+  }
+  metrics_->on_admission(*idx, verdict);
+  if (verdict == Admission::kAccepted)
+    metrics_->on_queue_depth(queue_.depth());
+  return verdict;
+}
+
+Response Server::run(const std::string& session, nn::Tensor input) {
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+  auto slot = std::make_shared<Slot>();
+
+  auto fail = [&](const std::string& why) {
+    Response r;
+    r.error = std::make_exception_ptr(Error("serve: " + why));
+    return r;
+  };
+  if (!running_) return fail("server not running");
+  const auto idx = sessions_.find(session);
+  if (!idx.has_value()) {
+    metrics_->on_unknown_session();
+    return fail("unknown session: " + session);
+  }
+
+  Request req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.session = *idx;
+  req.input = std::move(input);
+  req.on_done = [slot](Response&& r) {
+    {
+      std::lock_guard<std::mutex> lk(slot->mu);
+      slot->response = std::move(r);
+      slot->done = true;
+    }
+    slot->cv.notify_one();
+  };
+  {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    ++accepted_;
+  }
+  if (!queue_.push(std::move(req))) {  // blocking admission
+    {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      --accepted_;
+    }
+    done_cv_.notify_all();
+    metrics_->on_admission(*idx, Admission::kRejectedClosed);
+    return fail("server stopped while waiting for queue space");
+  }
+  metrics_->on_admission(*idx, Admission::kAccepted);
+  metrics_->on_queue_depth(queue_.depth());
+
+  std::unique_lock<std::mutex> lk(slot->mu);
+  slot->cv.wait(lk, [&] { return slot->done; });
+  return std::move(slot->response);
+}
+
+void Server::worker_loop() {
+  DynamicBatcher batcher(queue_, cfg_.batch);
+  for (;;) {
+    std::vector<Request> batch = batcher.next();
+    if (batch.empty()) return;  // queue closed and drained
+    dispatch(std::move(batch));
+  }
+}
+
+void Server::dispatch(std::vector<Request>&& batch) {
+  const std::size_t session = batch.front().session;
+  const std::size_t n = batch.size();
+  const Clock::time_point t_dispatch = Clock::now();
+
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(n);
+  for (auto& r : batch) inputs.push_back(std::move(r.input));
+
+  metrics_->on_batch_dispatch(session, n);
+  std::vector<nn::Tensor> outputs;
+  std::exception_ptr batch_error;
+  try {
+    // Non-blocking submit + per-batch completion state: while this worker
+    // waits, sibling workers keep their own micro-batches in flight.
+    core::BatchFuture future =
+        sessions_.engine(session).submit(std::move(inputs));
+    outputs = future.get();
+  } catch (...) {
+    // The engine surfaces the lowest-index failing sample and discards the
+    // batch's outputs, so every rider of this micro-batch shares the error.
+    batch_error = std::current_exception();
+  }
+  metrics_->on_batch_complete(session);
+
+  const Clock::time_point t_done = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    Request& req = batch[i];
+    Response resp;
+    resp.id = req.id;
+    resp.session = session;
+    resp.batch_size = n;
+    resp.queue_seconds = seconds_between(req.enqueued, t_dispatch);
+    resp.total_seconds = seconds_between(req.enqueued, t_done);
+    if (batch_error != nullptr)
+      resp.error = batch_error;
+    else
+      resp.logits = std::move(outputs[i]);
+    metrics_->on_response(resp);
+    if (req.on_done) {
+      try {
+        req.on_done(std::move(resp));
+      } catch (...) {
+        // A throwing completion callback must not take down the worker;
+        // the request still counts as answered.
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      ++answered_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lk(done_mu_);
+  done_cv_.wait(lk, [this] { return answered_ == accepted_; });
+}
+
+void Server::stop() {
+  // exchange makes concurrent stop() calls (destructor vs explicit) safe.
+  if (!running_.exchange(false)) return;  // also rejects new admissions
+  queue_.close();    // flushes partial micro-batches; drains pending
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lk(done_mu_);
+  t_stop_ = Clock::now();
+  stopped_ = true;
+}
+
+const ServerMetrics& Server::metrics() const {
+  DEEPCAM_CHECK_MSG(metrics_ != nullptr, "metrics exist once start() ran");
+  return *metrics_;
+}
+
+double Server::elapsed_seconds() const {
+  if (t_start_ == Clock::time_point{}) return 0.0;
+  std::lock_guard<std::mutex> lk(done_mu_);
+  return seconds_between(t_start_, stopped_ ? t_stop_ : Clock::now());
+}
+
+ServerSummary Server::summary() const {
+  DEEPCAM_CHECK_MSG(metrics_ != nullptr, "summary exists once start() ran");
+  ServerSummary s;
+  s.elapsed_seconds = elapsed_seconds();
+  s.workers = cfg_.num_workers;
+  s.queue_capacity = cfg_.queue_capacity;
+  s.max_queue_depth = queue_.max_depth();
+  s.queue_depth_p50 = metrics_->queue_depth_percentile(50.0);
+  s.queue_depth_p99 = metrics_->queue_depth_percentile(99.0);
+  s.max_in_flight_batches = metrics_->max_in_flight_batches();
+  s.unknown_session_rejected = metrics_->unknown_session_rejections();
+  s.sessions = metrics_->snapshot(sessions_.names(), s.elapsed_seconds);
+  return s;
+}
+
+}  // namespace deepcam::serve

@@ -1,0 +1,110 @@
+// Server: online multi-tenant serving front-end over InferenceEngine.
+//
+//   clients ──submit()──▶ RequestQueue ──DynamicBatcher──▶ worker threads
+//                         (bounded,      (max batch /       │ one micro-batch
+//                          backpressure)  max delay)        ▼ each, pipelined
+//                                              InferenceEngine::submit()
+//                                              per session (SessionManager)
+//
+// Each of the N server workers loops: form a micro-batch (one session),
+// submit it to that session's engine, wait for completion, deliver the
+// responses. With N >= 2 workers, micro-batches are concurrently in flight
+// — the engine's per-batch completion state (core/engine.hpp) is what makes
+// that legal; the old engine-global single-flight path would have
+// serialized them.
+//
+// Lifecycle: construct -> sessions().add_session(...) -> start() ->
+// submit()/run() -> stop() (close + drain + join; also run by the
+// destructor). Every accepted request is answered exactly once, even when
+// stop() races new submissions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/session.hpp"
+
+namespace deepcam::serve {
+
+struct ServerConfig {
+  std::size_t num_workers = 2;      // batcher/dispatch threads
+  std::size_t queue_capacity = 256; // admission-control bound
+  BatchPolicy batch;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  /// stop()s if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Session registry; register every model before start().
+  SessionManager& sessions() { return sessions_; }
+  const SessionManager& session_manager() const { return sessions_; }
+  const ServerConfig& config() const { return cfg_; }
+
+  /// Spawns the worker threads. Requires >= 1 registered session.
+  void start();
+
+  /// Non-blocking admission of one single-sample request for `session`.
+  /// On kAccepted, `on_done` fires exactly once from a worker thread;
+  /// on any rejection it never fires (the input is returned untouched in
+  /// the sense that no side effects happened). Thread-safe.
+  Admission submit(const std::string& session, nn::Tensor input,
+                   std::function<void(Response&&)> on_done);
+
+  /// Blocking closed-loop convenience: admits (waiting for queue space if
+  /// needed) and returns the response. Unknown sessions / closed server
+  /// yield an error response rather than throwing.
+  Response run(const std::string& session, nn::Tensor input);
+
+  /// Blocks until every accepted request has been answered.
+  void drain();
+
+  /// Closes admission, drains pending requests, joins the workers.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  const ServerMetrics& metrics() const;
+
+  /// Frozen whole-server statistics (valid while running or after stop()).
+  ServerSummary summary() const;
+
+ private:
+  void worker_loop();
+  void dispatch(std::vector<Request>&& batch);
+  double elapsed_seconds() const;
+
+  ServerConfig cfg_;
+  SessionManager sessions_;
+  RequestQueue queue_;
+  std::unique_ptr<ServerMetrics> metrics_;  // sized at start()
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<bool> running_{false};
+
+  // accepted/answered bookkeeping for drain(), guarded by done_mu_.
+  mutable std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t answered_ = 0;
+
+  Clock::time_point t_start_{};
+  Clock::time_point t_stop_{};
+  bool stopped_ = false;
+};
+
+}  // namespace deepcam::serve

@@ -1,0 +1,54 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace deepcam::serve {
+
+std::size_t SessionManager::add_session(
+    std::string name, std::shared_ptr<const core::CompiledModel> compiled,
+    std::size_t engine_threads) {
+  DEEPCAM_CHECK_MSG(!name.empty(), "session name must be non-empty");
+  DEEPCAM_CHECK_MSG(compiled != nullptr, "session needs a compiled model");
+  DEEPCAM_CHECK_MSG(!find(name).has_value(),
+                    "duplicate session name: " + name);
+  Session s;
+  s.name = std::move(name);
+  s.engine =
+      std::make_unique<core::InferenceEngine>(compiled, engine_threads);
+  s.compiled = std::move(compiled);
+  sessions_.push_back(std::move(s));
+  return sessions_.size() - 1;
+}
+
+const std::string& SessionManager::name(std::size_t idx) const {
+  DEEPCAM_CHECK(idx < sessions_.size());
+  return sessions_[idx].name;
+}
+
+std::vector<std::string> SessionManager::names() const {
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s.name);
+  return out;
+}
+
+std::optional<std::size_t> SessionManager::find(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < sessions_.size(); ++i)
+    if (sessions_[i].name == name) return i;
+  return std::nullopt;
+}
+
+core::InferenceEngine& SessionManager::engine(std::size_t idx) {
+  DEEPCAM_CHECK(idx < sessions_.size());
+  return *sessions_[idx].engine;
+}
+
+const core::CompiledModel& SessionManager::model(std::size_t idx) const {
+  DEEPCAM_CHECK(idx < sessions_.size());
+  return *sessions_[idx].compiled;
+}
+
+}  // namespace deepcam::serve

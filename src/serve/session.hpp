@@ -1,0 +1,51 @@
+// SessionManager: multiple CompiledModels behind named sessions.
+//
+// A production DeepCAM deployment hosts several models at once (the paper's
+// Table I workloads: LeNet5, VGG11/16, ResNet18 — or the same topology
+// compiled at different hash lengths as quality/latency tiers). Each
+// session owns its shared-immutable CompiledModel plus one InferenceEngine
+// whose worker pool simulates that model's CAM pipelines; the Server routes
+// micro-batches to the engine of the batch's session.
+//
+// Sessions are registered before Server::start() and immutable afterwards
+// (lookups are then lock-free reads).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace deepcam::serve {
+
+class SessionManager {
+ public:
+  /// Registers `name` -> engine over `compiled` with `engine_threads`
+  /// simulated CAM pipelines (0 = hardware concurrency). Returns the
+  /// session index. Names must be unique and non-empty.
+  std::size_t add_session(std::string name,
+                          std::shared_ptr<const core::CompiledModel> compiled,
+                          std::size_t engine_threads = 0);
+
+  std::size_t count() const { return sessions_.size(); }
+  const std::string& name(std::size_t idx) const;
+  std::vector<std::string> names() const;
+  /// Index of session `name`, or nullopt.
+  std::optional<std::size_t> find(const std::string& name) const;
+
+  core::InferenceEngine& engine(std::size_t idx);
+  const core::CompiledModel& model(std::size_t idx) const;
+
+ private:
+  struct Session {
+    std::string name;
+    std::shared_ptr<const core::CompiledModel> compiled;
+    std::unique_ptr<core::InferenceEngine> engine;
+  };
+
+  std::vector<Session> sessions_;
+};
+
+}  // namespace deepcam::serve

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "core/accelerator.hpp"
@@ -280,6 +281,142 @@ TEST(InferenceEngine, LenetPipelineMatchesSequential) {
     cycles += seq_reports[i].total_cycles();
   }
   EXPECT_EQ(br.aggregate.total_cycles(), cycles);
+}
+
+// --- submit()/BatchFuture path (PR 4) --------------------------------------
+//
+// run_batch() is now a thin wrapper over submit + per-batch completion
+// state; these tests pin the regression contract: bitwise-identical
+// outputs, identical error propagation (lowest failing sample index), and
+// correct overlap of multiple in-flight batches.
+
+TEST(InferenceEngineSubmit, SubmitMatchesRunBatchBitwise) {
+  auto m = tiny_cnn(60);
+  DeepCamConfig cfg;
+  cfg.cam_rows = 16;
+  auto compiled = std::make_shared<const CompiledModel>(*m, cfg);
+  InferenceEngine engine(compiled, 4);
+  const auto inputs = random_batch(6, {1, 1, 8, 8}, 61);
+
+  BatchReport wrapped_rep;
+  const auto wrapped = engine.run_batch(inputs, &wrapped_rep);
+
+  BatchFuture future = engine.submit(inputs);  // copies the batch
+  ASSERT_TRUE(future.valid());
+  BatchReport submitted_rep;
+  const auto submitted = future.get(&submitted_rep);
+  EXPECT_FALSE(future.valid());  // one-shot
+
+  ASSERT_EQ(submitted.size(), wrapped.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    expect_bitwise_equal(submitted[i], wrapped[i]);
+    expect_reports_equal(submitted_rep.per_sample[i],
+                         wrapped_rep.per_sample[i]);
+  }
+  EXPECT_EQ(submitted_rep.samples, wrapped_rep.samples);
+  expect_reports_equal(submitted_rep.aggregate, wrapped_rep.aggregate);
+}
+
+TEST(InferenceEngineSubmit, ManyConcurrentInFlightBatchesAnyGetOrder) {
+  auto m = tiny_cnn(62);
+  DeepCamConfig cfg;
+  cfg.cam_rows = 16;
+  auto compiled = std::make_shared<const CompiledModel>(*m, cfg);
+  DeepCamAccelerator acc(*m, cfg);
+  InferenceEngine engine(acc.compiled(), 2);
+
+  // Submit 5 batches back-to-back without waiting: all are in flight
+  // against a 2-thread pool. Collect them in reverse order to prove each
+  // batch's completion state is independent of submission order.
+  std::vector<std::vector<nn::Tensor>> batches;
+  std::vector<BatchFuture> futures;
+  for (std::size_t b = 0; b < 5; ++b) {
+    batches.push_back(random_batch(3, {1, 1, 8, 8}, 63 + 10 * b));
+    futures.push_back(engine.submit(batches.back()));
+  }
+  EXPECT_GE(engine.in_flight_batches(), 1u);
+  for (std::size_t b = futures.size(); b-- > 0;) {
+    const auto logits = futures[b].get();
+    ASSERT_EQ(logits.size(), batches[b].size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+      expect_bitwise_equal(logits[i], acc.run(batches[b][i]));
+  }
+  EXPECT_EQ(engine.in_flight_batches(), 0u);
+}
+
+TEST(InferenceEngineSubmit, ConcurrentRunBatchCallersNoLongerSerialize) {
+  // Pre-PR the engine held a single-flight submit lock; now concurrent
+  // run_batch callers interleave safely and each gets its own results.
+  auto m = tiny_cnn(70);
+  DeepCamConfig cfg;
+  cfg.cam_rows = 16;
+  DeepCamAccelerator acc(*m, cfg);
+  InferenceEngine engine(acc.compiled(), 2);
+
+  constexpr std::size_t kCallers = 4;
+  std::vector<std::vector<nn::Tensor>> inputs(kCallers);
+  std::vector<std::vector<nn::Tensor>> outputs(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c)
+    inputs[c] = random_batch(4, {1, 1, 8, 8}, 71 + 10 * c);
+  {
+    std::vector<std::thread> callers;
+    for (std::size_t c = 0; c < kCallers; ++c)
+      callers.emplace_back(
+          [&, c] { outputs[c] = engine.run_batch(inputs[c]); });
+    for (auto& t : callers) t.join();
+  }
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    ASSERT_EQ(outputs[c].size(), inputs[c].size());
+    for (std::size_t i = 0; i < inputs[c].size(); ++i)
+      expect_bitwise_equal(outputs[c][i], acc.run(inputs[c][i]));
+  }
+}
+
+TEST(InferenceEngineSubmit, ErrorPropagatesThroughFutureLowestIndexWins) {
+  auto m = tiny_cnn(80);
+  auto compiled = std::make_shared<const CompiledModel>(*m, DeepCamConfig{});
+  InferenceEngine engine(compiled, 2);
+  std::vector<nn::Tensor> bad;
+  bad.push_back(random_image({1, 1, 8, 8}, 81));
+  bad.push_back(random_image({1, 2, 8, 8}, 82));  // channel mismatch
+  bad.push_back(random_image({2, 1, 8, 8}, 83));  // batch > 1
+  BatchFuture future = engine.submit(bad);
+  try {
+    future.get();
+    FAIL() << "expected deepcam::Error";
+  } catch (const deepcam::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("in_channels"), std::string::npos)
+        << "got: " << e.what();
+  }
+  // Errors in one batch leave concurrent/subsequent batches untouched.
+  const auto ok = engine.submit(random_batch(2, {1, 1, 8, 8}, 84)).get();
+  EXPECT_EQ(ok.size(), 2u);
+}
+
+TEST(InferenceEngineSubmit, EmptySubmitCompletesImmediately) {
+  auto m = tiny_cnn(86);
+  auto compiled = std::make_shared<const CompiledModel>(*m, DeepCamConfig{});
+  InferenceEngine engine(compiled, 2);
+  BatchFuture future = engine.submit({});
+  EXPECT_TRUE(future.ready());
+  BatchReport br;
+  EXPECT_TRUE(future.get(&br).empty());
+  EXPECT_EQ(br.samples, 0u);
+}
+
+TEST(InferenceEngineSubmit, DestructorDrainsUncollectedBatches) {
+  auto m = tiny_cnn(88);
+  auto compiled = std::make_shared<const CompiledModel>(*m, DeepCamConfig{});
+  auto inputs = random_batch(4, {1, 1, 8, 8}, 89);
+  BatchFuture abandoned;
+  {
+    InferenceEngine engine(compiled, 1);
+    abandoned = engine.submit(inputs);
+    // Engine destruction must finish the in-flight batch, not hang or
+    // leave dangling sample pointers. (The future must not be touched
+    // after the engine is gone; dropping it is fine.)
+  }
+  SUCCEED();
 }
 
 TEST(ModelConstInference, InferMatchesForwardBitwise) {

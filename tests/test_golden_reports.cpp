@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/report_io.hpp"
+#include "serve/report_io.hpp"
 #include "sim/report_io.hpp"
 
 #ifndef DEEPCAM_GOLDEN_DIR
@@ -165,6 +166,87 @@ sim::ComparisonReport make_comparison_fixture() {
   return report;
 }
 
+/// Synthetic two-sample batch report: aggregate + per-sample all from
+/// hand-set run-report fixtures (no simulation, no timing).
+core::BatchReport make_batch_report_fixture() {
+  core::BatchReport br;
+  br.samples = 2;
+  br.threads = 4;
+  br.wall_seconds = 0.125;
+  br.per_sample = {make_run_report_fixture(), make_run_report_fixture()};
+  br.aggregate = make_run_report_fixture();
+  // Hand-merged totals: every work/cost field doubled, geometry constant.
+  for (auto& l : br.aggregate.layers) {
+    l.patches *= 2;
+    l.cycles *= 2;
+    l.cam_energy *= 2.0;
+    l.postproc_energy *= 2.0;
+    l.ctxgen_energy *= 2.0;
+    l.plan.passes *= 2;
+    l.plan.searches *= 2;
+    l.plan.rows_written *= 2;
+    l.plan.dot_products *= 2;
+  }
+  br.aggregate.peripheral_cycles *= 2;
+  return br;
+}
+
+/// Synthetic two-session server summary with hand-set fields.
+serve::ServerSummary make_server_summary_fixture() {
+  serve::ServerSummary s;
+  s.elapsed_seconds = 2.5;
+  s.workers = 4;
+  s.queue_capacity = 256;
+  s.max_queue_depth = 19;
+  s.queue_depth_p50 = 3.0;
+  s.queue_depth_p99 = 17.0;
+  s.max_in_flight_batches = 4;
+  s.unknown_session_rejected = 3;
+
+  serve::SessionSummary lenet;
+  lenet.name = "lenet5-k1024";
+  lenet.accepted = 520;
+  lenet.rejected = 24;
+  lenet.completed = 520;
+  lenet.errors = 2;
+  lenet.batches = 80;
+  lenet.mean_batch_size = 6.5;
+  lenet.batch_size_p50 = 7.0;
+  lenet.max_batch_size = 8;
+  lenet.max_in_flight_batches = 3;
+  lenet.latency_p50_ms = 4.25;
+  lenet.latency_p95_ms = 9.5;
+  lenet.latency_p99_ms = 12.75;
+  lenet.latency_mean_ms = 5.0625;
+  lenet.latency_max_ms = 15.5;
+  lenet.queue_wait_p50_ms = 1.5;
+  lenet.queue_wait_p99_ms = 6.25;
+  lenet.throughput_rps = 208.0;
+  s.sessions.push_back(lenet);
+
+  serve::SessionSummary vgg;
+  vgg.name = "vgg11-k256";
+  vgg.accepted = 96;
+  vgg.rejected = 0;
+  vgg.completed = 96;
+  vgg.errors = 0;
+  vgg.batches = 32;
+  vgg.mean_batch_size = 3.0;
+  vgg.batch_size_p50 = 3.0;
+  vgg.max_batch_size = 4;
+  vgg.max_in_flight_batches = 2;
+  vgg.latency_p50_ms = 31.25;
+  vgg.latency_p95_ms = 55.5;
+  vgg.latency_p99_ms = 60.125;
+  vgg.latency_mean_ms = 33.5;
+  vgg.latency_max_ms = 61.0;
+  vgg.queue_wait_p50_ms = 2.0;
+  vgg.queue_wait_p99_ms = 8.5;
+  vgg.throughput_rps = 38.4;
+  s.sessions.push_back(vgg);
+  return s;
+}
+
 TEST(GoldenReports, RunReportCsv) {
   expect_matches_golden(core::report_to_csv(make_run_report_fixture()),
                         "run_report.csv");
@@ -191,16 +273,38 @@ TEST(GoldenReports, ComparisonSummary) {
                         "comparison_summary.txt");
 }
 
+TEST(GoldenReports, BatchReportJson) {
+  expect_matches_golden(
+      core::batch_report_to_json(make_batch_report_fixture(),
+                                 /*include_per_sample=*/true),
+      "batch_report.json");
+}
+
+TEST(GoldenReports, ServerSummaryJson) {
+  expect_matches_golden(
+      serve::server_summary_to_json(make_server_summary_fixture()),
+      "server_summary.json");
+}
+
+TEST(GoldenReports, ServerSummaryText) {
+  expect_matches_golden(
+      serve::server_summary_text(make_server_summary_fixture()),
+      "server_summary.txt");
+}
+
 TEST(GoldenReports, OutputIsLocaleProof) {
   // Serialize everything once in the default locale, then again under a
   // comma-decimal locale: the bytes must be identical (and equal to the
   // goldens, which the tests above already pinned).
   const auto rep = make_run_report_fixture();
   const auto cmp = make_comparison_fixture();
+  const auto batch = make_batch_report_fixture();
+  const auto srv = make_server_summary_fixture();
   const std::string before =
       core::report_to_csv(rep) + core::report_summary(rep) +
       sim::comparison_to_csv(cmp) + sim::comparison_layers_to_csv(cmp) +
-      sim::comparison_summary(cmp);
+      sim::comparison_summary(cmp) + core::batch_report_to_json(batch, true) +
+      serve::server_summary_to_json(srv) + serve::server_summary_text(srv);
 
   CommaLocaleGuard guard;
   if (!guard.active())
@@ -213,7 +317,8 @@ TEST(GoldenReports, OutputIsLocaleProof) {
   const std::string after =
       core::report_to_csv(rep) + core::report_summary(rep) +
       sim::comparison_to_csv(cmp) + sim::comparison_layers_to_csv(cmp) +
-      sim::comparison_summary(cmp);
+      sim::comparison_summary(cmp) + core::batch_report_to_json(batch, true) +
+      serve::server_summary_to_json(srv) + serve::server_summary_text(srv);
   EXPECT_EQ(before, after);
 }
 

@@ -1,0 +1,151 @@
+// Histogram unit tests: exact small-N percentiles (nearest-rank), the
+// empty/single/duplicate edge cases ServerMetrics depends on, bucket
+// fallback behavior past the exact cap, and geometry-checked merging.
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace deepcam {
+namespace {
+
+TEST(Histogram, EmptyIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(Histogram, SingleValueEveryPercentile) {
+  Histogram h;
+  h.add(0.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_TRUE(h.exact());
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_EQ(h.percentile(p), 0.25) << "p=" << p;
+  EXPECT_EQ(h.min(), 0.25);
+  EXPECT_EQ(h.max(), 0.25);
+  EXPECT_EQ(h.mean(), 0.25);
+}
+
+TEST(Histogram, DuplicateValuesStayExact) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(2.0);
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 100.0})
+    EXPECT_EQ(h.percentile(p), 2.0) << "p=" << p;
+  EXPECT_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, ExactNearestRankSmallN) {
+  // Values 1..10 (permuted): nearest-rank percentiles are exact order
+  // statistics regardless of insertion order.
+  Histogram h;
+  for (const double v : {7.0, 1.0, 10.0, 3.0, 5.0, 9.0, 2.0, 8.0, 4.0, 6.0})
+    h.add(v);
+  ASSERT_TRUE(h.exact());
+  EXPECT_EQ(h.percentile(10.0), 1.0);   // ceil(0.1*10)=1st
+  EXPECT_EQ(h.percentile(50.0), 5.0);   // ceil(0.5*10)=5th
+  EXPECT_EQ(h.percentile(51.0), 6.0);   // ceil(0.51*10)=6th
+  EXPECT_EQ(h.percentile(90.0), 9.0);
+  EXPECT_EQ(h.percentile(99.0), 10.0);
+  EXPECT_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(Histogram, OutOfRangeValuesClampIntoEdgeBuckets) {
+  Histogram h(1e-3, 1.0, 8, /*exact_cap=*/2);
+  h.add(1e-9);   // below min bucket
+  h.add(100.0);  // above max bucket
+  h.add(0.5);    // past the cap -> bucket mode
+  EXPECT_FALSE(h.exact());
+  EXPECT_EQ(h.count(), 3u);
+  // Percentiles stay within the observed range even in bucket mode.
+  EXPECT_GE(h.percentile(50.0), h.min());
+  EXPECT_LE(h.percentile(50.0), h.max());
+  EXPECT_EQ(h.percentile(0.0), 1e-9);
+  EXPECT_EQ(h.percentile(100.0), 100.0);
+}
+
+TEST(Histogram, BucketModeApproximatesWithinBucketResolution) {
+  // Past the exact cap, a percentile must land inside the right bucket:
+  // check against the exact order statistic within one geometric step.
+  Histogram h(1e-4, 10.0, 128, /*exact_cap=*/16);
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = std::exp(rng.uniform(std::log(1e-3), std::log(1.0)));
+    values.push_back(v);
+    h.add(v);
+  }
+  ASSERT_FALSE(h.exact());
+  std::sort(values.begin(), values.end());
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    const double exact = values[rank - 1];
+    const double approx = h.percentile(p);
+    // Geometric bucket width for this config is exp(ln(1e5)/128) ~ 1.094.
+    EXPECT_GT(approx, exact / 1.2) << "p=" << p;
+    EXPECT_LT(approx, exact * 1.2) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MonotoneInP) {
+  Histogram h(1e-6, 1e2, 64, /*exact_cap=*/8);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform(0.001, 10.0));
+  double prev = h.percentile(0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = h.percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(Histogram, MergeCombinesExactSets) {
+  Histogram a, b;
+  for (const double v : {1.0, 3.0, 5.0}) a.add(v);
+  for (const double v : {2.0, 4.0, 6.0}) b.add(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 6u);
+  ASSERT_TRUE(a.exact());
+  EXPECT_EQ(a.percentile(50.0), 3.0);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 6.0);
+  EXPECT_EQ(a.sum(), 21.0);
+}
+
+TEST(Histogram, MergeIntoEmptyAndFromEmpty) {
+  Histogram a, b;
+  b.add(2.0);
+  a.merge(b);  // empty <- non-empty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.percentile(50.0), 2.0);
+  Histogram c;
+  a.merge(c);  // non-empty <- empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.max(), 2.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry) {
+  Histogram a(1e-6, 1e3, 96);
+  Histogram b(1e-6, 1e3, 32);
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0), Error);
+  EXPECT_THROW(Histogram(1.0, 1.0), Error);
+  EXPECT_THROW(Histogram(1e-6, 1e3, 0), Error);
+}
+
+}  // namespace
+}  // namespace deepcam

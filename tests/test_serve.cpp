@@ -1,0 +1,445 @@
+// Serving subsystem tests: queue admission/backpressure, micro-batch
+// coalescing, multi-model sessions, end-to-end correctness against the
+// single-sample accelerator, and the serving determinism contract — a
+// seeded trace replayed at 1 and 8 server workers yields bitwise-identical
+// per-request outputs (order-independent).
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "core/accelerator.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pointwise.hpp"
+#include "nn/pooling.hpp"
+#include "serve/batcher.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/request_queue.hpp"
+
+namespace deepcam::serve {
+namespace {
+
+std::unique_ptr<nn::Model> tiny_cnn(std::uint64_t seed) {
+  auto m = std::make_unique<nn::Model>("tiny_cnn");
+  m->add(std::make_unique<nn::Conv2D>("conv1",
+                                      nn::ConvSpec{1, 4, 3, 3, 1, 0}, seed));
+  m->add(std::make_unique<nn::ReLU>("relu1"));
+  m->add(std::make_unique<nn::MaxPool>("pool1", 2, 2));
+  m->add(std::make_unique<nn::Flatten>("flat"));
+  m->add(std::make_unique<nn::Linear>("fc", 4 * 3 * 3, 5, seed + 1));
+  return m;
+}
+
+constexpr nn::Shape kTinyShape{1, 1, 8, 8};
+
+void expect_bitwise_equal(const nn::Tensor& a, const nn::Tensor& b) {
+  ASSERT_TRUE(a.shape() == b.shape());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)));
+}
+
+Request make_request(std::size_t session, std::uint64_t id = 0) {
+  Request r;
+  r.id = id;
+  r.session = session;
+  r.input = LoadGenerator::make_input(kTinyShape, id);
+  return r;
+}
+
+// --- RequestQueue ---------------------------------------------------------
+
+TEST(RequestQueue, TryPushRejectsWhenFull) {
+  RequestQueue q(2);
+  EXPECT_EQ(q.try_push(make_request(0)), Admission::kAccepted);
+  EXPECT_EQ(q.try_push(make_request(0)), Admission::kAccepted);
+  EXPECT_EQ(q.try_push(make_request(0)), Admission::kRejectedFull);
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.max_depth(), 2u);
+}
+
+TEST(RequestQueue, CloseRejectsAndDrains) {
+  RequestQueue q(4);
+  ASSERT_EQ(q.try_push(make_request(0)), Admission::kAccepted);
+  q.close();
+  EXPECT_EQ(q.try_push(make_request(0)), Admission::kRejectedClosed);
+  BatchPolicy policy;
+  // Pending request still drains...
+  EXPECT_EQ(q.pop_micro_batch(policy).size(), 1u);
+  // ...then pop returns empty (the worker-exit signal).
+  EXPECT_TRUE(q.pop_micro_batch(policy).empty());
+}
+
+TEST(RequestQueue, MicroBatchFillsToMaxWithoutWaiting) {
+  RequestQueue q(16);
+  BatchPolicy policy;
+  policy.max_batch_size = 4;
+  policy.max_queue_delay = std::chrono::microseconds(60'000'000);  // no-op
+  for (std::uint64_t i = 0; i < 6; ++i)
+    ASSERT_EQ(q.try_push(make_request(0, i)), Admission::kAccepted);
+  // A full batch is available: pop must not wait for the delay bound.
+  const auto t0 = Clock::now();
+  const auto batch = q.pop_micro_batch(policy);
+  EXPECT_LT(std::chrono::duration<double>(Clock::now() - t0).count(), 10.0);
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].id, i);  // FIFO
+  BatchPolicy flush = policy;  // the 2-request tail leaves on its delay bound
+  flush.max_queue_delay = std::chrono::microseconds(0);
+  EXPECT_EQ(q.pop_micro_batch(flush).size(), 2u);
+}
+
+TEST(RequestQueue, MicroBatchIsSingleSessionAndPreservesOtherSessions) {
+  RequestQueue q(16);
+  BatchPolicy policy;
+  policy.max_batch_size = 8;
+  policy.max_queue_delay = std::chrono::microseconds(0);  // flush instantly
+  ASSERT_EQ(q.try_push(make_request(0, 1)), Admission::kAccepted);
+  ASSERT_EQ(q.try_push(make_request(1, 2)), Admission::kAccepted);
+  ASSERT_EQ(q.try_push(make_request(0, 3)), Admission::kAccepted);
+  // Head is session 0: coalesces ids {1,3} around the session-1 request.
+  const auto batch0 = q.pop_micro_batch(policy);
+  ASSERT_EQ(batch0.size(), 2u);
+  EXPECT_EQ(batch0[0].session, 0u);
+  EXPECT_EQ(batch0[0].id, 1u);
+  EXPECT_EQ(batch0[1].id, 3u);
+  // Session 1 kept its place.
+  const auto batch1 = q.pop_micro_batch(policy);
+  ASSERT_EQ(batch1.size(), 1u);
+  EXPECT_EQ(batch1[0].session, 1u);
+}
+
+TEST(RequestQueue, DelayBoundDispatchesPartialBatch) {
+  RequestQueue q(16);
+  BatchPolicy policy;
+  policy.max_batch_size = 8;
+  policy.max_queue_delay = std::chrono::microseconds(2000);
+  ASSERT_EQ(q.try_push(make_request(0, 7)), Admission::kAccepted);
+  const auto t0 = Clock::now();
+  const auto batch = q.pop_micro_batch(policy);  // waits out the delay
+  const double waited =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 7u);
+  EXPECT_LT(waited, 1.0);  // delay-bounded, not stuck until a full batch
+}
+
+TEST(RequestQueue, LateArrivalsJoinTheWaitingBatch) {
+  RequestQueue q(16);
+  BatchPolicy policy;
+  policy.max_batch_size = 2;
+  policy.max_queue_delay = std::chrono::microseconds(10'000'000);
+  ASSERT_EQ(q.try_push(make_request(0, 1)), Admission::kAccepted);
+  std::thread late([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_EQ(q.try_push(make_request(0, 2)), Admission::kAccepted);
+  });
+  // Blocks on the partial batch until the late arrival completes it (well
+  // before the 10 s delay bound).
+  const auto batch = q.pop_micro_batch(policy);
+  late.join();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 1u);
+  EXPECT_EQ(batch[1].id, 2u);
+}
+
+TEST(DynamicBatcher, WrapsQueueWithPolicy) {
+  RequestQueue q(8);
+  BatchPolicy policy;
+  policy.max_batch_size = 3;
+  policy.max_queue_delay = std::chrono::microseconds(0);
+  DynamicBatcher batcher(q, policy);
+  EXPECT_EQ(batcher.policy().max_batch_size, 3u);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    ASSERT_EQ(q.try_push(make_request(0, i)), Admission::kAccepted);
+  EXPECT_EQ(batcher.next().size(), 3u);
+}
+
+// --- Server end-to-end ----------------------------------------------------
+
+struct ServerFixture {
+  std::unique_ptr<nn::Model> model = tiny_cnn(90);
+  std::shared_ptr<const core::CompiledModel> fast;
+  std::shared_ptr<const core::CompiledModel> small;
+
+  ServerFixture() {
+    core::DeepCamConfig cfg;
+    cfg.cam_rows = 16;
+    fast = std::make_shared<const core::CompiledModel>(*model, cfg);
+    core::DeepCamConfig cfg_small = cfg;
+    cfg_small.default_hash_bits = 256;
+    small = std::make_shared<const core::CompiledModel>(*model, cfg_small);
+  }
+
+  std::unique_ptr<Server> make_server(std::size_t workers,
+                                      std::size_t capacity = 64) {
+    ServerConfig sc;
+    sc.num_workers = workers;
+    sc.queue_capacity = capacity;
+    sc.batch.max_batch_size = 4;
+    sc.batch.max_queue_delay = std::chrono::microseconds(500);
+    auto server = std::make_unique<Server>(sc);
+    server->sessions().add_session("tiny", fast, /*engine_threads=*/2);
+    server->sessions().add_session("tiny-k256", small, /*engine_threads=*/2);
+    server->start();
+    return server;
+  }
+};
+
+TEST(SessionManager, NamedLookupAndDuplicateRejection) {
+  ServerFixture fx;
+  SessionManager mgr;
+  EXPECT_EQ(mgr.add_session("a", fx.fast, 1), 0u);
+  EXPECT_EQ(mgr.add_session("b", fx.small, 1), 1u);
+  EXPECT_EQ(mgr.count(), 2u);
+  EXPECT_EQ(mgr.find("a").value(), 0u);
+  EXPECT_EQ(mgr.find("b").value(), 1u);
+  EXPECT_FALSE(mgr.find("c").has_value());
+  EXPECT_EQ(mgr.name(1), "b");
+  EXPECT_THROW(mgr.add_session("a", fx.fast, 1), Error);
+  EXPECT_THROW(mgr.add_session("", fx.fast, 1), Error);
+}
+
+TEST(Server, BlockingRunMatchesAcceleratorBitwisePerSession) {
+  ServerFixture fx;
+  auto server = fx.make_server(2);
+  core::DeepCamConfig cfg;
+  cfg.cam_rows = 16;
+  core::DeepCamAccelerator acc(*fx.model, cfg);
+  cfg.default_hash_bits = 256;
+  core::DeepCamAccelerator acc_small(*fx.model, cfg);
+
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const nn::Tensor input = LoadGenerator::make_input(kTinyShape, seed);
+    Response r = server->run("tiny", input);
+    ASSERT_TRUE(r.ok());
+    expect_bitwise_equal(r.logits, acc.run(input));
+    EXPECT_GT(r.total_seconds, 0.0);
+    EXPECT_GE(r.batch_size, 1u);
+    Response r2 = server->run("tiny-k256", input);
+    ASSERT_TRUE(r2.ok());
+    expect_bitwise_equal(r2.logits, acc_small.run(input));
+  }
+  server->stop();
+  const ServerSummary summary = server->summary();
+  EXPECT_EQ(summary.total_completed(), 12u);
+  EXPECT_EQ(summary.sessions.size(), 2u);
+  EXPECT_EQ(summary.sessions[0].name, "tiny");
+  EXPECT_EQ(summary.sessions[0].completed, 6u);
+  EXPECT_EQ(summary.sessions[0].errors, 0u);
+  EXPECT_GT(summary.sessions[0].latency_p99_ms, 0.0);
+  EXPECT_GE(summary.sessions[0].latency_p99_ms,
+            summary.sessions[0].latency_p50_ms);
+}
+
+TEST(Server, UnknownSessionAndStoppedServerAreRejected) {
+  ServerFixture fx;
+  auto server = fx.make_server(1);
+  EXPECT_EQ(server->submit("nope", LoadGenerator::make_input(kTinyShape, 0),
+                           nullptr),
+            Admission::kRejectedUnknownSession);
+  Response r = server->run("nope", LoadGenerator::make_input(kTinyShape, 0));
+  EXPECT_FALSE(r.ok());
+  server->stop();
+  EXPECT_EQ(server->submit("tiny", LoadGenerator::make_input(kTinyShape, 0),
+                           nullptr),
+            Admission::kRejectedClosed);
+  // Unknown-session turn-aways are visible in the summary even though they
+  // resolve to no per-session row.
+  const ServerSummary summary = server->summary();
+  EXPECT_EQ(summary.unknown_session_rejected, 2u);
+  EXPECT_EQ(summary.total_rejected(), 2u);
+}
+
+TEST(Server, BackpressureRejectsInsteadOfBlocking) {
+  // One worker, tiny queue: flood submit() far beyond capacity and verify
+  // the overflow is rejected (kRejectedFull), everything accepted is
+  // answered, and the server survives.
+  ServerFixture fx;
+  auto server = fx.make_server(1, /*capacity=*/4);
+  std::atomic<std::size_t> done{0};
+  std::size_t accepted = 0, rejected = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const Admission verdict =
+        server->submit("tiny", LoadGenerator::make_input(kTinyShape, i),
+                       [&done](Response&&) { ++done; });
+    if (verdict == Admission::kAccepted)
+      ++accepted;
+    else if (verdict == Admission::kRejectedFull)
+      ++rejected;
+  }
+  server->drain();
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(accepted, 0u);
+  EXPECT_EQ(done.load(), accepted);
+  server->stop();
+  const ServerSummary summary = server->summary();
+  EXPECT_EQ(summary.sessions[0].completed, accepted);
+  EXPECT_EQ(summary.sessions[0].rejected, rejected);
+  EXPECT_LE(summary.max_queue_depth, 4u);
+}
+
+TEST(Server, StopAnswersEveryAcceptedRequest) {
+  ServerFixture fx;
+  auto server = fx.make_server(2, /*capacity=*/128);
+  std::atomic<std::size_t> done{0};
+  std::size_t accepted = 0;
+  for (std::uint64_t i = 0; i < 32; ++i)
+    if (server->submit("tiny", LoadGenerator::make_input(kTinyShape, i),
+                       [&done](Response&&) { ++done; }) ==
+        Admission::kAccepted)
+      ++accepted;
+  server->stop();  // close + drain + join, without an explicit drain()
+  EXPECT_EQ(done.load(), accepted);
+}
+
+TEST(Server, MicroBatchingCoalescesBurst) {
+  // A burst submitted while one worker is busy must ride in micro-batches
+  // (mean batch size > 1), not one engine call per request.
+  ServerFixture fx;
+  ServerConfig sc;
+  sc.num_workers = 1;
+  sc.queue_capacity = 64;
+  sc.batch.max_batch_size = 8;
+  sc.batch.max_queue_delay = std::chrono::microseconds(4000);
+  Server server(sc);
+  server.sessions().add_session("tiny", fx.fast, 1);
+  server.start();
+  for (std::uint64_t i = 0; i < 32; ++i)
+    server.submit("tiny", LoadGenerator::make_input(kTinyShape, i), nullptr);
+  server.drain();
+  server.stop();
+  const ServerSummary summary = server.summary();
+  EXPECT_EQ(summary.sessions[0].completed, 32u);
+  EXPECT_GT(summary.sessions[0].mean_batch_size, 1.0);
+  EXPECT_LE(summary.sessions[0].max_batch_size, 8u);
+  EXPECT_LT(summary.sessions[0].batches, 32u);
+}
+
+// --- LoadGenerator + determinism -------------------------------------------
+
+TEST(LoadGenerator, TraceIsDeterministicAndWellFormed) {
+  TraceConfig tc;
+  tc.requests = 50;
+  tc.rate_rps = 500.0;
+  tc.sessions = {"a", "b"};
+  tc.seed = 11;
+  const Trace t1 = make_trace(tc);
+  const Trace t2 = make_trace(tc);
+  ASSERT_EQ(t1.events.size(), 50u);
+  double prev = 0.0;
+  bool saw_both = false;
+  for (std::size_t i = 0; i < t1.events.size(); ++i) {
+    EXPECT_EQ(t1.events[i].t_seconds, t2.events[i].t_seconds);
+    EXPECT_EQ(t1.events[i].session, t2.events[i].session);
+    EXPECT_EQ(t1.events[i].input_seed, t2.events[i].input_seed);
+    EXPECT_GT(t1.events[i].t_seconds, prev);  // strictly increasing
+    prev = t1.events[i].t_seconds;
+    if (t1.events[i].session != t1.events[0].session) saw_both = true;
+  }
+  EXPECT_TRUE(saw_both);
+
+  tc.seed = 12;
+  const Trace t3 = make_trace(tc);
+  EXPECT_NE(t1.events[0].input_seed, t3.events[0].input_seed);
+
+  tc.arrivals = ArrivalProcess::kBursty;
+  tc.burst_rate_rps = 5000.0;
+  const Trace bursty = make_trace(tc);
+  EXPECT_EQ(bursty.events.size(), 50u);
+  EXPECT_GT(bursty.duration_seconds(), 0.0);
+}
+
+/// Replays one seeded trace and returns the per-event logits.
+std::vector<nn::Tensor> replay_logits(ServerFixture& fx, const Trace& trace,
+                                      std::size_t workers,
+                                      ReplayOptions opts) {
+  auto server = fx.make_server(workers);
+  LoadGenerator loadgen(*server, {kTinyShape, kTinyShape});
+  const LoadReport load = loadgen.replay(trace, opts);
+  server->drain();
+  server->stop();
+  EXPECT_EQ(load.sent, trace.events.size());
+  EXPECT_EQ(load.rejected, 0u);
+  EXPECT_EQ(load.errors, 0u);
+  EXPECT_GT(load.achieved_rps, 0.0);
+  std::vector<nn::Tensor> logits;
+  logits.reserve(load.records.size());
+  for (const RequestRecord& rec : load.records) {
+    EXPECT_TRUE(rec.completed);
+    EXPECT_TRUE(rec.response.ok());
+    logits.push_back(rec.response.logits);
+  }
+  return logits;
+}
+
+TEST(LoadGenerator, SeededReplayIsBitwiseStableAcrossWorkerCounts) {
+  // The ISSUE 4 determinism contract: the same seeded trace, replayed
+  // closed-loop at 1 and 8 server workers, produces bitwise-identical
+  // per-request outputs (order-independent), each equal to the
+  // single-sample accelerator on the same deterministic input.
+  ServerFixture fx;
+  TraceConfig tc;
+  tc.requests = 24;
+  tc.rate_rps = 2000.0;
+  tc.sessions = {"tiny", "tiny-k256"};
+  tc.seed = 21;
+  const Trace trace = make_trace(tc);
+
+  ReplayOptions closed;
+  closed.mode = ReplayOptions::Mode::kClosedLoop;
+  closed.closed_loop_clients = 6;
+  const auto logits_1w = replay_logits(fx, trace, 1, closed);
+  const auto logits_8w = replay_logits(fx, trace, 8, closed);
+
+  core::DeepCamConfig cfg;
+  cfg.cam_rows = 16;
+  core::DeepCamAccelerator acc(*fx.model, cfg);
+  cfg.default_hash_bits = 256;
+  core::DeepCamAccelerator acc_small(*fx.model, cfg);
+
+  ASSERT_EQ(logits_1w.size(), trace.events.size());
+  ASSERT_EQ(logits_8w.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    expect_bitwise_equal(logits_1w[i], logits_8w[i]);
+    const TraceEvent& e = trace.events[i];
+    const nn::Tensor input =
+        LoadGenerator::make_input(kTinyShape, e.input_seed);
+    expect_bitwise_equal(
+        logits_1w[i],
+        e.session == 0 ? acc.run(input) : acc_small.run(input));
+  }
+}
+
+TEST(LoadGenerator, OpenLoopReplayDeliversEverythingUnderBackpressure) {
+  // Open-loop at a rate far beyond capacity with a small queue: some
+  // requests get rejected (that is the point of admission control), every
+  // accepted one completes, and the latency histogram is populated.
+  ServerFixture fx;
+  auto server = fx.make_server(2, /*capacity=*/8);
+  TraceConfig tc;
+  tc.requests = 48;
+  tc.rate_rps = 20000.0;
+  tc.sessions = {"tiny"};
+  tc.seed = 31;
+  LoadGenerator loadgen(*server, {kTinyShape});
+  ReplayOptions opts;  // open loop
+  const LoadReport load = loadgen.replay(make_trace(tc), opts);
+  server->drain();
+  server->stop();
+  EXPECT_EQ(load.sent + load.rejected, 48u);
+  EXPECT_EQ(load.errors, 0u);
+  EXPECT_EQ(load.latency.count(), load.sent);
+  if (load.sent > 0) {
+    EXPECT_GT(load.percentile_ms(50), 0.0);
+    EXPECT_GE(load.percentile_ms(99), load.percentile_ms(50));
+  }
+  const ServerSummary summary = server->summary();
+  EXPECT_EQ(summary.sessions[0].completed, load.sent);
+  EXPECT_EQ(summary.sessions[0].rejected, load.rejected);
+}
+
+}  // namespace
+}  // namespace deepcam::serve
