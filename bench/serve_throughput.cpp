@@ -21,13 +21,13 @@
 // phase for CI smoke runs.
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/json.hpp"
 #include "core/report_io.hpp"
 #include "nn/topologies.hpp"
@@ -53,17 +53,16 @@ struct SweepRow {
 int main(int argc, char** argv) {
   bool quick = false, check = false;
   std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    else if (std::strcmp(argv[i], "--check") == 0) check = true;
-    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-      json_path = argv[++i];
-    else {
-      std::fprintf(stderr,
-                   "usage: serve_throughput [--quick] [--check] "
-                   "[--json PATH]\n");
-      return 2;
-    }
+  cli::Flags flags("serve_throughput",
+                   "offline vs saturation vs offered-load serving sweep");
+  flags.flag("quick", &quick, "shrink every phase for CI smoke runs")
+      .flag("check", &check, "gate saturation >= 90% of offline, >= 2 in "
+                             "flight")
+      .option("json", &json_path, "write the bench JSON artifact here");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
   }
 
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());

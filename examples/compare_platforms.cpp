@@ -1,91 +1,56 @@
-// Cross-platform comparison driver (paper Tables I/II style).
+// Cross-platform comparison driver (paper Tables I/II style), on the
+// declarative facade.
 //
-// Sweeps every backend in the default registry — DeepCAM, Eyeriss-class
-// systolic array, Skylake AVX-512 CPU, NeuroSim RRAM and Valavi SRAM PIM
-// macros — plus a VHL-tuned DeepCAM variant over LeNet5 at several batch
-// sizes, and prints the ranked cycles/energy table. Then cross-checks that
-// the "deepcam" row is bitwise identical to driving the single-backend
-// InferenceEngine path directly on the same config and probe batch (exit
-// code 1 on any mismatch).
+// Builds the same Spec as specs/table1.json with the SpecBuilder — every
+// default-registry backend (DeepCAM, Eyeriss-class systolic array, Skylake
+// AVX-512 CPU, NeuroSim RRAM and Valavi SRAM PIM macros) plus the
+// VHL-tuned DeepCAM variant over LeNet5 at batch 1 and 8 — runs it through
+// Runner::run, and prints the ranked cycles/energy tables. Then
+// cross-checks that the facade's "deepcam" rows are bitwise identical to
+// driving the single-backend InferenceEngine path directly on the same
+// config and probe batch (exit code 1 on any mismatch) — the same gate CI
+// runs via `deepcam compare specs/table1.json --check`.
 //
 // Flags: --csv additionally dumps the comparison CSV and the per-layer
 // drill-down CSV to stdout.
 #include <cstdio>
-#include <cstring>
 #include <memory>
 
-#include "core/engine.hpp"
-#include "nn/topologies.hpp"
-#include "sim/backends.hpp"
-#include "sim/comparison.hpp"
-#include "sim/report_io.hpp"
+#include "deepcam/deepcam.hpp"
 
 using namespace deepcam;
 
 int main(int argc, char** argv) {
   bool dump_csv = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--csv") == 0) dump_csv = true;
+  cli::Flags flags("compare_platforms",
+                   "sweep all sim backends over LeNet5 (paper Table I)");
+  flags.flag("csv", &dump_csv, "dump comparison + per-layer CSV to stdout");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
 
-  const sim::BackendRegistry registry = sim::default_registry();
-  sim::ComparisonOptions opts;
-  opts.include_vhl_deepcam = true;
   // The deterministically-seeded (untrained) LeNet sees large layer-local
   // relative errors on random probes; 0.5 admits shorter hashes on the
   // robust layers so the VHL row demonstrates real per-layer variety
   // (trained nets tune against the default 0.25 — see lenet_pipeline).
-  opts.tuner.max_rel_error = 0.5;
-  const sim::ComparisonRunner runner(registry, opts);
+  const Spec spec = SpecBuilder("table1-compare")
+                        .mode(Mode::kCompare)
+                        .workload("lenet5", /*seed=*/1)
+                        .batch_sizes({1, 8})
+                        .vhl(/*max_rel_error=*/0.5, /*probes=*/4)
+                        .include_vhl()
+                        .build();
 
-  const sim::WorkloadSpec lenet{"lenet5", /*seed=*/1, /*batch_sizes=*/{1, 8}};
+  std::printf("== Cross-platform comparison: 5 backends + deepcam-vhl on "
+              "lenet5 ==\n\n");
+  const Outcome outcome = Runner().run(spec);
+  std::printf("%s", outcome_text(outcome).c_str());
+  if (dump_csv) std::printf("%s", outcome_csv(outcome).c_str());
 
-  std::printf("== Cross-platform comparison: %zu backends + deepcam-vhl on "
-              "%s ==\n\n",
-              registry.size(), lenet.model_name.c_str());
-  const sim::ComparisonReport report = runner.run({lenet});
-
-  const core::TuneResult& tuned = report.vhl_tuning.front();
-  std::printf("VHL tuner (layer-local): mean hash length %.0f bits\n",
-              tuned.mean_hash_bits());
-  for (const auto& l : tuned.layers)
-    std::printf("  %-8s n=%-5zu -> k=%zu\n", l.layer_name.c_str(),
-                l.context_len, l.chosen_bits);
-  std::printf("\n%s", sim::comparison_summary(report).c_str());
-
-  if (dump_csv) {
-    std::printf("-- comparison.csv --\n%s",
-                sim::comparison_to_csv(report).c_str());
-    std::printf("-- comparison_layers.csv --\n%s",
-                sim::comparison_layers_to_csv(report).c_str());
-  }
-
-  // Bitwise cross-check: the "deepcam" rows must equal the single-backend
-  // InferenceEngine path on the same config and the same probe batch.
-  const auto model = nn::make_model(lenet.model_name, lenet.seed);
-  const nn::Shape shape = nn::input_spec_for(lenet.model_name).shape();
-  const sim::DeepCamBackend::Options dc;  // defaults == registry's "deepcam"
-  const auto compiled =
-      std::make_shared<const core::CompiledModel>(*model, dc.config);
-  core::InferenceEngine engine(compiled, dc.threads);
-  bool ok = true;
-  for (const std::size_t batch : lenet.batch_sizes) {
-    core::BatchReport br;
-    engine.run_batch(sim::make_probe_batch(shape, batch, dc.probe_seed), &br);
-    const sim::PlatformResult* row = nullptr;
-    for (const auto& r : report.rows)
-      if (r.backend == "deepcam" && r.model == model->name() &&
-          r.batch == batch)
-        row = &r;
-    const bool match =
-        row != nullptr &&
-        row->total_cycles ==
-            static_cast<double>(br.aggregate.total_cycles()) &&
-        row->total_energy_j == br.aggregate.total_energy();
-    std::printf("bitwise check (batch %zu): backend %.0f cycles vs engine "
-                "%zu cycles -> %s\n",
-                batch, row != nullptr ? row->total_cycles : -1.0,
-                br.aggregate.total_cycles(), match ? "OK" : "MISMATCH");
-    ok = ok && match;
-  }
-  return ok ? 0 : 1;
+  // Bitwise cross-check: the facade's "deepcam" rows must equal the
+  // single-backend InferenceEngine path on the same config and the same
+  // probe batch (shared with `deepcam compare --check`).
+  return verify_deepcam_rows(spec, outcome.compare()) ? 0 : 1;
 }

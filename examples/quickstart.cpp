@@ -3,16 +3,13 @@
 //  1. Hash two vectors into contexts (SimHash + minifloat L2 norm).
 //  2. Compute their approximate geometric dot-product via a DynamicCam
 //     search, exactly as the accelerator does internally.
-//  3. Run a small CNN end-to-end on the DeepCamAccelerator and print the
-//     cycle/energy report.
+//  3. Run a small CNN batch through the declarative facade — one Spec in,
+//     one Outcome out (the same description as specs/quickstart.json) —
+//     then cross-check the facade against the direct InferenceEngine path:
+//     the reports must be bitwise identical (exit 1 otherwise).
 #include <cstdio>
 
-#include "core/accelerator.hpp"
-#include "core/context.hpp"
-#include "nn/conv2d.hpp"
-#include "nn/linear.hpp"
-#include "nn/pointwise.hpp"
-#include "nn/pooling.hpp"
+#include "deepcam/deepcam.hpp"
 
 using namespace deepcam;
 
@@ -33,37 +30,39 @@ int main() {
   const double approx =
       hash::approx_dot(cx.norm(), cy.norm(), hd, 1024, /*use_pwl=*/true);
   std::printf("algebraic dot-product : 2.0765 (paper value)\n");
-  std::printf("DeepCAM approx (k=1024): %.4f  (HD=%zu)\n", approx, hd);
+  std::printf("DeepCAM approx (k=1024): %.4f  (HD=%zu)\n\n", approx, hd);
 
-  // --- 3. A small CNN on the accelerator. --------------------------------
-  nn::Model model("demo_cnn");
-  model.add(std::make_unique<nn::Conv2D>("conv1",
-                                         nn::ConvSpec{1, 8, 3, 3, 1, 1}, 1));
-  model.add(std::make_unique<nn::ReLU>("relu1"));
-  model.add(std::make_unique<nn::MaxPool>("pool1", 2, 2));
-  model.add(std::make_unique<nn::Flatten>("flat"));
-  model.add(std::make_unique<nn::Linear>("fc", 8 * 8 * 8, 10, 2));
+  // --- 3. A small CNN through the facade (== specs/quickstart.json). ----
+  const Spec spec = SpecBuilder("quickstart")
+                        .mode(Mode::kOffline)
+                        .custom_workload("demo_cnn", 1, 16, 16, /*seed=*/1)
+                        .conv2d("conv1", 1, 8, 3, /*stride=*/1, /*pad=*/1)
+                        .relu("relu1")
+                        .maxpool(2, 2)
+                        .flatten("flat")
+                        .linear("fc", 8 * 8 * 8, 10)
+                        .offline_batch(8)
+                        .build();
+  const Outcome outcome = Runner().run(spec);
+  std::printf("%s", outcome_text(outcome).c_str());
 
-  core::DeepCamConfig cfg;
-  cfg.cam_rows = 64;
-  cfg.dataflow = core::Dataflow::kActivationStationary;
-  core::DeepCamAccelerator acc(model, cfg);
+  // --- 4. Facade == direct engine path, bitwise. -------------------------
+  const Workload& w = spec.workloads.front();
+  const auto model = build_model(w);
+  const auto compiled = std::make_shared<const core::CompiledModel>(
+      *model, spec.accelerator.config());
+  core::InferenceEngine engine(compiled, spec.accelerator.engine_threads);
+  core::BatchReport direct;
+  engine.run_batch(sim::make_probe_batch(w.input_shape(), spec.offline.batch,
+                                         spec.offline.input_seed),
+                   &direct);
 
-  nn::Tensor image({1, 1, 16, 16});
-  for (std::size_t i = 0; i < image.numel(); ++i)
-    image[i] = static_cast<float>((i % 7) - 3) * 0.1f;
-
-  core::RunReport report;
-  const nn::Tensor logits = acc.run(image, &report);
-
-  std::printf("\nDeepCAM inference on %s:\n", model.name().c_str());
-  std::printf("  predicted class : %zu\n", nn::argmax_class(logits));
-  std::printf("  CAM searches    : %zu\n", report.total_searches());
-  std::printf("  total cycles    : %zu (%.2f us @300 MHz)\n",
-              report.total_cycles(), report.time_seconds() * 1e6);
-  std::printf("  total energy    : %.3f nJ\n", report.total_energy() * 1e9);
-  std::printf("  mean utilization: %.1f%%\n",
-              100.0 * report.mean_utilization());
-  std::printf("  CAM area        : %.0f um^2\n", report.cam_area_um2);
-  return 0;
+  const core::RunReport& a = outcome.offline().report.aggregate;
+  const bool match = a.total_cycles() == direct.aggregate.total_cycles() &&
+                     a.total_energy() == direct.aggregate.total_energy() &&
+                     a.total_searches() == direct.aggregate.total_searches();
+  std::printf("\nfacade vs direct engine: %zu vs %zu cycles -> %s\n",
+              a.total_cycles(), direct.aggregate.total_cycles(),
+              match ? "OK (bitwise)" : "MISMATCH");
+  return match ? 0 : 1;
 }

@@ -1,10 +1,13 @@
-// Online serving demo: multi-model sessions under trace-driven load.
+// Online serving demo: multi-model sessions under trace-driven load, on
+// the declarative facade.
 //
-// Hosts several DeepCAM sessions behind one Server (by default LeNet-5 at
-// two quality/latency tiers: the full k=1024 hash and a 4x-cheaper k=256
-// tier), generates a seeded arrival trace (Poisson, bursty or closed-loop)
-// with the LoadGenerator, replays it, and prints the per-session server
-// summary plus the end-to-end latency distribution (p50/p95/p99).
+// Translates its flags into the same Spec shape as specs/serve_demo.json
+// (every requested model hosted at the k=1024 and 4x-cheaper k=256 hash
+// tiers behind one Server, a seeded Poisson/bursty/closed-loop trace
+// replayed by the LoadGenerator) and runs it through Runner::run. The
+// printed summary — offered vs achieved rate, p50/p95/p99 end-to-end
+// latency, per-session server stats — is the facade's uniform Outcome
+// rendering.
 //
 // Flags:
 //   --models lenet5,...      comma-separated nn/topologies names; every
@@ -18,149 +21,77 @@
 //   --delay-us D             micro-batch delay bound      (default 2000)
 //   --clients N              closed-loop concurrency      (default 8)
 //   --seed S                 trace seed                   (default 1)
-//   --json                   additionally print the summary as JSON
+//   --json                   additionally print the Outcome as JSON
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "nn/topologies.hpp"
-#include "serve/loadgen.hpp"
-#include "serve/report_io.hpp"
-#include "serve/server.hpp"
+#include "deepcam/deepcam.hpp"
 
 using namespace deepcam;
 
-namespace {
-
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t comma = s.find(',', start);
-    const std::size_t end = comma == std::string::npos ? s.size() : comma;
-    if (end > start) out.push_back(s.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  std::vector<std::string> model_names = {"lenet5"};
-  std::string mode = "poisson";
-  std::size_t requests = 96, workers = 4, engine_threads = 2, batch = 8;
-  std::size_t clients = 8;
+  std::string models = "lenet5", mode = "poisson";
+  std::uint64_t requests = 96, workers = 4, engine_threads = 2, batch = 8;
+  std::uint64_t clients = 8, seed = 1;
   long delay_us = 2000;
   double rate = 400.0;
-  std::uint64_t seed = 1;
   bool emit_json = false;
 
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", argv[i]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--models") == 0) model_names = split_csv(next());
-    else if (std::strcmp(argv[i], "--mode") == 0) mode = next();
-    else if (std::strcmp(argv[i], "--requests") == 0) requests = std::strtoul(next(), nullptr, 10);
-    else if (std::strcmp(argv[i], "--rate") == 0) rate = std::strtod(next(), nullptr);
-    else if (std::strcmp(argv[i], "--workers") == 0) workers = std::strtoul(next(), nullptr, 10);
-    else if (std::strcmp(argv[i], "--engine-threads") == 0) engine_threads = std::strtoul(next(), nullptr, 10);
-    else if (std::strcmp(argv[i], "--batch") == 0) batch = std::strtoul(next(), nullptr, 10);
-    else if (std::strcmp(argv[i], "--delay-us") == 0) delay_us = std::strtol(next(), nullptr, 10);
-    else if (std::strcmp(argv[i], "--clients") == 0) clients = std::strtoul(next(), nullptr, 10);
-    else if (std::strcmp(argv[i], "--seed") == 0) seed = std::strtoull(next(), nullptr, 10);
-    else if (std::strcmp(argv[i], "--json") == 0) emit_json = true;
-    else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      return 2;
-    }
-  }
-
-  // --- sessions: every model at two hash-length tiers --------------------
-  serve::ServerConfig cfg;
-  cfg.num_workers = workers;
-  cfg.queue_capacity = 512;
-  cfg.batch.max_batch_size = batch;
-  cfg.batch.max_queue_delay = std::chrono::microseconds(delay_us);
-  serve::Server server(cfg);
-
-  std::vector<std::unique_ptr<nn::Model>> models;  // outlive the server
-  std::vector<std::string> session_names;
-  std::vector<nn::Shape> session_shapes;
-  for (const std::string& name : model_names) {
-    const nn::InputSpec spec = nn::input_spec_for(name);
-    models.push_back(nn::make_model(name, /*seed=*/7));
-    for (const std::size_t k : {std::size_t{1024}, std::size_t{256}}) {
-      core::DeepCamConfig dc;
-      dc.default_hash_bits = k;
-      auto compiled =
-          std::make_shared<const core::CompiledModel>(*models.back(), dc);
-      const std::string session = name + "-k" + std::to_string(k);
-      server.sessions().add_session(session, std::move(compiled),
-                                    engine_threads);
-      session_names.push_back(session);
-      session_shapes.push_back(spec.shape());
-    }
-  }
-  server.start();
-
-  // --- trace -------------------------------------------------------------
-  serve::TraceConfig tc;
-  tc.requests = requests;
-  tc.rate_rps = rate;
-  tc.sessions = session_names;
-  tc.seed = seed;
-  serve::ReplayOptions opts;
-  if (mode == "bursty") {
-    tc.arrivals = serve::ArrivalProcess::kBursty;
-    tc.burst_rate_rps = 4.0 * rate;
-    tc.rate_rps = 0.25 * rate;
-  } else if (mode == "closed") {
-    opts.mode = serve::ReplayOptions::Mode::kClosedLoop;
-    opts.closed_loop_clients = clients;
-  } else if (mode != "poisson") {
-    std::fprintf(stderr, "unknown --mode %s\n", mode.c_str());
+  cli::Flags flags("serve_loadgen",
+                   "replay a seeded load trace against multi-model sessions");
+  flags.option("models", &models, "comma-separated topology names")
+      .option("mode", &mode, "poisson|bursty|closed")
+      .option("requests", &requests, "trace length")
+      .option("rate", &rate, "open-loop offered load, req/s")
+      .option("workers", &workers, "server batcher threads")
+      .option("engine-threads", &engine_threads, "CAM pipelines per session")
+      .option("batch", &batch, "micro-batch size bound")
+      .option("delay-us", &delay_us, "micro-batch delay bound (us)")
+      .option("clients", &clients, "closed-loop concurrency")
+      .option("seed", &seed, "trace seed")
+      .flag("json", &emit_json, "print the Outcome as JSON");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
     return 2;
   }
-  const serve::Trace trace = serve::make_trace(tc);
 
-  std::printf("== serve_loadgen: %zu sessions, %zu requests, %s mode ==\n",
-              session_names.size(), trace.events.size(), mode.c_str());
-  for (const auto& s : session_names) std::printf("  session %s\n", s.c_str());
+  try {
+    SpecBuilder builder("serve-loadgen");
+    builder.mode(Mode::kServe);
+    for (const std::string& name : cli::split_csv(models))
+      builder.workload(name, /*seed=*/7);
+    builder.engine_threads(engine_threads)
+        .serve_tiers({1024, 256})
+        .serve_workers(workers)
+        .serve_queue(512)
+        .serve_batch(batch, delay_us)
+        .serve_trace(mode, requests, rate, seed)
+        .serve_clients(clients);
+    const Spec spec = builder.build();
 
-  serve::LoadGenerator loadgen(server, session_shapes);
-  const serve::LoadReport load = loadgen.replay(trace, opts);
-  server.drain();
-  server.stop();
+    const Outcome outcome = Runner().run(spec);
+    const ServeOutcome& serve = outcome.serve();
 
-  std::printf("\noffered %.1f req/s -> achieved %.1f req/s  "
-              "(%zu ok, %zu rejected, %zu errors)\n",
-              load.offered_rps, load.achieved_rps,
-              load.sent - load.errors, load.rejected, load.errors);
-  std::printf("latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n\n",
-              load.percentile_ms(50), load.percentile_ms(95),
-              load.percentile_ms(99), load.latency.max() * 1e3);
+    std::printf("== serve_loadgen: %zu sessions, %zu requests, %s mode ==\n",
+                serve.sessions.size(), serve.trace_events, mode.c_str());
+    for (const auto& s : serve.sessions)
+      std::printf("  session %s\n", s.c_str());
+    std::printf("\n%s", outcome_text(outcome).c_str());
+    if (emit_json)
+      std::printf("\n%s\n", outcome_to_json(outcome).c_str());
 
-  const serve::ServerSummary summary = server.summary();
-  std::printf("%s", serve::server_summary_text(summary).c_str());
-  if (emit_json)
-    std::printf("\n%s\n", serve::server_summary_to_json(summary).c_str());
-
-  // Smoke invariant for CI: every admitted request was answered.
-  const std::size_t answered = load.sent + load.rejected;
-  if (answered != trace.events.size()) {
-    std::fprintf(stderr, "BUG: %zu of %zu requests unaccounted\n",
-                 trace.events.size() - answered, trace.events.size());
-    return 1;
+    // Smoke invariant for CI: every accepted request was answered.
+    const std::size_t answered = serve.load.sent + serve.load.rejected;
+    if (answered != serve.trace_events) {
+      std::fprintf(stderr, "BUG: %zu of %zu requests unaccounted\n",
+                   serve.trace_events - answered, serve.trace_events);
+      return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "serve_loadgen: %s\n", e.what());
+    return 2;
   }
-  return 0;
 }

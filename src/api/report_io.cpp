@@ -1,0 +1,167 @@
+#include "api/report_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "core/report_io.hpp"
+#include "serve/report_io.hpp"
+#include "sim/report_io.hpp"
+
+namespace deepcam {
+
+namespace {
+
+void offline_json(JsonWriter& json, const OfflineOutcome& out,
+                  bool per_sample) {
+  core::batch_report_json(json, out.report, per_sample);
+}
+
+void serve_json(JsonWriter& json, const ServeOutcome& out) {
+  json.begin_object();
+  json.kv("trace_events", out.trace_events);
+  json.key("sessions").begin_array();
+  for (const std::string& s : out.sessions) json.value(s);
+  json.end_array();
+  json.key("load");
+  serve::load_report_json(json, out.load);
+  json.key("server");
+  serve::server_summary_json(json, out.summary);
+  json.end_object();
+}
+
+void tune_json(JsonWriter& json, const TuneOutcome& out) {
+  json.begin_object();
+  json.key("workloads").begin_array();
+  for (const TuneOutcome::Entry& e : out.entries) {
+    json.begin_object();
+    json.kv("workload", e.workload);
+    json.key("tuning");
+    core::tune_result_json(json, e.result);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string tune_result_text(const core::TuneResult& tuned) {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "VHL tuner (layer-local): mean hash length %s bits\n",
+                format_fixed(tuned.mean_hash_bits(), 0).c_str());
+  os << buf;
+  for (const auto& l : tuned.layers) {
+    std::snprintf(buf, sizeof buf, "  %-8s n=%-5zu -> k=%zu\n",
+                  l.layer_name.c_str(), l.context_len, l.chosen_bits);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string offline_text(const OfflineOutcome& out) {
+  std::ostringstream os;
+  const core::BatchReport& br = out.report;
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "Batch: %zu samples on %zu engine threads in %s s "
+                "(%s samples/s host, %s samples/s simulated)\n",
+                br.samples, br.threads,
+                format_fixed(br.wall_seconds, 3).c_str(),
+                format_fixed(br.throughput(), 1).c_str(),
+                format_fixed(br.simulated_throughput(), 1).c_str());
+  os << buf;
+  os << core::report_summary(br.aggregate);
+  return os.str();
+}
+
+std::string compare_text(const CompareOutcome& out) {
+  std::ostringstream os;
+  for (const core::TuneResult& tuned : out.report.vhl_tuning)
+    os << tune_result_text(tuned);
+  if (!out.report.vhl_tuning.empty()) os << '\n';
+  os << sim::comparison_summary(out.report);
+  return os.str();
+}
+
+std::string serve_text(const ServeOutcome& out) {
+  std::ostringstream os;
+  const serve::LoadReport& load = out.load;
+  char buf[240];
+  std::snprintf(buf, sizeof buf,
+                "offered %s req/s -> achieved %s req/s  "
+                "(%zu ok, %zu rejected, %zu errors)\n",
+                format_fixed(load.offered_rps, 1).c_str(),
+                format_fixed(load.achieved_rps, 1).c_str(),
+                load.sent - load.errors, load.rejected, load.errors);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "latency p50 %s ms  p95 %s ms  p99 %s ms  max %s ms\n",
+                format_fixed(load.percentile_ms(50), 3).c_str(),
+                format_fixed(load.percentile_ms(95), 3).c_str(),
+                format_fixed(load.percentile_ms(99), 3).c_str(),
+                format_fixed(load.latency.max() * 1e3, 3).c_str());
+  os << buf << '\n';
+  os << serve::server_summary_text(out.summary);
+  return os.str();
+}
+
+std::string tune_text(const TuneOutcome& out) {
+  std::ostringstream os;
+  for (const TuneOutcome::Entry& e : out.entries) {
+    os << "== " << e.workload << " ==\n";
+    os << tune_result_text(e.result);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void outcome_json(JsonWriter& json, const Outcome& outcome,
+                  bool per_sample) {
+  json.begin_object();
+  json.kv("spec", outcome.spec_name);
+  json.kv("mode", mode_name(outcome.mode));
+  json.key(mode_name(outcome.mode));
+  switch (outcome.mode) {
+    case Mode::kOffline:
+      offline_json(json, outcome.offline(), per_sample);
+      break;
+    case Mode::kCompare: sim::comparison_json(json, outcome.compare().report); break;
+    case Mode::kServe: serve_json(json, outcome.serve()); break;
+    case Mode::kTune: tune_json(json, outcome.tune()); break;
+  }
+  json.end_object();
+}
+
+std::string outcome_to_json(const Outcome& outcome, bool per_sample) {
+  JsonWriter json;
+  outcome_json(json, outcome, per_sample);
+  return json.str();
+}
+
+std::string outcome_text(const Outcome& outcome) {
+  switch (outcome.mode) {
+    case Mode::kOffline: return offline_text(outcome.offline());
+    case Mode::kCompare: return compare_text(outcome.compare());
+    case Mode::kServe: return serve_text(outcome.serve());
+    case Mode::kTune: return tune_text(outcome.tune());
+  }
+  return {};
+}
+
+std::string outcome_csv(const Outcome& outcome) {
+  switch (outcome.mode) {
+    case Mode::kOffline:
+      return core::report_to_csv(outcome.offline().report.aggregate);
+    case Mode::kCompare:
+      return sim::comparison_to_csv(outcome.compare().report) + "\n" +
+             sim::comparison_layers_to_csv(outcome.compare().report);
+    case Mode::kServe:
+    case Mode::kTune:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace deepcam

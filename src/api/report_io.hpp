@@ -1,0 +1,36 @@
+// Outcome serialization: one JSON/text/CSV surface for every Runner result.
+//
+// Whatever the mode, the emitted JSON document has the same envelope —
+// {"spec": ..., "mode": ..., "<mode>": {...}} — with the payload delegated
+// to the subsystem serializers (core/report_io, sim/report_io,
+// serve/report_io), all locale-proof through the shared JsonWriter and
+// golden-pinned in tests/golden/. Text and CSV mirror what the pre-facade
+// example drivers printed.
+#pragma once
+
+#include <string>
+
+#include "api/runner.hpp"
+#include "common/json.hpp"
+
+namespace deepcam {
+
+/// Appends the outcome envelope + payload to an in-progress writer.
+/// `per_sample` adds the per-sample run reports to offline outcomes
+/// (OutputOptions::per_sample).
+void outcome_json(JsonWriter& json, const Outcome& outcome,
+                  bool per_sample = false);
+
+/// Self-contained JSON document for one Outcome.
+std::string outcome_to_json(const Outcome& outcome, bool per_sample = false);
+
+/// Multi-line human-readable view (the facade replacement for the ad-hoc
+/// printing the example drivers used to do).
+std::string outcome_text(const Outcome& outcome);
+
+/// CSV where the mode has a tabular shape: offline -> per-layer run-report
+/// CSV, compare -> comparison CSV + per-layer drill-down. Empty string for
+/// serve/tune.
+std::string outcome_csv(const Outcome& outcome);
+
+}  // namespace deepcam

@@ -1,0 +1,246 @@
+#include "api/runner.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "pim/comparators.hpp"
+#include "serve/server.hpp"
+#include "sim/backends.hpp"
+#include "sim/registry.hpp"
+
+namespace deepcam {
+
+namespace {
+
+core::TunerConfig tuner_config(const AcceleratorSpec& acc) {
+  core::TunerConfig cfg;
+  cfg.mode = core::TunerMode::kLayerLocal;
+  cfg.max_rel_error = acc.vhl_max_rel_error;
+  cfg.hash_seed = acc.hash_seed;
+  return cfg;
+}
+
+core::TuneResult tune(const AcceleratorSpec& acc, nn::Model& model,
+                      nn::Shape shape) {
+  const auto probes =
+      sim::make_probe_batch(shape, acc.vhl_probes, sim::kProbeSeed);
+  return core::tune_hash_lengths(model, probes, tuner_config(acc));
+}
+
+/// The spec's accelerator config with VHL tuning applied when requested.
+core::DeepCamConfig resolved_config(const AcceleratorSpec& acc,
+                                    nn::Model& model, nn::Shape shape) {
+  core::DeepCamConfig cfg = acc.config();
+  if (acc.vhl) cfg.layer_hash_bits = tune(acc, model, shape).hash_bits;
+  return cfg;
+}
+
+std::unique_ptr<sim::Backend> make_backend(const std::string& name,
+                                           const Spec& spec) {
+  if (name == "deepcam") {
+    sim::DeepCamBackend::Options dc;
+    dc.config = spec.accelerator.config();
+    dc.threads = spec.accelerator.engine_threads;
+    return std::make_unique<sim::DeepCamBackend>(dc);
+  }
+  if (name == "eyeriss") return std::make_unique<sim::EyerissBackend>();
+  if (name == "cpu-avx512") return std::make_unique<sim::CpuBackend>();
+  if (name == "pim-neurosim")
+    return std::make_unique<sim::CrossbarBackend>(
+        pim::neurosim_rram_config(), "pim-neurosim");
+  if (name == "pim-valavi")
+    return std::make_unique<sim::CrossbarBackend>(pim::valavi_sram_config(),
+                                                  "pim-valavi");
+  throw Error("unknown backend \"" + name + "\"");
+}
+
+/// Registry in default_registry() order, restricted to the spec's backend
+/// selection (empty = all), with the deepcam row honoring the spec's
+/// accelerator config. With a default accelerator spec this is exactly
+/// sim::default_registry().
+sim::BackendRegistry make_registry(const Spec& spec) {
+  std::vector<std::string> names = spec.compare.backends;
+  if (names.empty()) names = known_backend_names();
+  sim::BackendRegistry registry;
+  for (const std::string& name : names)
+    registry.add(make_backend(name, spec));
+  return registry;
+}
+
+Outcome run_offline(const Spec& spec) {
+  const Workload& w = spec.workloads.front();
+  const nn::Shape shape = w.input_shape();
+  const auto model = build_model(w);
+  const core::DeepCamConfig cfg =
+      resolved_config(spec.accelerator, *model, shape);
+  const auto compiled =
+      std::make_shared<const core::CompiledModel>(*model, cfg);
+  core::InferenceEngine engine(compiled, spec.accelerator.engine_threads);
+
+  OfflineOutcome out;
+  engine.run_batch(
+      sim::make_probe_batch(shape, spec.offline.batch, spec.offline.input_seed),
+      &out.report);
+  return Outcome{spec.name, spec.mode, std::move(out)};
+}
+
+Outcome run_compare(const Spec& spec) {
+  const sim::BackendRegistry registry = make_registry(spec);
+  sim::ComparisonOptions opts;
+  opts.include_vhl_deepcam = spec.compare.include_vhl;
+  opts.vhl_probes = spec.accelerator.vhl_probes;
+  opts.tuner = tuner_config(spec.accelerator);
+  opts.deepcam_config = spec.accelerator.config();
+  opts.deepcam_threads = spec.accelerator.engine_threads;
+  const sim::ComparisonRunner runner(registry, opts);
+
+  std::vector<sim::WorkloadSpec> workloads;
+  workloads.reserve(spec.workloads.size());
+  for (const Workload& w : spec.workloads)
+    workloads.push_back(sim::WorkloadSpec{w.topology, w.seed, w.batch_sizes});
+
+  CompareOutcome out;
+  out.report = runner.run(workloads);
+  return Outcome{spec.name, spec.mode, std::move(out)};
+}
+
+Outcome run_serve(const Spec& spec) {
+  const ServeOptions& srv = spec.serve;
+  serve::ServerConfig cfg;
+  cfg.num_workers = srv.workers;
+  cfg.queue_capacity = srv.queue_capacity;
+  cfg.batch.max_batch_size = srv.max_batch;
+  cfg.batch.max_queue_delay = std::chrono::microseconds(srv.max_delay_us);
+  serve::Server server(cfg);
+
+  // Sessions: every workload compiled at every hash tier. The models must
+  // outlive the server (CompiledModel only points at them).
+  std::vector<std::unique_ptr<nn::Model>> models;
+  std::vector<std::string> session_names;
+  std::vector<nn::Shape> session_shapes;
+  for (const Workload& w : spec.workloads) {
+    models.push_back(build_model(w));
+    for (const std::size_t k : srv.hash_tiers) {
+      core::DeepCamConfig dc = spec.accelerator.config();
+      dc.default_hash_bits = k;
+      dc.layer_hash_bits.clear();  // tiers are homogeneous hash lengths
+      auto compiled =
+          std::make_shared<const core::CompiledModel>(*models.back(), dc);
+      const std::string session =
+          w.display_name() + "-k" + std::to_string(k);
+      server.sessions().add_session(session, std::move(compiled),
+                                    spec.accelerator.engine_threads);
+      session_names.push_back(session);
+      session_shapes.push_back(w.input_shape());
+    }
+  }
+  server.start();
+
+  serve::TraceConfig tc;
+  tc.requests = srv.requests;
+  tc.rate_rps = srv.rate_rps;
+  tc.sessions = session_names;
+  tc.seed = srv.trace_seed;
+  serve::ReplayOptions opts;
+  if (srv.trace == "bursty") {
+    tc.arrivals = serve::ArrivalProcess::kBursty;
+    tc.burst_rate_rps = 4.0 * srv.rate_rps;
+    tc.rate_rps = 0.25 * srv.rate_rps;
+  } else if (srv.trace == "closed") {
+    opts.mode = serve::ReplayOptions::Mode::kClosedLoop;
+    opts.closed_loop_clients = srv.clients;
+  }
+  const serve::Trace trace = serve::make_trace(tc);
+
+  serve::LoadGenerator loadgen(server, session_shapes);
+  ServeOutcome out;
+  out.load = loadgen.replay(trace, opts);
+  server.drain();
+  server.stop();
+  out.summary = server.summary();
+  out.trace_events = trace.events.size();
+  out.sessions = std::move(session_names);
+  return Outcome{spec.name, spec.mode, std::move(out)};
+}
+
+Outcome run_tune(const Spec& spec) {
+  TuneOutcome out;
+  for (const Workload& w : spec.workloads) {
+    const auto model = build_model(w);
+    out.entries.push_back(TuneOutcome::Entry{
+        w.display_name(), tune(spec.accelerator, *model, w.input_shape())});
+  }
+  return Outcome{spec.name, spec.mode, std::move(out)};
+}
+
+template <typename T>
+const T& get_alternative(
+    const std::variant<OfflineOutcome, CompareOutcome, ServeOutcome,
+                       TuneOutcome>& result,
+    Mode mode, const char* wanted) {
+  DEEPCAM_CHECK_MSG(std::holds_alternative<T>(result),
+                    std::string("outcome of a ") + mode_name(mode) +
+                        " run has no " + wanted + " result");
+  return std::get<T>(result);
+}
+
+}  // namespace
+
+const OfflineOutcome& Outcome::offline() const {
+  return get_alternative<OfflineOutcome>(result, mode, "offline");
+}
+const CompareOutcome& Outcome::compare() const {
+  return get_alternative<CompareOutcome>(result, mode, "compare");
+}
+const ServeOutcome& Outcome::serve() const {
+  return get_alternative<ServeOutcome>(result, mode, "serve");
+}
+const TuneOutcome& Outcome::tune() const {
+  return get_alternative<TuneOutcome>(result, mode, "tune");
+}
+
+bool verify_deepcam_rows(const Spec& spec, const CompareOutcome& outcome) {
+  bool ok = !outcome.report.rows.empty();
+  for (const Workload& w : spec.workloads) {
+    const auto model = build_model(w);
+    const nn::Shape shape = w.input_shape();
+    const auto compiled = std::make_shared<const core::CompiledModel>(
+        *model, spec.accelerator.config());
+    core::InferenceEngine engine(compiled, spec.accelerator.engine_threads);
+    for (const std::size_t batch : w.batch_sizes) {
+      const sim::PlatformResult* row = nullptr;
+      for (const auto& r : outcome.report.rows)
+        if (r.backend == "deepcam" && r.model == model->name() &&
+            r.batch == batch)
+          row = &r;
+      if (row == nullptr) continue;  // deepcam not in the sweep
+      core::BatchReport br;
+      engine.run_batch(sim::make_probe_batch(shape, batch), &br);
+      const bool match =
+          row->total_cycles ==
+              static_cast<double>(br.aggregate.total_cycles()) &&
+          row->total_energy_j == br.aggregate.total_energy();
+      std::printf("bitwise check (%s batch %zu): facade %.0f cycles vs "
+                  "engine %zu cycles -> %s\n",
+                  w.display_name().c_str(), batch, row->total_cycles,
+                  br.aggregate.total_cycles(), match ? "OK" : "MISMATCH");
+      ok = ok && match;
+    }
+  }
+  return ok;
+}
+
+Outcome Runner::run(const Spec& spec) const {
+  spec.validate();
+  switch (spec.mode) {
+    case Mode::kOffline: return run_offline(spec);
+    case Mode::kCompare: return run_compare(spec);
+    case Mode::kServe: return run_serve(spec);
+    case Mode::kTune: return run_tune(spec);
+  }
+  throw Error("unreachable spec mode");
+}
+
+}  // namespace deepcam

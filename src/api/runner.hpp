@@ -1,0 +1,87 @@
+// deepcam::Runner — executes a Spec and returns one typed Outcome.
+//
+// The Runner is a pure dispatcher over the existing subsystems; it owns no
+// simulation logic of its own, so running a spec is bitwise-identical to
+// hand-assembling the same pipeline (pinned by tests/test_api.cpp):
+//
+//   kOffline — build_model -> CompiledModel (optionally VHL-tuned) ->
+//              InferenceEngine::run_batch over a seeded probe batch
+//   kCompare — per-spec BackendRegistry -> sim::ComparisonRunner sweep
+//   kServe   — SessionManager (workloads x hash tiers) -> Server ->
+//              seeded trace replayed by the LoadGenerator
+//   kTune    — core::tune_hash_lengths per workload
+//
+// Outcome wraps the per-mode result structs behind one variant with
+// uniform serialization in api/report_io (JSON through the shared
+// JsonWriter, human-readable text, CSV where meaningful).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/spec.hpp"
+#include "core/engine.hpp"
+#include "core/hash_tuner.hpp"
+#include "serve/loadgen.hpp"
+#include "sim/comparison.hpp"
+
+namespace deepcam {
+
+struct OfflineOutcome {
+  core::BatchReport report;
+};
+
+struct CompareOutcome {
+  sim::ComparisonReport report;
+};
+
+struct ServeOutcome {
+  serve::ServerSummary summary;   // server-side view
+  serve::LoadReport load;         // client-side view (per-request records)
+  std::size_t trace_events = 0;   // length of the replayed trace
+  std::vector<std::string> sessions;  // session names, registration order
+};
+
+struct TuneOutcome {
+  struct Entry {
+    std::string workload;
+    core::TuneResult result;
+  };
+  std::vector<Entry> entries;  // one per spec workload, in order
+};
+
+/// Typed result of Runner::run — the per-mode payload plus enough identity
+/// (spec name, mode) for the serializers to emit a self-describing
+/// artifact. The checked accessors throw Error when the wrong alternative
+/// is requested.
+struct Outcome {
+  std::string spec_name;
+  Mode mode = Mode::kOffline;
+  std::variant<OfflineOutcome, CompareOutcome, ServeOutcome, TuneOutcome>
+      result;
+
+  const OfflineOutcome& offline() const;
+  const CompareOutcome& compare() const;
+  const ServeOutcome& serve() const;
+  const TuneOutcome& tune() const;
+};
+
+/// Executes specs. Stateless: one Runner can run any number of specs, and
+/// run() is safe to call from multiple threads (each call builds its own
+/// models/engines/servers).
+class Runner {
+ public:
+  /// Validates `spec`, executes it, returns the typed outcome. Throws
+  /// Error (from validation or the underlying subsystems) on failure.
+  Outcome run(const Spec& spec) const;
+};
+
+/// Bitwise cross-check of every "deepcam" row in a compare outcome against
+/// driving the InferenceEngine directly on the same config and probe batch
+/// — the gate both examples/compare_platforms and `deepcam compare --check`
+/// apply. Prints one line per checked (workload, batch) cell to stdout;
+/// false on any mismatch or an empty row set.
+bool verify_deepcam_rows(const Spec& spec, const CompareOutcome& outcome);
+
+}  // namespace deepcam

@@ -1,0 +1,32 @@
+// Spec <-> JSON: the file format behind `deepcam <mode> <spec.json>`.
+//
+// spec_from_json walks a parsed common/json.hpp DOM strictly: unknown keys,
+// wrong kinds, bad enum spellings and out-of-range numbers are all
+// ParseError diagnostics pointing at the offending line/column of the spec
+// file (never a crash or a silently ignored typo). spec_to_json emits the
+// canonical form through the shared locale-proof JsonWriter — every field,
+// defaults included — so spec -> JSON -> spec round-trips to an identical
+// document (pinned by tests/test_api.cpp and the golden suite).
+#pragma once
+
+#include <string>
+
+#include "api/spec.hpp"
+#include "common/json.hpp"
+
+namespace deepcam {
+
+/// Builds a Spec from a parsed JSON document (strict; see file comment).
+/// The result is additionally Spec::validate()d.
+Spec spec_from_json(const JsonValue& doc);
+
+/// Parses `text` and builds the Spec.
+Spec spec_from_json_text(const std::string& text);
+
+/// Reads and parses `path` and builds the Spec.
+Spec spec_from_file(const std::string& path);
+
+/// Canonical JSON document for `spec` (all fields, stable order).
+std::string spec_to_json(const Spec& spec);
+
+}  // namespace deepcam

@@ -1,0 +1,214 @@
+// Tiny shared command-line flag parser.
+//
+// bench/serve_throughput, examples/serve_loadgen and the deepcam CLI each
+// grew their own argv loop with slightly different error behavior; Flags is
+// the one implementation they share. Deliberately small: long flags only
+// ("--name value" or "--name=value"), typed targets registered up front,
+// positional arguments bounded, numbers parsed with std::from_chars
+// (locale-proof, full-token validation). parse() never exits or throws on
+// user input — it returns false and keeps the message in error() so the
+// caller owns the exit path.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace deepcam::cli {
+
+class Flags {
+ public:
+  /// `program` names the binary in usage(); `summary` is its one-liner.
+  explicit Flags(std::string program, std::string summary = "")
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  /// Presence flag: --name sets *target to true (no value).
+  Flags& flag(const std::string& name, bool* target,
+              const std::string& help) {
+    return add(name, Kind::kBool, target, help);
+  }
+  /// Valued options; --name VALUE and --name=VALUE both work.
+  Flags& option(const std::string& name, std::string* target,
+                const std::string& help) {
+    return add(name, Kind::kString, target, help);
+  }
+  Flags& option(const std::string& name, std::uint64_t* target,
+                const std::string& help) {
+    return add(name, Kind::kUint, target, help);
+  }
+  Flags& option(const std::string& name, long* target,
+                const std::string& help) {
+    return add(name, Kind::kLong, target, help);
+  }
+  Flags& option(const std::string& name, double* target,
+                const std::string& help) {
+    return add(name, Kind::kDouble, target, help);
+  }
+
+  /// Allows between `min` and `max` positional arguments (default none);
+  /// `names` labels them in usage(), e.g. "<mode> <spec.json>".
+  Flags& positional(std::size_t min, std::size_t max, std::string names) {
+    pos_min_ = min;
+    pos_max_ = max;
+    pos_names_ = std::move(names);
+    return *this;
+  }
+
+  /// Parses argv[1..); true on success. On failure error() holds a
+  /// one-line diagnostic and the targets may be partially written.
+  bool parse(int argc, char** argv) {
+    args_.clear();
+    error_.clear();
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        args_.push_back(std::move(arg));
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::string value;
+      bool have_value = false;
+      const std::size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        have_value = true;
+      }
+      Spec* spec = find(name);
+      if (spec == nullptr) return fail("unknown flag: --" + name);
+      if (spec->kind == Kind::kBool) {
+        if (have_value) return fail("flag --" + name + " takes no value");
+        *static_cast<bool*>(spec->target) = true;
+        continue;
+      }
+      if (!have_value) {
+        if (i + 1 >= argc) return fail("missing value for --" + name);
+        value = argv[++i];
+      }
+      if (!assign(*spec, value))
+        return fail("invalid value for --" + name + ": '" + value + "'");
+    }
+    if (args_.size() < pos_min_ || args_.size() > pos_max_)
+      return fail(args_.size() < pos_min_ ? "missing argument(s): " + pos_names_
+                                          : "unexpected extra argument");
+    return true;
+  }
+
+  /// Positional arguments, in order.
+  const std::vector<std::string>& args() const { return args_; }
+  const std::string& error() const { return error_; }
+
+  std::string usage() const {
+    std::ostringstream os;
+    os << "usage: " << program_;
+    if (!specs_.empty()) os << " [flags]";
+    if (!pos_names_.empty()) os << ' ' << pos_names_;
+    os << '\n';
+    if (!summary_.empty()) os << "  " << summary_ << '\n';
+    for (const Spec& s : specs_) {
+      std::string head = "--" + s.name;
+      if (s.kind != Kind::kBool)
+        head += std::string(" <") + type_name(s.kind) + ">";
+      os << "  " << head;
+      for (std::size_t pad = head.size(); pad < 24; ++pad) os << ' ';
+      os << s.help << '\n';
+    }
+    return os.str();
+  }
+
+ private:
+  enum class Kind { kBool, kString, kUint, kLong, kDouble };
+
+  struct Spec {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  Flags& add(const std::string& name, Kind kind, void* target,
+             const std::string& help) {
+    DEEPCAM_CHECK_MSG(!name.empty() && name.rfind("--", 0) != 0,
+                      "flag names are registered without the leading --");
+    DEEPCAM_CHECK_MSG(find(name) == nullptr, "duplicate flag --" + name);
+    DEEPCAM_CHECK_MSG(target != nullptr, "null flag target");
+    specs_.push_back(Spec{name, kind, target, help});
+    return *this;
+  }
+
+  Spec* find(const std::string& name) {
+    for (Spec& s : specs_)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+
+  static const char* type_name(Kind k) {
+    switch (k) {
+      case Kind::kBool: return "";
+      case Kind::kString: return "string";
+      case Kind::kUint: return "uint";
+      case Kind::kLong: return "int";
+      case Kind::kDouble: return "float";
+    }
+    return "?";
+  }
+
+  template <typename T>
+  static bool parse_number(const std::string& value, T* out) {
+    const char* first = value.c_str();
+    const char* last = first + value.size();
+    const auto res = std::from_chars(first, last, *out);
+    return res.ec == std::errc() && res.ptr == last;
+  }
+
+  bool assign(const Spec& spec, const std::string& value) {
+    switch (spec.kind) {
+      case Kind::kBool: return false;  // handled in parse()
+      case Kind::kString:
+        *static_cast<std::string*>(spec.target) = value;
+        return true;
+      case Kind::kUint:
+        return parse_number(value, static_cast<std::uint64_t*>(spec.target));
+      case Kind::kLong:
+        return parse_number(value, static_cast<long*>(spec.target));
+      case Kind::kDouble:
+        return parse_number(value, static_cast<double*>(spec.target));
+    }
+    return false;
+  }
+
+  bool fail(std::string message) {
+    error_ = std::move(message);
+    return false;
+  }
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Spec> specs_;
+  std::vector<std::string> args_;
+  std::string error_;
+  std::size_t pos_min_ = 0;
+  std::size_t pos_max_ = 0;
+  std::string pos_names_;
+};
+
+/// Splits "a,b,c" into {"a","b","c"}, dropping empty segments — the shape
+/// of list-valued flags like serve_loadgen's --models.
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace deepcam::cli

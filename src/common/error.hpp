@@ -6,6 +6,7 @@
 // failing expression and source location.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -15,6 +16,26 @@ namespace deepcam {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Error in externally supplied text (JSON specs, config files): carries the
+/// 1-based line/column of the offending byte so a user can fix the input,
+/// unlike plain Error which points at code. Thrown by the common/json.hpp
+/// reader and the spec loader built on it.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column)
+      : Error(what + " at line " + std::to_string(line) + ", column " +
+              std::to_string(column)),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
 };
 
 namespace detail {

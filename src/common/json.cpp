@@ -1,0 +1,370 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace deepcam {
+
+namespace {
+
+const char* kind_name(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "a boolean";
+    case JsonValue::Kind::kNumber: return "a number";
+    case JsonValue::Kind::kString: return "a string";
+    case JsonValue::Kind::kArray: return "an array";
+    case JsonValue::Kind::kObject: return "an object";
+  }
+  return "?";
+}
+
+[[noreturn]] void kind_mismatch(const JsonValue& v, const char* wanted) {
+  throw v.error(std::string("expected ") + wanted + ", got " +
+                kind_name(v.kind()));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) kind_mismatch(*this, "a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) kind_mismatch(*this, "a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) kind_mismatch(*this, "a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (!is_array()) kind_mismatch(*this, "an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (!is_object()) kind_mismatch(*this, "an object");
+  return members_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  const double v = as_number();
+  if (v < 0.0) throw error("expected a non-negative integer");
+  // Doubles represent integers exactly only up to 2^53; a seed that large
+  // would silently round, so reject it instead.
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (v > kMaxExact || v != std::floor(v))
+    throw error("expected an exact non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    if (!is_object()) kind_mismatch(*this, "an object");
+    throw error("missing required key \"" + key + "\"");
+  }
+  return *v;
+}
+
+/// Strict recursive-descent RFC 8259 parser. One instance per document;
+/// tracks line/column as it consumes bytes so every thrown ParseError and
+/// every produced JsonValue knows its position.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue root = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return root;
+  }
+
+ private:
+  // Deep enough for any real spec; shallow enough that hostile nesting
+  // can't exhaust the stack under ASan.
+  static constexpr std::size_t kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what, line_, column_);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(char c, const char* what) {
+    if (eof()) fail(std::string("unexpected end of input, expected ") + what);
+    if (peek() != c)
+      fail(std::string("expected ") + what + ", got '" + peek() + "'");
+    advance();
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  JsonValue parse_value() {
+    if (depth_ > kMaxDepth) fail("JSON nesting too deep");
+    if (eof()) fail("unexpected end of input, expected a value");
+    JsonValue v;
+    v.line_ = line_;
+    v.column_ = column_;
+    switch (peek()) {
+      case '{': parse_object(v); break;
+      case '[': parse_array(v); break;
+      case '"':
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = parse_string();
+        break;
+      case 't':
+      case 'f':
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = peek() == 't';
+        parse_literal(v.bool_ ? "true" : "false");
+        break;
+      case 'n':
+        parse_literal("null");
+        break;
+      default: parse_number(v); break;
+    }
+    return v;
+  }
+
+  void parse_literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (eof() || peek() != *p)
+        fail(std::string("invalid literal, expected \"") + word + "\"");
+      advance();
+    }
+  }
+
+  void parse_object(JsonValue& v) {
+    v.kind_ = JsonValue::Kind::kObject;
+    ++depth_;
+    advance();  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      advance();
+      --depth_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      if (eof()) fail("unexpected end of input inside object");
+      if (peek() != '"') fail("expected a quoted object key");
+      const std::size_t key_line = line_, key_col = column_;
+      std::string key = parse_string();
+      for (const auto& member : v.members_)
+        if (member.first == key)
+          throw ParseError("duplicate object key \"" + key + "\"", key_line,
+                           key_col);
+      skip_ws();
+      expect(':', "':' after object key");
+      skip_ws();
+      v.members_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (eof()) fail("unexpected end of input inside object");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect('}', "',' or '}' in object");
+      break;
+    }
+    --depth_;
+  }
+
+  void parse_array(JsonValue& v) {
+    v.kind_ = JsonValue::Kind::kArray;
+    ++depth_;
+    advance();  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      advance();
+      --depth_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      v.items_.push_back(parse_value());
+      skip_ws();
+      if (eof()) fail("unexpected end of input inside array");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(']', "',' or ']' in array");
+      break;
+    }
+    --depth_;
+  }
+
+  std::string parse_string() {
+    advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(advance());
+      if (c == '"') return out;
+      if (c < 0x20) fail("unescaped control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char esc = advance();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_utf8(out, parse_codepoint()); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("truncated \\u escape");
+      const char c = advance();
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail("invalid hex digit in \\u escape");
+    }
+    return cp;
+  }
+
+  std::uint32_t parse_codepoint() {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xDC00 && cp <= 0xDFFF) fail("unpaired low surrogate");
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+      if (eof() || peek() != '\\') fail("unpaired high surrogate");
+      advance();
+      if (eof() || peek() != 'u') fail("unpaired high surrogate");
+      advance();
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    }
+    return cp;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  void parse_number(JsonValue& v) {
+    // Scan the token by the JSON grammar first (from_chars alone would
+    // accept non-JSON forms like "0123", "+1" or hex), then convert.
+    const std::size_t start = pos_;
+    auto digit = [&] { return !eof() && peek() >= '0' && peek() <= '9'; };
+    if (!eof() && peek() == '-') advance();
+    if (!digit()) {
+      if (pos_ == start)  // not even a minus sign: not a value at all
+        fail(std::string("expected a value, got '") + peek() + "'");
+      fail("invalid number");
+    }
+    if (peek() == '0') {
+      advance();
+      if (digit()) fail("leading zeros are not allowed");
+    } else {
+      while (digit()) advance();
+    }
+    if (!eof() && peek() == '.') {
+      advance();
+      if (!digit()) fail("digit required after decimal point");
+      while (digit()) advance();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      advance();
+      if (!eof() && (peek() == '+' || peek() == '-')) advance();
+      if (!digit()) fail("digit required in exponent");
+      while (digit()) advance();
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    v.kind_ = JsonValue::Kind::kNumber;
+    const auto res = std::from_chars(first, last, v.number_);
+    if (res.ec == std::errc::result_out_of_range)
+      throw ParseError("number out of range", v.line_, v.column_);
+    if (res.ec != std::errc() || res.ptr != last)
+      throw ParseError("invalid number", v.line_, v.column_);
+    if (!std::isfinite(v.number_))
+      throw ParseError("number out of range", v.line_, v.column_);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+  std::size_t depth_ = 0;
+};
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+JsonValue parse_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw Error("cannot read JSON file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_json(os.str());
+}
+
+}  // namespace deepcam

@@ -1,12 +1,21 @@
-// Minimal locale-proof JSON writer for report serializers.
+// Minimal locale-proof JSON writer and reader.
 //
-// The serving/bench artifacts (BENCH_pr4.json, server summaries) need one
-// shared JSON shape instead of ad-hoc printing, and — like the CSV
+// Writer: the serving/bench artifacts (BENCH_pr4.json, server summaries)
+// need one shared JSON shape instead of ad-hoc printing, and — like the CSV
 // serializers (see common/format.hpp) — byte-exact output independent of the
 // process locale. JsonWriter emits numbers through std::to_chars (shortest
 // round-trip form for doubles), escapes strings per RFC 8259, and tracks
-// nesting so commas/keys are placed automatically. No parsing, no DOM: the
-// writers here only ever produce JSON.
+// nesting so commas/keys are placed automatically.
+//
+// Reader: parse_json() is a small strict recursive-descent RFC 8259 parser
+// feeding the declarative run-spec API (api/spec_io). It produces a
+// JsonValue DOM in which every value remembers the line/column it started
+// at, so both syntax errors (thrown here) and semantic errors (thrown by
+// whoever walks the DOM, via JsonValue::error) point into the input text as
+// a ParseError. Hardened for hostile input: duplicate object keys, numbers
+// outside double range, truncated documents, trailing garbage and
+// pathological nesting are all typed errors, never crashes. Numbers parse
+// through std::from_chars — locale-proof like the writer.
 #pragma once
 
 #include <charconv>
@@ -14,6 +23,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -157,5 +168,70 @@ class JsonWriter {
   bool first_ = true;
   bool have_key_ = false;
 };
+
+/// One parsed JSON value. Objects keep their members in document order
+/// (duplicate keys are a parse error); every value carries the 1-based
+/// line/column where it started in the source text.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+  /// Checked accessors: ParseError (pointing at this value) on kind
+  /// mismatch — the spec loader reports "expected a number" with the line
+  /// of the offending value, not of the whole document.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  // array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Non-negative integral number (rejects fractions, negatives, and
+  /// values above 2^53 where doubles stop being exact).
+  std::uint64_t as_uint() const;
+
+  /// Object member by key; nullptr when absent (or not an object — callers
+  /// check is_object first via members()).
+  const JsonValue* find(const std::string& key) const;
+  /// Object member by key; ParseError when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// A ParseError anchored at this value's position — for semantic errors
+  /// discovered while walking the DOM ("unknown key", "bad enum value").
+  ParseError error(const std::string& what) const {
+    return ParseError(what, line_, column_);
+  }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+/// Parses one complete JSON document (trailing whitespace only). Throws
+/// ParseError with line/column on any syntax error, duplicate object key,
+/// out-of-range number, truncation, trailing garbage, or nesting deeper
+/// than an internal bound.
+JsonValue parse_json(std::string_view text);
+
+/// parse_json over the contents of `path`; Error if unreadable.
+JsonValue parse_json_file(const std::string& path);
 
 }  // namespace deepcam

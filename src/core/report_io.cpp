@@ -86,9 +86,29 @@ void run_report_json(JsonWriter& json, const RunReport& report) {
   json.end_object();
 }
 
-std::string batch_report_to_json(const BatchReport& report,
-                                 bool include_per_sample) {
-  JsonWriter json;
+void tune_result_json(JsonWriter& json, const TuneResult& result) {
+  json.begin_object();
+  json.kv("mean_hash_bits", result.mean_hash_bits());
+  json.key("hash_bits").begin_array();
+  for (const std::size_t k : result.hash_bits) json.value(k);
+  json.end_array();
+  json.key("layers").begin_array();
+  for (const auto& l : result.layers) {
+    json.begin_object();
+    json.kv("layer", l.layer_name);
+    json.kv("context_len", l.context_len);
+    json.kv("chosen_bits", l.chosen_bits);
+    json.key("metric").begin_array();
+    for (const double m : l.metric) json.value(m);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void batch_report_json(JsonWriter& json, const BatchReport& report,
+                       bool include_per_sample) {
   json.begin_object();
   json.kv("samples", report.samples);
   json.kv("threads", report.threads);
@@ -103,6 +123,12 @@ std::string batch_report_to_json(const BatchReport& report,
     json.end_array();
   }
   json.end_object();
+}
+
+std::string batch_report_to_json(const BatchReport& report,
+                                 bool include_per_sample) {
+  JsonWriter json;
+  batch_report_json(json, report, include_per_sample);
   return json.str();
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/json.hpp"
 #include "core/accelerator.hpp"
+#include "core/hash_tuner.hpp"
 
 namespace deepcam::core {
 
@@ -25,6 +26,18 @@ std::string report_summary(const RunReport& report);
 /// in-progress JsonWriter — the shared building block for every artifact
 /// that embeds a run report (server summaries, BENCH_pr4.json).
 void run_report_json(JsonWriter& json, const RunReport& report);
+
+/// Appends one JSON object for a VHL TuneResult: mean hash bits, the chosen
+/// per-layer lengths and each layer's sensitivity metrics — what the
+/// compare/tune outcomes embed.
+void tune_result_json(JsonWriter& json, const TuneResult& result);
+
+/// Appends the BatchReport object (samples/threads/wall seconds, host +
+/// simulated throughput, aggregate and optionally per-sample reports) to an
+/// in-progress writer — embeddable into larger artifacts (the facade's
+/// Outcome JSON).
+void batch_report_json(JsonWriter& json, const BatchReport& report,
+                       bool include_per_sample = false);
 
 /// One self-contained JSON object for a BatchReport: samples/threads/wall
 /// seconds, host + simulated throughput, the aggregate run report and

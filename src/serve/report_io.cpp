@@ -7,6 +7,21 @@
 
 namespace deepcam::serve {
 
+void load_report_json(JsonWriter& json, const LoadReport& load) {
+  json.begin_object();
+  json.kv("sent", load.sent);
+  json.kv("rejected", load.rejected);
+  json.kv("errors", load.errors);
+  json.kv("duration_seconds", load.duration_seconds);
+  json.kv("offered_rps", load.offered_rps);
+  json.kv("achieved_rps", load.achieved_rps);
+  json.kv("latency_p50_ms", load.percentile_ms(50));
+  json.kv("latency_p95_ms", load.percentile_ms(95));
+  json.kv("latency_p99_ms", load.percentile_ms(99));
+  json.kv("latency_max_ms", load.latency.max() * 1e3);
+  json.end_object();
+}
+
 void server_summary_json(JsonWriter& json, const ServerSummary& s) {
   json.begin_object();
   json.kv("elapsed_seconds", s.elapsed_seconds);

@@ -11,9 +11,15 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "serve/loadgen.hpp"
 #include "serve/metrics.hpp"
 
 namespace deepcam::serve {
+
+/// Appends the load generator's view of one replay (admission counts,
+/// offered/achieved rate, end-to-end latency percentiles) as one JSON
+/// object — the client-side complement of the server summary.
+void load_report_json(JsonWriter& json, const LoadReport& load);
 
 /// Appends `summary` as one JSON object ({elapsed, workers, queue stats,
 /// sessions:[...]}) to an in-progress writer — embeddable into larger

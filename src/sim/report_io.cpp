@@ -5,8 +5,45 @@
 #include "common/format.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "core/report_io.hpp"
 
 namespace deepcam::sim {
+
+void comparison_json(JsonWriter& json, const ComparisonReport& report) {
+  json.begin_object();
+  json.key("rows").begin_array();
+  for (const auto& r : report.rows) {
+    json.begin_object();
+    json.kv("backend", r.backend);
+    json.kv("model", r.model);
+    json.kv("batch", r.batch);
+    json.kv("total_cycles", r.total_cycles);
+    json.kv("cycles_per_inference", r.cycles_per_inference());
+    json.kv("extra_cycles", r.extra_cycles);
+    json.kv("total_energy_j", r.total_energy_j);
+    json.kv("energy_per_inference_j", r.energy_per_inference_j());
+    json.kv("energy_modeled", r.energy_modeled);
+    json.kv("throughput_samples_s", r.throughput());
+    json.kv("peak_efficiency", r.peak_efficiency);
+    json.kv("clock_hz", r.clock_hz);
+    json.key("layers").begin_array();
+    for (const auto& l : r.layers) {
+      json.begin_object();
+      json.kv("layer", l.layer_name);
+      json.kv("macs", l.macs);
+      json.kv("cycles", l.cycles);
+      json.kv("energy_j", l.energy_j);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("vhl_tuning").begin_array();
+  for (const auto& t : report.vhl_tuning) core::tune_result_json(json, t);
+  json.end_array();
+  json.end_object();
+}
 
 std::string comparison_to_csv(const ComparisonReport& report) {
   std::ostringstream os;

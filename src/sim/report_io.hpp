@@ -9,9 +9,15 @@
 
 #include <string>
 
+#include "common/json.hpp"
 #include "sim/comparison.hpp"
 
 namespace deepcam::sim {
+
+/// Appends one JSON object for the ComparisonReport — the normalized rows
+/// (per-layer breakdown included) plus any VHL tuning results — to an
+/// in-progress writer; the facade's Outcome JSON embeds this.
+void comparison_json(JsonWriter& json, const ComparisonReport& report);
 
 /// One CSV row per (model, batch, backend) with header:
 /// model,backend,batch,total_cycles,cycles_per_inference,total_energy_j,

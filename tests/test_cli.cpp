@@ -1,0 +1,136 @@
+// Unit tests for the shared command-line flag parser (common/cli.hpp),
+// extracted from the ad-hoc argv loops that bench/serve_throughput and
+// examples/serve_loadgen used to carry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace deepcam {
+namespace {
+
+/// argv adapter: gtest-friendly parse of a brace-list of arguments
+/// (argv[0] is the program name, as in main()).
+bool parse(cli::Flags& flags, std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::string program = "prog";
+  argv.push_back(program.data());
+  for (auto& a : args) argv.push_back(a.data());
+  return flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliFlags, ParsesEveryTargetType) {
+  bool on = false;
+  std::string s = "default";
+  std::uint64_t u = 0;
+  long l = 0;
+  double d = 0.0;
+  cli::Flags flags("t");
+  flags.flag("on", &on, "")
+      .option("s", &s, "")
+      .option("u", &u, "")
+      .option("l", &l, "")
+      .option("d", &d, "");
+  ASSERT_TRUE(parse(flags, {"--on", "--s", "hello", "--u", "42", "--l",
+                            "-7", "--d", "2.5"}))
+      << flags.error();
+  EXPECT_TRUE(on);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(u, 42u);
+  EXPECT_EQ(l, -7);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+}
+
+TEST(CliFlags, EqualsSyntax) {
+  std::uint64_t u = 0;
+  std::string s;
+  cli::Flags flags("t");
+  flags.option("u", &u, "").option("s", &s, "");
+  ASSERT_TRUE(parse(flags, {"--u=128", "--s=a=b"})) << flags.error();
+  EXPECT_EQ(u, 128u);
+  EXPECT_EQ(s, "a=b");  // only the first '=' splits
+}
+
+TEST(CliFlags, DefaultsSurviveWhenFlagAbsent) {
+  std::uint64_t u = 96;
+  double d = 400.0;
+  cli::Flags flags("t");
+  flags.option("u", &u, "").option("d", &d, "");
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_EQ(u, 96u);
+  EXPECT_DOUBLE_EQ(d, 400.0);
+}
+
+TEST(CliFlags, ErrorsAreReportedNotThrown) {
+  bool on = false;
+  std::uint64_t u = 0;
+  cli::Flags flags("t");
+  flags.flag("on", &on, "").option("u", &u, "");
+
+  EXPECT_FALSE(parse(flags, {"--bogus"}));
+  EXPECT_NE(flags.error().find("unknown flag: --bogus"), std::string::npos);
+
+  EXPECT_FALSE(parse(flags, {"--u"}));
+  EXPECT_NE(flags.error().find("missing value for --u"), std::string::npos);
+
+  EXPECT_FALSE(parse(flags, {"--u", "12x"}));
+  EXPECT_NE(flags.error().find("invalid value for --u"), std::string::npos);
+
+  EXPECT_FALSE(parse(flags, {"--u", "-3"}));  // unsigned rejects negatives
+  EXPECT_FALSE(parse(flags, {"--on=true"}));  // presence flags take no value
+  EXPECT_NE(flags.error().find("takes no value"), std::string::npos);
+}
+
+TEST(CliFlags, PositionalBounds) {
+  cli::Flags none("t");
+  EXPECT_FALSE(parse(none, {"stray"}));
+  EXPECT_NE(none.error().find("unexpected extra argument"),
+            std::string::npos);
+
+  cli::Flags two("t");
+  two.positional(2, 2, "<mode> <spec>");
+  EXPECT_FALSE(parse(two, {"run"}));
+  EXPECT_NE(two.error().find("missing argument"), std::string::npos);
+  ASSERT_TRUE(parse(two, {"run", "spec.json"}));
+  EXPECT_EQ(two.args(), (std::vector<std::string>{"run", "spec.json"}));
+  EXPECT_FALSE(parse(two, {"run", "spec.json", "extra"}));
+}
+
+TEST(CliFlags, PositionalsMixWithFlags) {
+  bool check = false;
+  cli::Flags flags("t");
+  flags.flag("check", &check, "").positional(1, 2, "<spec>");
+  ASSERT_TRUE(parse(flags, {"a.json", "--check", "b.json"}))
+      << flags.error();
+  EXPECT_TRUE(check);
+  EXPECT_EQ(flags.args(), (std::vector<std::string>{"a.json", "b.json"}));
+}
+
+TEST(CliFlags, UsageListsEverything) {
+  bool q = false;
+  std::string path;
+  cli::Flags flags("demo", "does demo things");
+  flags.flag("quick", &q, "shrink phases")
+      .option("json", &path, "artifact path")
+      .positional(1, 1, "<spec.json>");
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("usage: demo"), std::string::npos);
+  EXPECT_NE(usage.find("does demo things"), std::string::npos);
+  EXPECT_NE(usage.find("--quick"), std::string::npos);
+  EXPECT_NE(usage.find("--json <string>"), std::string::npos);
+  EXPECT_NE(usage.find("<spec.json>"), std::string::npos);
+  EXPECT_NE(usage.find("artifact path"), std::string::npos);
+}
+
+TEST(CliSplitCsv, Cases) {
+  EXPECT_EQ(cli::split_csv(""), (std::vector<std::string>{}));
+  EXPECT_EQ(cli::split_csv("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(cli::split_csv("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(cli::split_csv(",a,,b,"), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace deepcam

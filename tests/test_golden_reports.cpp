@@ -17,12 +17,17 @@
 #include <sstream>
 #include <string>
 
+#include "api/report_io.hpp"
+#include "api/spec_io.hpp"
 #include "core/report_io.hpp"
 #include "serve/report_io.hpp"
 #include "sim/report_io.hpp"
 
 #ifndef DEEPCAM_GOLDEN_DIR
 #error "DEEPCAM_GOLDEN_DIR must be defined by the build"
+#endif
+#ifndef DEEPCAM_SPEC_DIR
+#error "DEEPCAM_SPEC_DIR must be defined by the build"
 #endif
 
 namespace deepcam {
@@ -247,6 +252,70 @@ serve::ServerSummary make_server_summary_fixture() {
   return s;
 }
 
+/// Synthetic VHL tuning result (hand-set metrics, no simulation).
+core::TuneResult make_tune_result_fixture() {
+  core::TuneResult t;
+  core::LayerSensitivity conv;
+  conv.layer_name = "conv1";
+  conv.context_len = 9;
+  conv.metric = {0.5, 0.25, 0.125, 0.0625};
+  conv.chosen_bits = 512;
+  t.layers.push_back(conv);
+  core::LayerSensitivity fc;
+  fc.layer_name = "fc1";
+  fc.context_len = 144;
+  fc.metric = {0.75, 0.5, 0.375, 0.25};
+  fc.chosen_bits = 1024;
+  t.layers.push_back(fc);
+  t.hash_bits = {512, 1024};
+  return t;
+}
+
+/// Synthetic load-generator report (counters + a hand-fed latency
+/// histogram; small-N percentiles are exact, so bytes are stable).
+serve::LoadReport make_load_report_fixture() {
+  serve::LoadReport load;
+  load.sent = 94;
+  load.rejected = 2;
+  load.errors = 1;
+  load.duration_seconds = 0.25;
+  load.offered_rps = 400.0;
+  load.achieved_rps = 376.0;
+  for (const double s : {0.004, 0.0095, 0.01275, 0.0155, 0.002})
+    load.latency.add(s);
+  return load;
+}
+
+deepcam::Outcome make_offline_outcome_fixture() {
+  return deepcam::Outcome{"golden-offline", deepcam::Mode::kOffline,
+                          deepcam::OfflineOutcome{make_batch_report_fixture()}};
+}
+
+deepcam::Outcome make_compare_outcome_fixture() {
+  sim::ComparisonReport report = make_comparison_fixture();
+  report.vhl_tuning.push_back(make_tune_result_fixture());
+  return deepcam::Outcome{"golden-compare", deepcam::Mode::kCompare,
+                          deepcam::CompareOutcome{std::move(report)}};
+}
+
+deepcam::Outcome make_serve_outcome_fixture() {
+  deepcam::ServeOutcome out;
+  out.summary = make_server_summary_fixture();
+  out.load = make_load_report_fixture();
+  out.trace_events = 96;
+  out.sessions = {"lenet5-k1024", "vgg11-k256"};
+  return deepcam::Outcome{"golden-serve", deepcam::Mode::kServe,
+                          std::move(out)};
+}
+
+deepcam::Outcome make_tune_outcome_fixture() {
+  deepcam::TuneOutcome out;
+  out.entries.push_back(
+      deepcam::TuneOutcome::Entry{"lenet5", make_tune_result_fixture()});
+  return deepcam::Outcome{"golden-tune", deepcam::Mode::kTune,
+                          std::move(out)};
+}
+
 TEST(GoldenReports, RunReportCsv) {
   expect_matches_golden(core::report_to_csv(make_run_report_fixture()),
                         "run_report.csv");
@@ -292,6 +361,50 @@ TEST(GoldenReports, ServerSummaryText) {
       "server_summary.txt");
 }
 
+// --- facade outcome serializers (api/report_io) ---------------------------
+
+TEST(GoldenReports, OutcomeOfflineJson) {
+  expect_matches_golden(
+      outcome_to_json(make_offline_outcome_fixture(), /*per_sample=*/true),
+      "outcome_offline.json");
+}
+
+TEST(GoldenReports, OutcomeCompareJson) {
+  expect_matches_golden(outcome_to_json(make_compare_outcome_fixture()),
+                        "outcome_compare.json");
+}
+
+TEST(GoldenReports, OutcomeServeJson) {
+  expect_matches_golden(outcome_to_json(make_serve_outcome_fixture()),
+                        "outcome_serve.json");
+}
+
+TEST(GoldenReports, OutcomeTuneJson) {
+  expect_matches_golden(outcome_to_json(make_tune_outcome_fixture()),
+                        "outcome_tune.json");
+}
+
+TEST(GoldenReports, OutcomeOfflineText) {
+  expect_matches_golden(outcome_text(make_offline_outcome_fixture()),
+                        "outcome_offline.txt");
+}
+
+TEST(GoldenReports, OutcomeServeText) {
+  expect_matches_golden(outcome_text(make_serve_outcome_fixture()),
+                        "outcome_serve.txt");
+}
+
+// --- spec canonical form ---------------------------------------------------
+
+TEST(GoldenReports, QuickstartSpecCanonicalJson) {
+  // Pins loader + emitter + the committed spec file together: if any of
+  // the three drifts, the canonical form of specs/quickstart.json changes.
+  expect_matches_golden(
+      spec_to_json(
+          spec_from_file(std::string(DEEPCAM_SPEC_DIR) + "/quickstart.json")),
+      "spec_quickstart_canonical.json");
+}
+
 TEST(GoldenReports, OutputIsLocaleProof) {
   // Serialize everything once in the default locale, then again under a
   // comma-decimal locale: the bytes must be identical (and equal to the
@@ -300,11 +413,21 @@ TEST(GoldenReports, OutputIsLocaleProof) {
   const auto cmp = make_comparison_fixture();
   const auto batch = make_batch_report_fixture();
   const auto srv = make_server_summary_fixture();
-  const std::string before =
-      core::report_to_csv(rep) + core::report_summary(rep) +
-      sim::comparison_to_csv(cmp) + sim::comparison_layers_to_csv(cmp) +
-      sim::comparison_summary(cmp) + core::batch_report_to_json(batch, true) +
-      serve::server_summary_to_json(srv) + serve::server_summary_text(srv);
+  const auto serialize_everything = [&] {
+    return core::report_to_csv(rep) + core::report_summary(rep) +
+           sim::comparison_to_csv(cmp) + sim::comparison_layers_to_csv(cmp) +
+           sim::comparison_summary(cmp) +
+           core::batch_report_to_json(batch, true) +
+           serve::server_summary_to_json(srv) +
+           serve::server_summary_text(srv) +
+           outcome_to_json(make_compare_outcome_fixture()) +
+           outcome_to_json(make_serve_outcome_fixture()) +
+           outcome_text(make_serve_outcome_fixture()) +
+           outcome_text(make_tune_outcome_fixture()) +
+           spec_to_json(spec_from_file(std::string(DEEPCAM_SPEC_DIR) +
+                                       "/serve_demo.json"));
+  };
+  const std::string before = serialize_everything();
 
   CommaLocaleGuard guard;
   if (!guard.active())
@@ -314,11 +437,7 @@ TEST(GoldenReports, OutputIsLocaleProof) {
   std::snprintf(probe, sizeof probe, "%.1f", 0.5);
   ASSERT_STREQ(probe, "0,5") << "locale did not switch";
 
-  const std::string after =
-      core::report_to_csv(rep) + core::report_summary(rep) +
-      sim::comparison_to_csv(cmp) + sim::comparison_layers_to_csv(cmp) +
-      sim::comparison_summary(cmp) + core::batch_report_to_json(batch, true) +
-      serve::server_summary_to_json(srv) + serve::server_summary_text(srv);
+  const std::string after = serialize_everything();
   EXPECT_EQ(before, after);
 }
 

@@ -1,0 +1,188 @@
+// JSON reader hardening tests (common/json.hpp parse_json).
+//
+// Table-driven over hostile inputs: malformed, truncated, duplicate-key,
+// out-of-range and pathological documents must all produce ParseError with
+// a meaningful message and a correct line/column — never a crash (the CI
+// ASan/UBSan job runs this suite). Valid-input tests pin the DOM shape the
+// spec loader builds on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace deepcam {
+namespace {
+
+// --- valid documents ------------------------------------------------------
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-17.25").as_number(), -17.25);
+  EXPECT_DOUBLE_EQ(parse_json("6.02e23").as_number(), 6.02e23);
+  EXPECT_DOUBLE_EQ(parse_json("-0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_json("0.5").as_number(), 0.5);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  \t\r\n 7 \n").as_number(), 7.0);
+}
+
+TEST(JsonReader, ParsesContainers) {
+  const JsonValue doc = parse_json(
+      R"({"a": [1, 2, 3], "b": {"nested": true}, "c": [], "d": {}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.members().size(), 4u);
+  EXPECT_EQ(doc.at("a").items().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").items()[2].as_number(), 3.0);
+  EXPECT_TRUE(doc.at("b").at("nested").as_bool());
+  EXPECT_TRUE(doc.at("c").items().empty());
+  EXPECT_TRUE(doc.at("d").members().empty());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonReader, MembersKeepDocumentOrder) {
+  const JsonValue doc = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\b\f\n\r\t")").as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 (4-byte UTF-8).
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, TracksPositions) {
+  const JsonValue doc = parse_json("{\n  \"a\": 1,\n  \"b\": [true]\n}");
+  EXPECT_EQ(doc.line(), 1u);
+  EXPECT_EQ(doc.column(), 1u);
+  EXPECT_EQ(doc.at("a").line(), 2u);
+  EXPECT_EQ(doc.at("a").column(), 8u);
+  EXPECT_EQ(doc.at("b").line(), 3u);
+  EXPECT_EQ(doc.at("b").items()[0].line(), 3u);
+}
+
+TEST(JsonReader, AsUintAcceptsExactIntegers) {
+  EXPECT_EQ(parse_json("0").as_uint(), 0u);
+  EXPECT_EQ(parse_json("9007199254740992").as_uint(),
+            9007199254740992ull);  // 2^53
+  EXPECT_EQ(parse_json("1024").as_uint(), 1024u);
+}
+
+// --- hostile inputs, table-driven -----------------------------------------
+
+struct BadInput {
+  const char* name;
+  const char* text;
+  const char* message_fragment;
+  std::size_t line = 0;    // 0 = don't check
+  std::size_t column = 0;  // 0 = don't check
+};
+
+class JsonReaderBadInput : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(JsonReaderBadInput, ThrowsParseErrorWithPosition) {
+  const BadInput& p = GetParam();
+  try {
+    parse_json(p.text);
+    FAIL() << "expected ParseError for: " << p.text;
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(p.message_fragment),
+              std::string::npos)
+        << "message \"" << e.what() << "\" lacks \"" << p.message_fragment
+        << "\"";
+    if (p.line != 0) EXPECT_EQ(e.line(), p.line) << e.what();
+    if (p.column != 0) EXPECT_EQ(e.column(), p.column) << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hardening, JsonReaderBadInput,
+    ::testing::Values(
+        BadInput{"empty", "", "end of input", 1, 1},
+        BadInput{"whitespace_only", "  \n ", "end of input", 2, 2},
+        BadInput{"truncated_object", "{\"a\":", "end of input"},
+        BadInput{"truncated_array", "[1,", "end of input"},
+        BadInput{"truncated_string", "\"abc", "unterminated string"},
+        BadInput{"truncated_literal", "tru", "invalid literal"},
+        BadInput{"bad_literal", "nul!", "invalid literal"},
+        BadInput{"trailing_garbage", "{} x", "trailing characters", 1, 4},
+        BadInput{"duplicate_key", "{\"a\": 1, \"a\": 2}", "duplicate object",
+                 1, 10},
+        BadInput{"duplicate_key_multiline", "{\n \"k\": 1,\n \"k\": 2\n}",
+                 "duplicate object", 3, 2},
+        BadInput{"overflow", "1e999", "out of range", 1, 1},
+        BadInput{"negative_overflow", "-1e999", "out of range"},
+        BadInput{"leading_zero", "0123", "leading zeros"},
+        BadInput{"plus_sign", "+1", "expected a value"},
+        BadInput{"bare_dot", ".5", "expected a value"},
+        BadInput{"trailing_dot", "1.", "digit required after decimal"},
+        BadInput{"empty_exponent", "1e", "digit required in exponent"},
+        BadInput{"lone_minus", "-", "invalid number"},
+        BadInput{"unquoted_key", "{a: 1}", "quoted object key", 1, 2},
+        BadInput{"missing_colon", "{\"a\" 1}", "':' after object key"},
+        BadInput{"missing_comma", "[1 2]", "',' or ']'"},
+        BadInput{"bare_comma", "[,1]", "expected a value"},
+        BadInput{"trailing_comma_object", "{\"a\": 1,}", "quoted object key"},
+        BadInput{"control_char", "\"a\nb\"", "unescaped control"},
+        BadInput{"bad_escape", "\"\\q\"", "invalid escape"},
+        BadInput{"truncated_unicode", "\"\\u12", "truncated \\u"},
+        BadInput{"bad_hex", "\"\\u12zz\"", "invalid hex digit"},
+        BadInput{"lone_high_surrogate", "\"\\ud800\"", "unpaired high"},
+        BadInput{"lone_low_surrogate", "\"\\udc00\"", "unpaired low"},
+        BadInput{"bad_surrogate_pair", "\"\\ud800\\u0041\"",
+                 "invalid low surrogate"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.name;
+    });
+
+TEST(JsonReader, RejectsPathologicalNesting) {
+  std::string deep(4096, '[');
+  EXPECT_THROW(parse_json(deep), ParseError);
+  // A modest depth still parses fine.
+  std::string ok = std::string(64, '[') + "1" + std::string(64, ']');
+  EXPECT_NO_THROW(parse_json(ok));
+}
+
+// --- checked accessors ----------------------------------------------------
+
+TEST(JsonReader, AccessorKindMismatchThrows) {
+  const JsonValue doc = parse_json(R"({"s": "x", "n": 1.5, "neg": -2})");
+  EXPECT_THROW(doc.at("s").as_number(), ParseError);
+  EXPECT_THROW(doc.at("n").as_string(), ParseError);
+  EXPECT_THROW(doc.at("n").items(), ParseError);
+  EXPECT_THROW(doc.at("s").members(), ParseError);
+  EXPECT_THROW(doc.as_bool(), ParseError);
+  EXPECT_THROW(doc.at("missing"), ParseError);
+  // as_uint: negatives, fractions, and beyond-2^53 all rejected.
+  EXPECT_THROW(doc.at("neg").as_uint(), ParseError);
+  EXPECT_THROW(doc.at("n").as_uint(), ParseError);
+  EXPECT_THROW(parse_json("9007199254740994").as_uint(), ParseError);
+}
+
+TEST(JsonReader, AccessorErrorsCarryValuePosition) {
+  const JsonValue doc = parse_json("{\n  \"port\": \"eighty\"\n}");
+  try {
+    doc.at("port").as_number();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 11u);
+    EXPECT_NE(std::string(e.what()).find("expected a number"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonReader, ParseJsonFileErrors) {
+  EXPECT_THROW(parse_json_file("/nonexistent/path/spec.json"), Error);
+}
+
+}  // namespace
+}  // namespace deepcam

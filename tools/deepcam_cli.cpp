@@ -1,0 +1,166 @@
+// deepcam — the single CLI over the declarative run-spec facade.
+//
+//   deepcam run     specs/quickstart.json          offline engine batch
+//   deepcam compare specs/table1.json --csv        backend sweep (Table I)
+//   deepcam serve   specs/serve_demo.json          online serving replay
+//   deepcam tune    specs/fig5_tune.json           VHL hash-length tuner
+//
+// The subcommand is a guard, not a selector: it must agree with the spec's
+// "mode" field ("run" is the offline alias), so a spec never silently runs
+// as something it wasn't written for. Flags:
+//
+//   --json PATH  write the Outcome JSON artifact (overrides outputs.json;
+//                "-" = stdout)
+//   --csv        dump CSV to stdout (offline/compare)
+//   --quiet      suppress the human-readable summary
+//   --check      verify mode-specific invariants after the run; nonzero
+//                exit on violation (CI spec-smoke gate). For compare specs
+//                this includes the bitwise facade-vs-engine cross-check the
+//                compare_platforms example pioneered.
+//
+// Exit codes: 0 ok, 1 run/check failure, 2 usage or spec errors.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "deepcam/deepcam.hpp"
+
+using namespace deepcam;
+
+namespace {
+
+/// Offline invariant: the aggregate really is the per-sample merge and the
+/// run did simulated work.
+bool check_offline(const OfflineOutcome& out, const Spec& spec) {
+  const core::BatchReport& br = out.report;
+  bool ok = br.samples == spec.offline.batch &&
+            br.per_sample.size() == br.samples &&
+            br.aggregate.total_cycles() > 0;
+  std::size_t cycles = 0;
+  double energy = 0.0;
+  for (const auto& r : br.per_sample) {
+    cycles += r.total_cycles();
+    energy += r.total_energy();
+  }
+  ok = ok && cycles == br.aggregate.total_cycles();
+  std::printf("check offline: %zu samples, aggregate %zu cycles vs "
+              "per-sample sum %zu, energy %.3e J -> %s\n",
+              br.samples, br.aggregate.total_cycles(), cycles, energy,
+              ok ? "OK" : "FAIL");
+  return ok;
+}
+
+
+/// Serve invariant: every trace event was either answered or rejected —
+/// nothing lost, nothing double-counted.
+bool check_serve(const ServeOutcome& out) {
+  const std::size_t answered = out.load.sent + out.load.rejected;
+  const bool ok = answered == out.trace_events &&
+                  out.summary.total_completed() == out.load.sent;
+  std::printf("check serve: %zu events = %zu sent + %zu rejected, "
+              "%llu completed -> %s\n",
+              out.trace_events, out.load.sent, out.load.rejected,
+              static_cast<unsigned long long>(out.summary.total_completed()),
+              ok ? "OK" : "FAIL");
+  return ok;
+}
+
+/// Tune invariant: one choice per CAM layer, all in the candidate set.
+bool check_tune(const TuneOutcome& out) {
+  bool ok = !out.entries.empty();
+  for (const auto& e : out.entries) {
+    ok = ok && e.result.layers.size() == e.result.hash_bits.size() &&
+         !e.result.layers.empty();
+    for (const std::size_t k : e.result.hash_bits)
+      ok = ok && k >= 256 && k <= 1024 && k % 256 == 0;
+  }
+  std::printf("check tune: %zu workloads -> %s\n", out.entries.size(),
+              ok ? "OK" : "FAIL");
+  return ok;
+}
+
+bool run_checks(const Outcome& outcome, const Spec& spec) {
+  switch (outcome.mode) {
+    case Mode::kOffline: return check_offline(outcome.offline(), spec);
+    // Compare invariant: every "deepcam" row bitwise equals the direct
+    // InferenceEngine path (shared helper, also used by the example).
+    case Mode::kCompare:
+      return verify_deepcam_rows(spec, outcome.compare());
+    case Mode::kServe: return check_serve(outcome.serve());
+    case Mode::kTune: return check_tune(outcome.tune());
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false, csv = false, quiet = false;
+  std::string json_path;
+  cli::Flags flags("deepcam",
+                   "run a declarative DeepCAM spec (see specs/*.json)");
+  flags.flag("check", &check, "verify mode invariants; nonzero exit on fail")
+      .option("json", &json_path, "write Outcome JSON here (\"-\" = stdout)")
+      .flag("csv", &csv, "dump CSV to stdout (offline/compare)")
+      .flag("quiet", &quiet, "suppress the human-readable summary")
+      .positional(2, 2, "<run|compare|serve|tune> <spec.json>");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "deepcam: %s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+
+  try {
+    const Mode command = mode_from_name(flags.args()[0]);
+    const Spec spec = spec_from_file(flags.args()[1]);
+    if (spec.mode != command) {
+      std::fprintf(stderr,
+                   "deepcam: spec %s has mode \"%s\" but the %s subcommand "
+                   "was given\n",
+                   flags.args()[1].c_str(), mode_name(spec.mode),
+                   flags.args()[0].c_str());
+      return 2;
+    }
+
+    const Outcome outcome = Runner().run(spec);
+
+    if (spec.outputs.text && !quiet)
+      std::printf("%s", outcome_text(outcome).c_str());
+    if (spec.outputs.csv || csv) {
+      const std::string dump = outcome_csv(outcome);
+      if (!dump.empty()) std::printf("%s", dump.c_str());
+    }
+
+    if (json_path.empty()) json_path = spec.outputs.json_path;
+    if (!json_path.empty()) {
+      const std::string doc =
+          outcome_to_json(outcome, spec.outputs.per_sample);
+      if (json_path == "-") {
+        std::printf("%s\n", doc.c_str());
+      } else {
+        std::ofstream out(json_path, std::ios::binary);
+        out << doc << "\n";
+        if (!out.good()) {
+          std::fprintf(stderr, "deepcam: failed to write %s\n",
+                       json_path.c_str());
+          return 1;
+        }
+        if (!quiet) std::printf("wrote %s\n", json_path.c_str());
+      }
+    }
+
+    if (check && !run_checks(outcome, spec)) {
+      std::fprintf(stderr, "deepcam: --check failed\n");
+      return 1;
+    }
+    return 0;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "deepcam: %s: %s\n", flags.args()[1].c_str(),
+                 e.what());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "deepcam: %s\n", e.what());
+    return 2;
+  }
+}
