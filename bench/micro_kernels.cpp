@@ -6,10 +6,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "cam/dynamic_cam.hpp"
+#include "codelet/codelet.hpp"
 #include "common/rng.hpp"
 #include "core/context.hpp"
 #include "core/engine.hpp"
@@ -50,7 +52,7 @@ void BM_HammingPrefix(benchmark::State& state) {
   }
   for (auto _ : state) benchmark::DoNotOptimize(a.hamming_prefix(b, k));
 }
-BENCHMARK(BM_HammingPrefix)->Arg(256)->Arg(512)->Arg(768)->Arg(1024);
+BENCHMARK(BM_HammingPrefix)->Arg(63)->Arg(256)->Arg(512)->Arg(768)->Arg(1024);
 
 void BM_CamSearch(benchmark::State& state) {
   const std::size_t rows = static_cast<std::size_t>(state.range(0));
@@ -232,6 +234,99 @@ BENCHMARK(BM_EngineRunBatch)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- per-ISA codelet benchmarks -----------------------------------------
+// Registered at runtime (benchmark::RegisterBenchmark) once per ISA table
+// that is both compiled in and executable on this host, so one binary
+// reports scalar-vs-AVX2-vs-AVX-512 side by side:
+//   BM_HammingPrefix<isa>/k, BM_SearchFlat<isa>/k, BM_PackSigns<isa>/k
+// at k in {63, 256, 1024} (sub-word tail, the engine's online operating
+// point, and the full-width signature).
+
+void BM_HammingPrefixIsa(benchmark::State& state,
+                         const codelet::Kernels* kr) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  BitVec a(1024), b(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    a.set(i, rng.uniform() < 0.5);
+    b.set(i, rng.uniform() < 0.5);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kr->hamming_prefix(a.data(), b.data(), k));
+}
+
+void BM_SearchFlatIsa(benchmark::State& state, const codelet::Kernels* kr) {
+  // The CAM search_flat hot loop: dense HDs for a 64-row arena with the
+  // DynamicCam row stride (1024-bit rows -> 16 words).
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRows = 64;
+  constexpr std::size_t kStride = 16;
+  Rng rng(17);
+  std::vector<std::uint64_t> arena(kRows * kStride);
+  for (auto& w : arena) w = rng.next();
+  std::vector<std::uint64_t> query(kStride);
+  for (auto& w : query) w = rng.next();
+  std::vector<std::uint16_t> hd(kRows);
+  for (auto _ : state) {
+    kr->hamming_many(query.data(), arena.data(), kStride, kRows, k,
+                     hd.data());
+    benchmark::DoNotOptimize(hd.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows));
+}
+
+void BM_PackSignsIsa(benchmark::State& state, const codelet::Kernels* kr) {
+  const std::size_t nbits = static_cast<std::size_t>(state.range(0));
+  const auto proj = random_vec(nbits, 19);
+  std::vector<std::uint64_t> words((nbits + 63) / 64);
+  for (auto _ : state) {
+    kr->pack_signs(proj.data(), nbits, words.data());
+    benchmark::DoNotOptimize(words.data());
+  }
+}
+
+void register_isa_benchmarks() {
+  using codelet::Isa;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    const codelet::Kernels* kr = codelet::kernels_for(isa);
+    if (kr == nullptr || !codelet::isa_supported(isa)) continue;
+    // Capitalized ISA suffix so names group next to the dispatched bench.
+    std::string tag = codelet::isa_name(isa);
+    tag[0] = static_cast<char>(tag[0] - 'a' + 'A');
+    using BenchFn = void (*)(benchmark::State&, const codelet::Kernels*);
+    const std::pair<BenchFn, const char*> benches[] = {
+        {BM_HammingPrefixIsa, "BM_HammingPrefix"},
+        {BM_SearchFlatIsa, "BM_SearchFlat"},
+        {BM_PackSignsIsa, "BM_PackSigns"}};
+    for (const auto& [fn, name] : benches) {
+      auto* b =
+          benchmark::RegisterBenchmark((std::string(name) + tag).c_str(), fn,
+                                       kr);
+      b->Arg(63)->Arg(256)->Arg(1024);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the system google-benchmark is a
+// prebuilt library, so its "library_build_type" context line describes that
+// library, not this binary (BENCH_pr3.json was emitted from a Release build
+// yet says "debug"). Report our own build type and the dispatched codelet
+// ISA as custom context so every emitted JSON is self-describing.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+#ifdef NDEBUG
+  benchmark::AddCustomContext("deepcam_build_type", "release");
+#else
+  benchmark::AddCustomContext("deepcam_build_type", "debug");
+#endif
+  benchmark::AddCustomContext("deepcam_codelet_isa",
+                              codelet::isa_name(codelet::active_isa()));
+  register_isa_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

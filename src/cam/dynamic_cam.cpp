@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codelet/codelet.hpp"
 #include "common/tech.hpp"
 
 namespace deepcam::cam {
@@ -110,12 +111,16 @@ void DynamicCam::search_flat(std::span<const std::uint64_t> key_words,
                     "quantized sense-amp tau exceeds uint16 HD range");
   out.occupied = occupied_count_;
   if (out.row_hd.size() < occupied_count_) out.row_hd.resize(occupied_count_);
-  const std::uint64_t* key = key_words.data();
-  const std::uint64_t* row = row_words_.data();
-  for (std::size_t r = 0; r < occupied_count_; ++r, row += words_per_row_)
-    out.row_hd[r] =
-        static_cast<std::uint16_t>(sense_amp_.measure(
-            hamming_prefix_words(key, row, k)));
+  // Row-blocked Hamming codelet: dense uint16 HDs over the contiguous row
+  // arena in one dispatched call. The ideal sense amp is the identity, so
+  // the measure() pass only runs in quantized mode.
+  codelet::kernels().hamming_many(key_words.data(), row_words_.data(),
+                                  words_per_row_, occupied_count_, k,
+                                  out.row_hd.data());
+  if (sense_amp_.config().mode != SenseMode::kIdeal)
+    for (std::size_t r = 0; r < occupied_count_; ++r)
+      out.row_hd[r] = static_cast<std::uint16_t>(
+          sense_amp_.measure(out.row_hd[r]));
   ++stats_.searches;
   stats_.cycles += search_cycles();
   stats_.search_energy += CamCostModel::search_energy(cfg_, k);

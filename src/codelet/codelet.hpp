@@ -1,0 +1,93 @@
+// SIMD codelet layer: per-ISA variants of the three hot kernels behind
+// one-time runtime CPU dispatch.
+//
+// The engine's inner loops spend their time in exactly three primitives —
+// prefix-masked XOR+popcount Hamming reduce (BitVec::hamming_prefix and
+// DynamicCam::search_flat), the blocked SimHash projection GEMM
+// (RandomProjection::project_cols), and sign-bit packing (pack_signs). This
+// layer gives each primitive a narrow, hand-written codelet per ISA
+// (scalar / AVX2 / AVX-512), poplibs-style: the scalar codelet is the
+// reference semantics and the bitwise-equivalence oracle in property tests;
+// the SIMD variants must match it bit for bit.
+//
+// Bitwise contract. Every kernel is bitwise deterministic and ISA-invariant:
+//  * Hamming kernels are integer, so equivalence is trivial.
+//  * The projection GEMM accumulates each output (p, j) over i in ascending
+//    order with UNFUSED multiply-then-add (the codelet translation units are
+//    compiled with -ffp-contract=off and without FMA codegen for the
+//    accumulation), and preserves the scalar kernel's xi == 0.0f skip — so
+//    AVX2/AVX-512 lanes perform the identical rounding sequence per output
+//    and the packed signatures (and goldens) are unchanged by dispatch.
+//  * pack_signs uses ordered >= 0 compares: +0/-0 pack as 1, NaN as 0, on
+//    every ISA.
+//
+// Dispatch. The table is chosen once, at first use, from CPUID feature bits
+// (AVX2 needs avx2+popcnt; AVX-512 needs avx512f+avx512bw+avx512vl). The
+// environment variable DEEPCAM_FORCE_ISA = scalar | avx2 | avx512 | native
+// overrides the choice for testing/CI; forcing an ISA the host cannot run
+// (or that was not compiled in) fails fast. Non-x86 builds compile only the
+// scalar codelets and dispatch degenerates to them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deepcam::codelet {
+
+enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// "scalar" / "avx2" / "avx512" — the DEEPCAM_FORCE_ISA vocabulary.
+const char* isa_name(Isa isa);
+
+/// One ISA's kernel table. All function pointers are non-null in a table
+/// returned by kernels_for()/kernels().
+struct Kernels {
+  /// Hamming distance over the first `k` bits of two packed word arrays.
+  /// Both arrays must hold at least ceil(k/64) words.
+  std::size_t (*hamming_prefix)(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t k);
+
+  /// Row-blocked dense Hamming reduce over a flat row arena: for each row
+  /// r in [0, row_count), out_hd[r] = HD over the first `k` bits of `query`
+  /// vs the row at rows + r*row_stride_words. Requires k <= 65535 (uint16
+  /// result) and ceil(k/64) <= row_stride_words. This is the
+  /// DynamicCam::search_flat / HashTuner inner loop.
+  void (*hamming_many)(const std::uint64_t* query, const std::uint64_t* rows,
+                       std::size_t row_stride_words, std::size_t row_count,
+                       std::size_t k, std::uint16_t* out_hd);
+
+  /// Blocked projection GEMM: out[p*ncols + j] = sum_i xs[p*input_dim + i] *
+  /// c[i*c_stride + j] for p < count, j < ncols (ncols <= c_stride), with
+  /// ascending-i unfused multiply-add per output and the xi == 0.0f skip.
+  void (*project_cols)(const float* xs, const float* c, std::size_t count,
+                       std::size_t input_dim, std::size_t c_stride,
+                       std::size_t ncols, float* out);
+
+  /// Packs `nbits` sign bits (proj[j] >= 0.0f) into words, 64 per word; the
+  /// partial last word's high bits are zero.
+  void (*pack_signs)(const float* proj, std::size_t nbits,
+                     std::uint64_t* words);
+};
+
+/// The table compiled in for `isa`, or nullptr when its translation unit was
+/// built without that ISA's codegen (non-x86 host, compiler without the
+/// flag). Does NOT check whether the running CPU can execute it — pair with
+/// isa_supported() before calling through a non-scalar table.
+const Kernels* kernels_for(Isa isa);
+
+/// True when `isa` is both compiled in and executable on this CPU.
+/// Isa::kScalar is always supported.
+bool isa_supported(Isa isa);
+
+/// Highest-ranked supported ISA (what "native" resolves to).
+Isa best_supported_isa();
+
+/// The ISA the process-wide dispatch selected (DEEPCAM_FORCE_ISA applied).
+Isa active_isa();
+
+/// The dispatched kernel table. Resolved once, on first call; every hot-path
+/// wrapper (hamming_prefix_words, RandomProjection, DynamicCam) routes
+/// through this.
+const Kernels& kernels();
+
+}  // namespace deepcam::codelet

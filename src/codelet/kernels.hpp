@@ -1,0 +1,22 @@
+// Internal linkage between the per-ISA codelet translation units and the
+// dispatcher. Each ISA TU exposes exactly one accessor; the AVX variants
+// return nullptr when their TU was compiled without the ISA (non-x86 target
+// or compiler lacking the flag), so the dispatcher never needs conditional
+// compilation against the build system.
+#pragma once
+
+#include "codelet/codelet.hpp"
+
+namespace deepcam::codelet::detail {
+
+/// Always present: the reference semantics and test oracle.
+const Kernels& scalar_kernels();
+
+/// Compiled with -mavx2 -mpopcnt when available; nullptr otherwise.
+const Kernels* avx2_kernels();
+
+/// Compiled with -mavx512f -mavx512bw -mavx512vl -mpopcnt when available;
+/// nullptr otherwise.
+const Kernels* avx512_kernels();
+
+}  // namespace deepcam::codelet::detail

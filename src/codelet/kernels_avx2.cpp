@@ -1,0 +1,253 @@
+// AVX2 codelets. This TU is compiled with -mavx2 -mpopcnt -ffp-contract=off
+// when the toolchain supports it (DEEPCAM_CODELET_AVX2 is then defined); on
+// other targets it compiles to a nullptr table and dispatch skips the ISA.
+//
+// Bitwise equivalence with the scalar reference:
+//  * Hamming: XOR+popcount is integer math; the vector path uses the
+//    vpshufb nibble-LUT byte popcount (Mula) + vpsadbw reduction.
+//  * project_cols: columns are vectorized 8-wide but every output (p, j)
+//    still accumulates over i in ascending order with separate vmulps +
+//    vaddps (this TU has no FMA contraction: -ffp-contract=off and the
+//    accumulation never uses fmadd intrinsics), and the xi == 0.0f skip is
+//    taken per (p, i) exactly like the scalar kernel. A vector lane performs
+//    the same IEEE operation sequence as the scalar loop, so results —
+//    including ±0, denormal and NaN cases — are bit-identical.
+//  * pack_signs: vcmpps with _CMP_GE_OQ matches scalar `>= 0.0f` (+0/-0
+//    pack as 1, NaN as 0); vmovmskps harvests 8 sign bits at a time.
+#include "codelet/kernels.hpp"
+
+#if defined(DEEPCAM_CODELET_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace deepcam::codelet::detail {
+
+namespace {
+
+/// Per-byte popcount of a 256-bit vector (vpshufb nibble lookup).
+inline __m256i popcount_bytes(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+inline std::uint64_t hsum_epi64(__m256i v) {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+std::size_t hamming_prefix_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t k) {
+  const std::size_t full_words = k >> 6;
+  std::size_t i = 0;
+  std::size_t d = 0;
+  if (full_words >= 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= full_words; i += 4) {
+      const __m256i x = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+      acc = _mm256_add_epi64(
+          acc, _mm256_sad_epu8(popcount_bytes(x), _mm256_setzero_si256()));
+    }
+    d = static_cast<std::size_t>(hsum_epi64(acc));
+  }
+  for (; i < full_words; ++i)
+    d += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  const std::size_t rem = k & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    d += static_cast<std::size_t>(
+        std::popcount((a[full_words] ^ b[full_words]) & mask));
+  }
+  return d;
+}
+
+void hamming_many_avx2(const std::uint64_t* query, const std::uint64_t* rows,
+                       std::size_t row_stride_words, std::size_t row_count,
+                       std::size_t k, std::uint16_t* out_hd) {
+  const std::uint64_t* row = rows;
+  for (std::size_t r = 0; r < row_count; ++r, row += row_stride_words)
+    out_hd[r] = static_cast<std::uint16_t>(hamming_prefix_avx2(query, row, k));
+}
+
+constexpr std::size_t kPatchBlock = 8;
+constexpr std::size_t kColBlock = 64;
+
+/// Multi-patch path: the scalar kernel's 8-patch × 64-column L1 tile with
+/// the inner column loop vectorized 8-wide. Each cached C row slice is
+/// shared by up to kPatchBlock patches — for batch hashing (n×1024 matrices
+/// larger than L2) the matrix streams once per 8 patches, not once per
+/// patch, which dominates a register-resident accumulator at these sizes.
+void project_cols_blocked_avx2(const float* xs, const float* c,
+                               std::size_t count, std::size_t input_dim,
+                               std::size_t c_stride, std::size_t ncols,
+                               float* out) {
+  for (std::size_t p0 = 0; p0 < count; p0 += kPatchBlock) {
+    const std::size_t pb = std::min(kPatchBlock, count - p0);
+    for (std::size_t j0 = 0; j0 < ncols; j0 += kColBlock) {
+      const std::size_t jb = std::min(kColBlock, ncols - j0);
+      alignas(64) float acc[kPatchBlock][kColBlock];
+      std::memset(acc, 0, sizeof(acc));
+      if (jb == kColBlock) {
+        for (std::size_t i = 0; i < input_dim; ++i) {
+          const float* __restrict__ crow = c + i * c_stride + j0;
+          const __m256 c0 = _mm256_loadu_ps(crow);
+          const __m256 c1 = _mm256_loadu_ps(crow + 8);
+          const __m256 c2 = _mm256_loadu_ps(crow + 16);
+          const __m256 c3 = _mm256_loadu_ps(crow + 24);
+          const __m256 c4 = _mm256_loadu_ps(crow + 32);
+          const __m256 c5 = _mm256_loadu_ps(crow + 40);
+          const __m256 c6 = _mm256_loadu_ps(crow + 48);
+          const __m256 c7 = _mm256_loadu_ps(crow + 56);
+          for (std::size_t p = 0; p < pb; ++p) {
+            const float xi = xs[(p0 + p) * input_dim + i];
+            if (xi == 0.0f) continue;
+            const __m256 xv = _mm256_set1_ps(xi);
+            float* __restrict__ a = acc[p];
+            _mm256_store_ps(
+                a, _mm256_add_ps(_mm256_load_ps(a), _mm256_mul_ps(xv, c0)));
+            _mm256_store_ps(a + 8, _mm256_add_ps(_mm256_load_ps(a + 8),
+                                                 _mm256_mul_ps(xv, c1)));
+            _mm256_store_ps(a + 16, _mm256_add_ps(_mm256_load_ps(a + 16),
+                                                  _mm256_mul_ps(xv, c2)));
+            _mm256_store_ps(a + 24, _mm256_add_ps(_mm256_load_ps(a + 24),
+                                                  _mm256_mul_ps(xv, c3)));
+            _mm256_store_ps(a + 32, _mm256_add_ps(_mm256_load_ps(a + 32),
+                                                  _mm256_mul_ps(xv, c4)));
+            _mm256_store_ps(a + 40, _mm256_add_ps(_mm256_load_ps(a + 40),
+                                                  _mm256_mul_ps(xv, c5)));
+            _mm256_store_ps(a + 48, _mm256_add_ps(_mm256_load_ps(a + 48),
+                                                  _mm256_mul_ps(xv, c6)));
+            _mm256_store_ps(a + 56, _mm256_add_ps(_mm256_load_ps(a + 56),
+                                                  _mm256_mul_ps(xv, c7)));
+          }
+        }
+      } else {
+        // Column tail: scalar tile with the identical operation order.
+        for (std::size_t i = 0; i < input_dim; ++i) {
+          const float* __restrict__ crow = c + i * c_stride + j0;
+          for (std::size_t p = 0; p < pb; ++p) {
+            const float xi = xs[(p0 + p) * input_dim + i];
+            if (xi == 0.0f) continue;
+            float* __restrict__ a = acc[p];
+            for (std::size_t j = 0; j < jb; ++j) a[j] += xi * crow[j];
+          }
+        }
+      }
+      for (std::size_t p = 0; p < pb; ++p)
+        std::memcpy(out + (p0 + p) * ncols + j0, acc[p], jb * sizeof(float));
+    }
+  }
+}
+
+void project_cols_avx2(const float* xs, const float* c, std::size_t count,
+                       std::size_t input_dim, std::size_t c_stride,
+                       std::size_t ncols, float* out) {
+  if (count != 1) {
+    project_cols_blocked_avx2(xs, c, count, input_dim, c_stride, ncols, out);
+    return;
+  }
+  {
+    const float* __restrict__ xrow = xs;
+    float* __restrict__ orow = out;
+    std::size_t j0 = 0;
+    // Single-vector path: 64-column register tile (8 ymm accumulators) —
+    // no accumulator memory traffic, best when C is read once anyway.
+    for (; j0 + 64 <= ncols; j0 += 64) {
+      __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+      __m256 a4 = _mm256_setzero_ps(), a5 = _mm256_setzero_ps();
+      __m256 a6 = _mm256_setzero_ps(), a7 = _mm256_setzero_ps();
+      for (std::size_t i = 0; i < input_dim; ++i) {
+        const float xi = xrow[i];
+        if (xi == 0.0f) continue;
+        const __m256 xv = _mm256_set1_ps(xi);
+        const float* __restrict__ crow = c + i * c_stride + j0;
+        a0 = _mm256_add_ps(a0, _mm256_mul_ps(xv, _mm256_loadu_ps(crow)));
+        a1 = _mm256_add_ps(a1, _mm256_mul_ps(xv, _mm256_loadu_ps(crow + 8)));
+        a2 = _mm256_add_ps(a2, _mm256_mul_ps(xv, _mm256_loadu_ps(crow + 16)));
+        a3 = _mm256_add_ps(a3, _mm256_mul_ps(xv, _mm256_loadu_ps(crow + 24)));
+        a4 = _mm256_add_ps(a4, _mm256_mul_ps(xv, _mm256_loadu_ps(crow + 32)));
+        a5 = _mm256_add_ps(a5, _mm256_mul_ps(xv, _mm256_loadu_ps(crow + 40)));
+        a6 = _mm256_add_ps(a6, _mm256_mul_ps(xv, _mm256_loadu_ps(crow + 48)));
+        a7 = _mm256_add_ps(a7, _mm256_mul_ps(xv, _mm256_loadu_ps(crow + 56)));
+      }
+      _mm256_storeu_ps(orow + j0, a0);
+      _mm256_storeu_ps(orow + j0 + 8, a1);
+      _mm256_storeu_ps(orow + j0 + 16, a2);
+      _mm256_storeu_ps(orow + j0 + 24, a3);
+      _mm256_storeu_ps(orow + j0 + 32, a4);
+      _mm256_storeu_ps(orow + j0 + 40, a5);
+      _mm256_storeu_ps(orow + j0 + 48, a6);
+      _mm256_storeu_ps(orow + j0 + 56, a7);
+    }
+    // Column tail (< 64): scalar loop with the identical operation order.
+    if (j0 < ncols) {
+      const std::size_t jb = ncols - j0;
+      float acc[64];
+      std::memset(acc, 0, jb * sizeof(float));
+      for (std::size_t i = 0; i < input_dim; ++i) {
+        const float xi = xrow[i];
+        if (xi == 0.0f) continue;
+        const float* __restrict__ crow = c + i * c_stride + j0;
+        for (std::size_t j = 0; j < jb; ++j) acc[j] += xi * crow[j];
+      }
+      std::memcpy(orow + j0, acc, jb * sizeof(float));
+    }
+  }
+}
+
+void pack_signs_avx2(const float* proj, std::size_t nbits,
+                     std::uint64_t* words) {
+  const __m256 zero = _mm256_setzero_ps();
+  const std::size_t full_words = nbits >> 6;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    const float* p = proj + w * 64;
+    std::uint64_t bits = 0;
+    for (std::size_t t = 0; t < 8; ++t) {
+      const __m256 v = _mm256_loadu_ps(p + t * 8);
+      const unsigned m = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_GE_OQ)));
+      bits |= static_cast<std::uint64_t>(m) << (t * 8);
+    }
+    words[w] = bits;
+  }
+  const std::size_t rem = nbits & 63;
+  if (rem != 0) {
+    const float* p = proj + full_words * 64;
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < rem; ++j)
+      bits |= static_cast<std::uint64_t>(p[j] >= 0.0f) << j;
+    words[full_words] = bits;
+  }
+}
+
+}  // namespace
+
+const Kernels* avx2_kernels() {
+  static const Kernels k = {hamming_prefix_avx2, hamming_many_avx2,
+                            project_cols_avx2, pack_signs_avx2};
+  return &k;
+}
+
+}  // namespace deepcam::codelet::detail
+
+#else  // !DEEPCAM_CODELET_AVX2
+
+namespace deepcam::codelet::detail {
+const Kernels* avx2_kernels() { return nullptr; }
+}  // namespace deepcam::codelet::detail
+
+#endif

@@ -1,0 +1,265 @@
+// AVX-512 codelets. This TU is compiled with -mavx512f -mavx512bw -mavx512vl
+// -mpopcnt -ffp-contract=off when the toolchain supports it
+// (DEEPCAM_CODELET_AVX512 is then defined); otherwise it compiles to a
+// nullptr table and dispatch skips the ISA. Runtime dispatch additionally
+// requires the CPU to report avx512f+avx512bw+avx512vl — the kernels use
+// 512-bit vpshufb/vpsadbw (BW) and fall through 256-bit tiers (VL), not
+// vpopcntq, so they run on Skylake-SP-class parts without AVX512VPOPCNTDQ.
+//
+// Bitwise equivalence follows the same argument as the AVX2 TU: integer
+// Hamming math, unfused 16-wide vmulps+vaddps with ascending-i accumulation
+// and the xi == 0.0f skip in the GEMM (-ffp-contract=off pins it), and
+// _CMP_GE_OQ sign compares matching scalar `>= 0.0f`.
+#include "codelet/kernels.hpp"
+
+#if defined(DEEPCAM_CODELET_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace deepcam::codelet::detail {
+
+namespace {
+
+/// Per-byte popcount of a 512-bit vector (vpshufb nibble lookup, AVX512BW).
+/// The LUT is spelled with _mm512_set_epi8 rather than
+/// _mm512_broadcast_i32x4: GCC 12's unmasked broadcast intrinsic expands
+/// through the masked builtin with an undefined passthrough operand and
+/// trips a -Wmaybe-uninitialized false positive in the system header.
+inline __m512i popcount_bytes512(__m512i v) {
+  const __m512i lut = _mm512_set_epi8(
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0, 4, 3, 3, 2, 3, 2, 2, 1,
+      3, 2, 2, 1, 2, 1, 1, 0, 4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0);
+  const __m512i nib = _mm512_set1_epi8(0x0f);
+  const __m512i lo = _mm512_and_si512(v, nib);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), nib);
+  return _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                         _mm512_shuffle_epi8(lut, hi));
+}
+
+/// 256-bit tier for 4-word chunks (the k=256 hot case), same as the AVX2 TU.
+inline __m256i popcount_bytes256(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+inline std::uint64_t hsum_epi64_256(__m256i v) {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// Lane sum via a spill: _mm512_reduce_add_epi64 expands through
+/// _mm512_extracti64x4_epi64 whose undefined passthrough operand trips the
+/// same GCC 12 -Wmaybe-uninitialized header false positive as the broadcast
+/// (see popcount_bytes512); this runs once per hamming call, off the hot
+/// inner loop.
+inline std::uint64_t hsum_epi64_512(__m512i v) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(reinterpret_cast<void*>(lanes), v);
+  std::uint64_t s = 0;
+  for (std::uint64_t l : lanes) s += l;
+  return s;
+}
+
+std::size_t hamming_prefix_avx512(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t k) {
+  const std::size_t full_words = k >> 6;
+  std::size_t i = 0;
+  std::size_t d = 0;
+  if (full_words >= 8) {
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 8 <= full_words; i += 8) {
+      const __m512i x = _mm512_xor_si512(
+          _mm512_loadu_si512(reinterpret_cast<const void*>(a + i)),
+          _mm512_loadu_si512(reinterpret_cast<const void*>(b + i)));
+      acc = _mm512_add_epi64(
+          acc, _mm512_sad_epu8(popcount_bytes512(x), _mm512_setzero_si512()));
+    }
+    d = static_cast<std::size_t>(hsum_epi64_512(acc));
+  }
+  if (i + 4 <= full_words) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    d += static_cast<std::size_t>(hsum_epi64_256(
+        _mm256_sad_epu8(popcount_bytes256(x), _mm256_setzero_si256())));
+    i += 4;
+  }
+  for (; i < full_words; ++i)
+    d += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  const std::size_t rem = k & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    d += static_cast<std::size_t>(
+        std::popcount((a[full_words] ^ b[full_words]) & mask));
+  }
+  return d;
+}
+
+void hamming_many_avx512(const std::uint64_t* query, const std::uint64_t* rows,
+                         std::size_t row_stride_words, std::size_t row_count,
+                         std::size_t k, std::uint16_t* out_hd) {
+  const std::uint64_t* row = rows;
+  for (std::size_t r = 0; r < row_count; ++r, row += row_stride_words)
+    out_hd[r] =
+        static_cast<std::uint16_t>(hamming_prefix_avx512(query, row, k));
+}
+
+constexpr std::size_t kPatchBlock = 8;
+constexpr std::size_t kColBlock = 64;
+
+/// Multi-patch path: the scalar kernel's 8-patch × 64-column L1 tile with
+/// the inner column loop vectorized 16-wide — each cached C row slice is
+/// shared by up to kPatchBlock patches (see the AVX2 TU for the traffic
+/// argument).
+void project_cols_blocked_avx512(const float* xs, const float* c,
+                                 std::size_t count, std::size_t input_dim,
+                                 std::size_t c_stride, std::size_t ncols,
+                                 float* out) {
+  for (std::size_t p0 = 0; p0 < count; p0 += kPatchBlock) {
+    const std::size_t pb = std::min(kPatchBlock, count - p0);
+    for (std::size_t j0 = 0; j0 < ncols; j0 += kColBlock) {
+      const std::size_t jb = std::min(kColBlock, ncols - j0);
+      alignas(64) float acc[kPatchBlock][kColBlock];
+      std::memset(acc, 0, sizeof(acc));
+      if (jb == kColBlock) {
+        for (std::size_t i = 0; i < input_dim; ++i) {
+          const float* __restrict__ crow = c + i * c_stride + j0;
+          const __m512 c0 = _mm512_loadu_ps(crow);
+          const __m512 c1 = _mm512_loadu_ps(crow + 16);
+          const __m512 c2 = _mm512_loadu_ps(crow + 32);
+          const __m512 c3 = _mm512_loadu_ps(crow + 48);
+          for (std::size_t p = 0; p < pb; ++p) {
+            const float xi = xs[(p0 + p) * input_dim + i];
+            if (xi == 0.0f) continue;
+            const __m512 xv = _mm512_set1_ps(xi);
+            float* __restrict__ a = acc[p];
+            _mm512_store_ps(
+                a, _mm512_add_ps(_mm512_load_ps(a), _mm512_mul_ps(xv, c0)));
+            _mm512_store_ps(a + 16, _mm512_add_ps(_mm512_load_ps(a + 16),
+                                                  _mm512_mul_ps(xv, c1)));
+            _mm512_store_ps(a + 32, _mm512_add_ps(_mm512_load_ps(a + 32),
+                                                  _mm512_mul_ps(xv, c2)));
+            _mm512_store_ps(a + 48, _mm512_add_ps(_mm512_load_ps(a + 48),
+                                                  _mm512_mul_ps(xv, c3)));
+          }
+        }
+      } else {
+        // Column tail: scalar tile with the identical operation order.
+        for (std::size_t i = 0; i < input_dim; ++i) {
+          const float* __restrict__ crow = c + i * c_stride + j0;
+          for (std::size_t p = 0; p < pb; ++p) {
+            const float xi = xs[(p0 + p) * input_dim + i];
+            if (xi == 0.0f) continue;
+            float* __restrict__ a = acc[p];
+            for (std::size_t j = 0; j < jb; ++j) a[j] += xi * crow[j];
+          }
+        }
+      }
+      for (std::size_t p = 0; p < pb; ++p)
+        std::memcpy(out + (p0 + p) * ncols + j0, acc[p], jb * sizeof(float));
+    }
+  }
+}
+
+void project_cols_avx512(const float* xs, const float* c, std::size_t count,
+                         std::size_t input_dim, std::size_t c_stride,
+                         std::size_t ncols, float* out) {
+  if (count != 1) {
+    project_cols_blocked_avx512(xs, c, count, input_dim, c_stride, ncols,
+                                out);
+    return;
+  }
+  {
+    const float* __restrict__ xrow = xs;
+    float* __restrict__ orow = out;
+    std::size_t j0 = 0;
+    // Single-vector path: 64-column register tile (4 zmm accumulators) —
+    // no accumulator memory traffic, best when C is read once anyway.
+    for (; j0 + 64 <= ncols; j0 += 64) {
+      __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+      __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
+      for (std::size_t i = 0; i < input_dim; ++i) {
+        const float xi = xrow[i];
+        if (xi == 0.0f) continue;
+        const __m512 xv = _mm512_set1_ps(xi);
+        const float* __restrict__ crow = c + i * c_stride + j0;
+        a0 = _mm512_add_ps(a0, _mm512_mul_ps(xv, _mm512_loadu_ps(crow)));
+        a1 = _mm512_add_ps(a1, _mm512_mul_ps(xv, _mm512_loadu_ps(crow + 16)));
+        a2 = _mm512_add_ps(a2, _mm512_mul_ps(xv, _mm512_loadu_ps(crow + 32)));
+        a3 = _mm512_add_ps(a3, _mm512_mul_ps(xv, _mm512_loadu_ps(crow + 48)));
+      }
+      _mm512_storeu_ps(orow + j0, a0);
+      _mm512_storeu_ps(orow + j0 + 16, a1);
+      _mm512_storeu_ps(orow + j0 + 32, a2);
+      _mm512_storeu_ps(orow + j0 + 48, a3);
+    }
+    // Column tail (< 64): scalar loop with the identical operation order.
+    if (j0 < ncols) {
+      const std::size_t jb = ncols - j0;
+      float acc[64];
+      std::memset(acc, 0, jb * sizeof(float));
+      for (std::size_t i = 0; i < input_dim; ++i) {
+        const float xi = xrow[i];
+        if (xi == 0.0f) continue;
+        const float* __restrict__ crow = c + i * c_stride + j0;
+        for (std::size_t j = 0; j < jb; ++j) acc[j] += xi * crow[j];
+      }
+      std::memcpy(orow + j0, acc, jb * sizeof(float));
+    }
+  }
+}
+
+void pack_signs_avx512(const float* proj, std::size_t nbits,
+                       std::uint64_t* words) {
+  const __m512 zero = _mm512_setzero_ps();
+  const std::size_t full_words = nbits >> 6;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    const float* p = proj + w * 64;
+    std::uint64_t bits = 0;
+    for (std::size_t t = 0; t < 4; ++t) {
+      const __mmask16 m =
+          _mm512_cmp_ps_mask(_mm512_loadu_ps(p + t * 16), zero, _CMP_GE_OQ);
+      bits |= static_cast<std::uint64_t>(m) << (t * 16);
+    }
+    words[w] = bits;
+  }
+  const std::size_t rem = nbits & 63;
+  if (rem != 0) {
+    const float* p = proj + full_words * 64;
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < rem; ++j)
+      bits |= static_cast<std::uint64_t>(p[j] >= 0.0f) << j;
+    words[full_words] = bits;
+  }
+}
+
+}  // namespace
+
+const Kernels* avx512_kernels() {
+  static const Kernels k = {hamming_prefix_avx512, hamming_many_avx512,
+                            project_cols_avx512, pack_signs_avx512};
+  return &k;
+}
+
+}  // namespace deepcam::codelet::detail
+
+#else  // !DEEPCAM_CODELET_AVX512
+
+namespace deepcam::codelet::detail {
+const Kernels* avx512_kernels() { return nullptr; }
+}  // namespace deepcam::codelet::detail
+
+#endif

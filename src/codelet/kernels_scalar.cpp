@@ -1,0 +1,101 @@
+// Scalar reference codelets: the semantics every SIMD variant must match
+// bit for bit. These are the bodies that lived in common/bitvec.hpp,
+// cam/dynamic_cam.cpp and hash/random_projection.cpp before the codelet
+// layer — moved, not changed, so pre-codelet goldens stay byte-identical.
+//
+// This TU is compiled with -ffp-contract=off (see CMakeLists.txt): the
+// projection GEMM's multiply-then-add per output element is the pinned
+// rounding sequence, on every build type and ISA.
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "codelet/kernels.hpp"
+
+namespace deepcam::codelet::detail {
+
+namespace {
+
+std::size_t hamming_prefix_scalar(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t k) {
+  std::size_t d = 0;
+  const std::size_t full_words = k >> 6;
+  for (std::size_t i = 0; i < full_words; ++i)
+    d += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  const std::size_t rem = k & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    d += static_cast<std::size_t>(
+        std::popcount((a[full_words] ^ b[full_words]) & mask));
+  }
+  return d;
+}
+
+void hamming_many_scalar(const std::uint64_t* query, const std::uint64_t* rows,
+                         std::size_t row_stride_words, std::size_t row_count,
+                         std::size_t k, std::uint16_t* out_hd) {
+  const std::uint64_t* row = rows;
+  for (std::size_t r = 0; r < row_count; ++r, row += row_stride_words)
+    out_hd[r] = static_cast<std::uint16_t>(hamming_prefix_scalar(query, row, k));
+}
+
+// Tile sizes of the blocked projection kernel. Up to kPatchBlock vectors
+// share each cached slice of a C row (an 8× cut in traffic over the n×1024
+// matrix, the kernel's only large operand); accumulation runs in a local
+// 8×64-float tile (2 KiB, hot in L1 and free of aliasing with the operands)
+// that is spilled to the output once per tile instead of re-loading/storing
+// output rows every input element.
+constexpr std::size_t kPatchBlock = 8;
+constexpr std::size_t kColBlock = 64;
+
+void project_cols_scalar(const float* xs, const float* c, std::size_t count,
+                         std::size_t input_dim, std::size_t c_stride,
+                         std::size_t ncols, float* out) {
+  // For any fixed output (p, j) the adds run over i in ascending order with
+  // the same zero-skip as the original scalar GEMV, so every entry point
+  // built on this kernel is bitwise identical to the per-vector path.
+  for (std::size_t p0 = 0; p0 < count; p0 += kPatchBlock) {
+    const std::size_t pb = std::min(kPatchBlock, count - p0);
+    for (std::size_t j0 = 0; j0 < ncols; j0 += kColBlock) {
+      const std::size_t jb = std::min(kColBlock, ncols - j0);
+      float acc[kPatchBlock][kColBlock];
+      std::memset(acc, 0, sizeof(acc));
+      for (std::size_t i = 0; i < input_dim; ++i) {
+        const float* __restrict__ crow = &c[i * c_stride + j0];
+        for (std::size_t p = 0; p < pb; ++p) {
+          const float xi = xs[(p0 + p) * input_dim + i];
+          if (xi == 0.0f) continue;
+          float* __restrict__ a = acc[p];
+          for (std::size_t j = 0; j < jb; ++j) a[j] += xi * crow[j];
+        }
+      }
+      for (std::size_t p = 0; p < pb; ++p)
+        std::memcpy(out + (p0 + p) * ncols + j0, acc[p], jb * sizeof(float));
+    }
+  }
+}
+
+/// Packs `nbits` sign bits (proj[j] >= 0, so +0/-0 both hash to 1 and NaN to
+/// 0) into words, 64 bits per word write.
+void pack_signs_scalar(const float* proj, std::size_t nbits,
+                       std::uint64_t* words) {
+  const std::size_t nwords = (nbits + 63) / 64;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const std::size_t lo = w * 64;
+    const std::size_t hi = std::min(nbits, lo + 64);
+    std::uint64_t bits = 0;
+    for (std::size_t j = lo; j < hi; ++j)
+      bits |= static_cast<std::uint64_t>(proj[j] >= 0.0f) << (j - lo);
+    words[w] = bits;
+  }
+}
+
+}  // namespace
+
+const Kernels& scalar_kernels() {
+  static const Kernels k = {hamming_prefix_scalar, hamming_many_scalar,
+                            project_cols_scalar, pack_signs_scalar};
+  return k;
+}
+
+}  // namespace deepcam::codelet::detail

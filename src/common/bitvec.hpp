@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "codelet/codelet.hpp"
 #include "common/error.hpp"
 
 namespace deepcam {
@@ -38,21 +39,13 @@ inline void copy_prefix_words(std::uint64_t* dst, const std::uint64_t* src,
 /// Hamming distance over the first `k` bits of two packed word arrays — the
 /// word-span counterpart of BitVec::hamming_prefix for callers (ContextBatch,
 /// DynamicCam's flat row arena) that store signatures outside BitVec objects.
-/// Both arrays must hold at least ceil(k/64) words.
+/// Both arrays must hold at least ceil(k/64) words. Routes through the
+/// dispatched SIMD codelet (src/codelet/); the scalar codelet is the
+/// reference semantics and every ISA variant matches it bit for bit.
 inline std::size_t hamming_prefix_words(const std::uint64_t* a,
                                         const std::uint64_t* b,
                                         std::size_t k) {
-  std::size_t d = 0;
-  const std::size_t full_words = k >> 6;
-  for (std::size_t i = 0; i < full_words; ++i)
-    d += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-  const std::size_t rem = k & 63;
-  if (rem != 0) {
-    const std::uint64_t mask = (1ULL << rem) - 1;
-    d += static_cast<std::size_t>(
-        std::popcount((a[full_words] ^ b[full_words]) & mask));
-  }
-  return d;
+  return codelet::kernels().hamming_prefix(a, b, k);
 }
 
 class BitVec {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "codelet/codelet.hpp"
 #include "hash/cosine_approx.hpp"
 #include "nn/pointwise.hpp"
 
@@ -29,14 +30,21 @@ std::vector<double> approx_layer_out(const ContextBatch& w_ctx,
   const std::size_t K = w_ctx.size();
   const std::size_t P = a_ctx.size();
   std::vector<double> out(K * P);
+  // Row-blocked Hamming codelet over the activation batch's contiguous
+  // signature arena: one dispatched call per weight context instead of P
+  // per-pair hamming_prefix_words calls.
+  std::vector<std::uint16_t> hd(P);
   for (std::size_t kk = 0; kk < K; ++kk) {
     const ContextRef w = w_ctx[kk];
     const double nw = cfg.minifloat_norms ? w.norm() : w.exact_norm;
+    if (P > 0)
+      codelet::kernels().hamming_many(w.sig, a_ctx.sig(0),
+                                      a_ctx.words_per_sig(), P, k, hd.data());
     for (std::size_t p = 0; p < P; ++p) {
       const ContextRef a = a_ctx[p];
       const double na = cfg.minifloat_norms ? a.norm() : a.exact_norm;
-      const std::size_t hd = hamming_prefix_words(w.sig, a.sig, k);
-      out[kk * P + p] = hash::approx_dot(nw, na, hd, k, cfg.use_pwl_cosine) +
+      out[kk * P + p] = hash::approx_dot(nw, na, hd[p], k,
+                                         cfg.use_pwl_cosine) +
                         static_cast<double>(bias[kk]);
     }
   }

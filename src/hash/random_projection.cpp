@@ -1,37 +1,24 @@
 #include "hash/random_projection.hpp"
 
 #include <algorithm>
-#include <cstring>
 
+#include "codelet/codelet.hpp"
 #include "common/error.hpp"
 
 namespace deepcam::hash {
 
 namespace {
 
-// Tile sizes of the blocked projection kernel. Up to kPatchBlock vectors
-// share each cached slice of a C row (an 8× cut in traffic over the n×1024
-// matrix, the kernel's only large operand); accumulation runs in a local
-// 8×64-float tile (2 KiB, hot in L1 and free of aliasing with the operands)
-// that is spilled to the output once per tile instead of re-loading/storing
-// output rows every input element. Measured ~2× over accumulating in the
-// output buffer directly at the baseline (no-FMA) ISA this project pins for
-// reproducibility.
+// Patch-block size of sign_hash_batch's tiling: the projection scratch holds
+// one kPatchBlock×k tile, hashed and packed before the next block is
+// projected, so steady state allocates nothing. (The GEMM itself — and its
+// cache blocking — lives in the dispatched codelet now.)
 constexpr std::size_t kPatchBlock = 8;
-constexpr std::size_t kColBlock = 64;
 
 /// Packs `nbits` sign bits (proj[j] >= 0, so +0/-0 both hash to 1 and NaN to
-/// 0, matching the scalar comparison) into words, 64 bits per word write.
+/// 0 on every ISA) into words via the dispatched sign-packing codelet.
 void pack_signs(const float* proj, std::size_t nbits, std::uint64_t* words) {
-  const std::size_t nwords = (nbits + 63) / 64;
-  for (std::size_t w = 0; w < nwords; ++w) {
-    const std::size_t lo = w * 64;
-    const std::size_t hi = std::min(nbits, lo + 64);
-    std::uint64_t bits = 0;
-    for (std::size_t j = lo; j < hi; ++j)
-      bits |= static_cast<std::uint64_t>(proj[j] >= 0.0f) << (j - lo);
-    words[w] = bits;
-  }
+  codelet::kernels().pack_signs(proj, nbits, words);
 }
 
 }  // namespace
@@ -48,28 +35,13 @@ RandomProjection::RandomProjection(std::size_t input_dim,
 
 void RandomProjection::project_cols(const float* xs, std::size_t count,
                                     std::size_t ncols, float* out) const {
-  // For any fixed output (p, j) the adds run over i in ascending order with
-  // the same zero-skip as the original scalar GEMV, so every entry point
-  // built on this kernel is bitwise identical to the per-vector path.
-  for (std::size_t p0 = 0; p0 < count; p0 += kPatchBlock) {
-    const std::size_t pb = std::min(kPatchBlock, count - p0);
-    for (std::size_t j0 = 0; j0 < ncols; j0 += kColBlock) {
-      const std::size_t jb = std::min(kColBlock, ncols - j0);
-      float acc[kPatchBlock][kColBlock];
-      std::memset(acc, 0, sizeof(acc));
-      for (std::size_t i = 0; i < input_dim_; ++i) {
-        const float* __restrict__ crow = &c_[i * hash_bits_ + j0];
-        for (std::size_t p = 0; p < pb; ++p) {
-          const float xi = xs[(p0 + p) * input_dim_ + i];
-          if (xi == 0.0f) continue;
-          float* __restrict__ a = acc[p];
-          for (std::size_t j = 0; j < jb; ++j) a[j] += xi * crow[j];
-        }
-      }
-      for (std::size_t p = 0; p < pb; ++p)
-        std::memcpy(out + (p0 + p) * ncols + j0, acc[p], jb * sizeof(float));
-    }
-  }
+  // Dispatched GEMM codelet (scalar / AVX2 / AVX-512). For any fixed output
+  // (p, j) every ISA runs the adds over i in ascending order, unfused, with
+  // the same zero-skip as the original scalar GEMV — so every entry point
+  // built on this kernel is bitwise identical to the per-vector path,
+  // regardless of which ISA dispatch selected.
+  codelet::kernels().project_cols(xs, c_.data(), count, input_dim_,
+                                  hash_bits_, ncols, out);
 }
 
 void RandomProjection::project(std::span<const float> x,

@@ -1,0 +1,218 @@
+// Property tests for the SIMD codelet layer (src/codelet/).
+//
+// The scalar codelet is the bitwise oracle: every ISA table that is both
+// compiled into this binary and executable on the host CPU must reproduce it
+// bit for bit — Hamming counts exactly, projection floats byte-identical
+// (unfused mul+add, ascending-i order), sign packing identical including
+// NaN / ±0 / denormal edge cases. Word-boundary hash lengths (63/64/65) and
+// unaligned row/column/patch counts are swept explicitly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "codelet/codelet.hpp"
+
+namespace {
+
+using deepcam::codelet::Isa;
+using deepcam::codelet::Kernels;
+
+/// All ISA tables reachable on this host (compiled in + CPU-supported).
+/// Always contains at least kScalar.
+std::vector<Isa> reachable_isas() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512})
+    if (deepcam::codelet::kernels_for(isa) != nullptr &&
+        deepcam::codelet::isa_supported(isa))
+      out.push_back(isa);
+  return out;
+}
+
+const Kernels& scalar() {
+  return *deepcam::codelet::kernels_for(Isa::kScalar);
+}
+
+/// Floats that stress rounding / compare edge cases: ±0, denormals, values
+/// near the float mantissa boundary, huge magnitudes, and plain randoms.
+std::vector<float> edge_floats(std::size_t n, std::mt19937& rng) {
+  static const float specials[] = {
+      0.0f,
+      -0.0f,
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::min(),
+      -std::numeric_limits<float>::min(),
+      1.0f + std::numeric_limits<float>::epsilon(),
+      16777215.0f,  // 2^24 - 1: last exactly-representable odd integer
+      -16777216.0f,
+      3.4e38f,
+      -3.4e38f,
+  };
+  std::uniform_real_distribution<float> uni(-4.0f, 4.0f);
+  std::uniform_int_distribution<int> pick(0, 7);
+  std::vector<float> v(n);
+  for (auto& x : v)
+    x = pick(rng) == 0 ? specials[rng() % std::size(specials)] : uni(rng);
+  return v;
+}
+
+TEST(Codelet, ScalarAlwaysReachable) {
+  const auto isas = reachable_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  EXPECT_TRUE(deepcam::codelet::isa_supported(Isa::kScalar));
+}
+
+TEST(Codelet, IsaNames) {
+  EXPECT_STREQ(deepcam::codelet::isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(deepcam::codelet::isa_name(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(deepcam::codelet::isa_name(Isa::kAvx512), "avx512");
+}
+
+TEST(Codelet, ForcedIsaIsActive) {
+  // CI runs the whole suite under DEEPCAM_FORCE_ISA=scalar; this assertion
+  // is what makes that run meaningful (the forced table really is active).
+  const char* forced = std::getenv("DEEPCAM_FORCE_ISA");
+  const Isa active = deepcam::codelet::active_isa();
+  if (forced == nullptr || forced[0] == '\0' ||
+      std::strcmp(forced, "native") == 0) {
+    EXPECT_EQ(active, deepcam::codelet::best_supported_isa());
+  } else {
+    EXPECT_STREQ(deepcam::codelet::isa_name(active), forced);
+  }
+  EXPECT_EQ(&deepcam::codelet::kernels(),
+            deepcam::codelet::kernels_for(active));
+}
+
+TEST(Codelet, HammingPrefixEveryLengthMatchesScalar) {
+  std::mt19937_64 rng(7);
+  constexpr std::size_t kWords = 17;  // covers k up to 1025 with headroom
+  std::uint64_t a[kWords], b[kWords];
+  for (std::size_t i = 0; i < kWords; ++i) {
+    a[i] = rng();
+    b[i] = rng();
+  }
+  for (Isa isa : reachable_isas()) {
+    const Kernels& k = *deepcam::codelet::kernels_for(isa);
+    for (std::size_t bits = 0; bits <= 1025; ++bits)
+      ASSERT_EQ(k.hamming_prefix(a, b, bits),
+                scalar().hamming_prefix(a, b, bits))
+          << deepcam::codelet::isa_name(isa) << " k=" << bits;
+  }
+}
+
+TEST(Codelet, HammingPrefixExtremes) {
+  std::uint64_t zero[17] = {};
+  std::uint64_t ones[17];
+  std::memset(ones, 0xff, sizeof(ones));
+  for (Isa isa : reachable_isas()) {
+    const Kernels& k = *deepcam::codelet::kernels_for(isa);
+    for (std::size_t bits : {0u, 1u, 63u, 64u, 65u, 511u, 512u, 1024u}) {
+      EXPECT_EQ(k.hamming_prefix(zero, ones, bits), bits);
+      EXPECT_EQ(k.hamming_prefix(ones, ones, bits), 0u);
+      EXPECT_EQ(k.hamming_prefix(zero, zero, bits), 0u);
+    }
+  }
+}
+
+TEST(Codelet, HammingManyStridedArenaMatchesScalar) {
+  std::mt19937_64 rng(11);
+  constexpr std::size_t kStride = 19;  // words; > 16 so k=1024 rows fit
+  for (std::size_t rows : {0u, 1u, 2u, 7u, 33u}) {
+    std::vector<std::uint64_t> arena(rows * kStride + 1);
+    for (auto& w : arena) w = rng();
+    std::uint64_t query[kStride];
+    for (auto& w : query) w = rng();
+    for (std::size_t k : {63u, 64u, 65u, 256u, 1023u, 1024u}) {
+      std::vector<std::uint16_t> want(rows, 0xbeef), got(rows, 0xbeef);
+      scalar().hamming_many(query, arena.data(), kStride, rows, k,
+                            want.data());
+      for (Isa isa : reachable_isas()) {
+        std::fill(got.begin(), got.end(), 0xbeef);
+        deepcam::codelet::kernels_for(isa)->hamming_many(
+            query, arena.data(), kStride, rows, k, got.data());
+        ASSERT_EQ(got, want)
+            << deepcam::codelet::isa_name(isa) << " rows=" << rows
+            << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Codelet, ProjectColsBitwiseMatchesScalar) {
+  std::mt19937 rng(23);
+  // Sweep counts (register-tile vs blocked path, partial patch blocks),
+  // column counts (vector body vs scalar tails), and input dims.
+  const std::size_t counts[] = {1, 2, 7, 8, 9, 33};
+  const std::size_t ncols_list[] = {1, 7, 8, 63, 64, 65, 256};
+  const std::size_t dims[] = {1, 5, 37};
+  for (std::size_t count : counts) {
+    for (std::size_t ncols : ncols_list) {
+      for (std::size_t dim : dims) {
+        const std::size_t c_stride = ncols + 3;  // strided C, like prefixes
+        const auto xs = edge_floats(count * dim, rng);
+        const auto c = edge_floats(dim * c_stride, rng);
+        std::vector<float> want(count * ncols, -1.0f);
+        std::vector<float> got(count * ncols, -1.0f);
+        scalar().project_cols(xs.data(), c.data(), count, dim, c_stride,
+                              ncols, want.data());
+        for (Isa isa : reachable_isas()) {
+          std::fill(got.begin(), got.end(), -1.0f);
+          deepcam::codelet::kernels_for(isa)->project_cols(
+              xs.data(), c.data(), count, dim, c_stride, ncols, got.data());
+          ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                                got.size() * sizeof(float)),
+                    0)
+              << deepcam::codelet::isa_name(isa) << " count=" << count
+              << " ncols=" << ncols << " dim=" << dim;
+        }
+      }
+    }
+  }
+}
+
+TEST(Codelet, PackSignsEdgeValuesMatchScalar) {
+  std::mt19937 rng(31);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const float specials[] = {0.0f,
+                            -0.0f,
+                            nan,
+                            -nan,
+                            inf,
+                            -inf,
+                            std::numeric_limits<float>::denorm_min(),
+                            -std::numeric_limits<float>::denorm_min()};
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 0; n <= 130; ++n) sizes.push_back(n);
+  sizes.push_back(1024);
+  for (std::size_t nbits : sizes) {
+    std::vector<float> proj(nbits);
+    std::uniform_real_distribution<float> uni(-1.0f, 1.0f);
+    std::uniform_int_distribution<int> pick(0, 3);
+    for (auto& x : proj)
+      x = pick(rng) == 0 ? specials[rng() % std::size(specials)] : uni(rng);
+    const std::size_t nwords = (nbits + 63) / 64;
+    std::vector<std::uint64_t> want(nwords + 1, 0xabababababababab);
+    scalar().pack_signs(proj.data(), nbits, want.data());
+    // Scalar semantics check: bit j set iff proj[j] >= 0 (so +0/-0 -> 1,
+    // NaN -> 0).
+    for (std::size_t j = 0; j < nbits; ++j)
+      ASSERT_EQ((want[j / 64] >> (j % 64)) & 1, proj[j] >= 0.0f ? 1u : 0u);
+    for (Isa isa : reachable_isas()) {
+      std::vector<std::uint64_t> got(nwords + 1, 0xabababababababab);
+      deepcam::codelet::kernels_for(isa)->pack_signs(proj.data(), nbits,
+                                                     got.data());
+      ASSERT_EQ(got, want)
+          << deepcam::codelet::isa_name(isa) << " nbits=" << nbits;
+    }
+  }
+}
+
+}  // namespace
