@@ -12,7 +12,7 @@
 // Flags:
 //   --models lenet5,...      comma-separated nn/topologies names; every
 //                            model is hosted at k=1024 and k=256
-//   --mode poisson|bursty|closed
+//   --mode poisson|bursty|diurnal|flash|closed
 //   --requests N             trace length                (default 96)
 //   --rate R                 open-loop offered load, req/s (default 400)
 //   --workers N              server batcher threads       (default 4)
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   cli::Flags flags("serve_loadgen",
                    "replay a seeded load trace against multi-model sessions");
   flags.option("models", &models, "comma-separated topology names")
-      .option("mode", &mode, "poisson|bursty|closed")
+      .option("mode", &mode, "poisson|bursty|diurnal|flash|closed")
       .option("requests", &requests, "trace length")
       .option("rate", &rate, "open-loop offered load, req/s")
       .option("workers", &workers, "server batcher threads")

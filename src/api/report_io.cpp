@@ -93,7 +93,13 @@ std::string serve_text(const ServeOutcome& out) {
                 "(%zu ok, %zu rejected, %zu errors)\n",
                 format_fixed(load.offered_rps, 1).c_str(),
                 format_fixed(load.achieved_rps, 1).c_str(),
-                load.sent - load.errors, load.rejected, load.errors);
+                load.sent - load.errors - load.expired, load.rejected,
+                load.errors);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "goodput %s req/s  (%zu SLO met, %zu shed, %zu expired)\n",
+                format_fixed(load.goodput_rps, 1).c_str(), load.slo_met,
+                load.shed, load.expired);
   os << buf;
   std::snprintf(buf, sizeof buf,
                 "latency p50 %s ms  p95 %s ms  p99 %s ms  max %s ms\n",

@@ -1,5 +1,6 @@
 #include "api/runner.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <utility>
@@ -113,6 +114,14 @@ Outcome run_serve(const Spec& spec) {
   cfg.queue_capacity = srv.queue_capacity;
   cfg.batch.max_batch_size = srv.max_batch;
   cfg.batch.max_queue_delay = std::chrono::microseconds(srv.max_delay_us);
+  cfg.slo.deadline = {std::chrono::microseconds(srv.deadline_interactive_us),
+                      std::chrono::microseconds(srv.deadline_standard_us),
+                      std::chrono::microseconds(srv.deadline_batch_us)};
+  // Watermarks above 1.0 mean "never shed"; the queue wants them in [0, 1].
+  cfg.slo.admission.shed_depth_fraction = {
+      std::min(srv.shed_interactive, 1.0), std::min(srv.shed_standard, 1.0),
+      std::min(srv.shed_batch, 1.0)};
+  cfg.slo.downgrade_fraction = srv.downgrade_fraction;
   serve::Server server(cfg);
 
   // Sessions: every workload compiled at every hash tier. The models must
@@ -122,6 +131,7 @@ Outcome run_serve(const Spec& spec) {
   std::vector<nn::Shape> session_shapes;
   for (const Workload& w : spec.workloads) {
     models.push_back(build_model(w));
+    std::string prev_session;
     for (const std::size_t k : srv.hash_tiers) {
       core::DeepCamConfig dc = spec.accelerator.config();
       dc.default_hash_bits = k;
@@ -132,6 +142,12 @@ Outcome run_serve(const Spec& spec) {
           w.display_name() + "-k" + std::to_string(k);
       server.sessions().add_session(session, std::move(compiled),
                                     spec.accelerator.engine_threads);
+      // Consecutive tiers chain as k-fallbacks (the quality dial): under
+      // pressure, requests for a tier reroute to the next one declared —
+      // list tiers high-k first so the fallback is the cheaper search.
+      if (!prev_session.empty())
+        server.sessions().set_fallback(prev_session, session);
+      prev_session = session;
       session_names.push_back(session);
       session_shapes.push_back(w.input_shape());
     }
@@ -143,11 +159,26 @@ Outcome run_serve(const Spec& spec) {
   tc.rate_rps = srv.rate_rps;
   tc.sessions = session_names;
   tc.seed = srv.trace_seed;
+  if (srv.class_mix.size() == serve::kNumSloClasses)
+    for (std::size_t i = 0; i < serve::kNumSloClasses; ++i)
+      tc.class_weights[i] = srv.class_mix[i];
   serve::ReplayOptions opts;
   if (srv.trace == "bursty") {
     tc.arrivals = serve::ArrivalProcess::kBursty;
     tc.burst_rate_rps = 4.0 * srv.rate_rps;
     tc.rate_rps = 0.25 * srv.rate_rps;
+  } else if (srv.trace == "diurnal") {
+    tc.arrivals = serve::ArrivalProcess::kDiurnal;
+    tc.period_seconds = 0.5;
+    tc.diurnal_amplitude = 0.8;
+  } else if (srv.trace == "flash") {
+    // Flash crowd: a 4x spike one tenth of the way into the nominal span.
+    tc.arrivals = serve::ArrivalProcess::kFlash;
+    tc.flash_rate_rps = 4.0 * srv.rate_rps;
+    const double span =
+        static_cast<double>(srv.requests) / srv.rate_rps;
+    tc.flash_start_seconds = 0.1 * span;
+    tc.flash_duration_seconds = 0.25 * span;
   } else if (srv.trace == "closed") {
     opts.mode = serve::ReplayOptions::Mode::kClosedLoop;
     opts.closed_loop_clients = srv.clients;

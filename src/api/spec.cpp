@@ -225,13 +225,33 @@ void Spec::validate() const {
       if (serve.max_delay_us < 0) invalid("serve.max_delay_us is negative");
       if (serve.requests == 0) invalid("serve.requests must be > 0");
       if (serve.trace != "poisson" && serve.trace != "bursty" &&
+          serve.trace != "diurnal" && serve.trace != "flash" &&
           serve.trace != "closed")
-        invalid("serve.trace must be poisson, bursty or closed, got \"" +
-                serve.trace + "\"");
+        invalid("serve.trace must be poisson, bursty, diurnal, flash or "
+                "closed, got \"" + serve.trace + "\"");
       if (serve.trace != "closed" && serve.rate_rps <= 0.0)
         invalid("serve.rate_rps must be > 0 for open-loop traces");
       if (serve.trace == "closed" && serve.clients == 0)
         invalid("serve.clients must be > 0 for closed-loop traces");
+      if (serve.deadline_interactive_us < 0 ||
+          serve.deadline_standard_us < 0 || serve.deadline_batch_us < 0)
+        invalid("serve deadlines must be >= 0 microseconds");
+      if (serve.shed_interactive < 0.0 || serve.shed_standard < 0.0 ||
+          serve.shed_batch < 0.0)
+        invalid("serve shed watermarks must be >= 0");
+      if (serve.downgrade_fraction < 0.0)
+        invalid("serve.downgrade_fraction must be >= 0");
+      if (serve.class_mix.size() != 3)
+        invalid("serve.class_mix needs exactly 3 weights "
+                "{interactive, standard, batch}, got " +
+                std::to_string(serve.class_mix.size()));
+      double mix_total = 0.0;
+      for (const double w : serve.class_mix) {
+        if (w < 0.0) invalid("serve.class_mix weights must be >= 0");
+        mix_total += w;
+      }
+      if (mix_total <= 0.0)
+        invalid("serve.class_mix weights must sum to > 0");
       break;
     }
     case Mode::kTune:
@@ -444,6 +464,33 @@ SpecBuilder& SpecBuilder::serve_trace(std::string trace, std::size_t requests,
 
 SpecBuilder& SpecBuilder::serve_clients(std::size_t clients) {
   spec_.serve.clients = clients;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_deadlines(long interactive_us,
+                                          long standard_us, long batch_us) {
+  spec_.serve.deadline_interactive_us = interactive_us;
+  spec_.serve.deadline_standard_us = standard_us;
+  spec_.serve.deadline_batch_us = batch_us;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_shed(double interactive, double standard,
+                                     double batch) {
+  spec_.serve.shed_interactive = interactive;
+  spec_.serve.shed_standard = standard;
+  spec_.serve.shed_batch = batch;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_downgrade(double fraction) {
+  spec_.serve.downgrade_fraction = fraction;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_class_mix(double interactive, double standard,
+                                          double batch) {
+  spec_.serve.class_mix = {interactive, standard, batch};
   return *this;
 }
 

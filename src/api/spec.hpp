@@ -132,7 +132,9 @@ struct CompareOptions {
 };
 
 /// kServe: sessions = every workload compiled at every hash tier, behind
-/// one Server; a seeded trace is replayed against it.
+/// one Server; a seeded trace is replayed against it. The SLO knobs
+/// default to a plain FIFO server (no deadlines / shedding / downgrades)
+/// so pre-SLO specs behave unchanged.
 struct ServeOptions {
   /// Hash lengths to host each workload at ("<model>-k<bits>" sessions).
   std::vector<std::size_t> hash_tiers = {1024, 256};
@@ -140,11 +142,28 @@ struct ServeOptions {
   std::size_t queue_capacity = 512;
   std::size_t max_batch = 8;
   long max_delay_us = 2000;
-  std::string trace = "poisson";  // poisson|bursty|closed
+  std::string trace = "poisson";  // poisson|bursty|diurnal|flash|closed
   std::size_t requests = 96;
   double rate_rps = 400.0;        // open-loop offered load
   std::size_t clients = 8;        // closed-loop concurrency
   std::uint64_t trace_seed = 1;
+
+  // --- SLO tier ----------------------------------------------------------
+  /// Per-class completion deadlines in microseconds; 0 = no deadline.
+  long deadline_interactive_us = 0;
+  long deadline_standard_us = 0;
+  long deadline_batch_us = 0;
+  /// Per-class shed watermarks as queue-depth fractions; >= 1.0 = never
+  /// shed that class.
+  double shed_interactive = 1.0;
+  double shed_standard = 1.0;
+  double shed_batch = 1.0;
+  /// Queue-depth fraction above which admissions reroute to the next
+  /// lower hash tier; >= 1.0 = never downgrade.
+  double downgrade_fraction = 1.0;
+  /// Relative SLO-class sampling weights {interactive, standard, batch}
+  /// of the generated trace.
+  std::vector<double> class_mix = {0.0, 1.0, 0.0};
 };
 
 /// Where Runner results go when the CLI (or a caller honoring the spec)
@@ -230,6 +249,17 @@ class SpecBuilder {
   SpecBuilder& serve_trace(std::string trace, std::size_t requests,
                            double rate_rps, std::uint64_t seed = 1);
   SpecBuilder& serve_clients(std::size_t clients);
+  /// Per-class completion deadlines in microseconds (0 = none).
+  SpecBuilder& serve_deadlines(long interactive_us, long standard_us,
+                               long batch_us);
+  /// Per-class shed watermarks as queue-depth fractions (>= 1.0 = off).
+  SpecBuilder& serve_shed(double interactive, double standard, double batch);
+  /// Downgrade dial: queue-depth fraction that reroutes admissions to the
+  /// next lower hash tier (>= 1.0 = off).
+  SpecBuilder& serve_downgrade(double fraction);
+  /// Trace SLO-class mix {interactive, standard, batch} weights.
+  SpecBuilder& serve_class_mix(double interactive, double standard,
+                               double batch);
 
   // --- outputs -----------------------------------------------------------
   SpecBuilder& json_output(std::string path);

@@ -174,7 +174,24 @@ void parse_serve(const JsonValue& doc, ServeOptions& srv) {
     else if (key == "rate_rps") srv.rate_rps = v.as_number();
     else if (key == "clients") srv.clients = as_size(v);
     else if (key == "trace_seed") srv.trace_seed = v.as_uint();
-    else unknown_key("serve", key, v);
+    else if (key == "deadline_interactive_us")
+      srv.deadline_interactive_us = static_cast<long>(v.as_uint());
+    else if (key == "deadline_standard_us")
+      srv.deadline_standard_us = static_cast<long>(v.as_uint());
+    else if (key == "deadline_batch_us")
+      srv.deadline_batch_us = static_cast<long>(v.as_uint());
+    else if (key == "shed_interactive") srv.shed_interactive = v.as_number();
+    else if (key == "shed_standard") srv.shed_standard = v.as_number();
+    else if (key == "shed_batch") srv.shed_batch = v.as_number();
+    else if (key == "downgrade_fraction")
+      srv.downgrade_fraction = v.as_number();
+    else if (key == "class_mix") {
+      srv.class_mix.clear();
+      for (const JsonValue& item : v.items())
+        srv.class_mix.push_back(item.as_number());
+    } else {
+      unknown_key("serve", key, v);
+    }
   }
 }
 
@@ -339,6 +356,19 @@ std::string spec_to_json(const Spec& spec) {
   json.kv("rate_rps", srv.rate_rps);
   json.kv("clients", srv.clients);
   json.kv("trace_seed", srv.trace_seed);
+  json.kv("deadline_interactive_us",
+          static_cast<std::int64_t>(srv.deadline_interactive_us));
+  json.kv("deadline_standard_us",
+          static_cast<std::int64_t>(srv.deadline_standard_us));
+  json.kv("deadline_batch_us",
+          static_cast<std::int64_t>(srv.deadline_batch_us));
+  json.kv("shed_interactive", srv.shed_interactive);
+  json.kv("shed_standard", srv.shed_standard);
+  json.kv("shed_batch", srv.shed_batch);
+  json.kv("downgrade_fraction", srv.downgrade_fraction);
+  json.key("class_mix").begin_array();
+  for (const double w : srv.class_mix) json.value(w);
+  json.end_array();
   json.end_object();
 
   json.key("outputs").begin_object();

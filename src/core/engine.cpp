@@ -237,6 +237,39 @@ void BatchFuture::wait() const {
   engine_->done_cv_.wait(lk, [this] { return state_->done; });
 }
 
+bool BatchFuture::wait_for(std::chrono::nanoseconds timeout) const {
+  DEEPCAM_CHECK_MSG(valid(), "BatchFuture already consumed (or empty)");
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  return engine_->done_cv_.wait_for(lk, timeout,
+                                    [this] { return state_->done; });
+}
+
+bool BatchFuture::cancel() {
+  DEEPCAM_CHECK_MSG(valid(), "BatchFuture already consumed (or empty)");
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  if (state_->done || state_->next_sample > 0) return false;
+  // Undispatched: still sitting whole in the FIFO. Pull it out and complete
+  // it with a cancellation error so get() rethrows instead of hanging.
+  for (auto it = engine_->queue_.begin(); it != engine_->queue_.end(); ++it) {
+    if (it->get() == state_.get()) {
+      engine_->queue_.erase(it);
+      break;
+    }
+  }
+  state_->error = std::make_exception_ptr(Error("batch cancelled"));
+  state_->error_sample = 0;
+  state_->pending = 0;
+  state_->done = true;
+  state_->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    state_->t_submit)
+          .count();
+  --engine_->in_flight_;
+  lk.unlock();
+  engine_->done_cv_.notify_all();
+  return true;
+}
+
 std::vector<nn::Tensor> BatchFuture::get(BatchReport* report) {
   DEEPCAM_CHECK_MSG(valid(), "BatchFuture already consumed (or empty)");
   InferenceEngine* engine = engine_;

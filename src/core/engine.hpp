@@ -139,6 +139,16 @@ class BatchFuture {
   bool ready() const;
   /// Blocks until the batch completed (does not consume the result).
   void wait() const;
+  /// Bounded wait: true once the batch completed, false on timeout. The
+  /// serving layer's request-timeout loop polls this instead of wait() so
+  /// it can cancel() a batch whose deadlines lapsed while queued.
+  bool wait_for(std::chrono::nanoseconds timeout) const;
+  /// Cancels the batch iff no sample of it has been dispatched yet:
+  /// removes it from the engine FIFO and completes it with an Error
+  /// ("batch cancelled"), which get() will rethrow. Returns false — and
+  /// does nothing — once execution started (or finished): partial results
+  /// are never torn down. The future stays valid either way.
+  bool cancel();
   /// Blocks, then returns the logits in input order; fills `report` if
   /// non-null. Rethrows the lowest-index failing sample's exception.
   std::vector<nn::Tensor> get(BatchReport* report = nullptr);

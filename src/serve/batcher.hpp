@@ -8,6 +8,12 @@
 // engine's worker pool; the delay bound caps the queueing latency a lone
 // request can accrue waiting for company.
 //
+// The batcher is deadline-aware: requests whose deadline already passed at
+// formation time come back in MicroBatch::expired instead of the runnable
+// batch — running them would spend engine time producing answers nobody
+// can use, the head-of-line waste that collapses FIFO goodput under
+// overload. The dispatch loop answers them with expiry responses.
+//
 // The extraction itself runs inside RequestQueue::pop_micro_batch (it must
 // be atomic with head selection — see request_queue.hpp); DynamicBatcher
 // owns the policy and gives each server worker its dispatch loop. Several
@@ -19,25 +25,44 @@
 
 namespace deepcam::serve {
 
+/// One formation round: `run` is the single-session batch to execute
+/// (possibly empty when everything due had expired); `expired` are the
+/// requests whose deadline passed while queued — answer, don't run.
+struct MicroBatch {
+  std::vector<Request> run;
+  std::vector<Request> expired;
+
+  bool empty() const { return run.empty() && expired.empty(); }
+};
+
 class DynamicBatcher {
  public:
-  /// `queue` must outlive the batcher.
-  DynamicBatcher(RequestQueue& queue, BatchPolicy policy)
-      : queue_(&queue), policy_(policy) {
+  /// `queue` must outlive the batcher. With expire_doomed=false the
+  /// batcher never expires (the FIFO baseline bench/serve_throughput
+  /// compares against): deadline-carrying requests always run.
+  DynamicBatcher(RequestQueue& queue, BatchPolicy policy,
+                 bool expire_doomed = true)
+      : queue_(&queue), policy_(policy), expire_doomed_(expire_doomed) {
     DEEPCAM_CHECK_MSG(policy.max_batch_size >= 1,
                       "batch policy needs max_batch_size >= 1");
   }
 
   const BatchPolicy& policy() const { return policy_; }
 
-  /// Blocks for the next micro-batch (all requests share one session).
-  /// Empty result means the queue is closed and drained — the dispatch
-  /// loop should exit.
-  std::vector<Request> next() { return queue_->pop_micro_batch(policy_); }
+  /// Blocks for the next micro-batch (all runnable requests share one
+  /// session). An empty() result means the queue is closed and drained —
+  /// the dispatch loop should exit.
+  MicroBatch next() {
+    MicroBatch mb;
+    mb.run = queue_->pop_micro_batch(policy_,
+                                     expire_doomed_ ? &mb.expired : nullptr);
+    return mb;
+  }
 
  private:
   RequestQueue* queue_;
   BatchPolicy policy_;
+  bool expire_doomed_;
 };
 
 }  // namespace deepcam::serve

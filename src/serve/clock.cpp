@@ -1,0 +1,10 @@
+#include "serve/clock.hpp"
+
+namespace deepcam::serve {
+
+ClockSource& ClockSource::steady() {
+  static SteadyClockSource instance;
+  return instance;
+}
+
+}  // namespace deepcam::serve

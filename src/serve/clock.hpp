@@ -1,0 +1,115 @@
+// Injectable time source for the serving subsystem.
+//
+// Every scheduling decision in src/serve — micro-batch delay bounds,
+// request deadlines, expiry, queue-wait accounting — is a function of
+// "now". Reading std::chrono::steady_clock directly would make those
+// decisions untestable: a scheduler test would have to sleep real
+// milliseconds and hope the thread scheduler cooperates. ClockSource is
+// the seam: production code uses the process-wide SteadyClockSource
+// (ClockSource::steady(), a zero-overhead passthrough to steady_clock),
+// tests inject a VirtualClock whose time only moves when the test calls
+// advance(). A crafted arrival timeline then produces exactly one
+// shed/expire/downgrade decision sequence, replayed identically on every
+// run — the determinism contract of tests/test_serve.cpp's scheduler
+// tables.
+//
+// Timed waits go through wait_until() instead of cv.wait_until so a
+// virtual deadline can never park a thread on the real clock: the virtual
+// implementation re-checks virtual time at a bounded real-time cadence and
+// observes producer notifications on the same condition_variable, so
+// *decisions* stay a pure function of the virtual timeline even when the
+// host's wall-clock timing varies.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "serve/request.hpp"
+
+namespace deepcam::serve {
+
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  virtual Clock::time_point now() const = 0;
+
+  /// Timed wait on `cv` (whose mutex `lk` holds) until notified or the
+  /// clock reaches `deadline`. Returns true when the deadline passed
+  /// (timeout), false on a (possibly spurious) wakeup before it — same
+  /// contract as cv.wait_until's cv_status, so callers keep their usual
+  /// re-check loops.
+  virtual bool wait_until(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lk,
+                          Clock::time_point deadline) = 0;
+
+  /// Blocks the calling thread until the clock reaches `t` (open-loop
+  /// replay pacing). The virtual clock advances itself instead of
+  /// sleeping, so trace replays run at full host speed.
+  virtual void sleep_until(Clock::time_point t) = 0;
+
+  /// The process-wide real clock (steady_clock passthrough).
+  static ClockSource& steady();
+};
+
+/// Production clock: steady_clock reads, real condition-variable waits.
+class SteadyClockSource final : public ClockSource {
+ public:
+  Clock::time_point now() const override { return Clock::now(); }
+
+  bool wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lk,
+                  Clock::time_point deadline) override {
+    return cv.wait_until(lk, deadline) == std::cv_status::timeout;
+  }
+
+  void sleep_until(Clock::time_point t) override {
+    std::this_thread::sleep_until(t);
+  }
+};
+
+/// Test clock: time is a variable. now() never moves on its own; advance()
+/// moves it forward. Starts one hour past the epoch so subtracting
+/// plausible deltas can never underflow the (unsigned-rep) time_point.
+class VirtualClock final : public ClockSource {
+ public:
+  VirtualClock() : now_(Clock::time_point{} + std::chrono::hours(1)) {}
+  explicit VirtualClock(Clock::time_point start) : now_(start) {}
+
+  Clock::time_point now() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return now_;
+  }
+
+  void advance(Clock::duration d) {
+    std::lock_guard<std::mutex> lk(mu_);
+    now_ += d;
+  }
+
+  void advance_to(Clock::time_point t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (t > now_) now_ = t;
+  }
+
+  bool wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lk,
+                  Clock::time_point deadline) override {
+    if (now() >= deadline) return true;
+    // Cannot park on the real clock: the virtual deadline may already be
+    // decades of wall time away. Wait for a producer notification but cap
+    // the park at 1ms real so an advance() from another thread (which
+    // cannot take `lk`'s mutex to notify safely) is observed promptly.
+    cv.wait_for(lk, std::chrono::milliseconds(1));
+    return now() >= deadline;
+  }
+
+  void sleep_until(Clock::time_point t) override { advance_to(t); }
+
+ private:
+  mutable std::mutex mu_;
+  Clock::time_point now_;
+};
+
+}  // namespace deepcam::serve

@@ -12,27 +12,81 @@
 
 namespace deepcam::serve {
 
+namespace {
+
+/// Instantaneous arrival rate of `cfg` at trace time `t`. The generator
+/// draws each Exp gap at the rate active when the previous event landed —
+/// a standard (approximate) piecewise-Poisson thinning that keeps the
+/// trace a single forward pass over one RNG stream.
+double rate_at(const TraceConfig& cfg, double t) {
+  switch (cfg.arrivals) {
+    case ArrivalProcess::kPoisson:
+      return cfg.rate_rps;
+    case ArrivalProcess::kBursty: {
+      if (cfg.period_seconds <= 0.0) return cfg.rate_rps;
+      // On/off modulation: the burst window covers the first burst_fraction
+      // of every period.
+      const double phase = std::fmod(t, cfg.period_seconds);
+      return phase < cfg.burst_fraction * cfg.period_seconds
+                 ? cfg.burst_rate_rps
+                 : cfg.rate_rps;
+    }
+    case ArrivalProcess::kDiurnal: {
+      if (cfg.period_seconds <= 0.0) return cfg.rate_rps;
+      constexpr double kTau = 6.283185307179586;
+      const double r =
+          cfg.rate_rps *
+          (1.0 + cfg.diurnal_amplitude *
+                     std::sin(kTau * t / cfg.period_seconds));
+      return std::max(r, 1e-6 * cfg.rate_rps);  // amplitude ~1 guard
+    }
+    case ArrivalProcess::kFlash:
+      return (t >= cfg.flash_start_seconds &&
+              t < cfg.flash_start_seconds + cfg.flash_duration_seconds)
+                 ? cfg.flash_rate_rps
+                 : cfg.rate_rps;
+  }
+  return cfg.rate_rps;
+}
+
+SloClass sample_class(const std::array<double, kNumSloClasses>& weights,
+                      double u) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return SloClass::kStandard;
+  double x = u * total;
+  for (std::size_t i = 0; i < kNumSloClasses; ++i) {
+    x -= weights[i];
+    if (x < 0.0) return static_cast<SloClass>(i);
+  }
+  return static_cast<SloClass>(kNumSloClasses - 1);
+}
+
+}  // namespace
+
 Trace make_trace(const TraceConfig& cfg) {
   DEEPCAM_CHECK_MSG(!cfg.sessions.empty(), "trace needs >= 1 session");
   DEEPCAM_CHECK_MSG(cfg.rate_rps > 0.0, "trace needs a positive rate");
   if (cfg.arrivals == ArrivalProcess::kBursty)
     DEEPCAM_CHECK_MSG(cfg.burst_rate_rps > 0.0,
                       "bursty trace needs a positive burst rate");
+  if (cfg.arrivals == ArrivalProcess::kFlash)
+    DEEPCAM_CHECK_MSG(cfg.flash_rate_rps > 0.0 &&
+                          cfg.flash_duration_seconds > 0.0,
+                      "flash trace needs a positive spike rate and window");
+  if (cfg.arrivals == ArrivalProcess::kDiurnal)
+    DEEPCAM_CHECK_MSG(
+        cfg.diurnal_amplitude >= 0.0 && cfg.diurnal_amplitude <= 1.0,
+        "diurnal amplitude must be in [0, 1]");
+  for (double w : cfg.class_weights)
+    DEEPCAM_CHECK_MSG(w >= 0.0, "class weights must be non-negative");
   Trace trace;
   trace.sessions = cfg.sessions;
   trace.events.reserve(cfg.requests);
   Rng rng(cfg.seed);
   double t = 0.0;
   for (std::size_t i = 0; i < cfg.requests; ++i) {
-    double rate = cfg.rate_rps;
-    if (cfg.arrivals == ArrivalProcess::kBursty && cfg.period_seconds > 0.0) {
-      // On/off modulation: the burst window covers the first burst_fraction
-      // of every period. The gap is drawn at the rate active at the current
-      // time — a standard (approximate) piecewise-Poisson thinning.
-      const double phase = std::fmod(t, cfg.period_seconds);
-      if (phase < cfg.burst_fraction * cfg.period_seconds)
-        rate = cfg.burst_rate_rps;
-    }
+    const double rate = rate_at(cfg, t);
     double u = rng.uniform();
     while (u <= 0.0) u = rng.uniform();  // guard log(0)
     t += -std::log(u) / rate;            // Exp(rate) inter-arrival gap
@@ -40,6 +94,7 @@ Trace make_trace(const TraceConfig& cfg) {
     e.t_seconds = t;
     e.session = static_cast<std::size_t>(
         rng.uniform_index(cfg.sessions.size()));
+    e.slo = sample_class(cfg.class_weights, rng.uniform());
     e.input_seed = rng.next();
     trace.events.push_back(e);
   }
@@ -76,21 +131,24 @@ LoadReport LoadGenerator::replay(const Trace& trace,
   DEEPCAM_CHECK_MSG(input_shapes_.size() == trace.sessions.size(),
                     "one input shape per trace session required");
   DEEPCAM_CHECK_MSG(opts.time_scale > 0.0, "time_scale must be positive");
+  ClockSource& clock =
+      opts.clock != nullptr ? *opts.clock : ClockSource::steady();
   LoadReport report;
   report.records.resize(trace.events.size());
   for (std::size_t i = 0; i < trace.events.size(); ++i) {
     report.records[i].event = i;
     report.records[i].session = trace.events[i].session;
+    report.records[i].slo = trace.events[i].slo;
   }
   if (trace.events.empty()) return report;
 
   ReplaySync sync;
-  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point t0 = clock.now();
 
   if (opts.mode == ReplayOptions::Mode::kOpenLoop) {
     for (std::size_t i = 0; i < trace.events.size(); ++i) {
       const TraceEvent& e = trace.events[i];
-      std::this_thread::sleep_until(
+      clock.sleep_until(
           t0 + std::chrono::duration_cast<Clock::duration>(
                    std::chrono::duration<double>(e.t_seconds /
                                                  opts.time_scale)));
@@ -112,15 +170,32 @@ LoadReport LoadGenerator::replay(const Trace& trace,
             rec.completed = true;
             --sync.outstanding;
             sync.cv.notify_one();
-          });
+          },
+          e.slo);
       rec.admission = verdict;
       if (verdict != Admission::kAccepted) {
         std::lock_guard<std::mutex> lk(sync.mu);
         --sync.outstanding;
       }
     }
-    std::unique_lock<std::mutex> lk(sync.mu);
-    sync.cv.wait(lk, [&sync] { return sync.outstanding == 0; });
+    if (opts.clock == nullptr) {
+      std::unique_lock<std::mutex> lk(sync.mu);
+      sync.cv.wait(lk, [&sync] { return sync.outstanding == 0; });
+    } else {
+      // Injected (possibly virtual) clock: nobody else advances time once
+      // the trace is exhausted, so partially-filled micro-batches would
+      // wait out their coalescing window — and queued deadlines would
+      // never lapse — forever. Keep nudging the clock forward until every
+      // outstanding request is answered.
+      std::unique_lock<std::mutex> lk(sync.mu);
+      while (sync.outstanding != 0) {
+        sync.cv.wait_for(lk, std::chrono::milliseconds(1));
+        if (sync.outstanding == 0) break;
+        lk.unlock();
+        clock.sleep_until(clock.now() + std::chrono::milliseconds(1));
+        lk.lock();
+      }
+    }
   } else {
     // Closed loop: each client keeps one request outstanding; trace arrival
     // times are ignored, ordering comes from the shared event cursor.
@@ -138,7 +213,7 @@ LoadReport LoadGenerator::replay(const Trace& trace,
           const TraceEvent& e = trace.events[i];
           Response resp = server_->run(
               trace.sessions[e.session],
-              make_input(input_shapes_[e.session], e.input_seed));
+              make_input(input_shapes_[e.session], e.input_seed), e.slo);
           std::lock_guard<std::mutex> lk(sync.mu);
           RequestRecord& rec = report.records[i];
           rec.response = std::move(resp);
@@ -154,32 +229,40 @@ LoadReport LoadGenerator::replay(const Trace& trace,
   }
 
   report.duration_seconds =
-      std::chrono::duration<double>(Clock::now() - t0).count();
+      std::chrono::duration<double>(clock.now() - t0).count();
   for (const RequestRecord& rec : report.records) {
     if (!rec.completed) {
       ++report.rejected;
+      if (rec.admission == Admission::kRejectedShed) ++report.shed;
       continue;
     }
     if (rec.admission != Admission::kAccepted) {
       ++report.rejected;
+      if (rec.admission == Admission::kRejectedShed) ++report.shed;
       continue;
     }
     ++report.sent;
-    if (!rec.response.ok())
+    if (rec.response.expired) {
+      ++report.expired;
+    } else if (!rec.response.ok()) {
       ++report.errors;
-    else
+    } else {
       report.latency.add(rec.response.total_seconds);
+    }
+    if (rec.response.slo_met()) ++report.slo_met;
   }
   const double span = trace.duration_seconds();
   report.offered_rps =
       span > 0.0 ? static_cast<double>(trace.events.size()) /
                        (span / opts.time_scale)
                  : 0.0;
-  report.achieved_rps =
-      report.duration_seconds > 0.0
-          ? static_cast<double>(report.sent - report.errors) /
-                report.duration_seconds
-          : 0.0;
+  if (report.duration_seconds > 0.0) {
+    report.achieved_rps =
+        static_cast<double>(report.sent - report.errors - report.expired) /
+        report.duration_seconds;
+    report.goodput_rps =
+        static_cast<double>(report.slo_met) / report.duration_seconds;
+  }
   return report;
 }
 

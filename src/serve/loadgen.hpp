@@ -2,23 +2,28 @@
 //
 // Reproducible load experiments need the *workload* separated from the
 // *replay*: make_trace() expands a seeded TraceConfig into an explicit
-// arrival trace (timestamps, session picks, per-request input seeds — a
-// pure function of the config), and LoadGenerator::replay() drives a
-// running Server with it:
+// arrival trace (timestamps, session picks, SLO classes, per-request input
+// seeds — a pure function of the config), and LoadGenerator::replay()
+// drives a running Server with it:
 //
 //  * open-loop  — requests fire at the trace's arrival times regardless of
 //    completions (offered load is held; overload shows up as queue growth,
-//    backpressure rejections and p99 inflation), with Poisson or
-//    on/off-bursty arrivals;
+//    backpressure rejections, sheds, expiries and p99 inflation), with
+//    Poisson, on/off-bursty, diurnal (sinusoidal rate) or flash-crowd
+//    (baseline + one spike window) arrivals;
 //  * closed-loop — K concurrent clients each keep exactly one request
 //    outstanding (classic saturation measurement; arrival times ignored).
 //
 // Per-request inputs are synthesized deterministically from the trace's
 // input_seed, so a trace replayed against any server configuration (worker
 // count, batch policy) yields bitwise-identical per-request logits — the
-// serving determinism contract tested in tests/test_serve.cpp.
+// serving determinism contract tested in tests/test_serve.cpp. Replay
+// pacing reads the injected ClockSource: with a VirtualClock, sleep_until
+// advances virtual time instead of parking the thread, so overload
+// scenarios replay at full host speed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,6 +37,7 @@ namespace deepcam::serve {
 struct TraceEvent {
   double t_seconds = 0.0;       // arrival offset from trace start
   std::size_t session = 0;      // index into Trace::sessions
+  SloClass slo = SloClass::kStandard;
   std::uint64_t input_seed = 0; // seeds the synthetic input tensor
 };
 
@@ -49,6 +55,11 @@ enum class ArrivalProcess {
   kPoisson,  // stationary Poisson at rate_rps
   kBursty,   // on/off-modulated Poisson: burst_rate_rps for the first
              // burst_fraction of every period_seconds, rate_rps after
+  kDiurnal,  // sinusoidal rate: rate_rps * (1 + diurnal_amplitude *
+             // sin(2*pi*t / period_seconds)) — a day compressed to one
+             // period
+  kFlash,    // flash crowd: rate_rps baseline, flash_rate_rps inside the
+             // [flash_start, flash_start + flash_duration) window
 };
 
 struct TraceConfig {
@@ -57,8 +68,15 @@ struct TraceConfig {
   double burst_rate_rps = 2000.0;
   double burst_fraction = 0.25;
   double period_seconds = 0.2;
+  double diurnal_amplitude = 0.8;     // in [0, 1): rate never reaches 0
+  double flash_rate_rps = 2000.0;     // spike height
+  double flash_start_seconds = 0.05;  // spike window start
+  double flash_duration_seconds = 0.1;
   std::size_t requests = 128;
   std::vector<std::string> sessions;  // at least one name
+  /// Relative SLO-class sampling weights {interactive, standard, batch};
+  /// all-standard by default so legacy traces are unchanged in behavior.
+  std::array<double, kNumSloClasses> class_weights{0.0, 1.0, 0.0};
   std::uint64_t seed = 1;
 };
 
@@ -69,6 +87,7 @@ Trace make_trace(const TraceConfig& cfg);
 struct RequestRecord {
   std::size_t event = 0;  // index into Trace::events
   std::size_t session = 0;
+  SloClass slo = SloClass::kStandard;
   Admission admission = Admission::kAccepted;
   bool completed = false;
   Response response;  // valid iff completed
@@ -76,11 +95,15 @@ struct RequestRecord {
 
 struct LoadReport {
   std::size_t sent = 0;      // admitted requests
-  std::size_t rejected = 0;  // admission-control rejections (backpressure)
-  std::size_t errors = 0;    // admitted but failed
+  std::size_t rejected = 0;  // admission-control rejections (all kinds)
+  std::size_t shed = 0;      // subset of rejected: watermark sheds
+  std::size_t errors = 0;    // admitted but failed (engine errors)
+  std::size_t expired = 0;   // admitted but expired (deadline lapsed)
+  std::size_t slo_met = 0;   // admitted, completed within deadline
   double duration_seconds = 0.0;  // first submit -> last response
   double offered_rps = 0.0;       // trace arrival rate (after time_scale)
   double achieved_rps = 0.0;      // completions / duration
+  double goodput_rps = 0.0;       // SLO-met completions / duration
   Histogram latency{1e-6, 1e3, 96, 65536};  // end-to-end seconds
   std::vector<RequestRecord> records;       // one per trace event, in order
 
@@ -94,6 +117,11 @@ struct ReplayOptions {
   /// Open-loop speedup: arrival times are divided by this (2 = replay the
   /// trace twice as fast).
   double time_scale = 1.0;
+  /// Pacing clock; nullptr = the real steady clock. With a VirtualClock,
+  /// open-loop pacing advances virtual time instead of sleeping, and the
+  /// completion wait keeps nudging time forward so partially-filled
+  /// batches (and queued deadlines) still flush deterministically.
+  ClockSource* clock = nullptr;
 };
 
 class LoadGenerator {

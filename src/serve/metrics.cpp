@@ -18,22 +18,60 @@ std::uint64_t ServerSummary::total_rejected() const {
   return n;
 }
 
+std::uint64_t ServerSummary::total_shed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions) n += s.shed;
+  return n;
+}
+
+std::uint64_t ServerSummary::total_expired() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions) n += s.expired;
+  return n;
+}
+
+std::uint64_t ServerSummary::total_downgraded() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions) n += s.downgraded;
+  return n;
+}
+
+std::uint64_t ServerSummary::total_slo_met() const {
+  std::uint64_t n = 0;
+  for (const auto& c : classes) n += c.slo_met;
+  return n;
+}
+
 double ServerSummary::throughput_rps() const {
   return elapsed_seconds > 0.0
              ? static_cast<double>(total_completed()) / elapsed_seconds
              : 0.0;
 }
 
+double ServerSummary::goodput_rps() const {
+  return elapsed_seconds > 0.0
+             ? static_cast<double>(total_slo_met()) / elapsed_seconds
+             : 0.0;
+}
+
 ServerMetrics::ServerMetrics(std::size_t num_sessions)
     : sessions_(num_sessions) {}
 
-void ServerMetrics::on_admission(std::size_t session, Admission verdict) {
+void ServerMetrics::on_admission(std::size_t session, Admission verdict,
+                                 SloClass slo) {
   std::lock_guard<std::mutex> lk(mu_);
   DEEPCAM_CHECK(session < sessions_.size());
-  if (verdict == Admission::kAccepted)
+  ClassCounters& c = classes_[static_cast<std::size_t>(slo)];
+  if (verdict == Admission::kAccepted) {
     ++sessions_[session].accepted;
-  else
+    ++c.accepted;
+  } else {
     ++sessions_[session].rejected;
+    if (verdict == Admission::kRejectedShed) {
+      ++sessions_[session].shed;
+      ++c.shed;
+    }
+  }
 }
 
 void ServerMetrics::on_unknown_session() {
@@ -44,6 +82,13 @@ void ServerMetrics::on_unknown_session() {
 std::uint64_t ServerMetrics::unknown_session_rejections() const {
   std::lock_guard<std::mutex> lk(mu_);
   return unknown_session_;
+}
+
+void ServerMetrics::on_downgrade(std::size_t session, SloClass slo) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DEEPCAM_CHECK(session < sessions_.size());
+  ++sessions_[session].downgraded;
+  ++classes_[static_cast<std::size_t>(slo)].downgraded;
 }
 
 void ServerMetrics::on_queue_depth(std::size_t depth) {
@@ -83,8 +128,23 @@ void ServerMetrics::on_response(const Response& response) {
   std::lock_guard<std::mutex> lk(mu_);
   DEEPCAM_CHECK(response.session < sessions_.size());
   SessionCounters& s = sessions_[response.session];
+  ClassCounters& c = classes_[static_cast<std::size_t>(response.slo)];
   ++s.completed;
-  if (!response.ok()) ++s.errors;
+  ++c.completed;
+  if (response.expired) {
+    ++s.expired;
+    ++c.expired;
+  } else if (!response.ok()) {
+    ++s.errors;
+    ++c.errors;
+  }
+  if (response.slo_met()) ++c.slo_met;
+  if (response.had_deadline && !response.expired && response.ok()) {
+    if (response.slack_seconds >= 0.0)
+      c.slack.add(std::max(response.slack_seconds, 1e-9));
+    else
+      c.overrun.add(std::max(-response.slack_seconds, 1e-9));
+  }
   s.latency.add(response.total_seconds);
   s.queue_wait.add(response.queue_seconds);
 }
@@ -111,8 +171,11 @@ std::vector<SessionSummary> ServerMetrics::snapshot(
     s.name = names[i];
     s.accepted = c.accepted;
     s.rejected = c.rejected;
+    s.shed = c.shed;
     s.completed = c.completed;
     s.errors = c.errors;
+    s.expired = c.expired;
+    s.downgraded = c.downgraded;
     s.batches = c.batches;
     s.mean_batch_size =
         c.batches > 0 ? static_cast<double>(c.batched_requests) /
@@ -132,6 +195,32 @@ std::vector<SessionSummary> ServerMetrics::snapshot(
         elapsed_seconds > 0.0
             ? static_cast<double>(c.completed) / elapsed_seconds
             : 0.0;
+  }
+  return out;
+}
+
+std::vector<SloClassSummary> ServerMetrics::class_snapshot(
+    double elapsed_seconds) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SloClassSummary> out(kNumSloClasses);
+  for (std::size_t i = 0; i < kNumSloClasses; ++i) {
+    const ClassCounters& c = classes_[i];
+    SloClassSummary& s = out[i];
+    s.name = to_string(static_cast<SloClass>(i));
+    s.accepted = c.accepted;
+    s.shed = c.shed;
+    s.completed = c.completed;
+    s.errors = c.errors;
+    s.expired = c.expired;
+    s.downgraded = c.downgraded;
+    s.slo_met = c.slo_met;
+    s.goodput_rps = elapsed_seconds > 0.0
+                        ? static_cast<double>(c.slo_met) / elapsed_seconds
+                        : 0.0;
+    s.slack_p50_ms = c.slack.percentile(50.0) * 1e3;
+    s.slack_p99_ms = c.slack.percentile(99.0) * 1e3;
+    s.overrun_p50_ms = c.overrun.percentile(50.0) * 1e3;
+    s.overrun_max_ms = c.overrun.max() * 1e3;
   }
   return out;
 }

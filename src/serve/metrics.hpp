@@ -1,18 +1,24 @@
-// ServerMetrics: per-session serving counters and distributions.
+// ServerMetrics: per-session and per-SLO-class serving counters.
 //
-// Tracks, per named session: admission counters, completed/error counts,
-// end-to-end latency and queue-wait histograms (p50/p95/p99 via
-// common/histogram.hpp), micro-batch size distribution, and the number of
-// concurrently in-flight micro-batches (current + high-water mark — the
-// acceptance signal that the serving layer really pipelines batches instead
-// of serializing them like the old engine-global single-flight path).
+// Tracks, per named session: admission counters (including sheds and
+// downgrades), completed/error/expired counts, end-to-end latency and
+// queue-wait histograms (p50/p95/p99/p99.9 via common/histogram.hpp),
+// micro-batch size distribution, and the number of concurrently in-flight
+// micro-batches. Per SLO class it additionally tracks goodput — responses
+// that met their deadline — plus deadline-slack histograms (spare margin
+// of met requests / lateness of missed ones), the overload-visibility
+// signal the SLO tier is judged by.
 //
 // Updates come from several server worker threads; one mutex guards the
 // whole object (all updates are O(1)-ish and off the engine's inner loop).
-// snapshot() freezes everything into the plain-data ServerSummary that
-// serve/report_io serializes.
+// The object never reads a clock: callers pass durations they computed
+// with the server's injected ClockSource, so metrics inherit the virtual
+// clock's determinism in tests. snapshot()/class_snapshot() freeze
+// everything into the plain-data summaries that serve/report_io
+// serializes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -27,9 +33,12 @@ namespace deepcam::serve {
 struct SessionSummary {
   std::string name;
   std::uint64_t accepted = 0;
-  std::uint64_t rejected = 0;   // backpressure + closed (session resolved)
-  std::uint64_t completed = 0;  // responses delivered, including errors
+  std::uint64_t rejected = 0;   // backpressure + closed + shed (resolved)
+  std::uint64_t shed = 0;       // subset of rejected: watermark sheds
+  std::uint64_t completed = 0;  // responses delivered, incl errors+expired
   std::uint64_t errors = 0;
+  std::uint64_t expired = 0;    // answered without running (deadline passed)
+  std::uint64_t downgraded = 0; // rerouted here from a higher tier
   std::uint64_t batches = 0;    // micro-batches dispatched
   double mean_batch_size = 0.0;
   double batch_size_p50 = 0.0;
@@ -45,6 +54,23 @@ struct SessionSummary {
   double throughput_rps = 0.0;  // completed / elapsed
 };
 
+/// Frozen per-SLO-class statistics across all sessions.
+struct SloClassSummary {
+  std::string name;             // interactive | standard | batch
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;       // admission-time watermark rejections
+  std::uint64_t completed = 0;  // responses delivered, incl errors+expired
+  std::uint64_t errors = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t downgraded = 0; // served by a fallback tier
+  std::uint64_t slo_met = 0;    // ok and within deadline (goodput numerator)
+  double goodput_rps = 0.0;     // slo_met / elapsed
+  double slack_p50_ms = 0.0;    // spare margin of deadline-met responses
+  double slack_p99_ms = 0.0;
+  double overrun_p50_ms = 0.0;  // lateness of deadline-missed responses
+  double overrun_max_ms = 0.0;
+};
+
 /// Frozen whole-server statistics.
 struct ServerSummary {
   double elapsed_seconds = 0.0;
@@ -58,29 +84,39 @@ struct ServerSummary {
   // they have no SessionSummary row to live in.
   std::uint64_t unknown_session_rejected = 0;
   std::vector<SessionSummary> sessions;
+  /// One row per SLO class, in priority order (interactive first).
+  std::vector<SloClassSummary> classes;
 
   std::uint64_t total_completed() const;
   /// Per-session rejections plus unknown_session_rejected.
   std::uint64_t total_rejected() const;
+  std::uint64_t total_shed() const;
+  std::uint64_t total_expired() const;
+  std::uint64_t total_downgraded() const;
+  std::uint64_t total_slo_met() const;
   /// Completed requests per second across all sessions.
   double throughput_rps() const;
+  /// SLO-met responses per second across all classes.
+  double goodput_rps() const;
 };
 
 class ServerMetrics {
  public:
   explicit ServerMetrics(std::size_t num_sessions);
 
-  void on_admission(std::size_t session, Admission verdict);
+  void on_admission(std::size_t session, Admission verdict, SloClass slo);
   /// A request named a session that does not exist.
   void on_unknown_session();
   std::uint64_t unknown_session_rejections() const;
+  /// A pressured request was rerouted from `session` to its fallback tier.
+  void on_downgrade(std::size_t session, SloClass slo);
   /// Queue depth observed right after an accepted admission.
   void on_queue_depth(std::size_t depth);
   /// A micro-batch of `batch_size` requests entered the engine; `session`'s
   /// in-flight gauge rises until the matching on_batch_complete.
   void on_batch_dispatch(std::size_t session, std::size_t batch_size);
   void on_batch_complete(std::size_t session);
-  /// A response was delivered (error or not).
+  /// A response was delivered (completed, failed, or expired).
   void on_response(const Response& response);
 
   std::uint64_t in_flight_batches() const;
@@ -90,6 +126,8 @@ class ServerMetrics {
   /// converts completion counts into throughput.
   std::vector<SessionSummary> snapshot(const std::vector<std::string>& names,
                                        double elapsed_seconds) const;
+  /// Freezes per-class stats, in priority order.
+  std::vector<SloClassSummary> class_snapshot(double elapsed_seconds) const;
   /// Percentile of the admission-time queue-depth distribution.
   double queue_depth_percentile(double p) const;
 
@@ -97,8 +135,11 @@ class ServerMetrics {
   struct SessionCounters {
     std::uint64_t accepted = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
     std::uint64_t completed = 0;
     std::uint64_t errors = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t downgraded = 0;
     std::uint64_t batches = 0;
     std::uint64_t batched_requests = 0;
     std::uint64_t max_batch_size = 0;
@@ -109,8 +150,23 @@ class ServerMetrics {
     Histogram batch_sizes{0.5, 4096.0, 64, 65536};
   };
 
+  struct ClassCounters {
+    std::uint64_t accepted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t downgraded = 0;
+    std::uint64_t slo_met = 0;
+    // Deadline slack is signed; histograms are positive-domain, so the
+    // margin of met responses and the lateness of missed ones live apart.
+    Histogram slack{1e-6, 1e3, 96, 65536};    // seconds, deadline met
+    Histogram overrun{1e-6, 1e3, 96, 65536};  // seconds, deadline missed
+  };
+
   mutable std::mutex mu_;
   std::vector<SessionCounters> sessions_;
+  std::array<ClassCounters, kNumSloClasses> classes_;
   Histogram queue_depths_{0.5, 1 << 20, 64, 65536};
   std::uint64_t unknown_session_ = 0;
   std::uint64_t in_flight_ = 0;

@@ -11,13 +11,18 @@ void load_report_json(JsonWriter& json, const LoadReport& load) {
   json.begin_object();
   json.kv("sent", load.sent);
   json.kv("rejected", load.rejected);
+  json.kv("shed", load.shed);
   json.kv("errors", load.errors);
+  json.kv("expired", load.expired);
+  json.kv("slo_met", load.slo_met);
   json.kv("duration_seconds", load.duration_seconds);
   json.kv("offered_rps", load.offered_rps);
   json.kv("achieved_rps", load.achieved_rps);
+  json.kv("goodput_rps", load.goodput_rps);
   json.kv("latency_p50_ms", load.percentile_ms(50));
   json.kv("latency_p95_ms", load.percentile_ms(95));
   json.kv("latency_p99_ms", load.percentile_ms(99));
+  json.kv("latency_p999_ms", load.percentile_ms(99.9));
   json.kv("latency_max_ms", load.latency.max() * 1e3);
   json.end_object();
 }
@@ -34,15 +39,23 @@ void server_summary_json(JsonWriter& json, const ServerSummary& s) {
   json.kv("unknown_session_rejected", s.unknown_session_rejected);
   json.kv("total_completed", s.total_completed());
   json.kv("total_rejected", s.total_rejected());
+  json.kv("total_shed", s.total_shed());
+  json.kv("total_expired", s.total_expired());
+  json.kv("total_downgraded", s.total_downgraded());
+  json.kv("total_slo_met", s.total_slo_met());
   json.kv("throughput_rps", s.throughput_rps());
+  json.kv("goodput_rps", s.goodput_rps());
   json.key("sessions").begin_array();
   for (const auto& sess : s.sessions) {
     json.begin_object();
     json.kv("name", sess.name);
     json.kv("accepted", sess.accepted);
     json.kv("rejected", sess.rejected);
+    json.kv("shed", sess.shed);
     json.kv("completed", sess.completed);
     json.kv("errors", sess.errors);
+    json.kv("expired", sess.expired);
+    json.kv("downgraded", sess.downgraded);
     json.kv("batches", sess.batches);
     json.kv("mean_batch_size", sess.mean_batch_size);
     json.kv("batch_size_p50", sess.batch_size_p50);
@@ -56,6 +69,25 @@ void server_summary_json(JsonWriter& json, const ServerSummary& s) {
     json.kv("queue_wait_p50_ms", sess.queue_wait_p50_ms);
     json.kv("queue_wait_p99_ms", sess.queue_wait_p99_ms);
     json.kv("throughput_rps", sess.throughput_rps);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("classes").begin_array();
+  for (const auto& c : s.classes) {
+    json.begin_object();
+    json.kv("name", c.name);
+    json.kv("accepted", c.accepted);
+    json.kv("shed", c.shed);
+    json.kv("completed", c.completed);
+    json.kv("errors", c.errors);
+    json.kv("expired", c.expired);
+    json.kv("downgraded", c.downgraded);
+    json.kv("slo_met", c.slo_met);
+    json.kv("goodput_rps", c.goodput_rps);
+    json.kv("slack_p50_ms", c.slack_p50_ms);
+    json.kv("slack_p99_ms", c.slack_p99_ms);
+    json.kv("overrun_p50_ms", c.overrun_p50_ms);
+    json.kv("overrun_max_ms", c.overrun_max_ms);
     json.end_object();
   }
   json.end_array();
@@ -86,15 +118,26 @@ std::string server_summary_text(const ServerSummary& s) {
                 format_fixed(s.throughput_rps(), 1).c_str(),
                 static_cast<unsigned long long>(s.max_in_flight_batches));
   os << buf;
+  std::snprintf(buf, sizeof buf,
+                "SLO: %llu met (%s goodput req/s), %llu shed, "
+                "%llu expired, %llu downgraded\n",
+                static_cast<unsigned long long>(s.total_slo_met()),
+                format_fixed(s.goodput_rps(), 1).c_str(),
+                static_cast<unsigned long long>(s.total_shed()),
+                static_cast<unsigned long long>(s.total_expired()),
+                static_cast<unsigned long long>(s.total_downgraded()));
+  os << buf;
   for (const auto& sess : s.sessions) {
     std::snprintf(
         buf, sizeof buf,
-        "  %-14s %6llu ok %4llu err %4llu rej  batches=%-5llu "
+        "  %-14s %6llu ok %4llu err %4llu rej %4llu exp  batches=%-5llu "
         "(mean %s, max %llu)  p50=%s p95=%s p99=%s ms  %s req/s\n",
         sess.name.c_str(),
-        static_cast<unsigned long long>(sess.completed - sess.errors),
+        static_cast<unsigned long long>(sess.completed - sess.errors -
+                                        sess.expired),
         static_cast<unsigned long long>(sess.errors),
         static_cast<unsigned long long>(sess.rejected),
+        static_cast<unsigned long long>(sess.expired),
         static_cast<unsigned long long>(sess.batches),
         format_fixed(sess.mean_batch_size, 2).c_str(),
         static_cast<unsigned long long>(sess.max_batch_size),
@@ -102,6 +145,21 @@ std::string server_summary_text(const ServerSummary& s) {
         format_fixed(sess.latency_p95_ms, 3).c_str(),
         format_fixed(sess.latency_p99_ms, 3).c_str(),
         format_fixed(sess.throughput_rps, 1).c_str());
+    os << buf;
+  }
+  for (const auto& c : s.classes) {
+    std::snprintf(
+        buf, sizeof buf,
+        "  class %-11s %6llu acc %4llu shed %4llu exp %4llu down  "
+        "met=%-6llu (%s req/s)  slack p50=%s p99=%s ms\n",
+        c.name.c_str(), static_cast<unsigned long long>(c.accepted),
+        static_cast<unsigned long long>(c.shed),
+        static_cast<unsigned long long>(c.expired),
+        static_cast<unsigned long long>(c.downgraded),
+        static_cast<unsigned long long>(c.slo_met),
+        format_fixed(c.goodput_rps, 1).c_str(),
+        format_fixed(c.slack_p50_ms, 3).c_str(),
+        format_fixed(c.slack_p99_ms, 3).c_str());
     os << buf;
   }
   return os.str();

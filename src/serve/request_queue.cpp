@@ -6,8 +6,32 @@
 
 namespace deepcam::serve {
 
-RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+RequestQueue::RequestQueue(std::size_t capacity, AdmissionPolicy admission,
+                           ClockSource* clock)
+    : capacity_(capacity),
+      admission_(admission),
+      clock_(clock != nullptr ? clock : &ClockSource::steady()) {
   DEEPCAM_CHECK_MSG(capacity >= 1, "request queue needs capacity >= 1");
+  for (const double f : admission_.shed_depth_fraction)
+    DEEPCAM_CHECK_MSG(f >= 0.0 && f <= 1.0,
+                      "shed_depth_fraction must be within [0, 1]");
+}
+
+bool RequestQueue::should_shed(SloClass c, std::size_t depth) const {
+  const std::size_t idx = static_cast<std::size_t>(c);
+  const double frac = admission_.shed_depth_fraction[idx];
+  if (frac < 1.0 &&
+      static_cast<double>(depth) >= frac * static_cast<double>(capacity_))
+    return true;
+  if (admission_.est_service_rps > 0.0 &&
+      admission_.max_wait[idx] > Clock::duration::zero()) {
+    const double est_wait_s =
+        static_cast<double>(depth) / admission_.est_service_rps;
+    const double budget_s =
+        std::chrono::duration<double>(admission_.max_wait[idx]).count();
+    if (est_wait_s > budget_s) return true;
+  }
+  return false;
 }
 
 Admission RequestQueue::try_push(Request&& r) {
@@ -15,7 +39,9 @@ Admission RequestQueue::try_push(Request&& r) {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_) return Admission::kRejectedClosed;
     if (q_.size() >= capacity_) return Admission::kRejectedFull;
-    r.enqueued = Clock::now();
+    if (should_shed(r.slo, q_.size())) return Admission::kRejectedShed;
+    r.enqueued = clock_->now();
+    r.seq = next_seq_++;
     q_.push_back(std::move(r));
     max_depth_ = std::max(max_depth_, q_.size());
   }
@@ -28,7 +54,8 @@ bool RequestQueue::push(Request&& r) {
     std::unique_lock<std::mutex> lk(mu_);
     space_cv_.wait(lk, [this] { return closed_ || q_.size() < capacity_; });
     if (closed_) return false;
-    r.enqueued = Clock::now();
+    r.enqueued = clock_->now();
+    r.seq = next_seq_++;
     q_.push_back(std::move(r));
     max_depth_ = std::max(max_depth_, q_.size());
   }
@@ -36,39 +63,71 @@ bool RequestQueue::push(Request&& r) {
   return true;
 }
 
-std::vector<Request> RequestQueue::pop_micro_batch(const BatchPolicy& policy) {
+std::vector<Request> RequestQueue::pop_micro_batch(
+    const BatchPolicy& policy, std::vector<Request>* expired) {
   const std::size_t max_n = std::max<std::size_t>(policy.max_batch_size, 1);
   std::vector<Request> batch;
   std::unique_lock<std::mutex> lk(mu_);
-  data_cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
-  if (q_.empty()) return batch;  // closed and drained
+  for (;;) {
+    data_cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return batch;  // closed and drained
 
-  // Head selection and first extraction are atomic (we hold the lock), so
-  // concurrent batchers always leave with a non-empty batch.
-  const std::size_t session = q_.front().session;
-  const Clock::time_point deadline = q_.front().enqueued +
-                                     policy.max_queue_delay;
-  auto extract = [&] {
-    for (auto it = q_.begin(); it != q_.end() && batch.size() < max_n;) {
-      if (it->session == session) {
+    // Head selection: most urgent class first, admission order within it.
+    // Selection and first extraction are atomic (we hold the lock), so
+    // concurrent batchers always leave with distinct heads.
+    const auto more_urgent = [](const Request& a, const Request& b) {
+      if (a.slo != b.slo) return a.slo < b.slo;
+      return a.seq < b.seq;
+    };
+    const Request* head = &q_.front();
+    for (const Request& r : q_)
+      if (more_urgent(r, *head)) head = &r;
+    const std::size_t session = head->session;
+    Clock::time_point deadline = head->enqueued + policy.max_queue_delay;
+
+    auto extract = [&] {
+      for (auto it = q_.begin(); it != q_.end() && batch.size() < max_n;) {
+        if (it->session != session) {
+          ++it;
+          continue;
+        }
+        if (expired != nullptr && it->has_deadline() &&
+            it->deadline <= clock_->now()) {
+          // Deadline already missed: answering it with an expiry beats
+          // burning a batch slot on an answer nobody can use.
+          expired->push_back(std::move(*it));
+          it = q_.erase(it);
+          continue;
+        }
+        // Don't let coalescing-for-company expire a collected rider: the
+        // earliest deadline on board caps the wait.
+        if (it->has_deadline() && it->deadline < deadline)
+          deadline = it->deadline;
         batch.push_back(std::move(*it));
         it = q_.erase(it);
-      } else {
-        ++it;
       }
-    }
-  };
-  extract();
-  space_cv_.notify_all();
-
-  // Coalesce late same-session arrivals until the batch is full or the
-  // oldest collected request hits its delay bound. close() flushes early.
-  while (batch.size() < max_n && !closed_) {
-    if (data_cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    };
     extract();
     space_cv_.notify_all();
+
+    if (batch.empty()) {
+      // Every extracted request had already expired: hand them to the
+      // caller right away (their answers are overdue) rather than waiting
+      // out the coalescing window. The caller distinguishes this from
+      // "closed and drained" by the non-empty sink.
+      if (expired != nullptr && !expired->empty()) return batch;
+      continue;  // nothing extractable this round; re-wait
+    }
+
+    // Coalesce late same-session arrivals until the batch is full or the
+    // head hits its delay/deadline bound. close() flushes early.
+    while (batch.size() < max_n && !closed_) {
+      if (clock_->wait_until(data_cv_, lk, deadline)) break;
+      extract();
+      space_cv_.notify_all();
+    }
+    return batch;
   }
-  return batch;
 }
 
 void RequestQueue::close() {
@@ -93,6 +152,12 @@ std::size_t RequestQueue::depth() const {
 std::size_t RequestQueue::max_depth() const {
   std::lock_guard<std::mutex> lk(mu_);
   return max_depth_;
+}
+
+bool RequestQueue::pressured(double fraction) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<double>(q_.size()) >=
+         fraction * static_cast<double>(capacity_);
 }
 
 }  // namespace deepcam::serve

@@ -1,58 +1,95 @@
-// Bounded MPMC request queue with admission control and backpressure.
+// Bounded MPMC request queue with SLO-aware admission control.
 //
 // Producers are client threads (Server::submit / LoadGenerator); consumers
 // are the server's batcher workers pulling micro-batches. The queue is the
 // admission-control point: try_push() rejects instead of blocking when the
-// queue is at capacity (open-loop backpressure), push() blocks for space
-// (closed-loop clients), and close() flushes — pending requests still drain
-// through pop_micro_batch(), which returns empty only when closed AND
-// drained.
+// queue is at capacity (open-loop backpressure) and *sheds* lower-priority
+// classes earlier — per-class depth watermarks plus an optional
+// estimated-queue-wait bound (depth / est_service_rps vs the class's wait
+// budget) — push() blocks for space (closed-loop clients), and close()
+// flushes: pending requests still drain through pop_micro_batch(), which
+// returns empty only when closed AND drained.
 //
 // Micro-batch formation lives here (under the queue's one mutex) because it
-// must be atomic with head selection: a batcher picks the oldest request,
-// then collects same-session requests — possibly waiting for late arrivals
-// — without another batcher stealing its head. DynamicBatcher
+// must be atomic with head selection: a batcher picks the most urgent
+// pending request (priority class, then admission order), then collects
+// same-session requests — possibly waiting for late arrivals — without
+// another batcher stealing its head. Requests whose deadline already
+// passed at extraction are diverted to the caller's expired sink instead
+// of wasting a batch slot (deadline-aware batching). DynamicBatcher
 // (serve/batcher.hpp) owns the policy; the queue owns the mechanism.
+//
+// All time reads and timed waits go through the injected ClockSource so a
+// VirtualClock makes every shed/expire decision a deterministic function
+// of a crafted arrival timeline (serve/clock.hpp).
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
 
+#include "serve/clock.hpp"
 #include "serve/request.hpp"
 
 namespace deepcam::serve {
 
 /// Micro-batching policy: dispatch when `max_batch_size` same-session
 /// requests are pending, or when the oldest of them has waited
-/// `max_queue_delay`, whichever happens first.
+/// `max_queue_delay`, whichever happens first. The coalescing wait is
+/// additionally capped by the earliest deadline among collected requests,
+/// so waiting for company never expires a rider.
 struct BatchPolicy {
   std::size_t max_batch_size = 8;
   std::chrono::microseconds max_queue_delay{2000};
 };
 
+/// Per-class load-shedding watermarks. A class-c request is shed
+/// (kRejectedShed) when the queue depth has crossed
+/// shed_depth_fraction[c] * capacity, or — when est_service_rps is set —
+/// when the estimated queue wait depth/est_service_rps exceeds
+/// max_wait[c]. Defaults shed nothing before the hard capacity bound.
+struct AdmissionPolicy {
+  std::array<double, kNumSloClasses> shed_depth_fraction{1.0, 1.0, 1.0};
+  /// Server-wide service-rate estimate (requests/s) used to turn depth
+  /// into an expected queue wait; 0 disables wait-based shedding.
+  double est_service_rps = 0.0;
+  /// Per-class queue-wait budget; zero duration = no bound.
+  std::array<Clock::duration, kNumSloClasses> max_wait{};
+};
+
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity);
+  explicit RequestQueue(std::size_t capacity, AdmissionPolicy admission = {},
+                        ClockSource* clock = nullptr);
 
-  /// Non-blocking admission: stamps `r.enqueued` and accepts, or rejects
-  /// when at capacity (kRejectedFull) / closed (kRejectedClosed). `r` is
-  /// untouched on rejection.
+  /// Non-blocking admission: stamps `r.enqueued`/`r.seq` and accepts, or
+  /// rejects when at capacity (kRejectedFull) / shed watermark crossed
+  /// (kRejectedShed) / closed (kRejectedClosed). `r` is untouched on
+  /// rejection.
   Admission try_push(Request&& r);
 
-  /// Blocking admission: waits for space. Returns false (request dropped)
+  /// Blocking admission: waits for space (watermarks don't apply — the
+  /// closed-loop caller self-limits). Returns false (request dropped)
   /// only when the queue is closed while waiting.
   bool push(Request&& r);
 
   /// Waits until at least one request is pending, then collects up to
-  /// `policy.max_batch_size` requests of the oldest request's session —
-  /// waiting for late same-session arrivals until the oldest collected
-  /// request has been queued for `policy.max_queue_delay`. Requests of
-  /// other sessions keep their relative order. Returns an empty vector
-  /// only when the queue is closed and fully drained.
-  std::vector<Request> pop_micro_batch(const BatchPolicy& policy);
+  /// `policy.max_batch_size` requests of the head request's session — the
+  /// head being the highest-priority class's earliest admission — waiting
+  /// for late same-session arrivals until the head has been queued for
+  /// `policy.max_queue_delay` (capped by the earliest collected deadline).
+  /// Requests of other sessions keep their relative order.
+  ///
+  /// With a non-null `expired` sink, collected requests whose deadline
+  /// already passed are moved there instead of into the batch (the caller
+  /// must answer them); with a null sink expiry is disabled and they ride
+  /// in the batch. Returns an empty vector only when the queue is closed
+  /// and fully drained (the sink may still receive requests then).
+  std::vector<Request> pop_micro_batch(const BatchPolicy& policy,
+                                       std::vector<Request>* expired = nullptr);
 
   /// Rejects future pushes and wakes every waiter; pending requests still
   /// drain through pop_micro_batch.
@@ -61,15 +98,25 @@ class RequestQueue {
   bool closed() const;
   std::size_t depth() const;
   std::size_t capacity() const { return capacity_; }
+  const AdmissionPolicy& admission() const { return admission_; }
   /// Highest depth() ever observed after a push.
   std::size_t max_depth() const;
+  /// Depth has crossed `fraction` * capacity — the pressure signal the
+  /// server's downgrade dial reads before admission.
+  bool pressured(double fraction) const;
 
  private:
+  /// Shed verdict for class `c` at depth `depth` (mu_ held).
+  bool should_shed(SloClass c, std::size_t depth) const;
+
   const std::size_t capacity_;
+  const AdmissionPolicy admission_;
+  ClockSource* clock_;
   mutable std::mutex mu_;
   std::condition_variable space_cv_;  // producers wait for capacity
   std::condition_variable data_cv_;   // batchers wait for requests
   std::deque<Request> q_;
+  std::uint64_t next_seq_ = 0;
   std::size_t max_depth_ = 0;
   bool closed_ = false;
 };

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <utility>
 
@@ -16,7 +17,9 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
 }  // namespace
 
 Server::Server(ServerConfig cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity) {
+    : cfg_(cfg),
+      clock_(cfg.clock != nullptr ? cfg.clock : &ClockSource::steady()),
+      queue_(cfg.queue_capacity, cfg.slo.admission, clock_) {
   DEEPCAM_CHECK_MSG(cfg.num_workers >= 1, "server needs >= 1 worker");
 }
 
@@ -27,7 +30,7 @@ void Server::start() {
   DEEPCAM_CHECK_MSG(sessions_.count() >= 1,
                     "register at least one session before start()");
   metrics_ = std::make_unique<ServerMetrics>(sessions_.count());
-  t_start_ = Clock::now();
+  t_start_ = clock_->now();
   running_ = true;
   workers_.reserve(cfg_.num_workers);
   try {
@@ -42,18 +45,44 @@ void Server::start() {
   }
 }
 
-Admission Server::submit(const std::string& session, nn::Tensor input,
-                         std::function<void(Response&&)> on_done) {
-  if (!running_) return Admission::kRejectedClosed;
+bool Server::prepare(const std::string& session, SloClass slo, Request& req,
+                     bool& downgraded_out) {
   const auto idx = sessions_.find(session);
-  if (!idx.has_value()) {
+  if (!idx.has_value()) return false;
+  std::size_t target = *idx;
+  downgraded_out = false;
+  // Quality dial: under queue pressure, reroute to the lower-k fallback
+  // tier — a cheaper search that keeps latency bounded at a small accuracy
+  // cost (the paper's variable hash length as a live serving control).
+  if (cfg_.slo.downgrade_fraction < 1.0 &&
+      queue_.pressured(cfg_.slo.downgrade_fraction)) {
+    const auto fb = sessions_.fallback(target);
+    if (fb.has_value()) {
+      target = *fb;
+      downgraded_out = true;
+    }
+  }
+  req.session = target;
+  req.slo = slo;
+  req.downgraded = downgraded_out;
+  const Clock::duration d =
+      cfg_.slo.deadline[static_cast<std::size_t>(slo)];
+  if (d > Clock::duration::zero()) req.deadline = clock_->now() + d;
+  return true;
+}
+
+Admission Server::submit(const std::string& session, nn::Tensor input,
+                         std::function<void(Response&&)> on_done,
+                         SloClass slo) {
+  if (!running_) return Admission::kRejectedClosed;
+  Request req;
+  bool downgraded = false;
+  if (!prepare(session, slo, req, downgraded)) {
     metrics_->on_unknown_session();
     return Admission::kRejectedUnknownSession;
   }
-
-  Request req;
+  const std::size_t idx = req.session;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  req.session = *idx;
   req.input = std::move(input);
   req.on_done = std::move(on_done);
   // Count the admission *before* the push: once the request is visible to a
@@ -71,13 +100,16 @@ Admission Server::submit(const std::string& session, nn::Tensor input,
     }
     done_cv_.notify_all();
   }
-  metrics_->on_admission(*idx, verdict);
-  if (verdict == Admission::kAccepted)
+  metrics_->on_admission(idx, verdict, slo);
+  if (verdict == Admission::kAccepted) {
+    if (downgraded) metrics_->on_downgrade(idx, slo);
     metrics_->on_queue_depth(queue_.depth());
+  }
   return verdict;
 }
 
-Response Server::run(const std::string& session, nn::Tensor input) {
+Response Server::run(const std::string& session, nn::Tensor input,
+                     SloClass slo) {
   struct Slot {
     std::mutex mu;
     std::condition_variable cv;
@@ -88,19 +120,19 @@ Response Server::run(const std::string& session, nn::Tensor input) {
 
   auto fail = [&](const std::string& why) {
     Response r;
+    r.slo = slo;
     r.error = std::make_exception_ptr(Error("serve: " + why));
     return r;
   };
   if (!running_) return fail("server not running");
-  const auto idx = sessions_.find(session);
-  if (!idx.has_value()) {
+  Request req;
+  bool downgraded = false;
+  if (!prepare(session, slo, req, downgraded)) {
     metrics_->on_unknown_session();
     return fail("unknown session: " + session);
   }
-
-  Request req;
+  const std::size_t idx = req.session;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  req.session = *idx;
   req.input = std::move(input);
   req.on_done = [slot](Response&& r) {
     {
@@ -120,10 +152,11 @@ Response Server::run(const std::string& session, nn::Tensor input) {
       --accepted_;
     }
     done_cv_.notify_all();
-    metrics_->on_admission(*idx, Admission::kRejectedClosed);
+    metrics_->on_admission(idx, Admission::kRejectedClosed, slo);
     return fail("server stopped while waiting for queue space");
   }
-  metrics_->on_admission(*idx, Admission::kAccepted);
+  metrics_->on_admission(idx, Admission::kAccepted, slo);
+  if (downgraded) metrics_->on_downgrade(idx, slo);
   metrics_->on_queue_depth(queue_.depth());
 
   std::unique_lock<std::mutex> lk(slot->mu);
@@ -132,31 +165,97 @@ Response Server::run(const std::string& session, nn::Tensor input) {
 }
 
 void Server::worker_loop() {
-  DynamicBatcher batcher(queue_, cfg_.batch);
+  DynamicBatcher batcher(queue_, cfg_.batch, cfg_.slo.expire_doomed);
   for (;;) {
-    std::vector<Request> batch = batcher.next();
-    if (batch.empty()) return;  // queue closed and drained
-    dispatch(std::move(batch));
+    MicroBatch mb = batcher.next();
+    if (mb.empty()) return;  // queue closed and drained
+    dispatch(std::move(mb));
   }
 }
 
-void Server::dispatch(std::vector<Request>&& batch) {
+void Server::count_answered() {
+  {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    ++answered_;
+  }
+  done_cv_.notify_all();
+}
+
+void Server::answer_expired(Request&& req) {
+  const Clock::time_point now = clock_->now();
+  Response resp;
+  resp.id = req.id;
+  resp.session = req.session;
+  resp.slo = req.slo;
+  resp.expired = true;
+  resp.downgraded = req.downgraded;
+  resp.had_deadline = req.has_deadline();
+  resp.slack_seconds =
+      req.has_deadline() ? seconds_between(now, req.deadline) : 0.0;
+  resp.queue_seconds = seconds_between(req.enqueued, now);
+  resp.total_seconds = resp.queue_seconds;
+  resp.batch_size = 0;
+  resp.error = std::make_exception_ptr(
+      Error("serve: deadline expired before dispatch"));
+  metrics_->on_response(resp);
+  if (req.on_done) {
+    try {
+      req.on_done(std::move(resp));
+    } catch (...) {
+      // A throwing completion callback must not take down the worker.
+    }
+  }
+  count_answered();
+}
+
+void Server::dispatch(MicroBatch&& mb) {
+  // Deadline-lapsed requests are answered first — their answers are
+  // already overdue and they never touch the engine.
+  for (Request& req : mb.expired) answer_expired(std::move(req));
+  std::vector<Request>& batch = mb.run;
+  if (batch.empty()) return;
+
   const std::size_t session = batch.front().session;
   const std::size_t n = batch.size();
-  const Clock::time_point t_dispatch = Clock::now();
+  const Clock::time_point t_dispatch = clock_->now();
 
   std::vector<nn::Tensor> inputs;
   inputs.reserve(n);
   for (auto& r : batch) inputs.push_back(std::move(r.input));
 
+  // A batch is cancellable only when *every* rider carries a deadline:
+  // one deadline-free request means someone always wants the result.
+  Clock::time_point latest_deadline = Clock::time_point::min();
+  bool cancellable = cfg_.slo.expire_doomed;
+  for (const Request& r : batch) {
+    if (!r.has_deadline()) {
+      cancellable = false;
+      break;
+    }
+    latest_deadline = std::max(latest_deadline, r.deadline);
+  }
+
   metrics_->on_batch_dispatch(session, n);
   std::vector<nn::Tensor> outputs;
   std::exception_ptr batch_error;
+  bool cancelled = false;
   try {
     // Non-blocking submit + per-batch completion state: while this worker
     // waits, sibling workers keep their own micro-batches in flight.
     core::BatchFuture future =
         sessions_.engine(session).submit(std::move(inputs));
+    if (cancellable) {
+      // Request-timeout loop: if the whole batch's deadlines lapse while
+      // it is still queued behind other batches, cancel it through the
+      // future instead of running doomed work. cancel() refuses once
+      // execution started, so partial results are never torn down.
+      while (!future.wait_for(std::chrono::microseconds(500))) {
+        if (clock_->now() >= latest_deadline && future.cancel()) {
+          cancelled = true;
+          break;
+        }
+      }
+    }
     outputs = future.get();
   } catch (...) {
     // The engine surfaces the lowest-index failing sample and discards the
@@ -165,15 +264,21 @@ void Server::dispatch(std::vector<Request>&& batch) {
   }
   metrics_->on_batch_complete(session);
 
-  const Clock::time_point t_done = Clock::now();
+  const Clock::time_point t_done = clock_->now();
   for (std::size_t i = 0; i < n; ++i) {
     Request& req = batch[i];
     Response resp;
     resp.id = req.id;
     resp.session = session;
+    resp.slo = req.slo;
+    resp.downgraded = req.downgraded;
+    resp.had_deadline = req.has_deadline();
+    resp.expired = cancelled;
     resp.batch_size = n;
     resp.queue_seconds = seconds_between(req.enqueued, t_dispatch);
     resp.total_seconds = seconds_between(req.enqueued, t_done);
+    if (req.has_deadline())
+      resp.slack_seconds = seconds_between(t_done, req.deadline);
     if (batch_error != nullptr)
       resp.error = batch_error;
     else
@@ -187,11 +292,7 @@ void Server::dispatch(std::vector<Request>&& batch) {
         // the request still counts as answered.
       }
     }
-    {
-      std::lock_guard<std::mutex> lk(done_mu_);
-      ++answered_;
-    }
-    done_cv_.notify_all();
+    count_answered();
   }
 }
 
@@ -207,7 +308,7 @@ void Server::stop() {
   for (auto& w : workers_) w.join();
   workers_.clear();
   std::lock_guard<std::mutex> lk(done_mu_);
-  t_stop_ = Clock::now();
+  t_stop_ = clock_->now();
   stopped_ = true;
 }
 
@@ -219,7 +320,7 @@ const ServerMetrics& Server::metrics() const {
 double Server::elapsed_seconds() const {
   if (t_start_ == Clock::time_point{}) return 0.0;
   std::lock_guard<std::mutex> lk(done_mu_);
-  return seconds_between(t_start_, stopped_ ? t_stop_ : Clock::now());
+  return seconds_between(t_start_, stopped_ ? t_stop_ : clock_->now());
 }
 
 ServerSummary Server::summary() const {
@@ -234,6 +335,7 @@ ServerSummary Server::summary() const {
   s.max_in_flight_batches = metrics_->max_in_flight_batches();
   s.unknown_session_rejected = metrics_->unknown_session_rejections();
   s.sessions = metrics_->snapshot(sessions_.names(), s.elapsed_seconds);
+  s.classes = metrics_->class_snapshot(s.elapsed_seconds);
   return s;
 }
 

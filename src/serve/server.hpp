@@ -1,8 +1,9 @@
 // Server: online multi-tenant serving front-end over InferenceEngine.
 //
 //   clients ──submit()──▶ RequestQueue ──DynamicBatcher──▶ worker threads
-//                         (bounded,      (max batch /       │ one micro-batch
-//                          backpressure)  max delay)        ▼ each, pipelined
+//                         (bounded, SLO    (max batch /     │ one micro-batch
+//                          shed/downgrade)  max delay,      ▼ each, pipelined
+//                                           deadline-aware)
 //                                              InferenceEngine::submit()
 //                                              per session (SessionManager)
 //
@@ -13,10 +14,21 @@
 // that legal; the old engine-global single-flight path would have
 // serialized them.
 //
+// Overload behavior is SLO-aware (ServerConfig::slo): every request
+// carries a class whose configured deadline is stamped at admission; the
+// queue sheds lower classes first at depth/wait watermarks; pressured
+// requests reroute to their session's lower-k fallback tier (the quality
+// dial); requests whose deadline lapses in the queue are expired — and a
+// whole batch whose deadlines all lapse while queued behind the engine is
+// cancelled through its BatchFuture — instead of burning engine time on
+// answers nobody can use. Every decision reads the injected ClockSource,
+// so a VirtualClock makes the whole policy deterministic under test.
+//
 // Lifecycle: construct -> sessions().add_session(...) -> start() ->
 // submit()/run() -> stop() (close + drain + join; also run by the
-// destructor). Every accepted request is answered exactly once, even when
-// stop() races new submissions.
+// destructor). Every accepted request is answered exactly once — with a
+// completion, an error, or an expiry — even when stop() races new
+// submissions.
 #pragma once
 
 #include <atomic>
@@ -27,16 +39,41 @@
 #include <vector>
 
 #include "serve/batcher.hpp"
+#include "serve/clock.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/session.hpp"
 
 namespace deepcam::serve {
 
+/// SLO policy of one server: per-class deadlines, admission watermarks,
+/// the downgrade dial, and the expiry switch. The defaults are a plain
+/// FIFO server (no deadlines, no shedding, no downgrades) — existing
+/// callers see unchanged behavior.
+struct SloConfig {
+  /// Relative completion deadline per class, stamped at admission;
+  /// zero duration = the class carries no deadline.
+  std::array<Clock::duration, kNumSloClasses> deadline{};
+  /// Per-class shed watermarks enforced by the RequestQueue.
+  AdmissionPolicy admission;
+  /// Queue-depth fraction above which admissions reroute to the session's
+  /// fallback tier (SessionManager::set_fallback); >= 1.0 disables.
+  double downgrade_fraction = 1.0;
+  /// Expire deadline-lapsed requests at batch formation (and cancel fully
+  /// doomed batches through their BatchFuture) instead of running them.
+  /// false = FIFO baseline: deadlines are recorded for goodput accounting
+  /// but never enforced.
+  bool expire_doomed = true;
+};
+
 struct ServerConfig {
   std::size_t num_workers = 2;      // batcher/dispatch threads
   std::size_t queue_capacity = 256; // admission-control bound
   BatchPolicy batch;
+  SloConfig slo;
+  /// Time source for every scheduling decision; nullptr = the real
+  /// steady clock. Tests inject a VirtualClock (serve/clock.hpp).
+  ClockSource* clock = nullptr;
 };
 
 class Server {
@@ -48,7 +85,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Session registry; register every model before start().
+  /// Session registry; register every model (and fallback links) before
+  /// start().
   SessionManager& sessions() { return sessions_; }
   const SessionManager& session_manager() const { return sessions_; }
   const ServerConfig& config() const { return cfg_; }
@@ -56,17 +94,20 @@ class Server {
   /// Spawns the worker threads. Requires >= 1 registered session.
   void start();
 
-  /// Non-blocking admission of one single-sample request for `session`.
-  /// On kAccepted, `on_done` fires exactly once from a worker thread;
-  /// on any rejection it never fires (the input is returned untouched in
-  /// the sense that no side effects happened). Thread-safe.
+  /// Non-blocking admission of one single-sample request for `session` at
+  /// SLO class `slo`. On kAccepted, `on_done` fires exactly once from a
+  /// worker thread — with a completion, an error, or an expiry; on any
+  /// rejection (including kRejectedShed) it never fires. Thread-safe.
   Admission submit(const std::string& session, nn::Tensor input,
-                   std::function<void(Response&&)> on_done);
+                   std::function<void(Response&&)> on_done,
+                   SloClass slo = SloClass::kStandard);
 
   /// Blocking closed-loop convenience: admits (waiting for queue space if
-  /// needed) and returns the response. Unknown sessions / closed server
-  /// yield an error response rather than throwing.
-  Response run(const std::string& session, nn::Tensor input);
+  /// needed; watermark shedding does not apply) and returns the response.
+  /// Unknown sessions / closed server yield an error response rather than
+  /// throwing.
+  Response run(const std::string& session, nn::Tensor input,
+               SloClass slo = SloClass::kStandard);
 
   /// Blocks until every accepted request has been answered.
   void drain();
@@ -84,10 +125,19 @@ class Server {
 
  private:
   void worker_loop();
-  void dispatch(std::vector<Request>&& batch);
+  void dispatch(MicroBatch&& mb);
+  /// Answers one request with a deadline-expired response (no engine run).
+  void answer_expired(Request&& req);
+  /// Builds the shared admission state of submit()/run(): resolves the
+  /// session, applies the downgrade dial, stamps the deadline. Returns
+  /// false when the session is unknown.
+  bool prepare(const std::string& session, SloClass slo, Request& req,
+               bool& downgraded_out);
+  void count_answered();
   double elapsed_seconds() const;
 
   ServerConfig cfg_;
+  ClockSource* clock_;
   SessionManager sessions_;
   RequestQueue queue_;
   std::unique_ptr<ServerMetrics> metrics_;  // sized at start()

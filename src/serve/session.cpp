@@ -34,6 +34,20 @@ std::vector<std::string> SessionManager::names() const {
   return out;
 }
 
+void SessionManager::set_fallback(const std::string& from,
+                                  const std::string& to) {
+  const auto f = find(from), t = find(to);
+  DEEPCAM_CHECK_MSG(f.has_value(), "unknown fallback source: " + from);
+  DEEPCAM_CHECK_MSG(t.has_value(), "unknown fallback target: " + to);
+  DEEPCAM_CHECK_MSG(*f != *t, "session cannot fall back to itself: " + from);
+  sessions_[*f].fallback = *t;
+}
+
+std::optional<std::size_t> SessionManager::fallback(std::size_t idx) const {
+  DEEPCAM_CHECK(idx < sessions_.size());
+  return sessions_[idx].fallback;
+}
+
 std::optional<std::size_t> SessionManager::find(
     const std::string& name) const {
   for (std::size_t i = 0; i < sessions_.size(); ++i)

@@ -35,6 +35,15 @@ class SessionManager {
   /// Index of session `name`, or nullopt.
   std::optional<std::size_t> find(const std::string& name) const;
 
+  /// Declares `to` the quality-fallback tier of `from`: under queue
+  /// pressure the server reroutes from-requests to `to` — DeepCAM's
+  /// variable hash length as a live latency/accuracy dial (the canonical
+  /// link is "<model>-k1024" -> "<model>-k256", a ~4x cheaper search).
+  /// Both sessions must already be registered; self-links are rejected.
+  void set_fallback(const std::string& from, const std::string& to);
+  /// Fallback tier of session `idx`, or nullopt when none was declared.
+  std::optional<std::size_t> fallback(std::size_t idx) const;
+
   core::InferenceEngine& engine(std::size_t idx);
   const core::CompiledModel& model(std::size_t idx) const;
 
@@ -43,6 +52,7 @@ class SessionManager {
     std::string name;
     std::shared_ptr<const core::CompiledModel> compiled;
     std::unique_ptr<core::InferenceEngine> engine;
+    std::optional<std::size_t> fallback;
   };
 
   std::vector<Session> sessions_;

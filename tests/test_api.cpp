@@ -216,6 +216,10 @@ TEST(SpecIo, BuilderSpecsRoundTrip) {
                               .serve_batch(4, 1500)
                               .serve_trace("bursty", 40, 250.0, 5)
                               .serve_clients(6)
+                              .serve_deadlines(30000, 100000, 400000)
+                              .serve_shed(1.0, 0.8, 0.4)
+                              .serve_downgrade(0.6)
+                              .serve_class_mix(0.2, 0.6, 0.2)
                               .text_output(false)
                               .build());
 }
@@ -223,7 +227,7 @@ TEST(SpecIo, BuilderSpecsRoundTrip) {
 TEST(SpecIo, CommittedSpecsLoadAndRoundTrip) {
   for (const char* name :
        {"quickstart.json", "table1.json", "serve_demo.json",
-        "fig5_tune.json"}) {
+        "serve_slo.json", "fig5_tune.json"}) {
     SCOPED_TRACE(name);
     const Spec spec = spec_from_file(spec_path(name));
     expect_roundtrip_stable(spec);
@@ -232,6 +236,7 @@ TEST(SpecIo, CommittedSpecsLoadAndRoundTrip) {
             Mode::kOffline);
   EXPECT_EQ(spec_from_file(spec_path("table1.json")).mode, Mode::kCompare);
   EXPECT_EQ(spec_from_file(spec_path("serve_demo.json")).mode, Mode::kServe);
+  EXPECT_EQ(spec_from_file(spec_path("serve_slo.json")).mode, Mode::kServe);
   EXPECT_EQ(spec_from_file(spec_path("fig5_tune.json")).mode, Mode::kTune);
 }
 
@@ -274,6 +279,23 @@ TEST(SpecIo, BuilderMatchesCommittedSpecs) {
                               .build();
   EXPECT_EQ(spec_to_json(serve_demo),
             spec_to_json(spec_from_file(spec_path("serve_demo.json"))));
+
+  const Spec serve_slo = SpecBuilder("serve-slo")
+                             .mode(Mode::kServe)
+                             .workload("lenet5", 7)
+                             .engine_threads(2)
+                             .serve_tiers({1024, 256})
+                             .serve_workers(4)
+                             .serve_queue(256)
+                             .serve_batch(8, 2000)
+                             .serve_trace("flash", 128, 400.0, 7)
+                             .serve_deadlines(40000, 120000, 500000)
+                             .serve_shed(1.0, 0.75, 0.35)
+                             .serve_downgrade(0.5)
+                             .serve_class_mix(0.25, 0.5, 0.25)
+                             .build();
+  EXPECT_EQ(spec_to_json(serve_slo),
+            spec_to_json(spec_from_file(spec_path("serve_slo.json"))));
 }
 
 // --- build_model ----------------------------------------------------------

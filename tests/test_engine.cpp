@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -417,6 +418,64 @@ TEST(InferenceEngineSubmit, DestructorDrainsUncollectedBatches) {
     // after the engine is gone; dropping it is fine.)
   }
   SUCCEED();
+}
+
+// --- wait_for()/cancel() — the serving tier's request-timeout hooks --------
+
+TEST(InferenceEngineSubmit, WaitForTimesOutThenReportsCompletion) {
+  auto m = nn::make_lenet5(90);
+  auto compiled = std::make_shared<const CompiledModel>(*m, DeepCamConfig{});
+  InferenceEngine engine(compiled, 1);
+  BatchFuture future = engine.submit(random_batch(4, {1, 1, 28, 28}, 91));
+  // A zero-length wait on a conv-heavy 4-sample batch against one thread:
+  // the work cannot have finished between submit and this call.
+  EXPECT_FALSE(future.wait_for(std::chrono::nanoseconds::zero()));
+  future.wait();
+  EXPECT_TRUE(future.wait_for(std::chrono::nanoseconds::zero()));
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.get().size(), 4u);
+}
+
+TEST(InferenceEngineSubmit, CancelRemovesQueuedBatchButSparesNeighbors) {
+  auto m = nn::make_lenet5(92);
+  auto compiled = std::make_shared<const CompiledModel>(*m, DeepCamConfig{});
+  InferenceEngine engine(compiled, 1);
+  // The single worker picks up the head batch sample-by-sample; the second
+  // batch sits fully undispatched in the FIFO for the duration of four
+  // LeNet forwards — ample time to cancel it deterministically.
+  const auto head_inputs = random_batch(4, {1, 1, 28, 28}, 93);
+  BatchFuture head = engine.submit(head_inputs);
+  BatchFuture queued = engine.submit(random_batch(2, {1, 1, 28, 28}, 94));
+  EXPECT_TRUE(queued.cancel());
+  EXPECT_TRUE(queued.valid());  // still collectable — as an error
+  EXPECT_TRUE(queued.ready());  // cancellation completes it immediately
+  try {
+    queued.get();
+    FAIL() << "expected deepcam::Error from a cancelled batch";
+  } catch (const deepcam::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("batch cancelled"),
+              std::string::npos)
+        << "got: " << e.what();
+  }
+  // The head batch is untouched by its neighbor's cancellation, and the
+  // in-flight bookkeeping settles back to zero.
+  EXPECT_EQ(head.get().size(), head_inputs.size());
+  EXPECT_EQ(engine.in_flight_batches(), 0u);
+}
+
+TEST(InferenceEngineSubmit, CancelRefusesOnceExecutionStartedOrFinished) {
+  auto m = tiny_cnn(95);
+  auto compiled = std::make_shared<const CompiledModel>(*m, DeepCamConfig{});
+  InferenceEngine engine(compiled, 2);
+  BatchFuture future = engine.submit(random_batch(3, {1, 1, 8, 8}, 96));
+  future.wait();                  // definitely dispatched (and done)
+  EXPECT_FALSE(future.cancel());  // results are never torn down
+  EXPECT_EQ(future.get().size(), 3u);  // ... and remain collectable
+
+  // Same refusal for an already-collected empty batch (done from birth).
+  BatchFuture empty = engine.submit({});
+  EXPECT_FALSE(empty.cancel());
+  EXPECT_TRUE(empty.get().empty());
 }
 
 TEST(ModelConstInference, InferMatchesForwardBitwise) {

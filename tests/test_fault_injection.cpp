@@ -1,7 +1,10 @@
 // Failure-injection tests: FeFET bit faults in the CAM array and sense-amp
-// time-quantization error, measured at the dot-product and network level.
+// time-quantization error, measured at the dot-product and network level —
+// plus the serving path: a poisoned micro-batch fails only its own riders,
+// the server keeps serving, and the failure is visible in the metrics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "cam/dynamic_cam.hpp"
@@ -11,6 +14,8 @@
 #include "nn/linear.hpp"
 #include "nn/pointwise.hpp"
 #include "nn/topologies.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 
 namespace deepcam {
 namespace {
@@ -168,6 +173,67 @@ TEST(FaultInjection, AccuracyRobustToSparseFaults) {
   // Different projections (a much bigger perturbation than sparse faults)
   // still mostly agree — a fortiori sparse faults do.
   EXPECT_GE(same, trials / 2);
+}
+
+TEST(FaultInjection, PoisonedMicroBatchFailsOnlyItsRidersServerKeepsServing) {
+  // Serving-path fault containment: a bad-shape input makes the engine
+  // throw mid-batch. The error must be confined to that micro-batch's
+  // riders (each answered exactly once, with the error), the worker must
+  // survive, later requests must complete normally, and the failure must
+  // be visible in ServerMetrics.
+  auto model = std::make_unique<nn::Model>("tiny");
+  model->add(std::make_unique<nn::Conv2D>(
+      "c", nn::ConvSpec{1, 4, 3, 3, 1, 0}, 3));
+  model->add(std::make_unique<nn::ReLU>("r"));
+  model->add(std::make_unique<nn::Flatten>("f"));
+  model->add(std::make_unique<nn::Linear>("fc", 4 * 36, 5, 4));
+  core::DeepCamConfig cfg;
+  cfg.cam_rows = 16;
+  auto compiled = std::make_shared<const core::CompiledModel>(*model, cfg);
+
+  serve::ServerConfig sc;
+  sc.num_workers = 1;  // one worker: if the throw killed it, phase 2 hangs
+  sc.queue_capacity = 32;
+  sc.batch.max_batch_size = 4;
+  sc.batch.max_queue_delay = std::chrono::microseconds(500);
+  serve::Server server(sc);
+  server.sessions().add_session("tiny", compiled, 1);
+  server.start();
+
+  const nn::Shape good_shape{1, 1, 8, 8};
+  const nn::Shape bad_shape{1, 1, 5, 5};  // conv output mismatches fc
+
+  // Phase 1: one poisoned request (bad geometry) plus neighbors that may
+  // coalesce into the same micro-batch and share its error.
+  std::atomic<std::size_t> phase1_errors{0}, phase1_done{0};
+  std::size_t phase1_accepted = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const nn::Shape shape = i == 2 ? bad_shape : good_shape;
+    if (server.submit("tiny",
+                      serve::LoadGenerator::make_input(shape, i),
+                      [&](serve::Response&& r) {
+                        ++phase1_done;
+                        if (!r.ok()) ++phase1_errors;
+                      }) == serve::Admission::kAccepted)
+      ++phase1_accepted;
+  }
+  server.drain();
+  EXPECT_EQ(phase1_done.load(), phase1_accepted);  // all answered
+  EXPECT_GE(phase1_errors.load(), 1u);             // the poisoned rider
+  EXPECT_LE(phase1_errors.load(), 4u);             // <= one micro-batch
+
+  // Phase 2: the server is still alive and serves clean requests.
+  for (std::size_t i = 0; i < 6; ++i) {
+    serve::Response r = server.run(
+        "tiny", serve::LoadGenerator::make_input(good_shape, 100 + i));
+    EXPECT_TRUE(r.ok()) << "server stopped serving after a poisoned batch";
+  }
+  server.stop();
+
+  const serve::ServerSummary summary = server.summary();
+  EXPECT_EQ(summary.sessions[0].errors, phase1_errors.load());
+  EXPECT_EQ(summary.sessions[0].completed, phase1_accepted + 6);
+  EXPECT_EQ(summary.total_expired(), 0u);
 }
 
 }  // namespace

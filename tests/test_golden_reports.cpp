@@ -212,8 +212,11 @@ serve::ServerSummary make_server_summary_fixture() {
   lenet.name = "lenet5-k1024";
   lenet.accepted = 520;
   lenet.rejected = 24;
+  lenet.shed = 9;
   lenet.completed = 520;
   lenet.errors = 2;
+  lenet.expired = 5;
+  lenet.downgraded = 0;
   lenet.batches = 80;
   lenet.mean_batch_size = 6.5;
   lenet.batch_size_p50 = 7.0;
@@ -233,8 +236,11 @@ serve::ServerSummary make_server_summary_fixture() {
   vgg.name = "vgg11-k256";
   vgg.accepted = 96;
   vgg.rejected = 0;
+  vgg.shed = 0;
   vgg.completed = 96;
   vgg.errors = 0;
+  vgg.expired = 0;
+  vgg.downgraded = 12;
   vgg.batches = 32;
   vgg.mean_batch_size = 3.0;
   vgg.batch_size_p50 = 3.0;
@@ -249,6 +255,52 @@ serve::ServerSummary make_server_summary_fixture() {
   vgg.queue_wait_p99_ms = 8.5;
   vgg.throughput_rps = 38.4;
   s.sessions.push_back(vgg);
+
+  serve::SloClassSummary interactive;
+  interactive.name = "interactive";
+  interactive.accepted = 180;
+  interactive.shed = 2;
+  interactive.completed = 180;
+  interactive.errors = 1;
+  interactive.expired = 4;
+  interactive.downgraded = 12;
+  interactive.slo_met = 171;
+  interactive.goodput_rps = 68.4;
+  interactive.slack_p50_ms = 12.5;
+  interactive.slack_p99_ms = 1.25;
+  interactive.overrun_p50_ms = 3.5;
+  interactive.overrun_max_ms = 9.75;
+  s.classes.push_back(interactive);
+
+  serve::SloClassSummary standard;
+  standard.name = "standard";
+  standard.accepted = 400;
+  standard.shed = 3;
+  standard.completed = 400;
+  standard.errors = 1;
+  standard.expired = 1;
+  standard.downgraded = 0;
+  standard.slo_met = 390;
+  standard.goodput_rps = 156.0;
+  standard.slack_p50_ms = 40.0;
+  standard.slack_p99_ms = 6.5;
+  standard.overrun_p50_ms = 1.0;
+  standard.overrun_max_ms = 2.25;
+  s.classes.push_back(standard);
+
+  serve::SloClassSummary batch;
+  batch.name = "batch";
+  batch.accepted = 36;
+  batch.shed = 4;
+  batch.completed = 36;
+  batch.errors = 0;
+  batch.expired = 0;
+  batch.downgraded = 0;
+  batch.slo_met = 36;
+  batch.goodput_rps = 14.4;
+  batch.slack_p50_ms = 250.0;
+  batch.slack_p99_ms = 75.0;
+  s.classes.push_back(batch);
   return s;
 }
 
@@ -277,10 +329,14 @@ serve::LoadReport make_load_report_fixture() {
   serve::LoadReport load;
   load.sent = 94;
   load.rejected = 2;
+  load.shed = 1;
   load.errors = 1;
+  load.expired = 3;
+  load.slo_met = 88;
   load.duration_seconds = 0.25;
   load.offered_rps = 400.0;
   load.achieved_rps = 376.0;
+  load.goodput_rps = 352.0;
   for (const double s : {0.004, 0.0095, 0.01275, 0.0155, 0.002})
     load.latency.add(s);
   return load;

@@ -52,16 +52,33 @@ bool check_offline(const OfflineOutcome& out, const Spec& spec) {
 }
 
 
-/// Serve invariant: every trace event was either answered or rejected —
-/// nothing lost, nothing double-counted.
+/// Serve invariants: every trace event was either answered or rejected —
+/// nothing lost, nothing double-counted — and the SLO accounting is
+/// internally consistent: sheds are a subset of rejections, per-class
+/// accepted counts equal per-class completions (exactly-once answering),
+/// and goodput never exceeds throughput.
 bool check_serve(const ServeOutcome& out) {
   const std::size_t answered = out.load.sent + out.load.rejected;
-  const bool ok = answered == out.trace_events &&
-                  out.summary.total_completed() == out.load.sent;
-  std::printf("check serve: %zu events = %zu sent + %zu rejected, "
-              "%llu completed -> %s\n",
+  bool ok = answered == out.trace_events &&
+            out.summary.total_completed() == out.load.sent;
+  ok = ok && out.load.shed <= out.load.rejected;
+  ok = ok && out.summary.total_shed() <= out.summary.total_rejected();
+  ok = ok && out.summary.total_slo_met() <= out.summary.total_completed();
+  ok = ok && out.summary.total_expired() <= out.summary.total_completed();
+  for (const auto& c : out.summary.classes) {
+    ok = ok && c.accepted == c.completed;  // exactly-once per class
+    ok = ok && c.slo_met + c.expired + c.errors <= c.completed;
+  }
+  std::printf("check serve: %zu events = %zu sent + %zu rejected "
+              "(%zu shed), %llu completed, %llu SLO met, %llu expired, "
+              "%llu downgraded -> %s\n",
               out.trace_events, out.load.sent, out.load.rejected,
+              out.load.shed,
               static_cast<unsigned long long>(out.summary.total_completed()),
+              static_cast<unsigned long long>(out.summary.total_slo_met()),
+              static_cast<unsigned long long>(out.summary.total_expired()),
+              static_cast<unsigned long long>(
+                  out.summary.total_downgraded()),
               ok ? "OK" : "FAIL");
   return ok;
 }
