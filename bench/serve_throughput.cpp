@@ -1,7 +1,7 @@
 // Serving throughput/latency bench: offered load vs p99, and saturation
 // throughput vs the offline run_batch() upper bound.
 //
-// Four phases on one LeNet-5 session (k=256 operating point):
+// Five phases on one LeNet-5 session (k=256 operating point):
 //
 //  1. offline  — InferenceEngine::run_batch over a fixed batch, repeated;
 //     best samples/s is the no-serving-overhead upper bound.
@@ -17,6 +17,11 @@
 //     saturation rate, replayed twice: through a FIFO server (deadlines
 //     recorded, never enforced) and through the SLO-aware server
 //     (watermark shedding + deadline expiry). Compares goodput and p99.9.
+//  5. replica failover — the same paced trace through a clean 3-replica
+//     server and one whose replica 1 is crash+healed mid-run by a chaos
+//     script. Gates deadline-met of the faulted run at >= 80% of the
+//     clean run, zero lost requests, and canary readmission of the
+//     crashed replica.
 //
 // Results print as a table and (with --json PATH) are written as one JSON
 // artifact (BENCH_pr4.json in CI) through the shared locale-proof
@@ -272,6 +277,100 @@ int main(int argc, char** argv) {
               slo_load.percentile_ms(99.9),
               none_lost ? "none lost" : "LOST REQUESTS");
 
+  // --- phase 5: replica failover — crash 1 of 3 mid-run --------------------
+  // Same trace through two 3-replica servers: one clean, one with a
+  // scripted crash+heal on replica 1. Instant failover (consistent-hash
+  // reroute + retry) must keep the faulted run's deadline-met count at
+  // >= 80% of the clean run's, the crashed replica must come back through
+  // quarantine + canary probes, and nothing may be lost either way.
+  auto make_replica_server = [&](bool with_chaos, double span) {
+    serve::ServerConfig cfg;
+    cfg.num_workers = num_workers;
+    cfg.queue_capacity = 256;
+    cfg.batch.max_batch_size = 8;
+    cfg.batch.max_queue_delay = std::chrono::microseconds(2000);
+    cfg.slo.deadline = {slo_us(std::max(4 * batch_service, 0.010)),
+                        slo_us(std::max(8 * batch_service, 0.025)),
+                        slo_us(std::max(16 * batch_service, 0.050))};
+    cfg.replicas = 3;
+    cfg.router.retry_backoff = std::chrono::microseconds(100);
+    cfg.router.replica.quarantine_backoff = std::chrono::milliseconds(5);
+    if (with_chaos) {
+      cfg.chaos.push_back({0.25 * span, serve::FaultKind::kReplicaCrash,
+                           /*replica=*/1, 0.0});
+      cfg.chaos.push_back({0.55 * span, serve::FaultKind::kReplicaHeal,
+                           /*replica=*/1, 0.0});
+    }
+    auto server = std::make_unique<serve::Server>(cfg);
+    server->sessions().add_session("lenet5-k256", compiled, hw);
+    server->start();
+    return server;
+  };
+  serve::TraceConfig ft;
+  // Bounded rate: the chaos window must span real milliseconds (the
+  // quarantine backoff and canary readmission take wall time), so the
+  // trace is paced at most 2000 rps no matter how fast the host is.
+  ft.rate_rps = std::max(1.0, std::min(0.5 * offline_rps, 2000.0));
+  ft.requests = quick ? 256 : 512;
+  ft.class_weights = {0.25, 0.5, 0.25};
+  ft.sessions = {"lenet5-k256"};
+  ft.seed = 123;
+  const serve::Trace fault_trace = serve::make_trace(ft);
+  const double fault_span = ft.requests / ft.rate_rps;
+
+  const std::size_t failover_reps = quick ? 2 : 3;
+  std::size_t nofault_met = 0, fault_met = 0;
+  bool failover_none_lost = true;
+  bool crashed_readmitted = true;
+  serve::LoadReport nofault_load, fault_load;    // last repeat
+  serve::ServerSummary fault_summary;            // last faulted repeat
+  for (std::size_t rep = 0; rep < failover_reps; ++rep) {
+    {
+      auto server = make_replica_server(false, fault_span);
+      serve::LoadGenerator loadgen(*server, {input_shape});
+      nofault_load = loadgen.replay(fault_trace);
+      server->drain();
+      server->stop();
+      nofault_met += nofault_load.slo_met;
+      failover_none_lost =
+          failover_none_lost && nofault_load.sent + nofault_load.rejected ==
+                                    fault_trace.events.size();
+    }
+    {
+      auto server = make_replica_server(true, fault_span);
+      serve::LoadGenerator loadgen(*server, {input_shape});
+      fault_load = loadgen.replay(fault_trace);
+      server->drain();
+      server->stop();
+      fault_summary = server->summary();
+      fault_met += fault_load.slo_met;
+      failover_none_lost =
+          failover_none_lost && fault_load.sent + fault_load.rejected ==
+                                    fault_trace.events.size();
+      const serve::ReplicaSummary& crashed = fault_summary.replicas[1];
+      crashed_readmitted = crashed_readmitted && crashed.health == "healthy" &&
+                           crashed.canary_probes >= 1 &&
+                           crashed.quarantine_seconds > 0.0;
+    }
+  }
+  const double recovered_fraction =
+      nofault_met > 0 ? static_cast<double>(fault_met) / nofault_met : 0.0;
+  std::printf("\nreplica failover (3 replicas, crash+heal replica 1, "
+              "%zu requests at %.0f req/s, %zu repeats):\n"
+              "  no-fault  goodput %8.1f req/s  %4zu met\n"
+              "  faulted   goodput %8.1f req/s  %4zu met  "
+              "%llu retries  %llu failovers  [%s, %s]\n"
+              "  recovered goodput fraction: %.3f (gate 0.80)\n",
+              ft.requests, ft.rate_rps, failover_reps,
+              nofault_load.goodput_rps, nofault_met, fault_load.goodput_rps,
+              fault_met,
+              static_cast<unsigned long long>(fault_summary.total_retries),
+              static_cast<unsigned long long>(fault_summary.total_failovers),
+              failover_none_lost ? "none lost" : "LOST REQUESTS",
+              crashed_readmitted ? "crashed replica readmitted"
+                                 : "READMISSION FAILED",
+              recovered_fraction);
+
   // --- artifact -----------------------------------------------------------
   if (!json_path.empty()) {
     JsonWriter json;
@@ -328,6 +427,28 @@ int main(int argc, char** argv) {
     crowd_json("fifo", fifo_load);
     crowd_json("slo_aware", slo_load);
     json.end_object();
+    json.key("failover").begin_object();
+    json.kv("replicas", 3);
+    json.kv("base_rps", ft.rate_rps);
+    json.kv("requests", fault_trace.events.size());
+    json.kv("repeats", failover_reps);
+    json.kv("nofault_met_total", nofault_met);
+    json.kv("fault_met_total", fault_met);
+    json.kv("recovered_fraction", recovered_fraction);
+    json.kv("nofault_goodput_rps", nofault_load.goodput_rps);
+    json.kv("fault_goodput_rps", fault_load.goodput_rps);
+    json.kv("retries", fault_summary.total_retries);
+    json.kv("failovers", fault_summary.total_failovers);
+    json.kv("none_lost", failover_none_lost);
+    json.kv("crashed_readmitted", crashed_readmitted);
+    json.key("crashed_replica").begin_object();
+    json.kv("health", fault_summary.replicas[1].health);
+    json.kv("transitions", fault_summary.replicas[1].transitions);
+    json.kv("canary_probes", fault_summary.replicas[1].canary_probes);
+    json.kv("quarantine_seconds",
+            fault_summary.replicas[1].quarantine_seconds);
+    json.end_object();
+    json.end_object();
     json.end_object();
     std::ofstream out(json_path, std::ios::binary);
     out << json.str() << "\n";
@@ -351,6 +472,11 @@ int main(int argc, char** argv) {
   }
   if (check && (!none_lost || slo_met <= fifo_met)) {
     std::fprintf(stderr, "FAIL: flash-crowd SLO gate not met\n");
+    return 1;
+  }
+  if (check && (recovered_fraction < 0.80 || !failover_none_lost ||
+                !crashed_readmitted)) {
+    std::fprintf(stderr, "FAIL: replica-failover gate not met\n");
     return 1;
   }
   return 0;

@@ -122,6 +122,27 @@ Outcome run_serve(const Spec& spec) {
       std::min(srv.shed_interactive, 1.0), std::min(srv.shed_standard, 1.0),
       std::min(srv.shed_batch, 1.0)};
   cfg.slo.downgrade_fraction = srv.downgrade_fraction;
+  // Fault tolerance: replica count, retry/hedge/breaker knobs, and the
+  // scripted chaos events (all no-ops at their defaults).
+  cfg.replicas = srv.replicas;
+  if (srv.retry_limit.size() == serve::kNumSloClasses)
+    for (std::size_t i = 0; i < serve::kNumSloClasses; ++i)
+      cfg.router.retry_limit[i] = srv.retry_limit[i];
+  cfg.router.retry_backoff = std::chrono::microseconds(srv.retry_backoff_us);
+  cfg.router.retry_backoff_max =
+      std::chrono::microseconds(srv.retry_backoff_max_us);
+  cfg.router.hedge_interactive = srv.hedge;
+  cfg.router.hedge_delay = std::chrono::microseconds(srv.hedge_delay_us);
+  cfg.router.replica.breaker_failures = srv.breaker_failures;
+  cfg.router.replica.canary_successes = srv.canary_successes;
+  cfg.router.replica.quarantine_backoff =
+      std::chrono::microseconds(srv.quarantine_backoff_us);
+  for (const ChaosEventSpec& e : srv.chaos) {
+    serve::FaultKind kind;
+    DEEPCAM_CHECK_MSG(serve::fault_kind_from_string(e.kind, &kind),
+                      "unknown chaos fault kind: " + e.kind);
+    cfg.chaos.push_back(serve::FaultEvent{e.at, kind, e.replica, e.param});
+  }
   serve::Server server(cfg);
 
   // Sessions: every workload compiled at every hash tier. The models must

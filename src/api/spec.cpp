@@ -252,6 +252,33 @@ void Spec::validate() const {
       }
       if (mix_total <= 0.0)
         invalid("serve.class_mix weights must sum to > 0");
+      if (serve.replicas == 0) invalid("serve.replicas must be >= 1");
+      if (serve.retry_limit.size() != 3)
+        invalid("serve.retry_limit needs exactly 3 budgets "
+                "{interactive, standard, batch}, got " +
+                std::to_string(serve.retry_limit.size()));
+      if (serve.retry_backoff_us < 0 || serve.retry_backoff_max_us < 0)
+        invalid("serve retry backoffs must be >= 0 microseconds");
+      if (serve.hedge_delay_us < 0)
+        invalid("serve.hedge_delay_us must be >= 0");
+      if (serve.breaker_failures == 0)
+        invalid("serve.breaker_failures must be >= 1");
+      if (serve.canary_successes == 0)
+        invalid("serve.canary_successes must be >= 1");
+      if (serve.quarantine_backoff_us < 0)
+        invalid("serve.quarantine_backoff_us must be >= 0");
+      for (const ChaosEventSpec& e : serve.chaos) {
+        if (e.at < 0.0) invalid("serve.chaos event time must be >= 0");
+        if (e.param < 0.0) invalid("serve.chaos event param must be >= 0");
+        if (e.kind != "crash" && e.kind != "heal" && e.kind != "stall" &&
+            e.kind != "poison" && e.kind != "slow")
+          invalid("serve.chaos event kind must be crash, heal, stall, "
+                  "poison or slow, got \"" + e.kind + "\"");
+        if (e.kind != "stall" && e.replica >= serve.replicas)
+          invalid("serve.chaos event replica " + std::to_string(e.replica) +
+                  " out of range for " + std::to_string(serve.replicas) +
+                  " replicas");
+      }
       break;
     }
     case Mode::kTune:
@@ -491,6 +518,46 @@ SpecBuilder& SpecBuilder::serve_downgrade(double fraction) {
 SpecBuilder& SpecBuilder::serve_class_mix(double interactive, double standard,
                                           double batch) {
   spec_.serve.class_mix = {interactive, standard, batch};
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_replicas(std::size_t replicas) {
+  spec_.serve.replicas = replicas;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_retry(std::size_t interactive,
+                                      std::size_t standard, std::size_t batch,
+                                      long backoff_us, long backoff_max_us) {
+  spec_.serve.retry_limit = {interactive, standard, batch};
+  spec_.serve.retry_backoff_us = backoff_us;
+  spec_.serve.retry_backoff_max_us = backoff_max_us;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_hedge(bool on, long delay_us) {
+  spec_.serve.hedge = on;
+  spec_.serve.hedge_delay_us = delay_us;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_breaker(std::size_t failures,
+                                        std::size_t canaries,
+                                        long quarantine_backoff_us) {
+  spec_.serve.breaker_failures = failures;
+  spec_.serve.canary_successes = canaries;
+  spec_.serve.quarantine_backoff_us = quarantine_backoff_us;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::serve_chaos(double at_seconds, std::string kind,
+                                      std::size_t replica, double param) {
+  ChaosEventSpec e;
+  e.at = at_seconds;
+  e.kind = std::move(kind);
+  e.replica = replica;
+  e.param = param;
+  spec_.serve.chaos.push_back(std::move(e));
   return *this;
 }
 

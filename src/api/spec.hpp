@@ -131,6 +131,17 @@ struct CompareOptions {
   bool include_vhl = false;
 };
 
+/// One scripted fault in a serve spec's chaos list (serve/chaos.hpp).
+/// `kind` is "crash" | "heal" | "stall" | "poison" | "slow"; `at` is the
+/// event time in seconds from server start; `param` is seconds (stall,
+/// slow) or a batch count (poison).
+struct ChaosEventSpec {
+  double at = 0.0;
+  std::string kind = "crash";
+  std::size_t replica = 0;
+  double param = 0.0;
+};
+
 /// kServe: sessions = every workload compiled at every hash tier, behind
 /// one Server; a seeded trace is replayed against it. The SLO knobs
 /// default to a plain FIFO server (no deadlines / shedding / downgrades)
@@ -164,6 +175,28 @@ struct ServeOptions {
   /// Relative SLO-class sampling weights {interactive, standard, batch}
   /// of the generated trace.
   std::vector<double> class_mix = {0.0, 1.0, 0.0};
+
+  // --- fault tolerance ---------------------------------------------------
+  /// Engine replicas per session; 1 = the pre-replica single-engine tier.
+  std::size_t replicas = 1;
+  /// Per-class retry budgets {interactive, standard, batch}: how often a
+  /// failed rider is re-queued onto surviving replicas.
+  std::vector<std::size_t> retry_limit = {1, 2, 3};
+  /// Exponential retry backoff base / cap, microseconds.
+  long retry_backoff_us = 200;
+  long retry_backoff_max_us = 50000;
+  /// Hedge interactive micro-batches onto a second replica.
+  bool hedge = false;
+  /// Fixed hedge delay in microseconds; 0 = p99-derived.
+  long hedge_delay_us = 0;
+  /// Circuit breaker: consecutive failures before quarantine.
+  std::size_t breaker_failures = 3;
+  /// Clean canary probes required to readmit a recovering replica.
+  std::size_t canary_successes = 2;
+  /// Quarantine time before canary probing starts, microseconds.
+  long quarantine_backoff_us = 20000;
+  /// Scripted faults injected while the trace replays.
+  std::vector<ChaosEventSpec> chaos;
 };
 
 /// Where Runner results go when the CLI (or a caller honoring the spec)
@@ -260,6 +293,20 @@ class SpecBuilder {
   /// Trace SLO-class mix {interactive, standard, batch} weights.
   SpecBuilder& serve_class_mix(double interactive, double standard,
                                double batch);
+  /// Engine replicas per session (>= 1).
+  SpecBuilder& serve_replicas(std::size_t replicas);
+  /// Per-class retry budgets plus backoff base/cap in microseconds.
+  SpecBuilder& serve_retry(std::size_t interactive, std::size_t standard,
+                           std::size_t batch, long backoff_us = 200,
+                           long backoff_max_us = 50000);
+  /// Interactive hedging; delay 0 = p99-derived.
+  SpecBuilder& serve_hedge(bool on = true, long delay_us = 0);
+  /// Circuit-breaker / canary-readmission knobs.
+  SpecBuilder& serve_breaker(std::size_t failures, std::size_t canaries,
+                             long quarantine_backoff_us = 20000);
+  /// Appends one scripted chaos fault (kind: crash|heal|stall|poison|slow).
+  SpecBuilder& serve_chaos(double at_seconds, std::string kind,
+                           std::size_t replica = 0, double param = 0.0);
 
   // --- outputs -----------------------------------------------------------
   SpecBuilder& json_output(std::string path);

@@ -189,6 +189,37 @@ void parse_serve(const JsonValue& doc, ServeOptions& srv) {
       srv.class_mix.clear();
       for (const JsonValue& item : v.items())
         srv.class_mix.push_back(item.as_number());
+    } else if (key == "replicas") {
+      srv.replicas = as_size(v);
+    } else if (key == "retry_limit") {
+      srv.retry_limit = as_size_array(v);
+    } else if (key == "retry_backoff_us") {
+      srv.retry_backoff_us = static_cast<long>(v.as_uint());
+    } else if (key == "retry_backoff_max_us") {
+      srv.retry_backoff_max_us = static_cast<long>(v.as_uint());
+    } else if (key == "hedge") {
+      srv.hedge = v.as_bool();
+    } else if (key == "hedge_delay_us") {
+      srv.hedge_delay_us = static_cast<long>(v.as_uint());
+    } else if (key == "breaker_failures") {
+      srv.breaker_failures = as_size(v);
+    } else if (key == "canary_successes") {
+      srv.canary_successes = as_size(v);
+    } else if (key == "quarantine_backoff_us") {
+      srv.quarantine_backoff_us = static_cast<long>(v.as_uint());
+    } else if (key == "chaos") {
+      srv.chaos.clear();
+      for (const JsonValue& item : v.items()) {
+        ChaosEventSpec e;
+        for (const auto& [ekey, ev] : item.members()) {
+          if (ekey == "at") e.at = ev.as_number();
+          else if (ekey == "kind") e.kind = ev.as_string();
+          else if (ekey == "replica") e.replica = as_size(ev);
+          else if (ekey == "param") e.param = ev.as_number();
+          else unknown_key("serve chaos event", ekey, ev);
+        }
+        srv.chaos.push_back(std::move(e));
+      }
     } else {
       unknown_key("serve", key, v);
     }
@@ -368,6 +399,29 @@ std::string spec_to_json(const Spec& spec) {
   json.kv("downgrade_fraction", srv.downgrade_fraction);
   json.key("class_mix").begin_array();
   for (const double w : srv.class_mix) json.value(w);
+  json.end_array();
+  json.kv("replicas", srv.replicas);
+  json.key("retry_limit").begin_array();
+  for (const std::size_t r : srv.retry_limit) json.value(r);
+  json.end_array();
+  json.kv("retry_backoff_us", static_cast<std::int64_t>(srv.retry_backoff_us));
+  json.kv("retry_backoff_max_us",
+          static_cast<std::int64_t>(srv.retry_backoff_max_us));
+  json.kv("hedge", srv.hedge);
+  json.kv("hedge_delay_us", static_cast<std::int64_t>(srv.hedge_delay_us));
+  json.kv("breaker_failures", srv.breaker_failures);
+  json.kv("canary_successes", srv.canary_successes);
+  json.kv("quarantine_backoff_us",
+          static_cast<std::int64_t>(srv.quarantine_backoff_us));
+  json.key("chaos").begin_array();
+  for (const ChaosEventSpec& e : srv.chaos) {
+    json.begin_object();
+    json.kv("at", e.at);
+    json.kv("kind", e.kind);
+    json.kv("replica", e.replica);
+    json.kv("param", e.param);
+    json.end_object();
+  }
   json.end_array();
   json.end_object();
 

@@ -39,6 +39,10 @@ void DynamicCam::clear() {
   occupied_.assign(cfg_.rows, false);
   occupied_count_ = 0;
   max_occupied_row_ = 0;
+  // Unoccupied rows are never read and every re-occupation goes through
+  // write_row (which reprograms the full word), so outstanding fault
+  // records refer to logically dead cells: drop them.
+  faults_.clear();
 }
 
 void DynamicCam::write_row(std::size_t row, const BitVec& bits) {
@@ -64,6 +68,14 @@ void DynamicCam::write_row(std::size_t row,
     occupied_[row] = true;
     ++occupied_count_;
   }
+  // Reprogramming the row overwrites any injected flips in its cells, so
+  // their records no longer describe outstanding damage.
+  if (!faults_.empty())
+    faults_.erase(std::remove_if(faults_.begin(), faults_.end(),
+                                 [&](const BitFault& f) {
+                                   return f.row == row;
+                                 }),
+                  faults_.end());
   max_occupied_row_ = std::max(max_occupied_row_, row);
   ++stats_.row_writes;
   stats_.cycles += tech::kCamWriteCyclesPerRow;
@@ -130,6 +142,22 @@ void DynamicCam::inject_bit_fault(std::size_t row, std::size_t bit) {
   DEEPCAM_CHECK(row < cfg_.rows);
   DEEPCAM_CHECK(bit < cfg_.max_word_bits());
   row_words_[row * words_per_row_ + (bit >> 6)] ^= 1ULL << (bit & 63);
+  // Double injection of the same cell is a no-op on the contents (XOR), so
+  // it must also be a no-op on the mask.
+  const auto it = std::find_if(faults_.begin(), faults_.end(),
+                               [&](const BitFault& f) {
+                                 return f.row == row && f.bit == bit;
+                               });
+  if (it != faults_.end())
+    faults_.erase(it);
+  else
+    faults_.push_back(BitFault{row, bit});
+}
+
+void DynamicCam::clear_faults() {
+  for (const BitFault& f : faults_)
+    row_words_[f.row * words_per_row_ + (f.bit >> 6)] ^= 1ULL << (f.bit & 63);
+  faults_.clear();
 }
 
 }  // namespace deepcam::cam

@@ -97,8 +97,27 @@ class DynamicCam {
   void search_flat(std::span<const std::uint64_t> key_words,
                    FlatSearchResult& out) const;
 
-  /// Flips one stored bit (FeFET retention/program fault model).
+  /// Flips one stored bit (FeFET retention/program fault model) and records
+  /// the (row, bit) pair so clear_faults() can undo it later. Injecting the
+  /// same bit twice cancels out — the XOR restores the cell and the record
+  /// is dropped.
   void inject_bit_fault(std::size_t row, std::size_t bit);
+
+  /// One outstanding stuck/flipped cell, as injected by inject_bit_fault().
+  struct BitFault {
+    std::size_t row;
+    std::size_t bit;
+  };
+
+  /// Currently outstanding injected faults. A write_row() to a faulted row
+  /// reprograms the cells, so that row's faults are dropped from the mask;
+  /// clear() wipes the whole mask along with occupancy.
+  const std::vector<BitFault>& faults() const { return faults_; }
+
+  /// Heals every outstanding fault by re-flipping the recorded bits,
+  /// restoring the stored contents bit-exactly. Chaos runs use this to
+  /// inject/heal repeatedly without rebuilding (or rewriting) the array.
+  void clear_faults();
 
   /// Area of this array instance (µm²).
   double area_um2() const { return CamCostModel::area_um2(cfg_); }
@@ -122,6 +141,8 @@ class DynamicCam {
   // [0, occupied_count_) — the search_flat precondition — exactly when
   // occupied_count_ == max_occupied_row_ + 1, regardless of write order.
   std::size_t max_occupied_row_ = 0;
+  // Outstanding injected faults, in injection order (see faults()).
+  std::vector<BitFault> faults_;
 
   bool prefix_occupancy() const {
     return occupied_count_ == 0 || occupied_count_ == max_occupied_row_ + 1;

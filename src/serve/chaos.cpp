@@ -1,0 +1,173 @@
+#include "serve/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "serve/session.hpp"
+
+namespace deepcam::serve {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Tiny deterministic stream over mix64 — no <random>, so the script is
+/// identical across standard libraries.
+class ChaosRng {
+ public:
+  explicit ChaosRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return mix64(state_++); }
+  double uniform() {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+Clock::duration from_seconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kReplicaCrash: return "crash";
+    case FaultKind::kReplicaHeal: return "heal";
+    case FaultKind::kWorkerStall: return "stall";
+    case FaultKind::kPoisonBatch: return "poison";
+    case FaultKind::kSlowReplica: return "slow";
+  }
+  return "?";
+}
+
+bool fault_kind_from_string(const std::string& s, FaultKind* out) {
+  if (s == "crash") *out = FaultKind::kReplicaCrash;
+  else if (s == "heal") *out = FaultKind::kReplicaHeal;
+  else if (s == "stall") *out = FaultKind::kWorkerStall;
+  else if (s == "poison") *out = FaultKind::kPoisonBatch;
+  else if (s == "slow") *out = FaultKind::kSlowReplica;
+  else return false;
+  return true;
+}
+
+ChaosScript make_chaos_script(const ChaosScriptConfig& cfg) {
+  DEEPCAM_CHECK_MSG(cfg.replicas >= 1, "chaos script needs >= 1 replica");
+  DEEPCAM_CHECK_MSG(cfg.duration_seconds > 0.0,
+                    "chaos script needs a positive window");
+  ChaosRng rng(cfg.seed);
+  ChaosScript script;
+  const double T = cfg.duration_seconds;
+  for (std::size_t i = 0; i < cfg.crashes; ++i) {
+    // Crash lands in the first half so the paired heal (a quarter of the
+    // window later) still leaves room to observe the recovery.
+    const double t = T * (0.1 + 0.4 * rng.uniform());
+    const std::size_t r = rng.next() % cfg.replicas;
+    script.push_back({t, FaultKind::kReplicaCrash, r, 0.0});
+    script.push_back({t + 0.25 * T, FaultKind::kReplicaHeal, r, 0.0});
+  }
+  for (std::size_t i = 0; i < cfg.stalls; ++i)
+    script.push_back({T * rng.uniform(), FaultKind::kWorkerStall, 0,
+                      T * (0.01 + 0.04 * rng.uniform())});
+  for (std::size_t i = 0; i < cfg.poisons; ++i)
+    script.push_back({T * rng.uniform(), FaultKind::kPoisonBatch,
+                      rng.next() % cfg.replicas,
+                      static_cast<double>(1 + rng.next() % 3)});
+  for (std::size_t i = 0; i < cfg.slows; ++i) {
+    const double t = T * 0.8 * rng.uniform();
+    const std::size_t r = rng.next() % cfg.replicas;
+    script.push_back({t, FaultKind::kSlowReplica, r,
+                      T * (0.005 + 0.02 * rng.uniform())});
+    script.push_back({t + 0.2 * T, FaultKind::kSlowReplica, r, 0.0});
+  }
+  std::stable_sort(script.begin(), script.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+  return script;
+}
+
+FaultInjector::FaultInjector(ChaosScript script)
+    : script_(std::move(script)) {
+  std::stable_sort(script_.begin(), script_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+  for (const FaultEvent& e : script_)
+    DEEPCAM_CHECK_MSG(e.at_seconds >= 0.0 && e.param >= 0.0,
+                      "chaos events need non-negative time and param");
+}
+
+void FaultInjector::arm(Clock::time_point t0) {
+  std::lock_guard<std::mutex> lk(mu_);
+  t0_ = t0;
+  armed_ = true;
+  next_ = 0;
+  applied_ = 0;
+  pending_stalls_.clear();
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return armed_;
+}
+
+void FaultInjector::poll(Clock::time_point now, SessionManager& sessions) {
+  // Collect due events under the lock, apply them outside it (Replica
+  // chaos hooks take the replica's own mutex).
+  std::vector<FaultEvent> due;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!armed_) return;
+    while (next_ < script_.size() &&
+           t0_ + from_seconds(script_[next_].at_seconds) <= now) {
+      const FaultEvent& e = script_[next_++];
+      ++applied_;
+      if (e.kind == FaultKind::kWorkerStall)
+        pending_stalls_.push_back(from_seconds(e.param));
+      else
+        due.push_back(e);
+    }
+  }
+  for (const FaultEvent& e : due) {
+    for (std::size_t s = 0; s < sessions.count(); ++s) {
+      ReplicaSet& set = sessions.replicas(s);
+      if (e.replica >= set.size()) continue;
+      Replica& rep = set.replica(e.replica);
+      switch (e.kind) {
+        case FaultKind::kReplicaCrash: rep.chaos_crash(); break;
+        case FaultKind::kReplicaHeal: rep.chaos_heal(); break;
+        case FaultKind::kSlowReplica:
+          rep.chaos_slow(from_seconds(e.param));
+          break;
+        case FaultKind::kPoisonBatch:
+          rep.chaos_poison(static_cast<std::size_t>(e.param));
+          break;
+        case FaultKind::kWorkerStall: break;  // handled via take_stall()
+      }
+    }
+  }
+}
+
+Clock::duration FaultInjector::take_stall() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pending_stalls_.empty()) return Clock::duration::zero();
+  const Clock::duration d = pending_stalls_.back();
+  pending_stalls_.pop_back();
+  return d;
+}
+
+std::size_t FaultInjector::applied() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return applied_;
+}
+
+}  // namespace deepcam::serve

@@ -1,0 +1,95 @@
+// Deterministic chaos harness: scripted faults on the replica tier.
+//
+// A ChaosScript is a time-sorted list of FaultEvents, each an offset from
+// the moment the server starts. The FaultInjector is armed at start() and
+// polled by the serving workers: every due event is applied exactly once
+// to the replica sets (crash/heal/slow/poison via the Replica chaos hooks)
+// or handed to the polling worker itself (a worker stall is a sleep the
+// worker serves through the ClockSource). Because event times are offsets
+// on the injected clock and scripts are either hand-written or generated
+// by the seeded make_chaos_script(), a chaos run on a VirtualClock replays
+// bit-identically: same script + same trace => same outcome, byte for
+// byte.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/clock.hpp"
+
+namespace deepcam::serve {
+
+class SessionManager;
+
+enum class FaultKind : std::size_t {
+  kReplicaCrash = 0,  // every submit on the replica fails until healed
+  kReplicaHeal = 1,   // clears crash, slow, and poison faults
+  kWorkerStall = 2,   // the polling worker sleeps `param` seconds
+  kPoisonBatch = 3,   // the replica's next `param` batches fail
+  kSlowReplica = 4,   // completion observation delayed `param` seconds
+};
+
+const char* to_string(FaultKind k);
+/// Parses the spec-file spelling ("crash", "heal", "stall", "poison",
+/// "slow"). Returns false on an unknown kind.
+bool fault_kind_from_string(const std::string& s, FaultKind* out);
+
+struct FaultEvent {
+  double at_seconds = 0.0;  // offset from FaultInjector::arm()
+  FaultKind kind = FaultKind::kReplicaCrash;
+  std::size_t replica = 0;  // ignored for kWorkerStall
+  double param = 0.0;       // seconds (stall/slow) or batch count (poison)
+};
+
+/// Time-sorted fault schedule.
+using ChaosScript = std::vector<FaultEvent>;
+
+/// Knobs of the seeded script generator (property tests, bench).
+struct ChaosScriptConfig {
+  std::uint64_t seed = 1;
+  double duration_seconds = 1.0;  // window the events land in
+  std::size_t replicas = 1;
+  std::size_t crashes = 0;  // crash + paired heal at ~25% of the window later
+  std::size_t stalls = 0;
+  std::size_t poisons = 0;
+  std::size_t slows = 0;
+};
+
+/// Deterministic script from a seed: same config => same script.
+ChaosScript make_chaos_script(const ChaosScriptConfig& cfg);
+
+/// Applies a ChaosScript to the live server. Thread-safe; every event
+/// fires exactly once no matter how many workers poll.
+class FaultInjector {
+ public:
+  explicit FaultInjector(ChaosScript script);
+
+  /// Starts the clock on the script; events are offsets from `t0`.
+  void arm(Clock::time_point t0);
+  bool armed() const;
+
+  /// Fires every event due at `now` into the sessions' replica sets;
+  /// worker stalls are queued for take_stall(). No-op before arm().
+  void poll(Clock::time_point now, SessionManager& sessions);
+
+  /// Consumes one pending worker stall: the caller should sleep the
+  /// returned duration through its ClockSource. Zero when none pending.
+  Clock::duration take_stall();
+
+  std::size_t applied() const;
+  std::size_t total() const { return script_.size(); }
+
+ private:
+  ChaosScript script_;  // sorted by at_seconds on construction
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  Clock::time_point t0_{};
+  std::size_t next_ = 0;     // first unapplied event
+  std::size_t applied_ = 0;  // events fired so far
+  std::vector<Clock::duration> pending_stalls_;
+};
+
+}  // namespace deepcam::serve

@@ -149,6 +149,48 @@ void ServerMetrics::on_response(const Response& response) {
   s.queue_wait.add(response.queue_seconds);
 }
 
+void ServerMetrics::on_retry() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++retries_;
+}
+
+void ServerMetrics::on_failover() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++failovers_;
+}
+
+void ServerMetrics::on_hedge(bool won, bool wasted) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++hedges_;
+  if (won) ++hedges_won_;
+  if (wasted) ++hedges_wasted_;
+}
+
+std::uint64_t ServerMetrics::retries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retries_;
+}
+
+std::uint64_t ServerMetrics::failovers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failovers_;
+}
+
+std::uint64_t ServerMetrics::hedges() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hedges_;
+}
+
+std::uint64_t ServerMetrics::hedges_won() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hedges_won_;
+}
+
+std::uint64_t ServerMetrics::hedges_wasted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hedges_wasted_;
+}
+
 std::uint64_t ServerMetrics::in_flight_batches() const {
   std::lock_guard<std::mutex> lk(mu_);
   return in_flight_;

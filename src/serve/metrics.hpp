@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "serve/replica.hpp"
 #include "serve/request.hpp"
 
 namespace deepcam::serve {
@@ -83,7 +84,19 @@ struct ServerSummary {
   // Rejections that never resolved to a session (mistyped session name);
   // they have no SessionSummary row to live in.
   std::uint64_t unknown_session_rejected = 0;
+  // Fault-tolerance counters (serve/router.hpp). Retries count re-queued
+  // riders; failovers are the subset whose retry succeeded on a different
+  // replica; hedges split into won (the duplicate's answer was used) and
+  // wasted (the loser executed anyway).
+  std::uint64_t total_retries = 0;
+  std::uint64_t total_failovers = 0;
+  std::uint64_t total_hedges = 0;
+  std::uint64_t total_hedges_won = 0;
+  std::uint64_t total_hedges_wasted = 0;
   std::vector<SessionSummary> sessions;
+  /// One row per (session, replica): health at snapshot time, breaker and
+  /// canary activity, quarantine time.
+  std::vector<ReplicaSummary> replicas;
   /// One row per SLO class, in priority order (interactive first).
   std::vector<SloClassSummary> classes;
 
@@ -118,6 +131,19 @@ class ServerMetrics {
   void on_batch_complete(std::size_t session);
   /// A response was delivered (completed, failed, or expired).
   void on_response(const Response& response);
+
+  /// A failed rider was re-queued onto the surviving replicas.
+  void on_retry();
+  /// A retried rider later succeeded on a different replica.
+  void on_failover();
+  /// A hedged micro-batch resolved; `won` = the duplicate's answer was
+  /// used, `wasted` = the losing submission executed anyway.
+  void on_hedge(bool won, bool wasted);
+  std::uint64_t retries() const;
+  std::uint64_t failovers() const;
+  std::uint64_t hedges() const;
+  std::uint64_t hedges_won() const;
+  std::uint64_t hedges_wasted() const;
 
   std::uint64_t in_flight_batches() const;
   std::uint64_t max_in_flight_batches() const;
@@ -171,6 +197,11 @@ class ServerMetrics {
   std::uint64_t unknown_session_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t max_in_flight_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t hedges_ = 0;
+  std::uint64_t hedges_won_ = 0;
+  std::uint64_t hedges_wasted_ = 0;
 };
 
 }  // namespace deepcam::serve

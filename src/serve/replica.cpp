@@ -1,0 +1,248 @@
+#include "serve/replica.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace deepcam::serve {
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Replica::Replica(std::shared_ptr<const core::CompiledModel> compiled,
+                 std::size_t engine_threads, ReplicaConfig cfg,
+                 ClockSource* clock)
+    : cfg_(cfg),
+      clock_(clock != nullptr ? clock : &ClockSource::steady()),
+      engine_(std::make_unique<core::InferenceEngine>(std::move(compiled),
+                                                      engine_threads)) {
+  DEEPCAM_CHECK_MSG(cfg_.breaker_failures >= 1,
+                    "circuit breaker needs >= 1 failure");
+  DEEPCAM_CHECK_MSG(cfg_.canary_successes >= 1,
+                    "readmission needs >= 1 canary success");
+  DEEPCAM_CHECK_MSG(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0,
+                    "ewma_alpha must be in (0, 1]");
+}
+
+core::BatchFuture Replica::submit(std::vector<nn::Tensor> inputs) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashed_) throw Error("replica crashed (chaos fault)");
+    if (poison_pending_ > 0) {
+      --poison_pending_;
+      throw Error("poisoned micro-batch (chaos fault)");
+    }
+  }
+  return engine_->submit(std::move(inputs));
+}
+
+Clock::duration Replica::fault_delay() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return slow_delay_;
+}
+
+void Replica::transition(ReplicaHealth to, Clock::time_point now) {
+  if (health_ == to) return;
+  if (health_ == ReplicaHealth::kQuarantined)
+    quarantine_seconds_ += seconds_between(quarantined_since_, now);
+  if (to == ReplicaHealth::kQuarantined) quarantined_since_ = now;
+  health_ = to;
+  ++transitions_;
+}
+
+void Replica::observe(double error, double latency_seconds) {
+  if (!has_samples_) {
+    error_ewma_ = error;
+    latency_ewma_ = latency_seconds;
+    has_samples_ = true;
+    return;
+  }
+  const double a = cfg_.ewma_alpha;
+  error_ewma_ = a * error + (1.0 - a) * error_ewma_;
+  latency_ewma_ = a * latency_seconds + (1.0 - a) * latency_ewma_;
+}
+
+void Replica::record_success(double latency_seconds, Clock::time_point now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++batches_;
+  consecutive_failures_ = 0;
+  canary_in_flight_ = false;
+  observe(0.0, latency_seconds);
+  if (health_ == ReplicaHealth::kRecovering) {
+    if (++canary_ok_ >= cfg_.canary_successes) {
+      transition(ReplicaHealth::kHealthy, now);
+      // Readmission is a clean slate: the canaries proved current health,
+      // and a stale quarantine-era error EWMA would otherwise bounce the
+      // replica straight back to degraded.
+      error_ewma_ = 0.0;
+    }
+  }
+}
+
+void Replica::record_failure(Clock::time_point now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++failures_;
+  ++consecutive_failures_;
+  canary_in_flight_ = false;
+  observe(1.0, latency_ewma_);  // a failure carries no latency sample
+  if (health_ == ReplicaHealth::kRecovering) {
+    // A failed canary re-opens the breaker and restarts the backoff.
+    canary_ok_ = 0;
+    transition(ReplicaHealth::kQuarantined, now);
+  } else if (health_ != ReplicaHealth::kQuarantined &&
+             consecutive_failures_ >= cfg_.breaker_failures) {
+    canary_ok_ = 0;
+    transition(ReplicaHealth::kQuarantined, now);
+  }
+}
+
+ReplicaHealth Replica::health() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return health_;
+}
+
+bool Replica::try_acquire_canary() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (health_ != ReplicaHealth::kRecovering || canary_in_flight_)
+    return false;
+  canary_in_flight_ = true;
+  ++canary_probes_;
+  return true;
+}
+
+void Replica::chaos_crash() {
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_ = true;
+}
+
+void Replica::chaos_heal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_ = false;
+  slow_delay_ = Clock::duration{};
+  poison_pending_ = 0;
+}
+
+void Replica::chaos_slow(Clock::duration delay) {
+  std::lock_guard<std::mutex> lk(mu_);
+  slow_delay_ = delay;
+}
+
+void Replica::chaos_poison(std::size_t batches) {
+  std::lock_guard<std::mutex> lk(mu_);
+  poison_pending_ += batches;
+}
+
+bool Replica::crashed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crashed_;
+}
+
+ReplicaSummary Replica::summarize(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ReplicaSummary s;
+  s.health = to_string(health_);
+  s.batches = batches_;
+  s.failures = failures_;
+  s.transitions = transitions_;
+  s.canary_probes = canary_probes_;
+  s.quarantine_seconds = quarantine_seconds_;
+  if (health_ == ReplicaHealth::kQuarantined)
+    s.quarantine_seconds += seconds_between(quarantined_since_, now);
+  s.error_ewma = error_ewma_;
+  s.latency_ewma_ms = latency_ewma_ * 1e3;
+  return s;
+}
+
+ReplicaSet::ReplicaSet(std::shared_ptr<const core::CompiledModel> compiled,
+                       std::size_t replicas, std::size_t engine_threads,
+                       ReplicaConfig cfg, ClockSource* clock)
+    : cfg_(cfg) {
+  DEEPCAM_CHECK_MSG(replicas >= 1, "a session needs >= 1 replica");
+  DEEPCAM_CHECK_MSG(compiled != nullptr, "replicas need a compiled model");
+  replicas_.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r)
+    replicas_.push_back(
+        std::make_unique<Replica>(compiled, engine_threads, cfg, clock));
+}
+
+Replica& ReplicaSet::replica(std::size_t r) {
+  DEEPCAM_CHECK(r < replicas_.size());
+  return *replicas_[r];
+}
+
+const Replica& ReplicaSet::replica(std::size_t r) const {
+  DEEPCAM_CHECK(r < replicas_.size());
+  return *replicas_[r];
+}
+
+void ReplicaSet::refresh_health(Clock::time_point now) {
+  // Best (lowest) latency EWMA across replicas still taking traffic — the
+  // baseline the slow-replica signal compares against.
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (const auto& rp : replicas_) {
+    std::lock_guard<std::mutex> lk(rp->mu_);
+    if (!rp->has_samples_) continue;
+    if (rp->health_ == ReplicaHealth::kHealthy ||
+        rp->health_ == ReplicaHealth::kDegraded)
+      best_latency = std::min(best_latency, rp->latency_ewma_);
+  }
+  for (const auto& rp : replicas_) {
+    std::lock_guard<std::mutex> lk(rp->mu_);
+    switch (rp->health_) {
+      case ReplicaHealth::kQuarantined:
+        if (now - rp->quarantined_since_ >= cfg_.quarantine_backoff) {
+          rp->canary_ok_ = 0;
+          rp->transition(ReplicaHealth::kRecovering, now);
+        }
+        break;
+      case ReplicaHealth::kHealthy:
+      case ReplicaHealth::kDegraded: {
+        if (!rp->has_samples_) break;
+        const bool errors_bad = rp->error_ewma_ > cfg_.degrade_error_rate;
+        const bool latency_bad =
+            std::isfinite(best_latency) && best_latency > 0.0 &&
+            rp->latency_ewma_ > cfg_.degrade_latency_factor * best_latency;
+        if (rp->health_ == ReplicaHealth::kHealthy &&
+            (errors_bad || latency_bad))
+          rp->transition(ReplicaHealth::kDegraded, now);
+        else if (rp->health_ == ReplicaHealth::kDegraded && !errors_bad &&
+                 !latency_bad)
+          rp->transition(ReplicaHealth::kHealthy, now);
+        break;
+      }
+      case ReplicaHealth::kRecovering:
+        break;
+    }
+  }
+}
+
+std::size_t ReplicaSet::available() const {
+  std::size_t n = 0;
+  for (const auto& rp : replicas_) {
+    const ReplicaHealth h = rp->health();
+    if (h == ReplicaHealth::kHealthy || h == ReplicaHealth::kDegraded) ++n;
+  }
+  return n;
+}
+
+std::vector<ReplicaSummary> ReplicaSet::summarize(
+    Clock::time_point now) const {
+  std::vector<ReplicaSummary> out;
+  out.reserve(replicas_.size());
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    ReplicaSummary s = replicas_[r]->summarize(now);
+    s.replica = r;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace deepcam::serve

@@ -1,0 +1,201 @@
+// Replica + ReplicaSet: N engine replicas per session with health tracking.
+//
+// A production DeepCAM deployment cannot let one stalled or poisoned engine
+// take a whole session down — the serving tier needs the same graceful
+// degradation story the paper claims for CAM bit faults, but at the system
+// level. Each session therefore owns a ReplicaSet of N identical
+// InferenceEngines over the session's shared CompiledModel (replicas are
+// bitwise-interchangeable: a sample's logits depend only on
+// (CompiledModel, input), so failover never changes an answer).
+//
+// Every replica carries a health state machine driven by error-rate and
+// latency EWMAs:
+//
+//   healthy ──EWMA over threshold──▶ degraded      (routed around, still
+//      ▲  ◀──EWMA recovers────────────┘             eligible as a backup)
+//      │
+//      │ canary successes          K consecutive failures (circuit breaker)
+//      │                                   │
+//   recovering ◀──quarantine backoff── quarantined  (never routed)
+//      │ canary failure                    ▲
+//      └───────────────────────────────────┘
+//
+// Recovering replicas are readmitted through canary probes: the Router
+// sends at most one live micro-batch at a time to a recovering replica,
+// and only promotes it back to healthy after `canary_successes` clean
+// probes. All timestamps come from the injected ClockSource, so the whole
+// state machine is deterministic under a VirtualClock.
+//
+// Chaos hooks (chaos_*) are the FaultInjector's surface (serve/chaos.hpp):
+// crash makes every submit fail instantly, slow delays completion
+// observation by a fixed penalty through the clock (a slow replica, not a
+// dead one), poison fails the next N submitted batches. They model the
+// failure, the health machinery reacts to it — nothing is special-cased.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/clock.hpp"
+
+namespace deepcam::serve {
+
+/// "No replica" sentinel (routing's avoid parameter, Request::last_replica).
+inline constexpr std::size_t kNoReplica = static_cast<std::size_t>(-1);
+
+enum class ReplicaHealth : std::size_t {
+  kHealthy = 0,
+  kDegraded = 1,     // suspicious EWMAs: deprioritized, not excluded
+  kQuarantined = 2,  // circuit broken: receives no traffic
+  kRecovering = 3,   // half-open: canary probes only
+};
+
+inline const char* to_string(ReplicaHealth h) {
+  switch (h) {
+    case ReplicaHealth::kHealthy: return "healthy";
+    case ReplicaHealth::kDegraded: return "degraded";
+    case ReplicaHealth::kQuarantined: return "quarantined";
+    case ReplicaHealth::kRecovering: return "recovering";
+  }
+  return "?";
+}
+
+/// Health/breaker policy of every replica in a set.
+struct ReplicaConfig {
+  /// EWMA smoothing for the error-rate and latency trackers.
+  double ewma_alpha = 0.2;
+  /// Error-rate EWMA above this marks a replica degraded.
+  double degrade_error_rate = 0.5;
+  /// Latency EWMA above this multiple of the set's best replica marks a
+  /// replica degraded (the slow-replica signal).
+  double degrade_latency_factor = 4.0;
+  /// Circuit breaker: consecutive failures before quarantine.
+  std::size_t breaker_failures = 3;
+  /// Clean canary probes required to readmit a recovering replica.
+  std::size_t canary_successes = 2;
+  /// Time a quarantined replica sits out before canary probing starts.
+  Clock::duration quarantine_backoff = std::chrono::milliseconds(20);
+};
+
+/// Frozen per-replica statistics (serialized by serve/report_io).
+struct ReplicaSummary {
+  std::string session;
+  std::size_t replica = 0;
+  std::string health;            // state at snapshot time
+  std::uint64_t batches = 0;     // successfully served micro-batches
+  std::uint64_t failures = 0;    // failed submissions/executions
+  std::uint64_t transitions = 0; // health-state changes
+  std::uint64_t canary_probes = 0;
+  double quarantine_seconds = 0.0;  // total time spent quarantined
+  double error_ewma = 0.0;
+  double latency_ewma_ms = 0.0;
+};
+
+/// One engine replica plus its health state machine. Thread-safe: the
+/// internal mutex guards health state only; engine submission is the
+/// engine's own concern.
+class Replica {
+ public:
+  Replica(std::shared_ptr<const core::CompiledModel> compiled,
+          std::size_t engine_threads, ReplicaConfig cfg, ClockSource* clock);
+
+  /// Submits one micro-batch. Throws (an instant failure the Router turns
+  /// into a retry) when the replica is chaos-crashed or the next batch is
+  /// chaos-poisoned.
+  core::BatchFuture submit(std::vector<nn::Tensor> inputs);
+
+  /// Completion-observation delay of this replica (chaos slow fault);
+  /// zero normally. The Router sleeps this out through the ClockSource, so
+  /// a virtual clock models the slowdown deterministically.
+  Clock::duration fault_delay() const;
+
+  /// Records a successful batch: resets the breaker, feeds the EWMAs,
+  /// advances recovering -> healthy after enough clean canaries.
+  void record_success(double latency_seconds, Clock::time_point now);
+  /// Records a failed batch: feeds the EWMAs, trips the breaker after K
+  /// consecutive failures, throws a recovering replica back to quarantine.
+  void record_failure(Clock::time_point now);
+
+  /// Current health (no lazy promotion — ReplicaSet::refresh_health does
+  /// the time-driven quarantined -> recovering step).
+  ReplicaHealth health() const;
+  /// True when the replica may receive a canary probe right now; marks one
+  /// in flight on success (released by the next record_*).
+  bool try_acquire_canary();
+
+  // -- chaos surface (serve/chaos.hpp) ------------------------------------
+  void chaos_crash();
+  void chaos_heal();  // clears crash, slow, and poison faults
+  void chaos_slow(Clock::duration delay);
+  void chaos_poison(std::size_t batches);
+  bool crashed() const;
+
+  core::InferenceEngine& engine() { return *engine_; }
+  ReplicaSummary summarize(Clock::time_point now) const;
+
+ private:
+  friend class ReplicaSet;
+
+  /// mu_ held. Counts the transition and accounts quarantine time.
+  void transition(ReplicaHealth to, Clock::time_point now);
+  void observe(double error, double latency_seconds);  // mu_ held
+
+  const ReplicaConfig cfg_;
+  ClockSource* clock_;
+  std::unique_ptr<core::InferenceEngine> engine_;
+
+  mutable std::mutex mu_;
+  ReplicaHealth health_ = ReplicaHealth::kHealthy;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t canary_ok_ = 0;
+  bool canary_in_flight_ = false;
+  bool has_samples_ = false;
+  double error_ewma_ = 0.0;
+  double latency_ewma_ = 0.0;  // seconds
+  Clock::time_point quarantined_since_{};
+  double quarantine_seconds_ = 0.0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t canary_probes_ = 0;
+  // chaos faults
+  bool crashed_ = false;
+  Clock::duration slow_delay_{};
+  std::size_t poison_pending_ = 0;
+};
+
+/// The N replicas of one session. Replicas are registered at construction
+/// and immutable afterwards (the vector never changes; each Replica is
+/// internally synchronized).
+class ReplicaSet {
+ public:
+  ReplicaSet(std::shared_ptr<const core::CompiledModel> compiled,
+             std::size_t replicas, std::size_t engine_threads,
+             ReplicaConfig cfg, ClockSource* clock);
+
+  std::size_t size() const { return replicas_.size(); }
+  Replica& replica(std::size_t r);
+  const Replica& replica(std::size_t r) const;
+
+  /// Time- and set-driven health maintenance: promotes quarantined
+  /// replicas to recovering once their backoff elapsed, and toggles
+  /// healthy <-> degraded from the error-rate EWMA and the latency EWMA
+  /// relative to the set's best replica. Called by the Router before every
+  /// pick; cheap and idempotent.
+  void refresh_health(Clock::time_point now);
+
+  /// Replicas currently eligible for regular traffic (healthy/degraded).
+  std::size_t available() const;
+
+  std::vector<ReplicaSummary> summarize(Clock::time_point now) const;
+
+ private:
+  const ReplicaConfig cfg_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace deepcam::serve

@@ -43,6 +43,11 @@ void server_summary_json(JsonWriter& json, const ServerSummary& s) {
   json.kv("total_expired", s.total_expired());
   json.kv("total_downgraded", s.total_downgraded());
   json.kv("total_slo_met", s.total_slo_met());
+  json.kv("total_retries", s.total_retries);
+  json.kv("total_failovers", s.total_failovers);
+  json.kv("total_hedges", s.total_hedges);
+  json.kv("total_hedges_won", s.total_hedges_won);
+  json.kv("total_hedges_wasted", s.total_hedges_wasted);
   json.kv("throughput_rps", s.throughput_rps());
   json.kv("goodput_rps", s.goodput_rps());
   json.key("sessions").begin_array();
@@ -69,6 +74,22 @@ void server_summary_json(JsonWriter& json, const ServerSummary& s) {
     json.kv("queue_wait_p50_ms", sess.queue_wait_p50_ms);
     json.kv("queue_wait_p99_ms", sess.queue_wait_p99_ms);
     json.kv("throughput_rps", sess.throughput_rps);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("replicas").begin_array();
+  for (const auto& r : s.replicas) {
+    json.begin_object();
+    json.kv("session", r.session);
+    json.kv("replica", r.replica);
+    json.kv("health", r.health);
+    json.kv("batches", r.batches);
+    json.kv("failures", r.failures);
+    json.kv("transitions", r.transitions);
+    json.kv("canary_probes", r.canary_probes);
+    json.kv("quarantine_seconds", r.quarantine_seconds);
+    json.kv("error_ewma", r.error_ewma);
+    json.kv("latency_ewma_ms", r.latency_ewma_ms);
     json.end_object();
   }
   json.end_array();
@@ -127,6 +148,15 @@ std::string server_summary_text(const ServerSummary& s) {
                 static_cast<unsigned long long>(s.total_expired()),
                 static_cast<unsigned long long>(s.total_downgraded()));
   os << buf;
+  std::snprintf(buf, sizeof buf,
+                "Faults: %llu retries (%llu failovers), %llu hedges "
+                "(%llu won, %llu wasted)\n",
+                static_cast<unsigned long long>(s.total_retries),
+                static_cast<unsigned long long>(s.total_failovers),
+                static_cast<unsigned long long>(s.total_hedges),
+                static_cast<unsigned long long>(s.total_hedges_won),
+                static_cast<unsigned long long>(s.total_hedges_wasted));
+  os << buf;
   for (const auto& sess : s.sessions) {
     std::snprintf(
         buf, sizeof buf,
@@ -146,6 +176,23 @@ std::string server_summary_text(const ServerSummary& s) {
         format_fixed(sess.latency_p99_ms, 3).c_str(),
         format_fixed(sess.throughput_rps, 1).c_str());
     os << buf;
+  }
+  // Per-replica health lines only once the replica tier is actually
+  // multi-replica — single-replica summaries keep the compact layout.
+  if (s.replicas.size() > s.sessions.size()) {
+    for (const auto& r : s.replicas) {
+      std::snprintf(
+          buf, sizeof buf,
+          "  replica %-12s#%zu %-11s %6llu ok %4llu fail  "
+          "transitions=%llu canaries=%llu quarantine=%s s\n",
+          r.session.c_str(), r.replica, r.health.c_str(),
+          static_cast<unsigned long long>(r.batches),
+          static_cast<unsigned long long>(r.failures),
+          static_cast<unsigned long long>(r.transitions),
+          static_cast<unsigned long long>(r.canary_probes),
+          format_fixed(r.quarantine_seconds, 3).c_str());
+      os << buf;
+    }
   }
   for (const auto& c : s.classes) {
     std::snprintf(

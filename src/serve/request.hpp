@@ -71,6 +71,11 @@ struct Request {
   bool downgraded = false;  // rerouted to a fallback (lower-k) session
   Clock::time_point enqueued{};
   std::uint64_t seq = 0;  // queue admission order (stamped by the queue)
+  /// Failure-retry bookkeeping (serve/router.hpp): how many times this
+  /// request has been re-queued after a replica failure, and the replica
+  /// the last attempt failed on (kNoReplica sentinel when none).
+  std::size_t attempt = 0;
+  std::size_t last_replica = static_cast<std::size_t>(-1);
   std::function<void(Response&&)> on_done;
 
   bool has_deadline() const { return deadline != Clock::time_point{}; }

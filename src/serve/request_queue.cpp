@@ -63,6 +63,20 @@ bool RequestQueue::push(Request&& r) {
   return true;
 }
 
+bool RequestQueue::push_retry(Request&& r) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Closed-during-retry edge: the request must bounce back to the caller
+    // for a terminal error answer — parking it in a closed queue would
+    // leak an accepted-but-never-answered request past drain().
+    if (closed_) return false;
+    q_.push_back(std::move(r));  // keeps original enqueued/seq stamps
+    max_depth_ = std::max(max_depth_, q_.size());
+  }
+  data_cv_.notify_all();
+  return true;
+}
+
 std::vector<Request> RequestQueue::pop_micro_batch(
     const BatchPolicy& policy, std::vector<Request>* expired) {
   const std::size_t max_n = std::max<std::size_t>(policy.max_batch_size, 1);

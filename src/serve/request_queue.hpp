@@ -76,6 +76,16 @@ class RequestQueue {
   /// only when the queue is closed while waiting.
   bool push(Request&& r);
 
+  /// Re-queues a request the retry path pulled out of a failed micro-batch.
+  /// The request was already admitted once, so capacity and shed
+  /// watermarks do not apply (rejecting it here would double-count it) and
+  /// its original `enqueued`/`seq` stamps are kept — latency accounting
+  /// spans all attempts and head selection keeps admission order. Returns
+  /// false only when the queue is closed; the caller MUST then answer the
+  /// request with a terminal error itself (it is no longer anywhere a
+  /// batcher could find it).
+  bool push_retry(Request&& r);
+
   /// Waits until at least one request is pending, then collects up to
   /// `policy.max_batch_size` requests of the head request's session — the
   /// head being the highest-priority class's earliest admission — waiting

@@ -1,0 +1,128 @@
+// Router: consistent-hash replica selection + failure-handling policies.
+//
+// The Server hands every micro-batch to the Router, which owns the three
+// fault-tolerance policies of the serving tier:
+//
+//  * Placement — a consistent-hash ring (64 virtual nodes per replica)
+//    maps the batch's routing key to an owner replica; keys only move when
+//    their owner is unavailable (quarantined/crashed), and then walk the
+//    ring to the next surviving replica, so a replica failure reshuffles
+//    only that replica's keys. Recovering replicas preempt the ring for at
+//    most one non-interactive canary probe at a time (readmission).
+//
+//  * Hedging — for the interactive SLO class, if the owner has not
+//    answered within a p99-derived delay (observed batch-latency
+//    distribution; RouterConfig::hedge_floor bounds it from below), the
+//    batch is duplicated onto a second replica. First result wins; the
+//    loser is cancelled through its BatchFuture (cancel succeeds iff it
+//    never started — wasted work is counted, never torn down). The hedge
+//    also doubles as instant failover when the owner dies mid-batch.
+//
+//  * Retry pacing — the Server re-queues failed riders; the Router decides
+//    the exponential backoff with deterministic jitter (seeded splitmix64
+//    of the routing key, not a global RNG, so chaos replays stay
+//    bit-identical).
+//
+// The Router never answers requests and never counts them: it returns one
+// Attempt per run() and the Server keeps the exactly-once accounting.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "serve/replica.hpp"
+#include "serve/request.hpp"
+
+namespace deepcam::serve {
+
+/// Failure-handling policy knobs (per server).
+struct RouterConfig {
+  /// Per-class re-queue budget: how many times a failed rider may be
+  /// retried onto surviving replicas. Interactive retries least (its
+  /// deadline is tight), batch most.
+  std::array<std::size_t, kNumSloClasses> retry_limit{1, 2, 3};
+  /// Exponential backoff base for retry re-queues (doubles per attempt,
+  /// jittered, capped by retry_backoff_max).
+  Clock::duration retry_backoff = std::chrono::microseconds(200);
+  Clock::duration retry_backoff_max = std::chrono::milliseconds(50);
+  /// Seed of the deterministic backoff jitter.
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Duplicate interactive batches onto a second replica after the hedge
+  /// delay (first result wins, loser cancelled).
+  bool hedge_interactive = false;
+  /// Fixed hedge delay; zero derives it from the observed p99 batch
+  /// latency instead (never below hedge_floor).
+  Clock::duration hedge_delay{};
+  Clock::duration hedge_floor = std::chrono::microseconds(500);
+  /// Health state machine / circuit breaker of every replica.
+  ReplicaConfig replica;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig cfg, ClockSource* clock);
+
+  /// Outcome of one routed micro-batch execution.
+  struct Attempt {
+    bool ok = false;
+    std::vector<nn::Tensor> outputs;   // valid iff ok
+    std::exception_ptr error;          // valid iff !ok && !cancelled
+    bool cancelled = false;            // whole batch cancelled at deadline
+    std::size_t replica = kNoReplica;  // replica that produced the outcome
+    bool hedged = false;               // a hedge submission was issued
+    bool hedge_won = false;            // the hedge's result was used
+    bool hedge_wasted = false;         // loser executed anyway
+  };
+
+  /// Routes `inputs` for `key`, submits, optionally hedges, and waits —
+  /// cancelling through the BatchFuture once `latest_deadline` passes (if
+  /// `cancellable`). `avoid` (kNoReplica = none) is the replica the
+  /// previous attempt failed on. Health outcomes are recorded on the set.
+  /// Never throws: failures come back as !ok Attempts.
+  Attempt run(ReplicaSet& set, std::uint64_t key, SloClass slo,
+              std::vector<nn::Tensor>&& inputs, std::size_t avoid,
+              Clock::time_point latest_deadline, bool cancellable);
+
+  /// Consistent-hash pick for `key`: the ring owner when eligible, else
+  /// the next surviving replica along the ring; recovering replicas
+  /// preempt for one canary probe (non-interactive traffic only). nullopt
+  /// when no replica can take traffic right now.
+  std::optional<std::size_t> pick(ReplicaSet& set, std::uint64_t key,
+                                  SloClass slo, std::size_t avoid);
+
+  /// Deterministically jittered exponential backoff before re-queueing a
+  /// rider that failed `attempt` times (attempt counts from 0).
+  Clock::duration backoff(std::size_t attempt, std::uint64_t key) const;
+
+  /// Effective hedge delay: configured, or p99-derived from observed batch
+  /// latencies, floored by hedge_floor.
+  Clock::duration hedge_delay() const;
+
+  const RouterConfig& config() const { return cfg_; }
+
+ private:
+  struct RingPoint {
+    std::uint64_t hash;
+    std::size_t replica;
+  };
+
+  /// Ring order of replicas for `key`: owner first, then successors,
+  /// deduplicated. Rebuilt (cached) when the set size changes.
+  std::vector<std::size_t> ring_order(std::size_t replicas,
+                                      std::uint64_t key);
+  void observe_latency(double seconds);
+
+  const RouterConfig cfg_;
+  ClockSource* clock_;
+
+  mutable std::mutex mu_;
+  std::vector<RingPoint> ring_;      // sorted by hash
+  std::size_t ring_replicas_ = 0;    // set size the ring was built for
+  Histogram latency_{1e-6, 1e3, 96, 65536};  // seconds, successful batches
+};
+
+}  // namespace deepcam::serve

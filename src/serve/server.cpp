@@ -21,6 +21,10 @@ Server::Server(ServerConfig cfg)
       clock_(cfg.clock != nullptr ? cfg.clock : &ClockSource::steady()),
       queue_(cfg.queue_capacity, cfg.slo.admission, clock_) {
   DEEPCAM_CHECK_MSG(cfg.num_workers >= 1, "server needs >= 1 worker");
+  DEEPCAM_CHECK_MSG(cfg.replicas >= 1, "server needs >= 1 replica");
+  sessions_.set_replica_config(cfg_.replicas, cfg_.router.replica, clock_);
+  router_ = std::make_unique<Router>(cfg_.router, clock_);
+  injector_ = std::make_unique<FaultInjector>(cfg_.chaos);
 }
 
 Server::~Server() { stop(); }
@@ -31,6 +35,7 @@ void Server::start() {
                     "register at least one session before start()");
   metrics_ = std::make_unique<ServerMetrics>(sessions_.count());
   t_start_ = clock_->now();
+  injector_->arm(t_start_);
   running_ = true;
   workers_.reserve(cfg_.num_workers);
   try {
@@ -167,6 +172,12 @@ Response Server::run(const std::string& session, nn::Tensor input,
 void Server::worker_loop() {
   DynamicBatcher batcher(queue_, cfg_.batch, cfg_.slo.expire_doomed);
   for (;;) {
+    // Fire chaos events that came due; a pending worker-stall fault is
+    // served by this worker sleeping it out through the clock.
+    injector_->poll(clock_->now(), sessions_);
+    const Clock::duration stall = injector_->take_stall();
+    if (stall > Clock::duration::zero())
+      clock_->sleep_until(clock_->now() + stall);
     MicroBatch mb = batcher.next();
     if (mb.empty()) return;  // queue closed and drained
     dispatch(std::move(mb));
@@ -215,13 +226,25 @@ void Server::dispatch(MicroBatch&& mb) {
   std::vector<Request>& batch = mb.run;
   if (batch.empty()) return;
 
+  injector_->poll(clock_->now(), sessions_);
+
   const std::size_t session = batch.front().session;
   const std::size_t n = batch.size();
   const Clock::time_point t_dispatch = clock_->now();
 
+  // Keep rider inputs intact when any of them still has retry budget: a
+  // failed attempt re-queues the rider, input and all.
+  const auto budget = [&](const Request& r) {
+    return cfg_.router.retry_limit[static_cast<std::size_t>(r.slo)];
+  };
+  bool may_retry = false;
+  for (const Request& r : batch)
+    if (r.attempt < budget(r)) may_retry = true;
+
   std::vector<nn::Tensor> inputs;
   inputs.reserve(n);
-  for (auto& r : batch) inputs.push_back(std::move(r.input));
+  for (auto& r : batch)
+    inputs.push_back(may_retry ? r.input : std::move(r.input));
 
   // A batch is cancellable only when *every* rider carries a deadline:
   // one deadline-free request means someone always wants the result.
@@ -235,38 +258,29 @@ void Server::dispatch(MicroBatch&& mb) {
     latest_deadline = std::max(latest_deadline, r.deadline);
   }
 
+  // The Router picks the replica (consistent hash on the head rider's id —
+  // stable across retries, so `avoid` meaningfully dodges the replica the
+  // last attempt failed on), hedges interactive batches, and records
+  // health outcomes. While this worker waits, sibling workers keep their
+  // own micro-batches in flight.
   metrics_->on_batch_dispatch(session, n);
-  std::vector<nn::Tensor> outputs;
-  std::exception_ptr batch_error;
-  bool cancelled = false;
-  try {
-    // Non-blocking submit + per-batch completion state: while this worker
-    // waits, sibling workers keep their own micro-batches in flight.
-    core::BatchFuture future =
-        sessions_.engine(session).submit(std::move(inputs));
-    if (cancellable) {
-      // Request-timeout loop: if the whole batch's deadlines lapse while
-      // it is still queued behind other batches, cancel it through the
-      // future instead of running doomed work. cancel() refuses once
-      // execution started, so partial results are never torn down.
-      while (!future.wait_for(std::chrono::microseconds(500))) {
-        if (clock_->now() >= latest_deadline && future.cancel()) {
-          cancelled = true;
-          break;
-        }
-      }
-    }
-    outputs = future.get();
-  } catch (...) {
-    // The engine surfaces the lowest-index failing sample and discards the
-    // batch's outputs, so every rider of this micro-batch shares the error.
-    batch_error = std::current_exception();
-  }
+  Router::Attempt a = router_->run(
+      sessions_.replicas(session), batch.front().id, batch.front().slo,
+      std::move(inputs),
+      batch.front().attempt > 0 ? batch.front().last_replica : kNoReplica,
+      latest_deadline, cancellable);
   metrics_->on_batch_complete(session);
+  if (a.hedged) metrics_->on_hedge(a.hedge_won, a.hedge_wasted);
 
   const Clock::time_point t_done = clock_->now();
-  for (std::size_t i = 0; i < n; ++i) {
-    Request& req = batch[i];
+  const bool cancelled = a.cancelled;
+  std::exception_ptr batch_error = a.error;
+  if (!a.ok && batch_error == nullptr)
+    batch_error = std::make_exception_ptr(
+        Error("serve: batch cancelled at deadline"));
+
+  const auto deliver = [&](Request& req, std::exception_ptr err,
+                           nn::Tensor logits) {
     Response resp;
     resp.id = req.id;
     resp.session = session;
@@ -279,10 +293,10 @@ void Server::dispatch(MicroBatch&& mb) {
     resp.total_seconds = seconds_between(req.enqueued, t_done);
     if (req.has_deadline())
       resp.slack_seconds = seconds_between(t_done, req.deadline);
-    if (batch_error != nullptr)
-      resp.error = batch_error;
+    if (err != nullptr)
+      resp.error = err;
     else
-      resp.logits = std::move(outputs[i]);
+      resp.logits = std::move(logits);
     metrics_->on_response(resp);
     if (req.on_done) {
       try {
@@ -293,6 +307,55 @@ void Server::dispatch(MicroBatch&& mb) {
       }
     }
     count_answered();
+  };
+
+  if (a.ok) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Request& req = batch[i];
+      if (req.attempt > 0 && a.replica != req.last_replica)
+        metrics_->on_failover();
+      deliver(req, nullptr, std::move(a.outputs[i]));
+    }
+    return;
+  }
+
+  if (cancelled) {
+    for (Request& req : batch) deliver(req, batch_error, nn::Tensor{});
+    return;
+  }
+
+  // Failure: riders with retry budget left go back into the queue for
+  // another attempt on a surviving replica; the rest get the error.
+  std::vector<Request> to_retry;
+  for (Request& req : batch) {
+    if (req.attempt < budget(req)) {
+      req.attempt += 1;
+      req.last_replica = a.replica;
+      to_retry.push_back(std::move(req));
+    } else {
+      deliver(req, batch_error, nn::Tensor{});
+    }
+  }
+  if (to_retry.empty()) return;
+
+  // One jittered exponential backoff per failed batch (attempt was just
+  // bumped, so attempt-1 prior failures), slept through the clock so a
+  // VirtualClock paces retries deterministically.
+  const Clock::duration pause =
+      router_->backoff(to_retry.front().attempt - 1, to_retry.front().id);
+  if (pause > Clock::duration::zero())
+    clock_->sleep_until(clock_->now() + pause);
+  for (Request& req : to_retry) {
+    metrics_->on_retry();
+    if (!queue_.push_retry(std::move(req))) {
+      // Queue closed mid-retry: the rider is nowhere a batcher could find
+      // it, so it must be answered — with a terminal error, not dropped —
+      // to keep the exactly-once contract (and drain()) honest.
+      deliver(req,
+              std::make_exception_ptr(Error(
+                  "serve: server stopped before retry could run")),
+              nn::Tensor{});
+    }
   }
 }
 
@@ -334,8 +397,25 @@ ServerSummary Server::summary() const {
   s.queue_depth_p99 = metrics_->queue_depth_percentile(99.0);
   s.max_in_flight_batches = metrics_->max_in_flight_batches();
   s.unknown_session_rejected = metrics_->unknown_session_rejections();
+  s.total_retries = metrics_->retries();
+  s.total_failovers = metrics_->failovers();
+  s.total_hedges = metrics_->hedges();
+  s.total_hedges_won = metrics_->hedges_won();
+  s.total_hedges_wasted = metrics_->hedges_wasted();
   s.sessions = metrics_->snapshot(sessions_.names(), s.elapsed_seconds);
   s.classes = metrics_->class_snapshot(s.elapsed_seconds);
+  Clock::time_point snap;
+  {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    snap = stopped_ ? t_stop_ : clock_->now();
+  }
+  for (std::size_t i = 0; i < sessions_.count(); ++i) {
+    std::vector<ReplicaSummary> rows = sessions_.replicas(i).summarize(snap);
+    for (ReplicaSummary& r : rows) {
+      r.session = sessions_.name(i);
+      s.replicas.push_back(std::move(r));
+    }
+  }
   return s;
 }
 

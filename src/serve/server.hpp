@@ -39,9 +39,11 @@
 #include <vector>
 
 #include "serve/batcher.hpp"
+#include "serve/chaos.hpp"
 #include "serve/clock.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/router.hpp"
 #include "serve/session.hpp"
 
 namespace deepcam::serve {
@@ -71,6 +73,15 @@ struct ServerConfig {
   std::size_t queue_capacity = 256; // admission-control bound
   BatchPolicy batch;
   SloConfig slo;
+  /// Engine replicas per session (serve/replica.hpp). One replica keeps
+  /// the pre-replica behavior; more buys failover capacity.
+  std::size_t replicas = 1;
+  /// Fault-tolerance policies: consistent-hash placement, retry backoff,
+  /// hedging, and the per-replica health/breaker knobs (router.replica).
+  RouterConfig router;
+  /// Scripted faults injected while serving (serve/chaos.hpp); empty =
+  /// no chaos. Armed at start(), applied by the workers.
+  ChaosScript chaos;
   /// Time source for every scheduling decision; nullptr = the real
   /// steady clock. Tests inject a VirtualClock (serve/clock.hpp).
   ClockSource* clock = nullptr;
@@ -119,6 +130,10 @@ class Server {
   bool running() const { return running_; }
   std::size_t queue_depth() const { return queue_.depth(); }
   const ServerMetrics& metrics() const;
+  /// The routing/fault-handling policy engine (tests read hedge_delay()).
+  Router& router() { return *router_; }
+  /// The chaos harness (tests read applied()).
+  FaultInjector& injector() { return *injector_; }
 
   /// Frozen whole-server statistics (valid while running or after stop()).
   ServerSummary summary() const;
@@ -140,6 +155,8 @@ class Server {
   ClockSource* clock_;
   SessionManager sessions_;
   RequestQueue queue_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<ServerMetrics> metrics_;  // sized at start()
   std::vector<std::thread> workers_;
 

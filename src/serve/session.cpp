@@ -6,6 +6,17 @@
 
 namespace deepcam::serve {
 
+void SessionManager::set_replica_config(std::size_t replicas,
+                                        ReplicaConfig cfg,
+                                        ClockSource* clock) {
+  DEEPCAM_CHECK_MSG(replicas >= 1, "sessions need >= 1 replica");
+  DEEPCAM_CHECK_MSG(sessions_.empty(),
+                    "set_replica_config must precede add_session");
+  default_replicas_ = replicas;
+  replica_cfg_ = cfg;
+  replica_clock_ = clock;
+}
+
 std::size_t SessionManager::add_session(
     std::string name, std::shared_ptr<const core::CompiledModel> compiled,
     std::size_t engine_threads) {
@@ -15,8 +26,9 @@ std::size_t SessionManager::add_session(
                     "duplicate session name: " + name);
   Session s;
   s.name = std::move(name);
-  s.engine =
-      std::make_unique<core::InferenceEngine>(compiled, engine_threads);
+  s.replicas = std::make_unique<ReplicaSet>(
+      compiled, default_replicas_, engine_threads, replica_cfg_,
+      replica_clock_);
   s.compiled = std::move(compiled);
   sessions_.push_back(std::move(s));
   return sessions_.size() - 1;
@@ -55,9 +67,19 @@ std::optional<std::size_t> SessionManager::find(
   return std::nullopt;
 }
 
+ReplicaSet& SessionManager::replicas(std::size_t idx) {
+  DEEPCAM_CHECK(idx < sessions_.size());
+  return *sessions_[idx].replicas;
+}
+
+const ReplicaSet& SessionManager::replicas(std::size_t idx) const {
+  DEEPCAM_CHECK(idx < sessions_.size());
+  return *sessions_[idx].replicas;
+}
+
 core::InferenceEngine& SessionManager::engine(std::size_t idx) {
   DEEPCAM_CHECK(idx < sessions_.size());
-  return *sessions_[idx].engine;
+  return sessions_[idx].replicas->replica(0).engine();
 }
 
 const core::CompiledModel& SessionManager::model(std::size_t idx) const {

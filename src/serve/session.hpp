@@ -3,12 +3,15 @@
 // A production DeepCAM deployment hosts several models at once (the paper's
 // Table I workloads: LeNet5, VGG11/16, ResNet18 — or the same topology
 // compiled at different hash lengths as quality/latency tiers). Each
-// session owns its shared-immutable CompiledModel plus one InferenceEngine
-// whose worker pool simulates that model's CAM pipelines; the Server routes
-// micro-batches to the engine of the batch's session.
+// session owns its shared-immutable CompiledModel plus a ReplicaSet of N
+// InferenceEngines (serve/replica.hpp) whose worker pools simulate that
+// model's CAM pipelines; the Server's Router picks the replica each
+// micro-batch runs on from the batch's routing key and the replicas'
+// health.
 //
 // Sessions are registered before Server::start() and immutable afterwards
-// (lookups are then lock-free reads).
+// (lookups are then lock-free reads; per-replica health state is
+// internally synchronized).
 #pragma once
 
 #include <memory>
@@ -17,14 +20,23 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/replica.hpp"
 
 namespace deepcam::serve {
 
 class SessionManager {
  public:
-  /// Registers `name` -> engine over `compiled` with `engine_threads`
-  /// simulated CAM pipelines (0 = hardware concurrency). Returns the
-  /// session index. Names must be unique and non-empty.
+  /// Configures the replica tier of sessions registered *after* this call:
+  /// `replicas` engines per session, health policy `cfg`, timestamps from
+  /// `clock` (nullptr = real steady clock). The Server calls this from its
+  /// constructor, before any add_session. Default: one replica.
+  void set_replica_config(std::size_t replicas, ReplicaConfig cfg,
+                          ClockSource* clock);
+
+  /// Registers `name` -> a ReplicaSet over `compiled`, each replica an
+  /// engine with `engine_threads` simulated CAM pipelines (0 = hardware
+  /// concurrency). Returns the session index. Names must be unique and
+  /// non-empty.
   std::size_t add_session(std::string name,
                           std::shared_ptr<const core::CompiledModel> compiled,
                           std::size_t engine_threads = 0);
@@ -44,6 +56,10 @@ class SessionManager {
   /// Fallback tier of session `idx`, or nullopt when none was declared.
   std::optional<std::size_t> fallback(std::size_t idx) const;
 
+  ReplicaSet& replicas(std::size_t idx);
+  const ReplicaSet& replicas(std::size_t idx) const;
+  /// Engine of replica 0 — the pre-replica single-engine view, kept for
+  /// offline callers and tests that bypass the Router.
   core::InferenceEngine& engine(std::size_t idx);
   const core::CompiledModel& model(std::size_t idx) const;
 
@@ -51,10 +67,13 @@ class SessionManager {
   struct Session {
     std::string name;
     std::shared_ptr<const core::CompiledModel> compiled;
-    std::unique_ptr<core::InferenceEngine> engine;
+    std::unique_ptr<ReplicaSet> replicas;
     std::optional<std::size_t> fallback;
   };
 
+  std::size_t default_replicas_ = 1;
+  ReplicaConfig replica_cfg_{};
+  ClockSource* replica_clock_ = nullptr;
   std::vector<Session> sessions_;
 };
 

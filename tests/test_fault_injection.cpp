@@ -56,6 +56,60 @@ TEST(FaultInjection, ManyFaultsDegradeGracefully) {
   EXPECT_LE(std::abs(after - before), 32.0);
 }
 
+TEST(FaultInjection, ClearFaultsRestoresContentsBitExactly) {
+  // Chaos runs inject and heal CAM damage repeatedly on a live array:
+  // clear_faults() must restore the stored contents bit for bit, without
+  // rewriting any row, and the fault mask must track what is outstanding.
+  cam::DynamicCam cam(cam::CamConfig{4, 256, 4});
+  Rng rng(3);
+  BitVec data(1024), key(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    data.set(i, rng.uniform() < 0.5);
+    key.set(i, rng.uniform() < 0.5);
+  }
+  cam.write_row(0, data);
+  cam.write_row(1, key);
+  const auto pristine0 = *cam.search(key).row_hd[0];
+  const auto pristine1 = *cam.search(key).row_hd[1];
+
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    cam.inject_bit_fault(0, 10 + static_cast<std::size_t>(round));
+    cam.inject_bit_fault(0, 700);
+    cam.inject_bit_fault(1, 3);
+    EXPECT_EQ(cam.faults().size(), 3u);
+    // Row 1 carries a single flip, so its HD must move by exactly 1 (two
+    // flips in one row can cancel in HD terms, so row 0 is not asserted).
+    EXPECT_NE(*cam.search(key).row_hd[1], pristine1);
+    cam.clear_faults();
+    EXPECT_TRUE(cam.faults().empty());
+    EXPECT_EQ(*cam.search(key).row_hd[0], pristine0);
+    EXPECT_EQ(*cam.search(key).row_hd[1], pristine1);
+  }
+
+  // Double injection of the same cell is a no-op on contents and mask.
+  cam.inject_bit_fault(0, 42);
+  cam.inject_bit_fault(0, 42);
+  EXPECT_TRUE(cam.faults().empty());
+  EXPECT_EQ(*cam.search(key).row_hd[0], pristine0);
+
+  // A rewrite reprograms the row: its recorded faults are dropped, and a
+  // later clear_faults() must not corrupt the fresh contents.
+  cam.inject_bit_fault(0, 100);
+  cam.inject_bit_fault(1, 200);
+  cam.write_row(0, data);
+  ASSERT_EQ(cam.faults().size(), 1u);
+  EXPECT_EQ(cam.faults()[0].row, 1u);
+  cam.clear_faults();
+  EXPECT_EQ(*cam.search(key).row_hd[0], pristine0);
+  EXPECT_EQ(*cam.search(key).row_hd[1], pristine1);
+
+  // clear() wipes occupancy and the mask together.
+  cam.inject_bit_fault(0, 7);
+  cam.clear();
+  EXPECT_TRUE(cam.faults().empty());
+}
+
 TEST(FaultInjection, QuantizedSenseAmpDegradesButTracksResolution) {
   // End-to-end: TDC-quantized sensing is *lossy* for mid-range Hamming
   // distances (the hyperbolic discharge-time curve compresses HD ~ k/2 into

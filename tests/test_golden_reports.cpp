@@ -207,6 +207,11 @@ serve::ServerSummary make_server_summary_fixture() {
   s.queue_depth_p99 = 17.0;
   s.max_in_flight_batches = 4;
   s.unknown_session_rejected = 3;
+  s.total_retries = 14;
+  s.total_failovers = 9;
+  s.total_hedges = 6;
+  s.total_hedges_won = 2;
+  s.total_hedges_wasted = 4;
 
   serve::SessionSummary lenet;
   lenet.name = "lenet5-k1024";
@@ -255,6 +260,45 @@ serve::ServerSummary make_server_summary_fixture() {
   vgg.queue_wait_p99_ms = 8.5;
   vgg.throughput_rps = 38.4;
   s.sessions.push_back(vgg);
+
+  serve::ReplicaSummary r0;
+  r0.session = "lenet5-k1024";
+  r0.replica = 0;
+  r0.health = "healthy";
+  r0.batches = 61;
+  r0.failures = 2;
+  r0.transitions = 4;
+  r0.canary_probes = 2;
+  r0.quarantine_seconds = 0.125;
+  r0.error_ewma = 0.0625;
+  r0.latency_ewma_ms = 4.5;
+  s.replicas.push_back(r0);
+
+  serve::ReplicaSummary r1;
+  r1.session = "lenet5-k1024";
+  r1.replica = 1;
+  r1.health = "quarantined";
+  r1.batches = 19;
+  r1.failures = 7;
+  r1.transitions = 3;
+  r1.canary_probes = 1;
+  r1.quarantine_seconds = 0.5;
+  r1.error_ewma = 0.875;
+  r1.latency_ewma_ms = 6.25;
+  s.replicas.push_back(r1);
+
+  serve::ReplicaSummary rv;
+  rv.session = "vgg11-k256";
+  rv.replica = 0;
+  rv.health = "degraded";
+  rv.batches = 32;
+  rv.failures = 1;
+  rv.transitions = 1;
+  rv.canary_probes = 0;
+  rv.quarantine_seconds = 0.0;
+  rv.error_ewma = 0.5625;
+  rv.latency_ewma_ms = 33.25;
+  s.replicas.push_back(rv);
 
   serve::SloClassSummary interactive;
   interactive.name = "interactive";

@@ -1012,5 +1012,487 @@ TEST(SloServer, VirtualClockReplayExpiresEverythingPastDeadline) {
   EXPECT_EQ(server.summary().total_expired(), expired.load());
 }
 
+// --- Fault tolerance: replicas, router, chaos harness -----------------------
+
+std::uint64_t test_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+TEST(ChaosScript, GeneratorIsDeterministicAndSorted) {
+  ChaosScriptConfig cc;
+  cc.seed = 42;
+  cc.duration_seconds = 2.0;
+  cc.replicas = 3;
+  cc.crashes = 2;
+  cc.stalls = 1;
+  cc.poisons = 2;
+  cc.slows = 1;
+  const ChaosScript a = make_chaos_script(cc);
+  const ChaosScript b = make_chaos_script(cc);
+  // Crashes and slows come with a paired heal/clear event each.
+  ASSERT_EQ(a.size(), 2 * cc.crashes + cc.stalls + cc.poisons + 2 * cc.slows);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_seconds, b[i].at_seconds);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].replica, b[i].replica);
+    EXPECT_EQ(a[i].param, b[i].param);
+    if (i > 0) EXPECT_GE(a[i].at_seconds, a[i - 1].at_seconds);
+    EXPECT_GE(a[i].at_seconds, 0.0);
+    EXPECT_LT(a[i].replica, cc.replicas);
+  }
+  std::size_t crashes = 0, heals = 0;
+  for (const FaultEvent& e : a) {
+    crashes += e.kind == FaultKind::kReplicaCrash;
+    heals += e.kind == FaultKind::kReplicaHeal;
+  }
+  EXPECT_EQ(crashes, cc.crashes);
+  EXPECT_EQ(heals, cc.crashes);  // every crash is healed
+}
+
+TEST(RequestQueue, PushRetryBypassesCapacityButNotClose) {
+  RequestQueue q(1);
+  ASSERT_EQ(q.try_push(make_request(0, 1)), Admission::kAccepted);
+  // A retry re-push succeeds even at capacity (the rider was already
+  // admitted once; bouncing it now would lose an accepted request).
+  Request retry = make_request(0, 2);
+  retry.attempt = 1;
+  EXPECT_TRUE(q.push_retry(std::move(retry)));
+  EXPECT_EQ(q.depth(), 2u);
+  q.close();
+  // After close() the worker must answer the rider itself: push_retry
+  // refuses instead of dropping the request into a queue nobody drains.
+  Request late = make_request(0, 3);
+  late.attempt = 1;
+  EXPECT_FALSE(q.push_retry(std::move(late)));
+  BatchPolicy bp;
+  bp.max_batch_size = 8;
+  bp.max_queue_delay = std::chrono::microseconds(0);
+  EXPECT_EQ(q.pop_micro_batch(bp).size(), 2u);  // pre-close riders drain
+}
+
+TEST(ReplicaHealth, BreakerQuarantineThenCanaryReadmission) {
+  // Drives one replica through the full state machine on a virtual clock:
+  // healthy -> (breaker trips) quarantined -> (backoff lapses) recovering
+  // -> (canary successes) healthy, with the router picking a survivor in
+  // between. No real time passes.
+  ServerFixture fx;
+  VirtualClock clock;
+  ReplicaConfig rc;
+  rc.breaker_failures = 2;
+  rc.canary_successes = 2;
+  rc.quarantine_backoff = std::chrono::milliseconds(10);
+  ReplicaSet set(fx.fast, /*replicas=*/2, /*engine_threads=*/1, rc, &clock);
+  RouterConfig rtc;
+  rtc.replica = rc;
+  Router router(rtc, &clock);
+  const Clock::time_point far = clock.now() + std::chrono::hours(1);
+
+  auto run_one = [&](std::uint64_t key) {
+    std::vector<nn::Tensor> in;
+    in.push_back(LoadGenerator::make_input(kTinyShape, key));
+    return router.run(set, key, SloClass::kBatch, std::move(in), kNoReplica,
+                      far, /*cancellable=*/false);
+  };
+
+  // A single crashed replica just gets routed around (that's the point of
+  // the ring) — crash both so the breaker provably trips on each.
+  const std::size_t owner =
+      router.pick(set, 0, SloClass::kBatch, kNoReplica).value();
+  set.replica(0).chaos_crash();
+  set.replica(1).chaos_crash();
+
+  // Failures accumulate round-robin as health degrades; two consecutive
+  // failures per replica open its breaker.
+  Router::Attempt a1 = run_one(0);
+  EXPECT_FALSE(a1.ok);
+  EXPECT_EQ(a1.replica, owner);
+  std::size_t attempts = 1;
+  while (attempts < 8 &&
+         (set.replica(0).health() != ReplicaHealth::kQuarantined ||
+          set.replica(1).health() != ReplicaHealth::kQuarantined)) {
+    clock.advance(std::chrono::milliseconds(1));
+    EXPECT_FALSE(run_one(0).ok);
+    ++attempts;
+  }
+  EXPECT_EQ(set.replica(0).health(), ReplicaHealth::kQuarantined);
+  EXPECT_EQ(set.replica(1).health(), ReplicaHealth::kQuarantined);
+  // With every replica quarantined the router reports total outage rather
+  // than hanging.
+  Router::Attempt none = run_one(0);
+  EXPECT_FALSE(none.ok);
+  EXPECT_EQ(none.replica, kNoReplica);
+
+  // Heal the faults and let the quarantine backoff lapse: the next refresh
+  // moves the replicas to recovering and the router feeds them canary
+  // probes until canary_successes readmits each.
+  set.replica(0).chaos_heal();
+  set.replica(1).chaos_heal();
+  clock.advance(std::chrono::milliseconds(20));
+  for (int i = 0; i < 6; ++i) {
+    clock.advance(std::chrono::milliseconds(1));
+    EXPECT_TRUE(run_one(0).ok);
+  }
+  EXPECT_EQ(set.replica(owner).health(), ReplicaHealth::kHealthy);
+
+  const ReplicaSummary s = set.replica(owner).summarize(clock.now());
+  EXPECT_GE(s.transitions, 3u);  // quarantined -> recovering -> healthy
+  EXPECT_GE(s.canary_probes, 1u);
+  EXPECT_GT(s.quarantine_seconds, 0.0);
+  EXPECT_EQ(s.health, "healthy");
+  EXPECT_GE(s.failures, 2u);
+}
+
+// Single-threaded virtual-clock chaos run: a RequestQueue drained through
+// the Router over a 3-replica set, with a scripted crash+heal applied when
+// virtual time crosses the event offsets. Every scheduling and routing
+// decision is a pure function of (trace, crash_replica, knobs), so two runs
+// must agree byte for byte — the replay contract of the chaos harness.
+struct ChaosSimOutcome {
+  std::size_t accepted = 0;
+  std::size_t completed = 0;
+  std::size_t expired = 0;
+  std::size_t errors = 0;
+  std::size_t retries = 0;
+  std::size_t slo_met = 0;
+  std::uint64_t checksum = 0;  // order-independent logits digest
+  std::array<std::size_t, 10> met_window{};
+  std::vector<ReplicaSummary> replicas;
+};
+
+ChaosSimOutcome simulate_chaos(
+    const Trace& trace, std::shared_ptr<const core::CompiledModel> model,
+    std::size_t crash_replica) {
+  constexpr auto kService = std::chrono::milliseconds(2);
+  const std::array<Clock::duration, kNumSloClasses> kDeadline = {
+      std::chrono::milliseconds(60), std::chrono::milliseconds(120),
+      std::chrono::milliseconds(250)};
+  VirtualClock clock;
+  const Clock::time_point t0 = clock.now();
+  ReplicaConfig rc;
+  rc.breaker_failures = 2;
+  rc.canary_successes = 2;
+  rc.quarantine_backoff = std::chrono::milliseconds(30);
+  ReplicaSet set(std::move(model), /*replicas=*/3, /*engine_threads=*/1, rc,
+                 &clock);
+  RouterConfig rtc;
+  rtc.replica = rc;
+  Router router(rtc, &clock);
+  RequestQueue q(512, AdmissionPolicy{}, &clock);
+  BatchPolicy bp;
+  bp.max_batch_size = 4;
+  bp.max_queue_delay = std::chrono::microseconds(0);
+
+  const double span = trace.events.back().t_seconds;
+  const Clock::time_point t_crash =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(0.3 * span));
+  const Clock::time_point t_heal =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(0.55 * span));
+  const Clock::duration window = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(span / 8.0));
+  bool crashed = false, healed = false;
+
+  auto to_duration = [](double seconds) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  };
+  ChaosSimOutcome out;
+  std::size_t next = 0;
+  std::vector<Request> expired;
+  while (next < trace.events.size() || q.depth() > 0) {
+    if (!crashed && clock.now() >= t_crash) {
+      set.replica(crash_replica).chaos_crash();
+      crashed = true;
+    }
+    if (!healed && clock.now() >= t_heal) {
+      set.replica(crash_replica).chaos_heal();
+      healed = true;
+    }
+    while (next < trace.events.size() &&
+           t0 + to_duration(trace.events[next].t_seconds) <= clock.now()) {
+      const TraceEvent& e = trace.events[next];
+      Request r = make_slo_request(e.slo, next);
+      r.input = LoadGenerator::make_input(kTinyShape, next);
+      r.deadline = t0 + to_duration(e.t_seconds) +
+                   kDeadline[static_cast<std::size_t>(e.slo)];
+      if (q.try_push(std::move(r)) == Admission::kAccepted) ++out.accepted;
+      ++next;
+    }
+    if (q.depth() == 0) {
+      clock.advance_to(t0 + to_duration(trace.events[next].t_seconds));
+      continue;
+    }
+    expired.clear();
+    std::vector<Request> batch = q.pop_micro_batch(bp, &expired);
+    out.expired += expired.size();
+    if (batch.empty()) continue;
+    std::vector<nn::Tensor> inputs;
+    inputs.reserve(batch.size());
+    for (const Request& r : batch) inputs.push_back(r.input);  // keep for retry
+    const Request& front = batch.front();
+    const std::size_t avoid =
+        front.attempt > 0 ? front.last_replica : kNoReplica;
+    Router::Attempt a =
+        router.run(set, front.id, front.slo, std::move(inputs), avoid,
+                   Clock::time_point::max(), /*cancellable=*/false);
+    clock.advance(kService);
+    if (a.ok) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ++out.completed;
+        std::uint32_t word = 0;
+        std::memcpy(&word, a.outputs[i].data(), sizeof word);
+        out.checksum ^= test_mix64(batch[i].id * 0x10001 + word);
+        if (batch[i].deadline >= clock.now()) {
+          ++out.slo_met;
+          const auto w = static_cast<std::size_t>(
+              (clock.now() - t0) / window);
+          ++out.met_window[std::min(w, out.met_window.size() - 1)];
+        }
+      }
+    } else {
+      const std::array<std::size_t, kNumSloClasses> budget{1, 2, 3};
+      for (Request& r : batch) {
+        if (r.attempt < budget[static_cast<std::size_t>(r.slo)]) {
+          ++r.attempt;
+          r.last_replica = a.replica;
+          ++out.retries;
+          EXPECT_TRUE(q.push_retry(std::move(r)));
+        } else {
+          ++out.errors;
+        }
+      }
+      clock.advance(router.backoff(front.attempt, front.id));
+    }
+  }
+  out.replicas = set.summarize(clock.now());
+  return out;
+}
+
+TEST(ChaosAcceptance, CrashOneOfThreeMidFlashCrowdIsLosslessAndReplays) {
+  // ISSUE 8 acceptance: kill 1 of 3 replicas in the middle of a flash
+  // crowd. Zero accepted requests may be lost, goodput must survive the
+  // crash window and recover after the heal, the crashed replica must be
+  // quarantined and readmitted through canary probes, and the entire run
+  // must replay bit-identically.
+  ServerFixture fx;
+  TraceConfig tc;
+  tc.arrivals = ArrivalProcess::kFlash;
+  tc.rate_rps = 300.0;
+  tc.flash_rate_rps = 900.0;
+  tc.flash_start_seconds = 0.1;
+  tc.flash_duration_seconds = 0.2;
+  tc.requests = 240;
+  tc.sessions = {"tiny"};
+  tc.class_weights = {0.25, 0.5, 0.25};
+  tc.seed = 11;
+  const Trace trace = make_trace(tc);
+
+  const ChaosSimOutcome run1 = simulate_chaos(trace, fx.fast, 1);
+
+  // Conservation: every accepted request was answered exactly once.
+  EXPECT_EQ(run1.completed + run1.expired + run1.errors, run1.accepted);
+  // The survivors absorbed the crashed replica's keys: nothing had to be
+  // terminally failed, and retries actually happened.
+  EXPECT_EQ(run1.errors, 0u);
+  EXPECT_GT(run1.retries, 0u);
+  // Goodput: the crash costs at most a modest dip (instant failover keeps
+  // the other 2/3 of keys untouched) and the tail of the run recovers.
+  EXPECT_GE(run1.slo_met, run1.accepted * 2 / 3);
+  EXPECT_GT(run1.met_window[7], 0u);  // still meeting deadlines at the end
+
+  // The crashed replica went through the full lifecycle and came back.
+  const ReplicaSummary& crashed = run1.replicas[1];
+  EXPECT_GE(crashed.transitions, 3u);
+  EXPECT_GE(crashed.canary_probes, 1u);
+  EXPECT_GT(crashed.quarantine_seconds, 0.0);
+  EXPECT_EQ(crashed.health, "healthy");
+  // The survivors took real traffic throughout.
+  EXPECT_GT(run1.replicas[0].batches, 0u);
+  EXPECT_GT(run1.replicas[2].batches, 0u);
+
+  // Bit-identical replay: same trace, same script, same everything.
+  const ChaosSimOutcome run2 = simulate_chaos(trace, fx.fast, 1);
+  EXPECT_EQ(run2.checksum, run1.checksum);
+  EXPECT_EQ(run2.accepted, run1.accepted);
+  EXPECT_EQ(run2.completed, run1.completed);
+  EXPECT_EQ(run2.expired, run1.expired);
+  EXPECT_EQ(run2.errors, run1.errors);
+  EXPECT_EQ(run2.retries, run1.retries);
+  EXPECT_EQ(run2.slo_met, run1.slo_met);
+  EXPECT_EQ(run2.met_window, run1.met_window);
+  ASSERT_EQ(run2.replicas.size(), run1.replicas.size());
+  for (std::size_t r = 0; r < run1.replicas.size(); ++r) {
+    EXPECT_EQ(run2.replicas[r].batches, run1.replicas[r].batches);
+    EXPECT_EQ(run2.replicas[r].failures, run1.replicas[r].failures);
+    EXPECT_EQ(run2.replicas[r].transitions, run1.replicas[r].transitions);
+    EXPECT_EQ(run2.replicas[r].canary_probes,
+              run1.replicas[r].canary_probes);
+    EXPECT_DOUBLE_EQ(run2.replicas[r].quarantine_seconds,
+                     run1.replicas[r].quarantine_seconds);
+  }
+}
+
+TEST(FaultProperty, ExactlyOnceUnderRetriesHedgesAndChaosAcrossSeeds) {
+  // Real multi-threaded server, 3 replicas, generated chaos script with
+  // crashes, stalls, poisons and slows, hedging on: across seeds, every
+  // accepted request is answered exactly once (success or error), and the
+  // fault counters stay internally consistent.
+  for (const std::uint64_t seed : {5u, 23u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ServerFixture fx;
+    ServerConfig sc;
+    sc.num_workers = 2;
+    sc.queue_capacity = 64;
+    sc.batch.max_batch_size = 4;
+    sc.batch.max_queue_delay = std::chrono::microseconds(300);
+    sc.replicas = 3;
+    sc.router.hedge_interactive = true;
+    sc.router.hedge_delay = std::chrono::milliseconds(2);
+    sc.router.retry_backoff = std::chrono::microseconds(100);
+    sc.router.replica.quarantine_backoff = std::chrono::milliseconds(5);
+    ChaosScriptConfig cc;
+    cc.seed = seed;
+    cc.duration_seconds = 0.05;  // every event is due within ~65 ms
+    cc.replicas = 3;
+    cc.crashes = 1;
+    cc.stalls = 1;
+    cc.poisons = 2;
+    cc.slows = 1;
+    sc.chaos = make_chaos_script(cc);
+    Server server(sc);
+    server.sessions().add_session("tiny", fx.fast, 1);
+    server.start();
+
+    constexpr std::size_t kN = 120;
+    std::vector<std::atomic<std::uint32_t>> answers(kN);
+    std::size_t accepted = 0;
+    std::size_t ok_responses = 0;
+    std::mutex ok_mu;
+    auto send_one = [&](std::size_t i) {
+      const SloClass slo = static_cast<SloClass>(i % kNumSloClasses);
+      if (server.submit(
+              "tiny", LoadGenerator::make_input(kTinyShape, i),
+              [&answers, &ok_mu, &ok_responses, i](Response&& r) {
+                ++answers[i];
+                if (r.ok()) {
+                  std::lock_guard<std::mutex> lk(ok_mu);
+                  ++ok_responses;
+                }
+              },
+              slo) == Admission::kAccepted)
+        ++accepted;
+    };
+    // First wave lands inside the chaos window; the pause pushes real time
+    // past every scripted offset so the second wave's worker polls fire
+    // whatever is left (workers only poll while traffic flows).
+    for (std::size_t i = 0; i < kN / 2; ++i) {
+      send_one(i);
+      if (i % 8 == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    for (std::size_t i = kN / 2; i < kN; ++i) send_one(i);
+    server.drain();
+    server.stop();
+
+    std::size_t answered = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_LE(answers[i].load(), 1u) << "request " << i;
+      answered += answers[i].load();
+    }
+    EXPECT_EQ(answered, accepted);
+    const ServerSummary summary = server.summary();
+    EXPECT_EQ(summary.total_completed(), accepted);
+    EXPECT_GT(ok_responses, 0u);
+    EXPECT_GE(summary.total_retries, summary.total_failovers);
+    EXPECT_GE(summary.total_hedges, summary.total_hedges_won);
+    EXPECT_GE(summary.total_hedges, summary.total_hedges_wasted);
+    ASSERT_EQ(summary.replicas.size(), 3u);
+    for (const ReplicaSummary& r : summary.replicas)
+      EXPECT_GE(r.quarantine_seconds, 0.0);
+    // Every scripted fault fired: the second wave polled past the window.
+    EXPECT_EQ(server.injector().applied(), server.injector().total());
+  }
+}
+
+TEST(Router, HedgeWinsAroundSlowOwner) {
+  // 2 replicas, one chaos-slowed by 30 ms, hedge delay 1 ms: interactive
+  // requests owned by the slow replica are hedged onto the fast one and
+  // the hedge wins. Answers stay bitwise correct either way.
+  ServerFixture fx;
+  ServerConfig sc;
+  sc.num_workers = 2;
+  sc.queue_capacity = 64;
+  sc.batch.max_batch_size = 2;
+  sc.batch.max_queue_delay = std::chrono::microseconds(100);
+  sc.replicas = 2;
+  sc.router.hedge_interactive = true;
+  sc.router.hedge_delay = std::chrono::milliseconds(1);
+  Server server(sc);
+  const std::size_t idx = server.sessions().add_session("tiny", fx.fast, 1);
+  server.sessions().replicas(idx).replica(0).chaos_slow(
+      std::chrono::milliseconds(30));
+  server.start();
+
+  core::DeepCamConfig cfg;
+  cfg.cam_rows = 16;
+  core::DeepCamAccelerator acc(*fx.model, cfg);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const nn::Tensor input = LoadGenerator::make_input(kTinyShape, i);
+    Response r = server.run("tiny", input, SloClass::kInteractive);
+    ASSERT_TRUE(r.ok());
+    expect_bitwise_equal(r.logits, acc.run(input));
+  }
+  server.stop();
+  const ServerSummary summary = server.summary();
+  // With 16 distinct routing keys over 2 replicas, some land on the slow
+  // owner; those must have hedged, and the fast replica's copy won.
+  EXPECT_GE(summary.total_hedges, 1u);
+  EXPECT_GE(summary.total_hedges_won, 1u);
+  EXPECT_LE(summary.total_hedges_won, summary.total_hedges);
+}
+
+TEST(Server, AllReplicasCrashedAnswersEveryRequestWithError) {
+  // Every replica dead: the server must not lose or hang a single request
+  // — each accepted one is answered with a terminal error after its retry
+  // budget is spent.
+  ServerFixture fx;
+  ServerConfig sc;
+  sc.num_workers = 2;
+  sc.queue_capacity = 32;
+  sc.batch.max_batch_size = 4;
+  sc.batch.max_queue_delay = std::chrono::microseconds(100);
+  sc.replicas = 2;
+  sc.router.retry_backoff = std::chrono::microseconds(50);
+  Server server(sc);
+  const std::size_t idx = server.sessions().add_session("tiny", fx.fast, 1);
+  server.sessions().replicas(idx).replica(0).chaos_crash();
+  server.sessions().replicas(idx).replica(1).chaos_crash();
+  server.start();
+
+  std::atomic<std::size_t> answered{0}, failed{0};
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < 12; ++i)
+    if (server.submit("tiny", LoadGenerator::make_input(kTinyShape, i),
+                      [&](Response&& r) {
+                        ++answered;
+                        if (!r.ok()) ++failed;
+                      }) == Admission::kAccepted)
+      ++accepted;
+  server.drain();
+  server.stop();
+  EXPECT_EQ(answered.load(), accepted);
+  EXPECT_EQ(failed.load(), accepted);  // nothing could possibly succeed
+  const ServerSummary summary = server.summary();
+  EXPECT_EQ(summary.total_completed(), accepted);
+  EXPECT_EQ(summary.sessions[0].errors, accepted);
+  EXPECT_GT(summary.total_retries, 0u);
+}
+
 }  // namespace
 }  // namespace deepcam::serve

@@ -69,9 +69,30 @@ bool check_serve(const ServeOutcome& out) {
     ok = ok && c.accepted == c.completed;  // exactly-once per class
     ok = ok && c.slo_met + c.expired + c.errors <= c.completed;
   }
+  // Fault-tolerance conservation: every accepted request is answered exactly
+  // once even when it was retried or hedged — retries/hedges never inflate
+  // (or deplete) the completion counts, they only add replica work.
+  for (const auto& sess : out.summary.sessions) {
+    ok = ok && sess.accepted == sess.completed;
+    ok = ok && sess.errors + sess.expired <= sess.completed;
+  }
+  ok = ok && out.summary.total_failovers <= out.summary.total_retries;
+  ok = ok && out.summary.total_hedges_won <= out.summary.total_hedges;
+  ok = ok && out.summary.total_hedges_wasted <= out.summary.total_hedges;
+  std::size_t replica_batches = 0, session_batches = 0;
+  for (const auto& r : out.summary.replicas) {
+    ok = ok && (r.health == "healthy" || r.health == "degraded" ||
+                r.health == "quarantined" || r.health == "recovering");
+    ok = ok && r.quarantine_seconds >= 0.0;
+    replica_batches += r.batches;
+  }
+  for (const auto& sess : out.summary.sessions) session_batches += sess.batches;
+  // Every replica success comes from one dispatched micro-batch attempt; a
+  // hedged attempt can land on two replicas, so hedges bound the overshoot.
+  ok = ok && replica_batches <= session_batches + out.summary.total_hedges;
   std::printf("check serve: %zu events = %zu sent + %zu rejected "
               "(%zu shed), %llu completed, %llu SLO met, %llu expired, "
-              "%llu downgraded -> %s\n",
+              "%llu downgraded, %llu retries, %llu hedges -> %s\n",
               out.trace_events, out.load.sent, out.load.rejected,
               out.load.shed,
               static_cast<unsigned long long>(out.summary.total_completed()),
@@ -79,6 +100,8 @@ bool check_serve(const ServeOutcome& out) {
               static_cast<unsigned long long>(out.summary.total_expired()),
               static_cast<unsigned long long>(
                   out.summary.total_downgraded()),
+              static_cast<unsigned long long>(out.summary.total_retries),
+              static_cast<unsigned long long>(out.summary.total_hedges),
               ok ? "OK" : "FAIL");
   return ok;
 }
