@@ -4,6 +4,7 @@
 // land on the same line — the backend contract tests assert it).
 #include <cstdio>
 
+#include "codelet/codelet.hpp"
 #include "common/table.hpp"
 #include "sim/comparison.hpp"
 #include "sim/report_io.hpp"
@@ -11,7 +12,17 @@
 using namespace deepcam;
 
 int main() {
-  std::printf("== Backend batch sweep (lenet5) ==\n\n");
+  std::printf("== Backend batch sweep (lenet5) ==\n");
+  // Same self-describing context pair micro_kernels reports through the
+  // google-benchmark context: numbers are meaningless without the build
+  // type, and the DeepCAM row's host speed rides on the dispatched ISA.
+#ifdef NDEBUG
+  std::printf("deepcam_build_type: release\n");
+#else
+  std::printf("deepcam_build_type: debug\n");
+#endif
+  std::printf("deepcam_codelet_isa: %s\n\n",
+              codelet::isa_name(codelet::active_isa()));
   const sim::BackendRegistry registry = sim::default_registry();
   const sim::ComparisonRunner runner(registry);
   const sim::ComparisonReport report =

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -12,6 +13,7 @@
 
 #include "cam/dynamic_cam.hpp"
 #include "codelet/codelet.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "core/context.hpp"
 #include "core/engine.hpp"
@@ -315,7 +317,48 @@ void register_isa_benchmarks() {
 // library, not this binary (BENCH_pr3.json was emitted from a Release build
 // yet says "debug"). Report our own build type and the dispatched codelet
 // ISA as custom context so every emitted JSON is self-describing.
+namespace {
+
+/// Console reporter that also captures the adjusted real time of the
+/// engine gate benchmark (BM_EngineRunBatch/1/real_time) for the
+/// --deepcam_baseline regression check.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.benchmark_name() == kGateBench)
+        gate_real_time_ = run.GetAdjustedRealTime();
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+  double gate_real_time() const { return gate_real_time_; }
+
+  static constexpr const char* kGateBench = "BM_EngineRunBatch/1/real_time";
+
+ private:
+  double gate_real_time_ = -1.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  // Strip --deepcam_baseline=PATH before google-benchmark sees argv (it
+  // rejects flags it does not own). The gate compares this run's
+  // BM_EngineRunBatch/1 real time against the committed baseline (the
+  // "pr6" section of BENCH_pr6.json): > 1% slower fails — the tracing
+  // probe points must stay free when disabled.
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--deepcam_baseline=";
+    if (arg.rfind(prefix, 0) == 0) {
+      baseline_path = arg.substr(prefix.size());
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 #ifdef NDEBUG
@@ -326,7 +369,31 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("deepcam_codelet_isa",
                               codelet::isa_name(codelet::active_isa()));
   register_isa_benchmarks();
-  benchmark::RunSpecifiedBenchmarks();
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  if (!baseline_path.empty()) {
+    if (reporter.gate_real_time() <= 0.0) {
+      std::fprintf(stderr,
+                   "deepcam_baseline: %s did not run (filter it in?)\n",
+                   CapturingReporter::kGateBench);
+      return 1;
+    }
+    const JsonValue baseline = parse_json_file(baseline_path);
+    const double base_ms = baseline.at("pr6")
+                               .at("benchmarks")
+                               .at(CapturingReporter::kGateBench)
+                               .at("real_time")
+                               .as_number();
+    const double ratio = reporter.gate_real_time() / base_ms;
+    std::printf("%s vs %s: %.3f / %.3f ms = %.3fx (gate <= 1.01x)\n",
+                CapturingReporter::kGateBench, baseline_path.c_str(),
+                reporter.gate_real_time(), base_ms, ratio);
+    if (ratio > 1.01) {
+      std::fprintf(stderr, "FAIL: engine batch regressed vs baseline\n");
+      return 1;
+    }
+  }
   return 0;
 }

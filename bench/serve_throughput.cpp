@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "codelet/codelet.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "core/report_io.hpp"
@@ -58,22 +59,38 @@ struct SweepRow {
   double mean_batch = 0.0;
 };
 
+/// Build configuration context mirrored into the printout and the JSON
+/// artifact (micro_kernels.cpp reports the same pair through the
+/// google-benchmark context) so every emitted artifact is self-describing.
+const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false, check = false;
-  std::string json_path;
+  std::string json_path, baseline_path;
   cli::Flags flags("serve_throughput",
                    "offline vs saturation vs offered-load serving sweep");
   flags.flag("quick", &quick, "shrink every phase for CI smoke runs")
       .flag("check", &check, "gate saturation >= 90% of offline, >= 2 in "
                              "flight")
-      .option("json", &json_path, "write the bench JSON artifact here");
+      .option("json", &json_path, "write the bench JSON artifact here")
+      .option("baseline", &baseline_path,
+              "prior artifact; with --check, gate saturation >= 99% of its "
+              "saturation.achieved_rps");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
     return 2;
   }
+  std::printf("deepcam_build_type: %s\ndeepcam_codelet_isa: %s\n",
+              build_type(), codelet::isa_name(codelet::active_isa()));
 
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t offline_samples = quick ? 32 : 64;
@@ -376,6 +393,8 @@ int main(int argc, char** argv) {
     JsonWriter json;
     json.begin_object();
     json.kv("bench", "serve_throughput");
+    json.kv("deepcam_build_type", build_type());
+    json.kv("deepcam_codelet_isa", codelet::isa_name(codelet::active_isa()));
     json.kv("model", "lenet5");
     json.kv("hash_bits", 256);
     json.kv("engine_threads", hw);
@@ -478,6 +497,23 @@ int main(int argc, char** argv) {
                 !crashed_readmitted)) {
     std::fprintf(stderr, "FAIL: replica-failover gate not met\n");
     return 1;
+  }
+
+  // --- regression gate vs a committed artifact ----------------------------
+  // Catches serving-path slowdowns (e.g. tracing hooks when disabled): the
+  // measured saturation must stay within 1% of the baseline run's.
+  if (!baseline_path.empty()) {
+    const JsonValue baseline = parse_json_file(baseline_path);
+    const double base_rps =
+        baseline.at("saturation").at("achieved_rps").as_number();
+    const double vs_base = base_rps > 0.0 ? saturation_rps / base_rps : 0.0;
+    std::printf("saturation vs baseline %s: %.1f / %.1f req/s = %.3f "
+                "(gate 0.99)\n",
+                baseline_path.c_str(), saturation_rps, base_rps, vs_base);
+    if (check && vs_base < 0.99) {
+      std::fprintf(stderr, "FAIL: saturation regressed vs baseline\n");
+      return 1;
+    }
   }
   return 0;
 }

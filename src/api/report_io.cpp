@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/format.hpp"
+#include "common/table.hpp"
 #include "core/report_io.hpp"
 #include "serve/report_io.hpp"
 #include "sim/report_io.hpp"
@@ -11,6 +12,42 @@
 namespace deepcam {
 
 namespace {
+
+/// The outcome's per-stage profile rows (empty unless outputs.profile).
+const std::vector<obs::StageStat>& outcome_profile(const Outcome& outcome) {
+  static const std::vector<obs::StageStat> kEmpty;
+  switch (outcome.mode) {
+    case Mode::kOffline: return outcome.offline().profile;
+    case Mode::kServe: return outcome.serve().profile;
+    default: return kEmpty;
+  }
+}
+
+void profile_json(JsonWriter& json, const std::vector<obs::StageStat>& rows) {
+  json.begin_array();
+  for (const obs::StageStat& r : rows) {
+    json.begin_object();
+    json.kv("stage", r.stage);
+    json.kv("count", r.count);
+    json.kv("total_ms", r.total_ms);
+    json.kv("mean_us", r.mean_us);
+    json.kv("share", r.share);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+std::string profile_text(const std::vector<obs::StageStat>& rows) {
+  std::ostringstream os;
+  os << "\nStage profile (traced spans, by total time):\n";
+  Table table({"stage", "count", "total ms", "mean us", "share"});
+  for (const obs::StageStat& r : rows)
+    table.add_row({r.stage, std::to_string(r.count), Table::num(r.total_ms),
+                   Table::num(r.mean_us),
+                   format_fixed(100.0 * r.share, 1) + "%"});
+  table.print(os);
+  return os.str();
+}
 
 void offline_json(JsonWriter& json, const OfflineOutcome& out,
                   bool per_sample) {
@@ -137,6 +174,13 @@ void outcome_json(JsonWriter& json, const Outcome& outcome,
     case Mode::kServe: serve_json(json, outcome.serve()); break;
     case Mode::kTune: tune_json(json, outcome.tune()); break;
   }
+  // Profiled runs append the per-stage table; untraced outcomes keep the
+  // exact pre-profiling document shape.
+  const auto& profile = outcome_profile(outcome);
+  if (!profile.empty()) {
+    json.key("profile");
+    profile_json(json, profile);
+  }
   json.end_object();
 }
 
@@ -147,13 +191,16 @@ std::string outcome_to_json(const Outcome& outcome, bool per_sample) {
 }
 
 std::string outcome_text(const Outcome& outcome) {
+  std::string text;
   switch (outcome.mode) {
-    case Mode::kOffline: return offline_text(outcome.offline());
-    case Mode::kCompare: return compare_text(outcome.compare());
-    case Mode::kServe: return serve_text(outcome.serve());
-    case Mode::kTune: return tune_text(outcome.tune());
+    case Mode::kOffline: text = offline_text(outcome.offline()); break;
+    case Mode::kCompare: text = compare_text(outcome.compare()); break;
+    case Mode::kServe: text = serve_text(outcome.serve()); break;
+    case Mode::kTune: text = tune_text(outcome.tune()); break;
   }
-  return {};
+  const auto& profile = outcome_profile(outcome);
+  if (!profile.empty()) text += profile_text(profile);
+  return text;
 }
 
 std::string outcome_csv(const Outcome& outcome) {

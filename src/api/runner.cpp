@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "pim/comparators.hpp"
+#include "serve/report_io.hpp"
 #include "serve/server.hpp"
 #include "sim/backends.hpp"
 #include "sim/registry.hpp"
@@ -14,6 +17,60 @@
 namespace deepcam {
 
 namespace {
+
+// --- tracing --------------------------------------------------------------
+
+/// TraceRecorder::NowFn adapter over a serve ClockSource: span timestamps
+/// are the clock's time_since_epoch in nanoseconds, matching the stamps
+/// the server reads for queue-wait reconstruction.
+std::uint64_t clock_now_ns(const void* ctx) {
+  const auto* clock = static_cast<const serve::ClockSource*>(ctx);
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock->now().time_since_epoch())
+          .count());
+}
+
+/// Arms the process-global TraceRecorder for one traced run (trace sink
+/// and/or profiling requested); restores kOff + the default clock on
+/// destruction so untraced runs stay zero-cost.
+class TraceSession {
+ public:
+  TraceSession(const OutputOptions& out, const serve::ClockSource* clock)
+      : enabled_(!out.trace_path.empty() || out.profile) {
+    if (!enabled_) return;
+    auto& rec = obs::TraceRecorder::instance();
+    rec.set_level(obs::TraceLevel::kOff);
+    if (clock != nullptr) rec.set_clock(&clock_now_ns, clock);
+    rec.clear();
+    rec.set_level(out.profile ? obs::TraceLevel::kFull
+                              : obs::TraceLevel::kServe);
+  }
+
+  ~TraceSession() {
+    if (!enabled_) return;
+    auto& rec = obs::TraceRecorder::instance();
+    rec.set_level(obs::TraceLevel::kOff);
+    rec.set_clock(nullptr, nullptr);
+    rec.clear();
+  }
+
+  /// Stops recording, writes the trace file when requested, and returns
+  /// the per-stage aggregate when profiling (empty otherwise).
+  std::vector<obs::StageStat> finish(const OutputOptions& out) {
+    if (!enabled_) return {};
+    auto& rec = obs::TraceRecorder::instance();
+    rec.set_level(obs::TraceLevel::kOff);
+    std::vector<obs::SpanRecord> spans = rec.collect();
+    obs::canonicalize(spans);
+    if (!out.trace_path.empty()) obs::write_trace_file(out.trace_path, spans);
+    return out.profile ? obs::aggregate_stages(spans)
+                       : std::vector<obs::StageStat>{};
+  }
+
+ private:
+  bool enabled_;
+};
 
 core::TunerConfig tuner_config(const AcceleratorSpec& acc) {
   core::TunerConfig cfg;
@@ -80,10 +137,12 @@ Outcome run_offline(const Spec& spec) {
       std::make_shared<const core::CompiledModel>(*model, cfg);
   core::InferenceEngine engine(compiled, spec.accelerator.engine_threads);
 
+  TraceSession tracing(spec.outputs, nullptr);
   OfflineOutcome out;
   engine.run_batch(
       sim::make_probe_batch(shape, spec.offline.batch, spec.offline.input_seed),
       &out.report);
+  out.profile = tracing.finish(spec.outputs);
   return Outcome{spec.name, spec.mode, std::move(out)};
 }
 
@@ -143,7 +202,17 @@ Outcome run_serve(const Spec& spec) {
                       "unknown chaos fault kind: " + e.kind);
     cfg.chaos.push_back(serve::FaultEvent{e.at, kind, e.replica, e.param});
   }
+  // Deterministic mode: a VirtualClock plus manual dispatch makes the whole
+  // run single-threaded (LoadGenerator::replay_deterministic pumps the
+  // server inline), so an exported span trace is byte-identical across
+  // replays.
+  serve::VirtualClock vclock;
+  if (srv.virtual_time) {
+    cfg.clock = &vclock;
+    cfg.manual_dispatch = true;
+  }
   serve::Server server(cfg);
+  TraceSession tracing(spec.outputs, cfg.clock);
 
   // Sessions: every workload compiled at every hash tier. The models must
   // outlive the server (CompiledModel only points at them).
@@ -208,12 +277,22 @@ Outcome run_serve(const Spec& spec) {
 
   serve::LoadGenerator loadgen(server, session_shapes);
   ServeOutcome out;
-  out.load = loadgen.replay(trace, opts);
-  server.drain();
+  if (srv.virtual_time) {
+    out.load = loadgen.replay_deterministic(trace, vclock);
+  } else {
+    out.load = loadgen.replay(trace, opts);
+    server.drain();
+  }
   server.stop();
   out.summary = server.summary();
   out.trace_events = trace.events.size();
   out.sessions = std::move(session_names);
+  out.profile = tracing.finish(spec.outputs);
+  if (!spec.outputs.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    serve::register_prometheus_collector(registry, server);
+    obs::write_metrics_file(spec.outputs.metrics_path, registry.expose());
+  }
   return Outcome{spec.name, spec.mode, std::move(out)};
 }
 

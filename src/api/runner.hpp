@@ -23,6 +23,7 @@
 #include "api/spec.hpp"
 #include "core/engine.hpp"
 #include "core/hash_tuner.hpp"
+#include "obs/trace_export.hpp"
 #include "serve/loadgen.hpp"
 #include "sim/comparison.hpp"
 
@@ -30,6 +31,8 @@ namespace deepcam {
 
 struct OfflineOutcome {
   core::BatchReport report;
+  /// Per-stage aggregate of the run's kernel spans (outputs.profile only).
+  std::vector<obs::StageStat> profile;
 };
 
 struct CompareOutcome {
@@ -41,6 +44,8 @@ struct ServeOutcome {
   serve::LoadReport load;         // client-side view (per-request records)
   std::size_t trace_events = 0;   // length of the replayed trace
   std::vector<std::string> sessions;  // session names, registration order
+  /// Per-stage aggregate of the run's spans (outputs.profile only).
+  std::vector<obs::StageStat> profile;
 };
 
 struct TuneOutcome {

@@ -233,6 +233,9 @@ void Spec::validate() const {
         invalid("serve.rate_rps must be > 0 for open-loop traces");
       if (serve.trace == "closed" && serve.clients == 0)
         invalid("serve.clients must be > 0 for closed-loop traces");
+      if (serve.virtual_time && serve.trace == "closed")
+        invalid("serve.virtual_time needs an open-loop trace (closed-loop "
+                "clients block on real threads)");
       if (serve.deadline_interactive_us < 0 ||
           serve.deadline_standard_us < 0 || serve.deadline_batch_us < 0)
         invalid("serve deadlines must be >= 0 microseconds");
@@ -290,6 +293,17 @@ void Spec::validate() const {
         invalid("accelerator.vhl_max_rel_error must be > 0 in tune mode");
       break;
   }
+
+  // Observability sinks only make sense where spans/metrics are produced:
+  // traces and profiling need an engine or server run, the Prometheus
+  // mirror needs a server.
+  const bool traced_mode = mode == Mode::kOffline || mode == Mode::kServe;
+  if (!outputs.trace_path.empty() && !traced_mode)
+    invalid("outputs.trace is only meaningful in offline or serve mode");
+  if (outputs.profile && !traced_mode)
+    invalid("outputs.profile is only meaningful in offline or serve mode");
+  if (!outputs.metrics_path.empty() && mode != Mode::kServe)
+    invalid("outputs.metrics is only meaningful in serve mode");
 }
 
 SpecBuilder::SpecBuilder(std::string name) { spec_.name = std::move(name); }
@@ -561,6 +575,11 @@ SpecBuilder& SpecBuilder::serve_chaos(double at_seconds, std::string kind,
   return *this;
 }
 
+SpecBuilder& SpecBuilder::serve_virtual_time(bool on) {
+  spec_.serve.virtual_time = on;
+  return *this;
+}
+
 SpecBuilder& SpecBuilder::json_output(std::string path) {
   spec_.outputs.json_path = std::move(path);
   return *this;
@@ -578,6 +597,21 @@ SpecBuilder& SpecBuilder::text_output(bool on) {
 
 SpecBuilder& SpecBuilder::per_sample(bool on) {
   spec_.outputs.per_sample = on;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::trace_output(std::string path) {
+  spec_.outputs.trace_path = std::move(path);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::metrics_output(std::string path) {
+  spec_.outputs.metrics_path = std::move(path);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::profile(bool on) {
+  spec_.outputs.profile = on;
   return *this;
 }
 

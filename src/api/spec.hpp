@@ -197,6 +197,13 @@ struct ServeOptions {
   long quarantine_backoff_us = 20000;
   /// Scripted faults injected while the trace replays.
   std::vector<ChaosEventSpec> chaos;
+
+  // --- determinism -------------------------------------------------------
+  /// Replay on a VirtualClock in manual-dispatch (pump) mode: the whole
+  /// serve run is single-threaded and replay-identical, so an exported
+  /// trace is byte-identical across runs (the golden-pinnable profile).
+  /// `workers` is ignored (there are no worker threads to spawn).
+  bool virtual_time = false;
 };
 
 /// Where Runner results go when the CLI (or a caller honoring the spec)
@@ -206,6 +213,14 @@ struct OutputOptions {
   bool text = true;         // human-readable summary to stdout
   bool csv = false;         // CSV dumps to stdout (offline/compare)
   bool per_sample = false;  // include per-sample reports in offline JSON
+  /// Span-trace sink (offline/serve): ".csv" writes the compact CSV form,
+  /// anything else Chrome trace-event JSON (load into Perfetto). "" = off.
+  std::string trace_path;
+  /// Prometheus text-exposition sink (serve only); "" = off.
+  std::string metrics_path;
+  /// Record kernel-stage spans (TraceLevel::kFull) and attach a per-stage
+  /// aggregate table to the outcome (offline/serve).
+  bool profile = false;
 };
 
 struct Spec {
@@ -307,12 +322,21 @@ class SpecBuilder {
   /// Appends one scripted chaos fault (kind: crash|heal|stall|poison|slow).
   SpecBuilder& serve_chaos(double at_seconds, std::string kind,
                            std::size_t replica = 0, double param = 0.0);
+  /// Deterministic pump-mode replay on a VirtualClock (byte-identical
+  /// exported traces).
+  SpecBuilder& serve_virtual_time(bool on = true);
 
   // --- outputs -----------------------------------------------------------
   SpecBuilder& json_output(std::string path);
   SpecBuilder& csv_output(bool on = true);
   SpecBuilder& text_output(bool on);
   SpecBuilder& per_sample(bool on = true);
+  /// Span-trace sink (".csv" = CSV, otherwise Chrome trace-event JSON).
+  SpecBuilder& trace_output(std::string path);
+  /// Prometheus text-exposition sink (serve mode).
+  SpecBuilder& metrics_output(std::string path);
+  /// Kernel-stage profiling (per-stage aggregate table in the outcome).
+  SpecBuilder& profile(bool on = true);
 
   /// Validates and returns the spec (throws Error when invalid).
   Spec build() const;

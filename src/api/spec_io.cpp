@@ -207,6 +207,8 @@ void parse_serve(const JsonValue& doc, ServeOptions& srv) {
       srv.canary_successes = as_size(v);
     } else if (key == "quarantine_backoff_us") {
       srv.quarantine_backoff_us = static_cast<long>(v.as_uint());
+    } else if (key == "virtual_time") {
+      srv.virtual_time = v.as_bool();
     } else if (key == "chaos") {
       srv.chaos.clear();
       for (const JsonValue& item : v.items()) {
@@ -232,6 +234,9 @@ void parse_outputs(const JsonValue& doc, OutputOptions& out) {
     else if (key == "csv") out.csv = v.as_bool();
     else if (key == "text") out.text = v.as_bool();
     else if (key == "per_sample") out.per_sample = v.as_bool();
+    else if (key == "trace") out.trace_path = v.as_string();
+    else if (key == "metrics") out.metrics_path = v.as_string();
+    else if (key == "profile") out.profile = v.as_bool();
     else unknown_key("outputs", key, v);
   }
 }
@@ -413,6 +418,7 @@ std::string spec_to_json(const Spec& spec) {
   json.kv("canary_successes", srv.canary_successes);
   json.kv("quarantine_backoff_us",
           static_cast<std::int64_t>(srv.quarantine_backoff_us));
+  json.kv("virtual_time", srv.virtual_time);
   json.key("chaos").begin_array();
   for (const ChaosEventSpec& e : srv.chaos) {
     json.begin_object();
@@ -430,6 +436,9 @@ std::string spec_to_json(const Spec& spec) {
   json.kv("csv", spec.outputs.csv);
   json.kv("text", spec.outputs.text);
   json.kv("per_sample", spec.outputs.per_sample);
+  json.kv("trace", spec.outputs.trace_path);
+  json.kv("metrics", spec.outputs.metrics_path);
+  json.kv("profile", spec.outputs.profile);
   json.end_object();
 
   json.end_object();

@@ -16,6 +16,19 @@ Worker::Worker(const CompiledModel& compiled)
       cam_(compiled.cam_config(), compiled.config().sense),
       postproc_(compiled.config().postproc) {}
 
+namespace {
+
+/// kFull kernel-stage span carrying the inherited request identity plus the
+/// CAM layer index in `value`. Inactive (free) below kFull.
+obs::Span kernel_span(const char* name, std::size_t cam_idx) {
+  obs::Span sp(obs::TraceLevel::kFull, obs::SpanCat::kKernel, name);
+  const obs::TraceTag tag = obs::current_trace_tag();
+  sp.rid(tag.tag).batch(tag.sample).value(cam_idx);
+  return sp;
+}
+
+}  // namespace
+
 LayerReport Worker::simulate_cam_layer(std::size_t cam_idx,
                                        const ContextBatch& act_ctx,
                                        bool online_ctxgen) {
@@ -47,14 +60,32 @@ LayerReport Worker::simulate_cam_layer(std::size_t cam_idx,
   // loop below, so a zero-fill would be pure overhead.
   if (flat_.size() < K * P) flat_.resize(K * P);
 
+  // kFull stage profiling: accumulate per-stage wall time across the
+  // interleaved pass loop with predicted branches (the loop itself is not
+  // restructured), then emit the three stages as back-to-back packed spans
+  // from the loop's start time. `tracing` is hoisted so the disabled path
+  // pays one atomic load, not one per iteration.
+  auto& trec = obs::TraceRecorder::instance();
+  const bool tracing = trec.enabled(obs::TraceLevel::kFull);
+  std::uint64_t write_ns = 0, search_ns = 0, post_ns = 0;
+  std::uint64_t t_stage = tracing ? trec.now_ns() : 0;
+  const std::uint64_t t_pass0 = t_stage;
+  auto checkpoint = [&](std::uint64_t& bucket) {
+    const std::uint64_t t = trec.now_ns();
+    bucket += t - t_stage;
+    t_stage = t;
+  };
+
   std::size_t base = 0;
   while (base < stationary.size()) {
     const std::size_t count = std::min(R, stationary.size() - base);
     cam_.clear();
     for (std::size_t r = 0; r < count; ++r)
       cam_.write_row(r, stationary.sig_span(base + r));
+    if (tracing) checkpoint(write_ns);
     for (std::size_t sidx = 0; sidx < streamed.size(); ++sidx) {
       cam_.search_flat(streamed.sig_span(sidx), search_buf_);
+      if (tracing) checkpoint(search_ns);
       const std::uint16_t* hd = search_buf_.row_hd.data();
       for (std::size_t r = 0; r < count; ++r) {
         const std::size_t kernel = ws ? (base + r) : sidx;
@@ -62,8 +93,29 @@ LayerReport Worker::simulate_cam_layer(std::size_t cam_idx,
         flat_[kernel * P + patch] = postproc_.finish_dot_product(
             w_ctx[kernel], act_ctx[patch], hd[r], k_bits, cl.bias[kernel]);
       }
+      if (tracing) checkpoint(post_ns);
     }
     base += count;
+  }
+
+  if (tracing) {
+    const obs::TraceTag tag = obs::current_trace_tag();
+    std::uint64_t cursor = t_pass0;
+    auto emit_stage = [&](const char* name, std::uint64_t dur) {
+      obs::SpanRecord r;
+      r.t_begin_ns = cursor;
+      r.t_end_ns = cursor + dur;
+      r.name = name;
+      r.cat = obs::SpanCat::kKernel;
+      r.rid = tag.tag;
+      r.batch = tag.sample;
+      r.value = cam_idx;
+      trec.record(r);
+      cursor += dur;
+    };
+    emit_stage("cam_write", write_ns);
+    emit_stage("cam_search", search_ns);
+    emit_stage("postproc", post_ns);
   }
 
   // Online context generation cost for this layer's activation contexts.
@@ -130,7 +182,11 @@ nn::Tensor Worker::run(const nn::Tensor& input, RunReport* report) {
       // Hash straight to this layer's resolved length: prefix-of-iid-columns
       // makes the k-bit signature bitwise identical to the first k bits of
       // the full hash, at k/1024 of the GEMM cost.
-      cl.ctxgen->activation_contexts_into(in, spec, act_ctx_, 0, cl.hash_bits);
+      {
+        obs::Span hash_sp = kernel_span("hash", cam_idx);
+        cl.ctxgen->activation_contexts_into(in, spec, act_ctx_, 0,
+                                            cl.hash_bits);
+      }
       LayerReport lrep =
           simulate_cam_layer(cam_idx, act_ctx_, !first_cam_layer);
       const std::size_t oh = spec.out_h(in.shape().h);
@@ -148,7 +204,11 @@ nn::Tensor Worker::run(const nn::Tensor& input, RunReport* report) {
       const auto& fc = static_cast<const nn::Linear&>(layer);
       const CompiledModel::CamLayer& cl = compiled_->cam_layer(cam_idx);
       DEEPCAM_CHECK(cl.node_index == i);
-      cl.ctxgen->activation_context_flat_into(in, act_ctx_, 0, cl.hash_bits);
+      {
+        obs::Span hash_sp = kernel_span("hash", cam_idx);
+        cl.ctxgen->activation_context_flat_into(in, act_ctx_, 0,
+                                                cl.hash_bits);
+      }
       LayerReport lrep =
           simulate_cam_layer(cam_idx, act_ctx_, !first_cam_layer);
       nn::Tensor out({1, fc.out_features(), 1, 1});
@@ -334,6 +394,12 @@ void InferenceEngine::worker_loop(std::size_t worker_idx) {
     lk.unlock();
     std::exception_ptr error;
     try {
+      // Inherit the submitting request's identity for kernel-stage spans;
+      // trace_tag is immutable after enqueue, safe to read unlocked.
+      obs::ScopedTraceTag tag_scope({state->trace_tag, s});
+      obs::Span sample_sp(obs::TraceLevel::kFull, obs::SpanCat::kEngine,
+                          "sample");
+      sample_sp.rid(state->trace_tag).batch(s);
       state->outputs[s] = worker.run((*state->inputs)[s], &state->reports[s]);
     } catch (...) {
       error = std::current_exception();
@@ -359,6 +425,12 @@ void InferenceEngine::worker_loop(std::size_t worker_idx) {
 void InferenceEngine::enqueue(
     const std::shared_ptr<detail::BatchState>& state) {
   const std::size_t n = state->inputs->size();
+  {
+    obs::SpanRecord r;
+    r.rid = state->trace_tag;
+    r.value = n;
+    obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kEngine, "submit", r);
+  }
   state->outputs.resize(n);
   state->reports.resize(n);
   state->pending = n;
@@ -381,10 +453,12 @@ void InferenceEngine::enqueue(
     work_cv_.notify_all();
 }
 
-BatchFuture InferenceEngine::submit(std::vector<nn::Tensor> inputs) {
+BatchFuture InferenceEngine::submit(std::vector<nn::Tensor> inputs,
+                                    std::uint64_t trace_tag) {
   auto state = std::make_shared<detail::BatchState>();
   state->owned_inputs = std::move(inputs);
   state->inputs = &state->owned_inputs;
+  state->trace_tag = trace_tag;
   enqueue(state);
   return BatchFuture(this, std::move(state));
 }

@@ -34,6 +34,7 @@
 #include "cam/dynamic_cam.hpp"
 #include "core/compiled_model.hpp"
 #include "core/postproc.hpp"
+#include "obs/trace.hpp"
 
 namespace deepcam::core {
 
@@ -119,6 +120,9 @@ struct BatchState {
   bool done = false;
   std::chrono::steady_clock::time_point t_submit;
   double wall_seconds = 0.0;
+  // Trace identity the submitting scope attached (obs::kNoId = untraced);
+  // worker threads re-install it via ScopedTraceTag per sample.
+  std::uint64_t trace_tag = obs::kNoId;
 };
 
 }  // namespace detail
@@ -184,7 +188,10 @@ class InferenceEngine {
   /// Enqueues `inputs` (each a batch-1 tensor) as one batch and returns
   /// immediately. Batches dispatch FIFO, but samples of later batches start
   /// as soon as workers free up — multiple batches overlap in flight.
-  BatchFuture submit(std::vector<nn::Tensor> inputs);
+  /// `trace_tag` labels the batch's engine/kernel spans with the caller's
+  /// request identity (obs::kNoId = untraced).
+  BatchFuture submit(std::vector<nn::Tensor> inputs,
+                     std::uint64_t trace_tag = obs::kNoId);
 
   /// Batches currently submitted but not yet completed.
   std::size_t in_flight_batches() const;

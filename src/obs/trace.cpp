@@ -1,0 +1,149 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace deepcam::obs {
+
+const char* to_string(SpanCat c) {
+  switch (c) {
+    case SpanCat::kAdmission: return "admission";
+    case SpanCat::kQueue: return "queue";
+    case SpanCat::kBatch: return "batch";
+    case SpanCat::kDispatch: return "dispatch";
+    case SpanCat::kRoute: return "route";
+    case SpanCat::kRetry: return "retry";
+    case SpanCat::kEngine: return "engine";
+    case SpanCat::kKernel: return "kernel";
+    case SpanCat::kComplete: return "complete";
+    case SpanCat::kChaos: return "chaos";
+  }
+  return "unknown";
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::TraceRecorder() = default;
+
+void TraceRecorder::set_clock(NowFn fn, const void* ctx) {
+  now_fn_ = fn;
+  now_ctx_ = ctx;
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  if (now_fn_ != nullptr) return now_fn_(now_ctx_);
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceRecorder::ThreadRing* TraceRecorder::local_ring() {
+  // One ring per (thread, recorder) pair; the recorder is a process
+  // singleton so a plain thread_local pointer suffices. Rings are never
+  // freed (the registry owns them), so a pointer cached by a thread that
+  // outlives clear() stays valid — the generation check resets its view.
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<ThreadRing>();
+    owned->slots.resize(kRingCapacity);
+    ring = owned.get();
+    std::lock_guard<std::mutex> lk(registry_mu_);
+    ring->generation.store(generation_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    rings_.push_back(std::move(owned));
+  }
+  return ring;
+}
+
+void TraceRecorder::record(const SpanRecord& r) {
+  ThreadRing* ring = local_ring();
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (ring->generation.load(std::memory_order_relaxed) != gen) {
+    // A clear() happened since this thread last recorded: restart the
+    // ring. count=0 is published before the generation so a collect()
+    // that observes the new generation never pairs it with a stale count.
+    ring->count.store(0, std::memory_order_relaxed);
+    ring->generation.store(gen, std::memory_order_release);
+  }
+  // Single-writer ring: only the owning thread stores, so the relaxed
+  // load of our own count is exact.
+  const std::size_t n = ring->count.load(std::memory_order_relaxed);
+  if (n >= kRingCapacity) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->slots[n] = r;
+  // Release-publish so collect()'s acquire load sees the slot contents.
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> TraceRecorder::collect() const {
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  for (const auto& ring : rings_) {
+    if (ring->generation.load(std::memory_order_acquire) != gen) {
+      continue;  // stale pre-clear() content
+    }
+    const std::size_t n = ring->count.load(std::memory_order_acquire);
+    out.insert(out.end(), ring->slots.begin(), ring->slots.begin() + n);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  // Bumping the generation makes every ring's content stale: collect()
+  // skips rings whose owner has not recorded (and thus re-published the
+  // new generation) since. Owners reset their own count lazily on the
+  // next record(), so no cross-thread count stores are needed here.
+  generation_.fetch_add(1, std::memory_order_release);
+  for (auto& ring : rings_) {
+    ring->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+bool instant(TraceLevel need, SpanCat cat, const char* name,
+             const SpanRecord& fields) {
+  auto& rec = TraceRecorder::instance();
+  if (!rec.enabled(need)) return false;
+  SpanRecord r = fields;
+  r.cat = cat;
+  r.name = name;
+  r.t_begin_ns = r.t_end_ns = rec.now_ns();
+  rec.record(r);
+  return true;
+}
+
+bool emit(TraceLevel need, const SpanRecord& r) {
+  auto& rec = TraceRecorder::instance();
+  if (!rec.enabled(need)) return false;
+  rec.record(r);
+  return true;
+}
+
+namespace {
+thread_local TraceTag g_trace_tag{};
+}  // namespace
+
+TraceTag current_trace_tag() { return g_trace_tag; }
+
+ScopedTraceTag::ScopedTraceTag(TraceTag tag) : prev_(g_trace_tag) {
+  g_trace_tag = tag;
+}
+
+ScopedTraceTag::~ScopedTraceTag() { g_trace_tag = prev_; }
+
+}  // namespace deepcam::obs

@@ -1,0 +1,232 @@
+// Low-overhead tracing: per-thread span ring buffers behind one global
+// recorder.
+//
+// Design constraints, in order:
+//   1. ~Zero cost when disabled. Every public entry point first checks a
+//      single relaxed atomic level; a disabled recorder costs one load and
+//      a predicted branch, no locks, no allocation, no clock read.
+//   2. Lock-free recording. Each recording thread owns a fixed-capacity
+//      ring buffer; committing a span is one array store plus a release
+//      store of the count. Buffers are only registered (once per thread)
+//      under a mutex; the hot path never takes it. Overflow drops spans
+//      and counts the drops rather than blocking or resizing.
+//   3. Injectable time. Timestamps come from a pluggable now-function so
+//      the serving tier's ClockSource (including VirtualClock) drives the
+//      trace; a virtual-clock serve run therefore produces byte-identical
+//      spans across replays, which tests/golden pin. The obs layer itself
+//      depends only on common/ — serve installs an adapter, never the
+//      other way around.
+//
+// Span identity: every record carries request id, session, SLO class,
+// replica, and batch id (kNone when not applicable) so an exported trace
+// reconstructs exactly what the router, batcher and breaker did. Engine
+// worker threads inherit the request identity through a thread-local
+// TraceTag set by the dispatching scope (ScopedTraceTag).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace deepcam::obs {
+
+/// Sentinel for "field not applicable" on SpanRecord ids.
+inline constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+
+/// Recording granularity. kServe captures the request-path spans
+/// (admission .. completion); kFull adds per-sample engine/kernel stage
+/// spans (hash, CAM search, postproc), the profiling view.
+enum class TraceLevel : int { kOff = 0, kServe = 1, kFull = 2 };
+
+/// Span category; doubles as the export track grouping.
+enum class SpanCat : std::uint8_t {
+  kAdmission = 0,  // submit(): admit / shed / reject decisions
+  kQueue = 1,      // enqueue -> extraction wait, per request
+  kBatch = 2,      // micro-batch formation
+  kDispatch = 3,   // batch dispatch (router round trip), per batch
+  kRoute = 4,      // replica pick / hedge / failover decisions
+  kRetry = 5,      // retry backoff + requeue
+  kEngine = 6,     // engine submit -> per-sample execution
+  kKernel = 7,     // kernel stages: hash / cam_write / cam_search / postproc
+  kComplete = 8,   // terminal per-request outcome
+  kChaos = 9,      // fault injection events
+};
+
+const char* to_string(SpanCat c);
+
+/// One completed span. `name` must point at a string literal (records
+/// outlive any scope, and the hot path must not allocate).
+struct SpanRecord {
+  std::uint64_t t_begin_ns = 0;
+  std::uint64_t t_end_ns = 0;
+  const char* name = "";
+  SpanCat cat = SpanCat::kAdmission;
+  std::uint64_t rid = kNoId;      // request id (head rider for batches)
+  std::uint64_t session = kNoId;  // session id
+  std::uint64_t slo = kNoId;      // SLO class index
+  std::uint64_t replica = kNoId;  // replica index
+  std::uint64_t batch = kNoId;    // micro-batch id / engine sample index
+  std::uint64_t value = kNoId;    // span-specific payload (sizes, verdicts)
+};
+
+/// Identity inherited by engine worker threads from the dispatching
+/// request scope (see ScopedTraceTag).
+struct TraceTag {
+  std::uint64_t tag = kNoId;     // request id of the batch head
+  std::uint64_t sample = kNoId;  // sample index within the batch
+};
+
+/// Process-global trace recorder. Arm with set_level(); spans recorded
+/// while armed are collected with collect(). One recorder per process:
+/// concurrent traced Runner runs would interleave (documented, unsupported).
+class TraceRecorder {
+ public:
+  /// Monotonic nanoseconds; `ctx` is the pointer given to set_clock.
+  using NowFn = std::uint64_t (*)(const void* ctx);
+
+  static TraceRecorder& instance();
+
+  /// Installs the timestamp source. Pass fn == nullptr to restore the
+  /// default (std::chrono::steady_clock). Not thread-safe vs. recording:
+  /// install before set_level(), while disabled.
+  void set_clock(NowFn fn, const void* ctx);
+
+  void set_level(TraceLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  TraceLevel level() const {
+    return static_cast<TraceLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// The one hot-path gate: true when recording at `need` or finer.
+  bool enabled(TraceLevel need) const {
+    return level_.load(std::memory_order_relaxed) >=
+           static_cast<int>(need);
+  }
+
+  std::uint64_t now_ns() const;
+
+  /// Appends to the calling thread's ring buffer; drops (and counts) on
+  /// overflow. Caller must have checked enabled() — record() itself does
+  /// not gate, so unconditional calls would record even at kOff.
+  void record(const SpanRecord& r);
+
+  /// Snapshot of every thread's committed spans, in no particular order
+  /// (export canonicalizes). Safe to call while threads record; spans
+  /// committed concurrently may or may not appear.
+  std::vector<SpanRecord> collect() const;
+
+  /// Discards all recorded spans (all threads) and the drop counter.
+  /// Buffers stay registered; the generation bump makes each thread lazily
+  /// reset its ring on next record().
+  void clear();
+
+  /// Spans dropped to ring overflow since the last clear().
+  std::uint64_t dropped() const;
+
+  /// Ring capacity per recording thread.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+ private:
+  struct ThreadRing {
+    std::vector<SpanRecord> slots;          // fixed kRingCapacity
+    std::atomic<std::size_t> count{0};      // committed records
+    std::atomic<std::uint64_t> dropped{0};  // overflow drops
+    std::atomic<std::uint64_t> generation{0};  // owner-published generation
+  };
+
+  TraceRecorder();
+  ThreadRing* local_ring();
+
+  std::atomic<int> level_{0};
+  NowFn now_fn_ = nullptr;      // nullptr => steady_clock fallback
+  const void* now_ctx_ = nullptr;
+
+  mutable std::mutex registry_mu_;  // guards rings_ registration + collect
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// RAII span: stamps begin at construction (when the recorder is enabled
+/// at `need`), end + commit at destruction. Field setters chain and are
+/// no-ops when inactive, so call sites stay branch-free:
+///
+///   obs::Span sp(obs::TraceLevel::kServe, obs::SpanCat::kDispatch,
+///                "dispatch");
+///   sp.rid(id).session(sess).batch(bid);
+class Span {
+ public:
+  Span() = default;
+  Span(TraceLevel need, SpanCat cat, const char* name) {
+    auto& rec = TraceRecorder::instance();
+    if (!rec.enabled(need)) return;
+    active_ = true;
+    rec_.cat = cat;
+    rec_.name = name;
+    rec_.t_begin_ns = rec.now_ns();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  /// Movable so helpers can build-and-return a configured span.
+  Span(Span&& other) noexcept : active_(other.active_), rec_(other.rec_) {
+    other.active_ = false;
+  }
+  Span& operator=(Span&&) = delete;
+  ~Span() { finish(); }
+
+  /// Commits the span early (idempotent; destructor becomes a no-op).
+  void finish() {
+    if (!active_) return;
+    active_ = false;
+    auto& rec = TraceRecorder::instance();
+    rec_.t_end_ns = rec.now_ns();
+    rec.record(rec_);
+  }
+
+  bool active() const { return active_; }
+
+  Span& rid(std::uint64_t v) { return set(&SpanRecord::rid, v); }
+  Span& session(std::uint64_t v) { return set(&SpanRecord::session, v); }
+  Span& slo(std::uint64_t v) { return set(&SpanRecord::slo, v); }
+  Span& replica(std::uint64_t v) { return set(&SpanRecord::replica, v); }
+  Span& batch(std::uint64_t v) { return set(&SpanRecord::batch, v); }
+  Span& value(std::uint64_t v) { return set(&SpanRecord::value, v); }
+
+ private:
+  Span& set(std::uint64_t SpanRecord::* field, std::uint64_t v) {
+    if (active_) rec_.*field = v;
+    return *this;
+  }
+
+  bool active_ = false;
+  SpanRecord rec_{};
+};
+
+/// Zero-duration event at now() (admission verdicts, chaos faults,
+/// hedge decisions). Returns true when recorded.
+bool instant(TraceLevel need, SpanCat cat, const char* name,
+             const SpanRecord& fields = {});
+
+/// Records a span with caller-supplied begin/end timestamps (queue-wait
+/// intervals reconstructed from request stamps). Returns true when
+/// recorded.
+bool emit(TraceLevel need, const SpanRecord& r);
+
+/// Thread-local request identity for engine worker threads.
+TraceTag current_trace_tag();
+
+/// Installs a TraceTag for the current scope and restores the previous
+/// one on destruction (engine worker loop wraps each sample with this).
+class ScopedTraceTag {
+ public:
+  explicit ScopedTraceTag(TraceTag tag);
+  ~ScopedTraceTag();
+  ScopedTraceTag(const ScopedTraceTag&) = delete;
+  ScopedTraceTag& operator=(const ScopedTraceTag&) = delete;
+
+ private:
+  TraceTag prev_;
+};
+
+}  // namespace deepcam::obs

@@ -59,6 +59,16 @@ class DynamicBatcher {
     return mb;
   }
 
+  /// Non-blocking variant for Server::pump(): forms a batch only when one
+  /// is due at the current (virtual) time; empty() otherwise. Never waits,
+  /// so a single thread can interleave arrivals, clock steps and dispatch.
+  MicroBatch try_next() {
+    MicroBatch mb;
+    mb.run = queue_->try_pop_micro_batch(
+        policy_, expire_doomed_ ? &mb.expired : nullptr);
+    return mb;
+  }
+
  private:
   RequestQueue* queue_;
   BatchPolicy policy_;

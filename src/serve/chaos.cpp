@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "serve/session.hpp"
 
 namespace deepcam::serve {
@@ -131,6 +132,13 @@ void FaultInjector::poll(Clock::time_point now, SessionManager& sessions) {
            t0_ + from_seconds(script_[next_].at_seconds) <= now) {
       const FaultEvent& e = script_[next_++];
       ++applied_;
+      {
+        obs::SpanRecord tr;
+        tr.replica = e.replica;
+        tr.value = static_cast<std::uint64_t>(e.param * 1e6);  // param in µs
+        obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kChaos,
+                     to_string(e.kind), tr);
+      }
       if (e.kind == FaultKind::kWorkerStall)
         pending_stalls_.push_back(from_seconds(e.param));
       else

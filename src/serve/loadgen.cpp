@@ -124,6 +124,41 @@ struct ReplaySync {
   std::size_t outstanding = 0;
 };
 
+/// Aggregates the per-record outcomes into the report's counters and rates
+/// (shared by replay() and replay_deterministic()).
+void finalize_report(LoadReport& report, const Trace& trace,
+                     double time_scale, double duration_seconds) {
+  report.duration_seconds = duration_seconds;
+  for (const RequestRecord& rec : report.records) {
+    if (!rec.completed || rec.admission != Admission::kAccepted) {
+      ++report.rejected;
+      if (rec.admission == Admission::kRejectedShed) ++report.shed;
+      continue;
+    }
+    ++report.sent;
+    if (rec.response.expired) {
+      ++report.expired;
+    } else if (!rec.response.ok()) {
+      ++report.errors;
+    } else {
+      report.latency.add(rec.response.total_seconds);
+    }
+    if (rec.response.slo_met()) ++report.slo_met;
+  }
+  const double span = trace.duration_seconds();
+  report.offered_rps =
+      span > 0.0 ? static_cast<double>(trace.events.size()) /
+                       (span / time_scale)
+                 : 0.0;
+  if (report.duration_seconds > 0.0) {
+    report.achieved_rps =
+        static_cast<double>(report.sent - report.errors - report.expired) /
+        report.duration_seconds;
+    report.goodput_rps =
+        static_cast<double>(report.slo_met) / report.duration_seconds;
+  }
+}
+
 }  // namespace
 
 LoadReport LoadGenerator::replay(const Trace& trace,
@@ -228,41 +263,83 @@ LoadReport LoadGenerator::replay(const Trace& trace,
     for (auto& t : threads) t.join();
   }
 
-  report.duration_seconds =
-      std::chrono::duration<double>(clock.now() - t0).count();
-  for (const RequestRecord& rec : report.records) {
-    if (!rec.completed) {
-      ++report.rejected;
-      if (rec.admission == Admission::kRejectedShed) ++report.shed;
-      continue;
-    }
-    if (rec.admission != Admission::kAccepted) {
-      ++report.rejected;
-      if (rec.admission == Admission::kRejectedShed) ++report.shed;
-      continue;
-    }
-    ++report.sent;
-    if (rec.response.expired) {
-      ++report.expired;
-    } else if (!rec.response.ok()) {
-      ++report.errors;
-    } else {
-      report.latency.add(rec.response.total_seconds);
-    }
-    if (rec.response.slo_met()) ++report.slo_met;
+  finalize_report(report, trace, opts.time_scale,
+                  std::chrono::duration<double>(clock.now() - t0).count());
+  return report;
+}
+
+LoadReport LoadGenerator::replay_deterministic(const Trace& trace,
+                                               VirtualClock& clock,
+                                               Clock::duration step,
+                                               double time_scale) {
+  DEEPCAM_CHECK_MSG(input_shapes_.size() == trace.sessions.size(),
+                    "one input shape per trace session required");
+  DEEPCAM_CHECK_MSG(time_scale > 0.0, "time_scale must be positive");
+  DEEPCAM_CHECK_MSG(step > Clock::duration::zero(),
+                    "replay step must be positive");
+  DEEPCAM_CHECK_MSG(
+      server_->config().manual_dispatch,
+      "replay_deterministic needs a ServerConfig::manual_dispatch server");
+
+  LoadReport report;
+  report.records.resize(trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    report.records[i].event = i;
+    report.records[i].session = trace.events[i].session;
+    report.records[i].slo = trace.events[i].slo;
   }
-  const double span = trace.duration_seconds();
-  report.offered_rps =
-      span > 0.0 ? static_cast<double>(trace.events.size()) /
-                       (span / opts.time_scale)
-                 : 0.0;
-  if (report.duration_seconds > 0.0) {
-    report.achieved_rps =
-        static_cast<double>(report.sent - report.errors - report.expired) /
-        report.duration_seconds;
-    report.goodput_rps =
-        static_cast<double>(report.slo_met) / report.duration_seconds;
+  if (trace.events.empty()) return report;
+
+  // Single thread end to end: completion callbacks fire inside pump(), so
+  // a plain counter replaces ReplaySync.
+  std::size_t outstanding = 0;
+  const Clock::time_point t0 = clock.now();
+  const auto pump_all = [&] {
+    while (server_->pump()) {
+    }
+  };
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    const Clock::time_point target =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(e.t_seconds / time_scale));
+    // Step virtual time to the arrival, pumping at every step so batch
+    // coalescing windows, deadlines and chaos events fire at (quantized)
+    // deterministic times.
+    while (clock.now() < target) {
+      clock.advance_to(std::min(target, clock.now() + step));
+      pump_all();
+    }
+    RequestRecord& rec = report.records[i];
+    ++outstanding;
+    const Admission verdict = server_->submit(
+        trace.sessions[e.session],
+        make_input(input_shapes_[e.session], e.input_seed),
+        [&outstanding, &rec](Response&& resp) {
+          rec.response = std::move(resp);
+          rec.completed = true;
+          --outstanding;
+        },
+        e.slo);
+    rec.admission = verdict;
+    if (verdict != Admission::kAccepted) --outstanding;
+    pump_all();
   }
+
+  // Drain: keep stepping until every admitted request is answered. The
+  // guard turns a logic bug (a request no pump can ever answer) into a
+  // loud failure instead of an endless loop.
+  std::size_t stalls = 0;
+  while (outstanding != 0) {
+    clock.advance(step);
+    pump_all();
+    DEEPCAM_CHECK_MSG(++stalls < 10'000'000,
+                      "deterministic replay failed to drain");
+  }
+
+  finalize_report(report, trace, time_scale,
+                  std::chrono::duration<double>(clock.now() - t0).count());
   return report;
 }
 

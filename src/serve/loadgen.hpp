@@ -139,6 +139,18 @@ class LoadGenerator {
   /// sources (their stats simply don't appear in the returned report).
   LoadReport replay(const Trace& trace, const ReplayOptions& opts = {});
 
+  /// Fully deterministic single-threaded replay: requires a server built
+  /// with ServerConfig::manual_dispatch on `clock` (the same VirtualClock).
+  /// Arrivals, chaos events, batching, dispatch and completions all happen
+  /// on the calling thread — virtual time advances in `step` increments
+  /// with the server pumped to quiescence between steps, so two replays of
+  /// the same trace produce identical responses, metrics AND byte-identical
+  /// trace-span streams (the golden-pinnable profile the obs layer exports).
+  LoadReport replay_deterministic(
+      const Trace& trace, VirtualClock& clock,
+      Clock::duration step = std::chrono::microseconds(250),
+      double time_scale = 1.0);
+
  private:
   Server* server_;
   std::vector<nn::Shape> input_shapes_;

@@ -91,14 +91,39 @@ void ServerMetrics::on_downgrade(std::size_t session, SloClass slo) {
   ++classes_[static_cast<std::size_t>(slo)].downgraded;
 }
 
-void ServerMetrics::on_queue_depth(std::size_t depth) {
+void ServerMetrics::on_queue_depth(DepthStream stream, std::size_t depth) {
   std::lock_guard<std::mutex> lk(mu_);
-  queue_depths_.add(static_cast<double>(depth));
+  (stream == DepthStream::kAdmission ? queue_depths_
+                                     : queue_depths_extract_)
+      .add(static_cast<double>(depth));
 }
 
-double ServerMetrics::queue_depth_percentile(double p) const {
+double ServerMetrics::queue_depth_percentile(DepthStream stream,
+                                             double p) const {
   std::lock_guard<std::mutex> lk(mu_);
-  return queue_depths_.percentile(p);
+  return (stream == DepthStream::kAdmission ? queue_depths_
+                                            : queue_depths_extract_)
+      .percentile(p);
+}
+
+Histogram ServerMetrics::session_latency_histogram(
+    std::size_t session) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  DEEPCAM_CHECK(session < sessions_.size());
+  return sessions_[session].latency;
+}
+
+Histogram ServerMetrics::session_queue_wait_histogram(
+    std::size_t session) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  DEEPCAM_CHECK(session < sessions_.size());
+  return sessions_[session].queue_wait;
+}
+
+Histogram ServerMetrics::queue_depth_histogram(DepthStream stream) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stream == DepthStream::kAdmission ? queue_depths_
+                                           : queue_depths_extract_;
 }
 
 void ServerMetrics::on_batch_dispatch(std::size_t session,

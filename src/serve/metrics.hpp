@@ -80,6 +80,10 @@ struct ServerSummary {
   std::uint64_t max_queue_depth = 0;
   double queue_depth_p50 = 0.0;    // depth observed at each admission
   double queue_depth_p99 = 0.0;
+  // Depth sampled inside the queue at micro-batch extraction (what the
+  // batcher saw), the second stream next to admission-time sampling.
+  double queue_depth_extract_p50 = 0.0;
+  double queue_depth_extract_p99 = 0.0;
   std::uint64_t max_in_flight_batches = 0;  // across all sessions
   // Rejections that never resolved to a session (mistyped session name);
   // they have no SessionSummary row to live in.
@@ -115,6 +119,12 @@ struct ServerSummary {
 
 class ServerMetrics {
  public:
+  /// Queue-depth sampling points: right after an accepted admission
+  /// (producer view) vs. at micro-batch extraction (consumer view). The
+  /// two distributions diverge under bursts — admission samples cluster
+  /// at the spike, extraction samples show what the batcher drained.
+  enum class DepthStream { kAdmission = 0, kExtract = 1 };
+
   explicit ServerMetrics(std::size_t num_sessions);
 
   void on_admission(std::size_t session, Admission verdict, SloClass slo);
@@ -123,8 +133,8 @@ class ServerMetrics {
   std::uint64_t unknown_session_rejections() const;
   /// A pressured request was rerouted from `session` to its fallback tier.
   void on_downgrade(std::size_t session, SloClass slo);
-  /// Queue depth observed right after an accepted admission.
-  void on_queue_depth(std::size_t depth);
+  /// Queue depth observed at one of the two sampling points.
+  void on_queue_depth(DepthStream stream, std::size_t depth);
   /// A micro-batch of `batch_size` requests entered the engine; `session`'s
   /// in-flight gauge rises until the matching on_batch_complete.
   void on_batch_dispatch(std::size_t session, std::size_t batch_size);
@@ -154,8 +164,14 @@ class ServerMetrics {
                                        double elapsed_seconds) const;
   /// Freezes per-class stats, in priority order.
   std::vector<SloClassSummary> class_snapshot(double elapsed_seconds) const;
-  /// Percentile of the admission-time queue-depth distribution.
-  double queue_depth_percentile(double p) const;
+  /// Percentile of one queue-depth distribution.
+  double queue_depth_percentile(DepthStream stream, double p) const;
+
+  // Histogram copies for the Prometheus mirror (serve/report_io): bucket
+  // counts scrape straight into _bucket series without re-deriving edges.
+  Histogram session_latency_histogram(std::size_t session) const;
+  Histogram session_queue_wait_histogram(std::size_t session) const;
+  Histogram queue_depth_histogram(DepthStream stream) const;
 
  private:
   struct SessionCounters {
@@ -193,7 +209,8 @@ class ServerMetrics {
   mutable std::mutex mu_;
   std::vector<SessionCounters> sessions_;
   std::array<ClassCounters, kNumSloClasses> classes_;
-  Histogram queue_depths_{0.5, 1 << 20, 64, 65536};
+  Histogram queue_depths_{0.5, 1 << 20, 64, 65536};          // admission
+  Histogram queue_depths_extract_{0.5, 1 << 20, 64, 65536};  // extraction
   std::uint64_t unknown_session_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t max_in_flight_ = 0;

@@ -32,7 +32,8 @@ Replica::Replica(std::shared_ptr<const core::CompiledModel> compiled,
                     "ewma_alpha must be in (0, 1]");
 }
 
-core::BatchFuture Replica::submit(std::vector<nn::Tensor> inputs) {
+core::BatchFuture Replica::submit(std::vector<nn::Tensor> inputs,
+                                  std::uint64_t trace_tag) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (crashed_) throw Error("replica crashed (chaos fault)");
@@ -41,7 +42,7 @@ core::BatchFuture Replica::submit(std::vector<nn::Tensor> inputs) {
       throw Error("poisoned micro-batch (chaos fault)");
     }
   }
-  return engine_->submit(std::move(inputs));
+  return engine_->submit(std::move(inputs), trace_tag);
 }
 
 Clock::duration Replica::fault_delay() const {

@@ -105,8 +105,10 @@ class Replica {
 
   /// Submits one micro-batch. Throws (an instant failure the Router turns
   /// into a retry) when the replica is chaos-crashed or the next batch is
-  /// chaos-poisoned.
-  core::BatchFuture submit(std::vector<nn::Tensor> inputs);
+  /// chaos-poisoned. `trace_tag` is the request identity forwarded to the
+  /// engine's trace spans (obs::kNoId = untraced).
+  core::BatchFuture submit(std::vector<nn::Tensor> inputs,
+                           std::uint64_t trace_tag = obs::kNoId);
 
   /// Completion-observation delay of this replica (chaos slow fault);
   /// zero normally. The Router sleeps this out through the ClockSource, so

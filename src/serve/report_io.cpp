@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/format.hpp"
+#include "serve/server.hpp"
 
 namespace deepcam::serve {
 
@@ -35,6 +36,8 @@ void server_summary_json(JsonWriter& json, const ServerSummary& s) {
   json.kv("max_queue_depth", s.max_queue_depth);
   json.kv("queue_depth_p50", s.queue_depth_p50);
   json.kv("queue_depth_p99", s.queue_depth_p99);
+  json.kv("queue_depth_extract_p50", s.queue_depth_extract_p50);
+  json.kv("queue_depth_extract_p99", s.queue_depth_extract_p99);
   json.kv("max_in_flight_batches", s.max_in_flight_batches);
   json.kv("unknown_session_rejected", s.unknown_session_rejected);
   json.kv("total_completed", s.total_completed());
@@ -127,12 +130,14 @@ std::string server_summary_text(const ServerSummary& s) {
   // Float conversions go through format.hpp (locale-proof); snprintf only
   // assembles integers and pre-formatted strings.
   std::snprintf(buf, sizeof buf,
-                "Server: %zu workers, queue %zu (max depth %llu, p99 %s), "
+                "Server: %zu workers, queue %zu (max depth %llu, "
+                "p99 %s admit / %s extract), "
                 "%llu completed, %llu rejected in %s s (%s req/s, "
                 "max %llu batches in flight)\n",
                 s.workers, s.queue_capacity,
                 static_cast<unsigned long long>(s.max_queue_depth),
                 format_fixed(s.queue_depth_p99, 1).c_str(),
+                format_fixed(s.queue_depth_extract_p99, 1).c_str(),
                 static_cast<unsigned long long>(s.total_completed()),
                 static_cast<unsigned long long>(s.total_rejected()),
                 format_fixed(s.elapsed_seconds, 3).c_str(),
@@ -210,6 +215,115 @@ std::string server_summary_text(const ServerSummary& s) {
     os << buf;
   }
   return os.str();
+}
+
+void register_prometheus_collector(obs::MetricsRegistry& registry,
+                                   const Server& server) {
+  registry.add_collector([&server](obs::MetricsRegistry& reg) {
+    const ServerSummary s = server.summary();
+    const ServerMetrics& m = server.metrics();
+
+    reg.set_gauge("deepcam_server_elapsed_seconds",
+                  "Wall/virtual seconds since start()", {},
+                  s.elapsed_seconds);
+    reg.set_gauge("deepcam_server_workers", "Batcher/dispatch threads", {},
+                  static_cast<double>(s.workers));
+    reg.set_gauge("deepcam_queue_capacity", "Admission-control bound", {},
+                  static_cast<double>(s.queue_capacity));
+    reg.set_gauge("deepcam_queue_depth", "Current request-queue depth", {},
+                  static_cast<double>(server.queue_depth()));
+    reg.set_gauge("deepcam_queue_depth_max", "Peak request-queue depth", {},
+                  static_cast<double>(s.max_queue_depth));
+    reg.set_gauge("deepcam_batches_in_flight_max",
+                  "Peak concurrently in-flight micro-batches", {},
+                  static_cast<double>(s.max_in_flight_batches));
+    reg.set_counter("deepcam_requests_rejected_unknown_session_total",
+                    "Rejections that resolved to no session", {},
+                    static_cast<double>(s.unknown_session_rejected));
+    reg.set_counter("deepcam_retries_total", "Re-queued failed riders", {},
+                    static_cast<double>(s.total_retries));
+    reg.set_counter("deepcam_failovers_total",
+                    "Retries that succeeded on another replica", {},
+                    static_cast<double>(s.total_failovers));
+    reg.set_counter("deepcam_hedges_total", "Hedged micro-batches", {},
+                    static_cast<double>(s.total_hedges));
+    reg.set_counter("deepcam_hedges_won_total",
+                    "Hedges whose duplicate answer was used", {},
+                    static_cast<double>(s.total_hedges_won));
+    reg.set_counter("deepcam_hedges_wasted_total",
+                    "Hedges whose loser executed anyway", {},
+                    static_cast<double>(s.total_hedges_wasted));
+
+    // The two queue-depth sampling streams, labeled by sampling point.
+    reg.set_histogram("deepcam_queue_depth_samples",
+                      "Queue depth by sampling point",
+                      {{"stream", "admission"}},
+                      m.queue_depth_histogram(
+                          ServerMetrics::DepthStream::kAdmission));
+    reg.set_histogram("deepcam_queue_depth_samples",
+                      "Queue depth by sampling point",
+                      {{"stream", "extract"}},
+                      m.queue_depth_histogram(
+                          ServerMetrics::DepthStream::kExtract));
+
+    for (std::size_t i = 0; i < s.sessions.size(); ++i) {
+      const SessionSummary& sess = s.sessions[i];
+      const obs::MetricLabels labels{{"session", sess.name}};
+      auto counter = [&](const char* name, const char* help,
+                         std::uint64_t v) {
+        reg.set_counter(name, help, labels, static_cast<double>(v));
+      };
+      counter("deepcam_requests_accepted_total", "Admitted requests",
+              sess.accepted);
+      counter("deepcam_requests_rejected_total",
+              "Admission rejections (backpressure + closed + shed)",
+              sess.rejected);
+      counter("deepcam_requests_shed_total",
+              "Watermark sheds (subset of rejected)", sess.shed);
+      counter("deepcam_requests_completed_total",
+              "Responses delivered (incl errors + expired)", sess.completed);
+      counter("deepcam_requests_errors_total", "Engine failures",
+              sess.errors);
+      counter("deepcam_requests_expired_total",
+              "Answered without running (deadline lapsed)", sess.expired);
+      counter("deepcam_requests_downgraded_total",
+              "Rerouted to a fallback tier", sess.downgraded);
+      counter("deepcam_batches_dispatched_total",
+              "Micro-batches dispatched", sess.batches);
+      reg.set_histogram("deepcam_request_latency_seconds",
+                        "End-to-end request latency", labels,
+                        m.session_latency_histogram(i));
+      reg.set_histogram("deepcam_request_queue_wait_seconds",
+                        "Admission-to-dispatch queue wait", labels,
+                        m.session_queue_wait_histogram(i));
+    }
+
+    for (const SloClassSummary& c : s.classes) {
+      const obs::MetricLabels labels{{"slo_class", c.name}};
+      reg.set_counter("deepcam_slo_met_total",
+                      "Responses completed within their deadline", labels,
+                      static_cast<double>(c.slo_met));
+      reg.set_gauge("deepcam_goodput_rps",
+                    "SLO-met responses per second", labels, c.goodput_rps);
+    }
+
+    for (const ReplicaSummary& r : s.replicas) {
+      const obs::MetricLabels labels{
+          {"session", r.session},
+          {"replica", std::to_string(r.replica)},
+          {"health", r.health}};
+      reg.set_gauge("deepcam_replica_up",
+                    "1 when the replica is healthy (label carries the "
+                    "exact health state)",
+                    labels, r.health == "healthy" ? 1.0 : 0.0);
+      reg.set_counter("deepcam_replica_batches_total",
+                      "Micro-batches served by this replica", labels,
+                      static_cast<double>(r.batches));
+      reg.set_counter("deepcam_replica_failures_total",
+                      "Failed micro-batches on this replica", labels,
+                      static_cast<double>(r.failures));
+    }
+  });
 }
 
 }  // namespace deepcam::serve

@@ -98,6 +98,7 @@ std::vector<Request> RequestQueue::pop_micro_batch(
       if (more_urgent(r, *head)) head = &r;
     const std::size_t session = head->session;
     Clock::time_point deadline = head->enqueued + policy.max_queue_delay;
+    if (depth_observer_) depth_observer_(q_.size());
 
     auto extract = [&] {
       for (auto it = q_.begin(); it != q_.end() && batch.size() < max_n;) {
@@ -142,6 +143,68 @@ std::vector<Request> RequestQueue::pop_micro_batch(
     }
     return batch;
   }
+}
+
+std::vector<Request> RequestQueue::try_pop_micro_batch(
+    const BatchPolicy& policy, std::vector<Request>* expired) {
+  const std::size_t max_n = std::max<std::size_t>(policy.max_batch_size, 1);
+  std::vector<Request> batch;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (q_.empty()) return batch;
+
+  // Same head selection as pop_micro_batch: most urgent class, admission
+  // order within it.
+  const auto more_urgent = [](const Request& a, const Request& b) {
+    if (a.slo != b.slo) return a.slo < b.slo;
+    return a.seq < b.seq;
+  };
+  const Request* head = &q_.front();
+  for (const Request& r : q_)
+    if (more_urgent(r, *head)) head = &r;
+  const std::size_t session = head->session;
+  const Clock::time_point now = clock_->now();
+
+  // Due-ness: release only when a blocking batcher would stop waiting at
+  // the current (virtual) time — closed queue flush, an already-expired
+  // same-session rider (its answer is overdue), a full batch's worth of
+  // riders, or the head aging past the coalescing window.
+  bool due = closed_ || now >= head->enqueued + policy.max_queue_delay;
+  if (!due) {
+    std::size_t extractable = 0;
+    for (const Request& r : q_) {
+      if (r.session != session) continue;
+      if (expired != nullptr && r.has_deadline() && r.deadline <= now) {
+        due = true;
+        break;
+      }
+      ++extractable;
+    }
+    if (extractable >= max_n) due = true;
+  }
+  if (!due) return batch;
+
+  if (depth_observer_) depth_observer_(q_.size());
+  for (auto it = q_.begin(); it != q_.end() && batch.size() < max_n;) {
+    if (it->session != session) {
+      ++it;
+      continue;
+    }
+    if (expired != nullptr && it->has_deadline() && it->deadline <= now) {
+      expired->push_back(std::move(*it));
+      it = q_.erase(it);
+      continue;
+    }
+    batch.push_back(std::move(*it));
+    it = q_.erase(it);
+  }
+  space_cv_.notify_all();
+  return batch;
+}
+
+void RequestQueue::set_depth_observer(
+    std::function<void(std::size_t)> observer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  depth_observer_ = std::move(observer);
 }
 
 void RequestQueue::close() {

@@ -28,6 +28,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -101,6 +102,20 @@ class RequestQueue {
   std::vector<Request> pop_micro_batch(const BatchPolicy& policy,
                                        std::vector<Request>* expired = nullptr);
 
+  /// Non-blocking variant for manual-dispatch pumping: forms a batch only
+  /// when one is *due* right now — the queue is closed, a same-session
+  /// rider of the head has already expired, enough riders are pending to
+  /// fill the batch, or the head has aged past `max_queue_delay` — and
+  /// returns empty otherwise (no coalescing wait, never blocks).
+  std::vector<Request> try_pop_micro_batch(
+      const BatchPolicy& policy, std::vector<Request>* expired = nullptr);
+
+  /// Observer invoked (under the queue mutex) with the pre-extraction
+  /// depth each time a batcher starts extracting a micro-batch — the
+  /// second depth stream next to admission-time sampling. Set before
+  /// consumers run; not synchronized against in-flight pops.
+  void set_depth_observer(std::function<void(std::size_t)> observer);
+
   /// Rejects future pushes and wakes every waiter; pending requests still
   /// drain through pop_micro_batch.
   void close();
@@ -129,6 +144,7 @@ class RequestQueue {
   std::uint64_t next_seq_ = 0;
   std::size_t max_depth_ = 0;
   bool closed_ = false;
+  std::function<void(std::size_t)> depth_observer_;
 };
 
 }  // namespace deepcam::serve

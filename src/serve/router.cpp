@@ -150,12 +150,20 @@ Router::Attempt Router::run(ReplicaSet& set, std::uint64_t key, SloClass slo,
                             std::vector<nn::Tensor>&& inputs,
                             std::size_t avoid,
                             Clock::time_point latest_deadline,
-                            bool cancellable) {
+                            bool cancellable, std::uint64_t batch_id) {
+  // One reusable template for this attempt's kRoute instants.
+  obs::SpanRecord route_fields;
+  route_fields.rid = key;
+  route_fields.slo = static_cast<std::uint64_t>(slo);
+  route_fields.batch = batch_id;
+
   Attempt a;
   const Clock::time_point t0 = clock_->now();
   set.refresh_health(t0);
   const auto choice = pick(set, key, slo, avoid);
   if (!choice.has_value()) {
+    obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kRoute, "no_replica",
+                 route_fields);
     a.error = std::make_exception_ptr(
         Error("serve: no replica available (all quarantined)"));
     return a;
@@ -163,6 +171,9 @@ Router::Attempt Router::run(ReplicaSet& set, std::uint64_t key, SloClass slo,
   const std::size_t primary = *choice;
   a.replica = primary;
   Replica& prep = set.replica(primary);
+  route_fields.replica = primary;
+  obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kRoute, "pick",
+               route_fields);
 
   bool hedge_eligible = cfg_.hedge_interactive &&
                         slo == SloClass::kInteractive && set.size() > 1;
@@ -171,7 +182,7 @@ Router::Attempt Router::run(ReplicaSet& set, std::uint64_t key, SloClass slo,
 
   core::BatchFuture prim_future;
   try {
-    prim_future = prep.submit(std::move(inputs));
+    prim_future = prep.submit(std::move(inputs), key);
   } catch (...) {
     // Instant submission failure (crashed / poisoned replica).
     prep.record_failure(clock_->now());
@@ -228,12 +239,15 @@ Router::Attempt Router::run(ReplicaSet& set, std::uint64_t key, SloClass slo,
       if (h.has_value() && *h != primary) {
         Replica& hrep = set.replica(*h);
         try {
-          hedge_future = hrep.submit(std::move(hedge_inputs));
+          hedge_future = hrep.submit(std::move(hedge_inputs), key);
           hedge_issued = hedge_live = true;
           hedge_replica = *h;
           hedge_extra = hrep.fault_delay();
           t_hedge = now;
           a.hedged = true;
+          route_fields.replica = *h;
+          obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kRoute,
+                       "hedge_issue", route_fields);
         } catch (...) {
           hrep.record_failure(now);
           hedge_eligible = false;  // inputs consumed; no second try
@@ -308,6 +322,9 @@ Router::Attempt Router::run(ReplicaSet& set, std::uint64_t key, SloClass slo,
         a.outputs = std::move(outs);
         a.replica = hedge_replica;
         a.hedge_won = true;
+        route_fields.replica = hedge_replica;
+        obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kRoute,
+                     "hedge_win", route_fields);
         return a;
       }
       hrep.record_failure(done);

@@ -82,10 +82,12 @@ class Router {
   /// cancelling through the BatchFuture once `latest_deadline` passes (if
   /// `cancellable`). `avoid` (kNoReplica = none) is the replica the
   /// previous attempt failed on. Health outcomes are recorded on the set.
-  /// Never throws: failures come back as !ok Attempts.
+  /// `batch_id` labels this attempt's route trace spans (obs::kNoId =
+  /// untraced). Never throws: failures come back as !ok Attempts.
   Attempt run(ReplicaSet& set, std::uint64_t key, SloClass slo,
               std::vector<nn::Tensor>&& inputs, std::size_t avoid,
-              Clock::time_point latest_deadline, bool cancellable);
+              Clock::time_point latest_deadline, bool cancellable,
+              std::uint64_t batch_id = obs::kNoId);
 
   /// Consistent-hash pick for `key`: the ring owner when eligible, else
   /// the next surviving replica along the ring; recovering replicas

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace deepcam::serve {
 
@@ -12,6 +13,26 @@ namespace {
 
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+/// Trace timestamp for a clock reading: nanoseconds since the clock's
+/// epoch, matching the NowFn adapter the Runner installs on the recorder.
+std::uint64_t to_ns(Clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+const char* admission_span_name(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accept";
+    case Admission::kRejectedFull: return "reject_full";
+    case Admission::kRejectedClosed: return "reject_closed";
+    case Admission::kRejectedUnknownSession: return "reject_unknown";
+    case Admission::kRejectedShed: return "shed";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -34,9 +55,21 @@ void Server::start() {
   DEEPCAM_CHECK_MSG(sessions_.count() >= 1,
                     "register at least one session before start()");
   metrics_ = std::make_unique<ServerMetrics>(sessions_.count());
+  // Second depth stream: sampled inside the queue at micro-batch
+  // extraction (what the batcher actually saw), vs. the admission-time
+  // stream sampled in submit()/run().
+  queue_.set_depth_observer([this](std::size_t depth) {
+    metrics_->on_queue_depth(ServerMetrics::DepthStream::kExtract, depth);
+  });
   t_start_ = clock_->now();
   injector_->arm(t_start_);
   running_ = true;
+  if (cfg_.manual_dispatch) {
+    // Pump mode: the owner drives dispatch inline; no threads.
+    pump_batcher_ = std::make_unique<DynamicBatcher>(queue_, cfg_.batch,
+                                                     cfg_.slo.expire_doomed);
+    return;
+  }
   workers_.reserve(cfg_.num_workers);
   try {
     for (std::size_t i = 0; i < cfg_.num_workers; ++i)
@@ -84,12 +117,17 @@ Admission Server::submit(const std::string& session, nn::Tensor input,
   bool downgraded = false;
   if (!prepare(session, slo, req, downgraded)) {
     metrics_->on_unknown_session();
+    obs::SpanRecord tr;
+    tr.slo = static_cast<std::uint64_t>(slo);
+    obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kAdmission,
+                 "reject_unknown", tr);
     return Admission::kRejectedUnknownSession;
   }
   const std::size_t idx = req.session;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   req.input = std::move(input);
   req.on_done = std::move(on_done);
+  const std::uint64_t trace_rid = req.id;
   // Count the admission *before* the push: once the request is visible to a
   // batcher it can be answered, and drain() must never see answered_ >
   // accepted_.
@@ -108,7 +146,17 @@ Admission Server::submit(const std::string& session, nn::Tensor input,
   metrics_->on_admission(idx, verdict, slo);
   if (verdict == Admission::kAccepted) {
     if (downgraded) metrics_->on_downgrade(idx, slo);
-    metrics_->on_queue_depth(queue_.depth());
+    metrics_->on_queue_depth(ServerMetrics::DepthStream::kAdmission,
+                             queue_.depth());
+  }
+  {
+    obs::SpanRecord tr;
+    tr.rid = trace_rid;
+    tr.session = idx;
+    tr.slo = static_cast<std::uint64_t>(slo);
+    tr.value = downgraded ? 1 : 0;
+    obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kAdmission,
+                 admission_span_name(verdict), tr);
   }
   return verdict;
 }
@@ -138,6 +186,7 @@ Response Server::run(const std::string& session, nn::Tensor input,
   }
   const std::size_t idx = req.session;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t rid = req.id;
   req.input = std::move(input);
   req.on_done = [slot](Response&& r) {
     {
@@ -162,7 +211,17 @@ Response Server::run(const std::string& session, nn::Tensor input,
   }
   metrics_->on_admission(idx, Admission::kAccepted, slo);
   if (downgraded) metrics_->on_downgrade(idx, slo);
-  metrics_->on_queue_depth(queue_.depth());
+  metrics_->on_queue_depth(ServerMetrics::DepthStream::kAdmission,
+                           queue_.depth());
+  {
+    obs::SpanRecord tr;
+    tr.rid = rid;
+    tr.session = idx;
+    tr.slo = static_cast<std::uint64_t>(slo);
+    tr.value = downgraded ? 1 : 0;
+    obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kAdmission, "accept",
+                 tr);
+  }
 
   std::unique_lock<std::mutex> lk(slot->mu);
   slot->cv.wait(lk, [&] { return slot->done; });
@@ -194,6 +253,23 @@ void Server::count_answered() {
 
 void Server::answer_expired(Request&& req) {
   const Clock::time_point now = clock_->now();
+  if (obs::TraceRecorder::instance().enabled(obs::TraceLevel::kServe)) {
+    obs::SpanRecord q;
+    q.t_begin_ns = to_ns(req.enqueued);
+    q.t_end_ns = to_ns(now);
+    q.name = "wait";
+    q.cat = obs::SpanCat::kQueue;
+    q.rid = req.id;
+    q.session = req.session;
+    q.slo = static_cast<std::uint64_t>(req.slo);
+    obs::emit(obs::TraceLevel::kServe, q);
+    obs::SpanRecord c;
+    c.rid = req.id;
+    c.session = req.session;
+    c.slo = q.slo;
+    obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kComplete, "expired",
+                 c);
+  }
   Response resp;
   resp.id = req.id;
   resp.session = req.session;
@@ -231,6 +307,39 @@ void Server::dispatch(MicroBatch&& mb) {
   const std::size_t session = batch.front().session;
   const std::size_t n = batch.size();
   const Clock::time_point t_dispatch = clock_->now();
+  const std::uint64_t batch_id =
+      next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t head_slo =
+      static_cast<std::uint64_t>(batch.front().slo);
+
+  // Per-rider queue-wait spans, reconstructed from the admission stamps
+  // (no hooks needed inside the queue), plus one batch-formation span
+  // covering head-enqueue -> dispatch.
+  if (obs::TraceRecorder::instance().enabled(obs::TraceLevel::kServe)) {
+    for (const Request& r : batch) {
+      obs::SpanRecord q;
+      q.t_begin_ns = to_ns(r.enqueued);
+      q.t_end_ns = to_ns(t_dispatch);
+      q.name = "wait";
+      q.cat = obs::SpanCat::kQueue;
+      q.rid = r.id;
+      q.session = r.session;
+      q.slo = static_cast<std::uint64_t>(r.slo);
+      q.batch = batch_id;
+      obs::emit(obs::TraceLevel::kServe, q);
+    }
+    obs::SpanRecord f;
+    f.t_begin_ns = to_ns(batch.front().enqueued);
+    f.t_end_ns = to_ns(t_dispatch);
+    f.name = "form";
+    f.cat = obs::SpanCat::kBatch;
+    f.rid = batch.front().id;
+    f.session = session;
+    f.slo = head_slo;
+    f.batch = batch_id;
+    f.value = n;
+    obs::emit(obs::TraceLevel::kServe, f);
+  }
 
   // Keep rider inputs intact when any of them still has retry budget: a
   // failed attempt re-queues the rider, input and all.
@@ -264,11 +373,20 @@ void Server::dispatch(MicroBatch&& mb) {
   // health outcomes. While this worker waits, sibling workers keep their
   // own micro-batches in flight.
   metrics_->on_batch_dispatch(session, n);
+  obs::Span dispatch_sp(obs::TraceLevel::kServe, obs::SpanCat::kDispatch,
+                        "dispatch");
+  dispatch_sp.rid(batch.front().id)
+      .session(session)
+      .slo(head_slo)
+      .batch(batch_id)
+      .value(n);
   Router::Attempt a = router_->run(
       sessions_.replicas(session), batch.front().id, batch.front().slo,
       std::move(inputs),
       batch.front().attempt > 0 ? batch.front().last_replica : kNoReplica,
-      latest_deadline, cancellable);
+      latest_deadline, cancellable, batch_id);
+  if (a.replica != kNoReplica) dispatch_sp.replica(a.replica);
+  dispatch_sp.finish();
   metrics_->on_batch_complete(session);
   if (a.hedged) metrics_->on_hedge(a.hedge_won, a.hedge_wasted);
 
@@ -297,6 +415,18 @@ void Server::dispatch(MicroBatch&& mb) {
       resp.error = err;
     else
       resp.logits = std::move(logits);
+    {
+      obs::SpanRecord c;
+      c.rid = req.id;
+      c.session = session;
+      c.slo = static_cast<std::uint64_t>(req.slo);
+      if (a.replica != kNoReplica) c.replica = a.replica;
+      c.batch = batch_id;
+      obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kComplete,
+                   err != nullptr ? (cancelled ? "cancelled" : "error")
+                                  : "ok",
+                   c);
+    }
     metrics_->on_response(resp);
     if (req.on_done) {
       try {
@@ -343,10 +473,28 @@ void Server::dispatch(MicroBatch&& mb) {
   // VirtualClock paces retries deterministically.
   const Clock::duration pause =
       router_->backoff(to_retry.front().attempt - 1, to_retry.front().id);
-  if (pause > Clock::duration::zero())
+  if (pause > Clock::duration::zero()) {
+    obs::Span backoff_sp(obs::TraceLevel::kServe, obs::SpanCat::kRetry,
+                         "backoff");
+    backoff_sp.rid(to_retry.front().id)
+        .session(session)
+        .batch(batch_id)
+        .value(to_retry.front().attempt);
     clock_->sleep_until(clock_->now() + pause);
+  }
   for (Request& req : to_retry) {
     metrics_->on_retry();
+    {
+      obs::SpanRecord tr;
+      tr.rid = req.id;
+      tr.session = session;
+      tr.slo = static_cast<std::uint64_t>(req.slo);
+      if (a.replica != kNoReplica) tr.replica = a.replica;
+      tr.batch = batch_id;
+      tr.value = req.attempt;
+      obs::instant(obs::TraceLevel::kServe, obs::SpanCat::kRetry, "requeue",
+                   tr);
+    }
     if (!queue_.push_retry(std::move(req))) {
       // Queue closed mid-retry: the rider is nowhere a batcher could find
       // it, so it must be answered — with a terminal error, not dropped —
@@ -364,10 +512,32 @@ void Server::drain() {
   done_cv_.wait(lk, [this] { return answered_ == accepted_; });
 }
 
+bool Server::pump() {
+  DEEPCAM_CHECK_MSG(cfg_.manual_dispatch,
+                    "pump() requires ServerConfig::manual_dispatch");
+  DEEPCAM_CHECK_MSG(pump_batcher_ != nullptr, "pump() requires start()");
+  // Same per-iteration preamble as worker_loop: fire due chaos events and
+  // sleep out a pending worker stall through the (virtual) clock.
+  injector_->poll(clock_->now(), sessions_);
+  const Clock::duration stall = injector_->take_stall();
+  if (stall > Clock::duration::zero())
+    clock_->sleep_until(clock_->now() + stall);
+  MicroBatch mb = pump_batcher_->try_next();
+  if (mb.empty()) return false;
+  dispatch(std::move(mb));
+  return true;
+}
+
 void Server::stop() {
   // exchange makes concurrent stop() calls (destructor vs explicit) safe.
   if (!running_.exchange(false)) return;  // also rejects new admissions
   queue_.close();    // flushes partial micro-batches; drains pending
+  if (pump_batcher_ != nullptr) {
+    // Manual dispatch: no workers to drain the closed queue — pump it dry
+    // inline (terminal errors for retries that can no longer requeue).
+    while (pump()) {
+    }
+  }
   for (auto& w : workers_) w.join();
   workers_.clear();
   std::lock_guard<std::mutex> lk(done_mu_);
@@ -393,8 +563,14 @@ ServerSummary Server::summary() const {
   s.workers = cfg_.num_workers;
   s.queue_capacity = cfg_.queue_capacity;
   s.max_queue_depth = queue_.max_depth();
-  s.queue_depth_p50 = metrics_->queue_depth_percentile(50.0);
-  s.queue_depth_p99 = metrics_->queue_depth_percentile(99.0);
+  s.queue_depth_p50 = metrics_->queue_depth_percentile(
+      ServerMetrics::DepthStream::kAdmission, 50.0);
+  s.queue_depth_p99 = metrics_->queue_depth_percentile(
+      ServerMetrics::DepthStream::kAdmission, 99.0);
+  s.queue_depth_extract_p50 = metrics_->queue_depth_percentile(
+      ServerMetrics::DepthStream::kExtract, 50.0);
+  s.queue_depth_extract_p99 = metrics_->queue_depth_percentile(
+      ServerMetrics::DepthStream::kExtract, 99.0);
   s.max_in_flight_batches = metrics_->max_in_flight_batches();
   s.unknown_session_rejected = metrics_->unknown_session_rejections();
   s.total_retries = metrics_->retries();

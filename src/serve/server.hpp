@@ -85,6 +85,11 @@ struct ServerConfig {
   /// Time source for every scheduling decision; nullptr = the real
   /// steady clock. Tests inject a VirtualClock (serve/clock.hpp).
   ClockSource* clock = nullptr;
+  /// Pump mode: start() spawns no worker threads; the owner drives batch
+  /// formation + dispatch inline via pump(). Combined with a VirtualClock
+  /// and LoadGenerator::replay_deterministic this makes an entire serve
+  /// run single-threaded and replay-identical (byte-identical traces).
+  bool manual_dispatch = false;
 };
 
 class Server {
@@ -123,6 +128,13 @@ class Server {
   /// Blocks until every accepted request has been answered.
   void drain();
 
+  /// Manual-dispatch drive: polls the chaos injector, then forms and
+  /// dispatches at most one due micro-batch inline on the calling thread.
+  /// Returns true when a batch (or expiry sweep) was dispatched — callers
+  /// loop `while (pump()) {}` to reach quiescence at the current virtual
+  /// time. Only valid with ServerConfig::manual_dispatch, after start().
+  bool pump();
+
   /// Closes admission, drains pending requests, joins the workers.
   /// Idempotent.
   void stop();
@@ -159,8 +171,10 @@ class Server {
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<ServerMetrics> metrics_;  // sized at start()
   std::vector<std::thread> workers_;
+  std::unique_ptr<DynamicBatcher> pump_batcher_;  // manual-dispatch mode
 
   std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> next_batch_id_{0};  // trace span batch ids
   std::atomic<bool> running_{false};
 
   // accepted/answered bookkeeping for drain(), guarded by done_mu_.

@@ -101,6 +101,32 @@ TEST(Spec, ValidateRejectsBadSpecs) {
                    .vhl(0.5, /*probes=*/0)
                    .build(),
                Error);  // tune always runs the tuner; probes must be sane
+  EXPECT_THROW(SpecBuilder("x")
+                   .mode(Mode::kCompare)
+                   .workload("lenet5")
+                   .trace_output("t.json")
+                   .build(),
+               Error);  // span traces exist for offline/serve runs only
+  EXPECT_THROW(SpecBuilder("x")
+                   .mode(Mode::kOffline)
+                   .workload("lenet5")
+                   .metrics_output("m.prom")
+                   .build(),
+               Error);  // Prometheus exposition mirrors a server
+  EXPECT_THROW(SpecBuilder("x")
+                   .mode(Mode::kTune)
+                   .workload("lenet5")
+                   .profile()
+                   .build(),
+               Error);  // profiling aggregates offline/serve spans
+  EXPECT_THROW(SpecBuilder("x")
+                   .mode(Mode::kServe)
+                   .workload("lenet5")
+                   .serve_trace("closed", 10, 100.0)
+                   .serve_clients(4)
+                   .serve_virtual_time()
+                   .build(),
+               Error);  // closed-loop clients block real threads
 }
 
 TEST(Spec, ModeNames) {
@@ -227,7 +253,7 @@ TEST(SpecIo, BuilderSpecsRoundTrip) {
 TEST(SpecIo, CommittedSpecsLoadAndRoundTrip) {
   for (const char* name :
        {"quickstart.json", "table1.json", "serve_demo.json",
-        "serve_slo.json", "fig5_tune.json"}) {
+        "serve_slo.json", "serve_trace.json", "fig5_tune.json"}) {
     SCOPED_TRACE(name);
     const Spec spec = spec_from_file(spec_path(name));
     expect_roundtrip_stable(spec);
@@ -237,6 +263,7 @@ TEST(SpecIo, CommittedSpecsLoadAndRoundTrip) {
   EXPECT_EQ(spec_from_file(spec_path("table1.json")).mode, Mode::kCompare);
   EXPECT_EQ(spec_from_file(spec_path("serve_demo.json")).mode, Mode::kServe);
   EXPECT_EQ(spec_from_file(spec_path("serve_slo.json")).mode, Mode::kServe);
+  EXPECT_EQ(spec_from_file(spec_path("serve_trace.json")).mode, Mode::kServe);
   EXPECT_EQ(spec_from_file(spec_path("fig5_tune.json")).mode, Mode::kTune);
 }
 
@@ -296,6 +323,28 @@ TEST(SpecIo, BuilderMatchesCommittedSpecs) {
                              .build();
   EXPECT_EQ(spec_to_json(serve_slo),
             spec_to_json(spec_from_file(spec_path("serve_slo.json"))));
+
+  const Spec serve_trace = SpecBuilder("serve-trace")
+                               .mode(Mode::kServe)
+                               .workload("lenet5", 7)
+                               .engine_threads(2)
+                               .serve_tiers({1024, 256})
+                               .serve_workers(4)
+                               .serve_queue(128)
+                               .serve_batch(8, 2000)
+                               .serve_trace("flash", 96, 400.0, 7)
+                               .serve_deadlines(40000, 120000, 500000)
+                               .serve_shed(1.0, 0.75, 0.35)
+                               .serve_downgrade(0.5)
+                               .serve_class_mix(0.25, 0.5, 0.25)
+                               .serve_replicas(2)
+                               .serve_retry(1, 2, 3)
+                               .serve_chaos(0.05, "crash", 1)
+                               .serve_chaos(0.15, "heal", 1)
+                               .serve_virtual_time()
+                               .build();
+  EXPECT_EQ(spec_to_json(serve_trace),
+            spec_to_json(spec_from_file(spec_path("serve_trace.json"))));
 }
 
 // --- build_model ----------------------------------------------------------
@@ -345,6 +394,34 @@ TEST(RunnerEquivalence, OfflineSpecMatchesDirectEngine) {
   expect_reports_equal(facade.aggregate, direct.aggregate);
   for (std::size_t i = 0; i < facade.per_sample.size(); ++i)
     expect_reports_equal(facade.per_sample[i], direct.per_sample[i]);
+}
+
+TEST(RunnerProfile, OfflineProfileAggregatesKernelStages) {
+  Spec spec = spec_from_file(spec_path("quickstart.json"));
+  // Without profiling the outcome keeps the pre-profiling document shape.
+  const Outcome plain = Runner().run(spec);
+  EXPECT_TRUE(plain.offline().profile.empty());
+  EXPECT_EQ(outcome_to_json(plain).find("\"profile\""), std::string::npos);
+
+  spec.outputs.profile = true;
+  const Outcome traced = Runner().run(spec);
+  const auto& rows = traced.offline().profile;
+  ASSERT_FALSE(rows.empty());
+  double share = 0.0;
+  bool saw_kernel = false;
+  for (const auto& r : rows) {
+    share += r.share;
+    EXPECT_GT(r.count, 0u) << r.stage;
+    if (r.stage.rfind("kernel/", 0) == 0) saw_kernel = true;
+  }
+  EXPECT_TRUE(saw_kernel) << "profile should include kernel-stage spans";
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  // The profiled run appends the table to both serializations.
+  EXPECT_NE(outcome_to_json(traced).find("\"profile\""), std::string::npos);
+  EXPECT_NE(outcome_text(traced).find("Stage profile"), std::string::npos);
+  // Identical simulated work: profiling must not perturb the report.
+  EXPECT_EQ(traced.offline().report.aggregate.total_cycles(),
+            plain.offline().report.aggregate.total_cycles());
 }
 
 TEST(RunnerEquivalence, CompareSpecMatchesDirectComparisonRunner) {

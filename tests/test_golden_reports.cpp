@@ -12,12 +12,14 @@
 #include <gtest/gtest.h>
 
 #include <clocale>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "api/report_io.hpp"
+#include "api/runner.hpp"
 #include "api/spec_io.hpp"
 #include "core/report_io.hpp"
 #include "serve/report_io.hpp"
@@ -205,6 +207,8 @@ serve::ServerSummary make_server_summary_fixture() {
   s.max_queue_depth = 19;
   s.queue_depth_p50 = 3.0;
   s.queue_depth_p99 = 17.0;
+  s.queue_depth_extract_p50 = 5.0;
+  s.queue_depth_extract_p99 = 14.5;
   s.max_in_flight_batches = 4;
   s.unknown_session_rejected = 3;
   s.total_retries = 14;
@@ -492,6 +496,41 @@ TEST(GoldenReports, OutcomeOfflineText) {
 TEST(GoldenReports, OutcomeServeText) {
   expect_matches_golden(outcome_text(make_serve_outcome_fixture()),
                         "outcome_serve.txt");
+}
+
+// --- end-to-end trace golden ----------------------------------------------
+
+TEST(GoldenReports, VirtualClockServeTraceIsByteIdenticalAndPinned) {
+  // The observability acceptance bar: a pump-mode serve replay on the
+  // VirtualClock (specs/serve_trace.json, chaos + retries included) must
+  // export the same trace bytes on every run, on every machine — all span
+  // timestamps come from the virtual clock and the export order is
+  // canonical. Two live runs prove replay stability; the golden pins the
+  // bytes across commits.
+  Spec spec = spec_from_file(std::string(DEEPCAM_SPEC_DIR) +
+                             "/serve_trace.json");
+  ASSERT_TRUE(spec.serve.virtual_time);
+  spec.outputs.text = false;
+  const std::string trace1 = "serve_trace_run1.json";
+  const std::string trace2 = "serve_trace_run2.json";
+  const std::string prom1 = "serve_trace_run1.prom";
+  const std::string prom2 = "serve_trace_run2.prom";
+  spec.outputs.trace_path = trace1;
+  spec.outputs.metrics_path = prom1;
+  Runner().run(spec);
+  spec.outputs.trace_path = trace2;
+  spec.outputs.metrics_path = prom2;
+  Runner().run(spec);
+
+  const std::string t1 = read_file(trace1);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, read_file(trace2)) << "trace drifted between replays";
+  EXPECT_EQ(read_file(prom1), read_file(prom2))
+      << "metrics drifted between replays";
+  expect_matches_golden(t1, "serve_trace_perfetto.json");
+  expect_matches_golden(read_file(prom1), "serve_trace_metrics.prom");
+  for (const std::string& p : {trace1, trace2, prom1, prom2})
+    std::remove(p.c_str());
 }
 
 // --- spec canonical form ---------------------------------------------------

@@ -135,6 +135,80 @@ TEST(Histogram, MergeIntoEmptyAndFromEmpty) {
   EXPECT_EQ(a.max(), 2.0);
 }
 
+TEST(Histogram, MergeThenPercentileMatchesSingleHistogram) {
+  // Percentiles of a merged pair must equal percentiles of one histogram
+  // fed the union multiset — in exact mode bit-for-bit, in bucket mode
+  // because the bucket counts are summed identically.
+  Rng rng(41);
+  for (const std::size_t cap : {std::size_t{4096}, std::size_t{8}}) {
+    Histogram a(1e-6, 1e3, 96, cap), b(1e-6, 1e3, 96, cap);
+    Histogram whole(1e-6, 1e3, 96, cap);
+    for (int i = 0; i < 100; ++i) {
+      const double v = rng.uniform(0.001, 50.0);
+      (i % 2 == 0 ? a : b).add(v);
+      whole.add(v);
+    }
+    a.merge(b);
+    ASSERT_EQ(a.count(), whole.count());
+    EXPECT_EQ(a.exact(), whole.exact()) << "cap=" << cap;
+    for (const double p : {0.0, 10.0, 50.0, 95.0, 99.0, 100.0})
+      EXPECT_EQ(a.percentile(p), whole.percentile(p))
+          << "cap=" << cap << " p=" << p;
+    // Sums agree up to fp addition order (merge adds b's total at once).
+    EXPECT_NEAR(a.sum(), whole.sum(), 1e-9 * whole.sum());
+  }
+}
+
+TEST(Histogram, MergePastExactCapDropsExactness) {
+  Histogram a(1e-3, 1.0, 32, /*exact_cap=*/4);
+  Histogram b(1e-3, 1.0, 32, /*exact_cap=*/4);
+  for (const double v : {0.1, 0.2, 0.3}) a.add(v);
+  for (const double v : {0.4, 0.5, 0.6}) b.add(v);
+  ASSERT_TRUE(a.exact());
+  ASSERT_TRUE(b.exact());
+  a.merge(b);  // 6 samples > cap of 4
+  EXPECT_FALSE(a.exact());
+  EXPECT_EQ(a.count(), 6u);
+  // Bucketed percentiles still honor the observed range and stay monotone.
+  EXPECT_GE(a.percentile(50.0), a.min());
+  EXPECT_LE(a.percentile(50.0), a.max());
+  EXPECT_LE(a.percentile(50.0), a.percentile(99.0));
+}
+
+TEST(Histogram, ExactCapCrossoverStaysNearExactAnswer) {
+  // The sample that pushes count past exact_cap flips percentile() from
+  // nearest-rank to bucket interpolation. The answers may move, but only
+  // within one geometric bucket of the true order statistic.
+  const std::size_t cap = 16;
+  Histogram h(1e-3, 10.0, 256, cap);
+  std::vector<double> values;
+  Rng rng(7);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const double v = rng.uniform(0.01, 5.0);
+    values.push_back(v);
+    h.add(v);
+  }
+  ASSERT_TRUE(h.exact());  // exactly at the cap: still exact
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(h.percentile(50.0), values[7]);  // ceil(0.5*16)=8th
+
+  const double extra = 0.02;
+  values.insert(std::lower_bound(values.begin(), values.end(), extra), extra);
+  h.add(extra);  // cap+1: raw set dropped for good
+  ASSERT_FALSE(h.exact());
+  // Bucket width for this config is exp(ln(1e4)/256) ~ 1.037.
+  for (const double p : {50.0, 90.0}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    const double exact = values[rank - 1];
+    EXPECT_GT(h.percentile(p), exact / 1.1) << "p=" << p;
+    EXPECT_LT(h.percentile(p), exact * 1.1) << "p=" << p;
+  }
+  // p=0/100 remain exact in every mode: they return the tracked min/max.
+  EXPECT_EQ(h.percentile(0.0), values.front());
+  EXPECT_EQ(h.percentile(100.0), values.back());
+}
+
 TEST(Histogram, MergeRejectsMismatchedGeometry) {
   Histogram a(1e-6, 1e3, 96);
   Histogram b(1e-6, 1e3, 32);

@@ -17,6 +17,10 @@
 //                exit on violation (CI spec-smoke gate). For compare specs
 //                this includes the bitwise facade-vs-engine cross-check the
 //                compare_platforms example pioneered.
+//   --trace PATH    export the span trace (".csv" = CSV, otherwise Chrome
+//                   trace-event JSON for Perfetto); offline/serve
+//   --metrics PATH  write the Prometheus text exposition after a serve run
+//   --profile       record kernel-stage spans and print the per-stage table
 //
 // Exit codes: 0 ok, 1 run/check failure, 2 usage or spec errors.
 #include <cstdio>
@@ -136,14 +140,20 @@ bool run_checks(const Outcome& outcome, const Spec& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool check = false, csv = false, quiet = false;
-  std::string json_path;
+  bool check = false, csv = false, quiet = false, profile = false;
+  std::string json_path, trace_path, metrics_path;
   cli::Flags flags("deepcam",
                    "run a declarative DeepCAM spec (see specs/*.json)");
   flags.flag("check", &check, "verify mode invariants; nonzero exit on fail")
       .option("json", &json_path, "write Outcome JSON here (\"-\" = stdout)")
       .flag("csv", &csv, "dump CSV to stdout (offline/compare)")
       .flag("quiet", &quiet, "suppress the human-readable summary")
+      .option("trace", &trace_path,
+              "export the span trace (.csv = CSV, else Perfetto JSON)")
+      .option("metrics", &metrics_path,
+              "write the Prometheus exposition (serve mode)")
+      .flag("profile", &profile,
+            "record kernel-stage spans; print the per-stage table")
       .positional(2, 2, "<run|compare|serve|tune> <spec.json>");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "deepcam: %s\n%s", flags.error().c_str(),
@@ -153,7 +163,13 @@ int main(int argc, char** argv) {
 
   try {
     const Mode command = mode_from_name(flags.args()[0]);
-    const Spec spec = spec_from_file(flags.args()[1]);
+    Spec spec = spec_from_file(flags.args()[1]);
+    // Observability flags override the spec's outputs section; re-validate
+    // so a flag on the wrong mode fails with the spec error, not mid-run.
+    if (!trace_path.empty()) spec.outputs.trace_path = trace_path;
+    if (!metrics_path.empty()) spec.outputs.metrics_path = metrics_path;
+    if (profile) spec.outputs.profile = true;
+    spec.validate();
     if (spec.mode != command) {
       std::fprintf(stderr,
                    "deepcam: spec %s has mode \"%s\" but the %s subcommand "
@@ -165,6 +181,10 @@ int main(int argc, char** argv) {
 
     const Outcome outcome = Runner().run(spec);
 
+    if (!quiet && !spec.outputs.trace_path.empty())
+      std::printf("wrote %s\n", spec.outputs.trace_path.c_str());
+    if (!quiet && !spec.outputs.metrics_path.empty())
+      std::printf("wrote %s\n", spec.outputs.metrics_path.c_str());
     if (spec.outputs.text && !quiet)
       std::printf("%s", outcome_text(outcome).c_str());
     if (spec.outputs.csv || csv) {
