@@ -6,6 +6,7 @@
 #include "common/format.hpp"
 #include "common/table.hpp"
 #include "core/report_io.hpp"
+#include "plan/report_io.hpp"
 #include "serve/report_io.hpp"
 #include "sim/report_io.hpp"
 
@@ -78,6 +79,30 @@ void tune_json(JsonWriter& json, const TuneOutcome& out) {
     json.end_object();
   }
   json.end_array();
+  json.end_object();
+}
+
+void plan_outcome_json(JsonWriter& json, const PlanOutcome& out) {
+  json.begin_object();
+  json.key("workloads").begin_array();
+  for (const PlanOutcome::Entry& e : out.entries) {
+    json.begin_object();
+    json.kv("workload", e.workload);
+    json.kv("cache_hit", e.cache_hit);
+    json.key("plan");
+    plan::plan_json(json, e.plan);
+    if (e.validated) {
+      json.key("validation").begin_object();
+      json.kv("measured_cycles", e.measured_cycles);
+      json.kv("estimated_cycles", e.plan.cost.total_cycles());
+      json.kv("cycle_rel_error", e.cycle_rel_error);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("cache");
+  plan::plan_cache_stats_json(json, out.cache);
   json.end_object();
 }
 
@@ -158,6 +183,31 @@ std::string tune_text(const TuneOutcome& out) {
   return os.str();
 }
 
+std::string plan_text(const PlanOutcome& out) {
+  std::ostringstream os;
+  char buf[200];
+  for (const PlanOutcome::Entry& e : out.entries) {
+    os << "== " << e.workload << (e.cache_hit ? " (cached) ==\n" : " ==\n");
+    os << plan::plan_summary(e.plan);
+    if (e.validated) {
+      std::snprintf(buf, sizeof buf,
+                    "  validated: %s measured cycles vs %zu estimated "
+                    "(rel err %s)\n",
+                    format_fixed(e.measured_cycles, 0).c_str(),
+                    e.plan.cost.total_cycles(),
+                    format_fixed(e.cycle_rel_error, 4).c_str());
+      os << buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf,
+                "plan cache: %llu hits, %llu misses, %zu entries\n",
+                static_cast<unsigned long long>(out.cache.hits),
+                static_cast<unsigned long long>(out.cache.misses),
+                out.cache.entries);
+  os << buf;
+  return os.str();
+}
+
 }  // namespace
 
 void outcome_json(JsonWriter& json, const Outcome& outcome,
@@ -173,6 +223,7 @@ void outcome_json(JsonWriter& json, const Outcome& outcome,
     case Mode::kCompare: sim::comparison_json(json, outcome.compare().report); break;
     case Mode::kServe: serve_json(json, outcome.serve()); break;
     case Mode::kTune: tune_json(json, outcome.tune()); break;
+    case Mode::kPlan: plan_outcome_json(json, outcome.plan()); break;
   }
   // Profiled runs append the per-stage table; untraced outcomes keep the
   // exact pre-profiling document shape.
@@ -197,6 +248,7 @@ std::string outcome_text(const Outcome& outcome) {
     case Mode::kCompare: text = compare_text(outcome.compare()); break;
     case Mode::kServe: text = serve_text(outcome.serve()); break;
     case Mode::kTune: text = tune_text(outcome.tune()); break;
+    case Mode::kPlan: text = plan_text(outcome.plan()); break;
   }
   const auto& profile = outcome_profile(outcome);
   if (!profile.empty()) text += profile_text(profile);
@@ -212,6 +264,7 @@ std::string outcome_csv(const Outcome& outcome) {
              sim::comparison_layers_to_csv(outcome.compare().report);
     case Mode::kServe:
     case Mode::kTune:
+    case Mode::kPlan:
       return {};
   }
   return {};

@@ -12,6 +12,7 @@
 #include "serve/report_io.hpp"
 #include "serve/server.hpp"
 #include "sim/backends.hpp"
+#include "sim/estimator_check.hpp"
 #include "sim/registry.hpp"
 
 namespace deepcam {
@@ -296,20 +297,76 @@ Outcome run_serve(const Spec& spec) {
   return Outcome{spec.name, spec.mode, std::move(out)};
 }
 
+/// PlannerConfig realizing the spec: objective/batch/search axes from the
+/// plan section, accuracy budget and baseline hardware from the accelerator
+/// section. A pinned engine_threads collapses the thread axis to it.
+plan::PlannerConfig planner_config(const Spec& spec) {
+  plan::PlannerConfig cfg;
+  cfg.objective = plan::objective_from_name(spec.plan.objective);
+  cfg.batch = spec.plan.batch;
+  if (!spec.plan.search_rows) cfg.row_candidates = {spec.accelerator.cam_rows};
+  cfg.search_dataflow = spec.plan.search_dataflow;
+  if (spec.accelerator.engine_threads != 0)
+    cfg.thread_candidates = {spec.accelerator.engine_threads};
+  cfg.max_rel_error = spec.accelerator.vhl_max_rel_error;
+  cfg.probes = spec.plan.probes;
+  cfg.base = spec.accelerator.config();
+  return cfg;
+}
+
 Outcome run_tune(const Spec& spec) {
   TuneOutcome out;
   for (const Workload& w : spec.workloads) {
     const auto model = build_model(w);
-    out.entries.push_back(TuneOutcome::Entry{
-        w.display_name(), tune(spec.accelerator, *model, w.input_shape())});
+    core::TuneResult result;
+    if (spec.plan.validate) {
+      // Ground truth: the empirical per-layer sweep over every probe patch.
+      result = tune(spec.accelerator, *model, w.input_shape());
+    } else {
+      // Model-guided: hash once at 1024 bits, calibrate at k = 256 on
+      // sampled patches, extrapolate err ∝ 1/sqrt(k), verify the choice.
+      plan::PlannerConfig cfg = planner_config(spec);
+      cfg.probes = spec.accelerator.vhl_probes;
+      result = plan::Planner(*model, w.input_shape()).guided_tune(cfg);
+    }
+    out.entries.push_back(
+        TuneOutcome::Entry{w.display_name(), std::move(result)});
   }
+  return Outcome{spec.name, spec.mode, std::move(out)};
+}
+
+Outcome run_plan(const Spec& spec) {
+  PlanOutcome out;
+  for (const Workload& w : spec.workloads) {
+    const auto model = build_model(w);
+    const nn::Shape shape = w.input_shape();
+    const plan::PlannerConfig cfg = planner_config(spec);
+    const plan::Planner planner(*model, shape);
+    const std::string key =
+        plan::plan_cache_key(planner.cost_model().geometry().digest(), cfg);
+    PlanOutcome::Entry entry;
+    entry.workload = w.display_name();
+    entry.plan = plan::PlanCache::global().get_or_plan(
+        key, [&] { return planner.plan(cfg); }, &entry.cache_hit);
+    if (spec.plan.validate) {
+      // Cross-check the analytical estimate against the sim backend under
+      // the planned configuration (the --validate fallback to measured runs).
+      const sim::EstimatorCheck chk = sim::check_estimator(
+          *model, shape, entry.plan.config(cfg.base), spec.plan.batch);
+      entry.validated = true;
+      entry.measured_cycles = chk.measured_cycles;
+      entry.cycle_rel_error = chk.cycle_rel_error;
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  out.cache = plan::PlanCache::global().stats();
   return Outcome{spec.name, spec.mode, std::move(out)};
 }
 
 template <typename T>
 const T& get_alternative(
     const std::variant<OfflineOutcome, CompareOutcome, ServeOutcome,
-                       TuneOutcome>& result,
+                       TuneOutcome, PlanOutcome>& result,
     Mode mode, const char* wanted) {
   DEEPCAM_CHECK_MSG(std::holds_alternative<T>(result),
                     std::string("outcome of a ") + mode_name(mode) +
@@ -330,6 +387,9 @@ const ServeOutcome& Outcome::serve() const {
 }
 const TuneOutcome& Outcome::tune() const {
   return get_alternative<TuneOutcome>(result, mode, "tune");
+}
+const PlanOutcome& Outcome::plan() const {
+  return get_alternative<PlanOutcome>(result, mode, "plan");
 }
 
 bool verify_deepcam_rows(const Spec& spec, const CompareOutcome& outcome) {
@@ -370,6 +430,7 @@ Outcome Runner::run(const Spec& spec) const {
     case Mode::kCompare: return run_compare(spec);
     case Mode::kServe: return run_serve(spec);
     case Mode::kTune: return run_tune(spec);
+    case Mode::kPlan: return run_plan(spec);
   }
   throw Error("unreachable spec mode");
 }

@@ -9,7 +9,10 @@
 //   kCompare — per-spec BackendRegistry -> sim::ComparisonRunner sweep
 //   kServe   — SessionManager (workloads x hash tiers) -> Server ->
 //              seeded trace replayed by the LoadGenerator
-//   kTune    — core::tune_hash_lengths per workload
+//   kTune    — plan::Planner::guided_tune per workload (model-guided; the
+//              empirical core::tune_hash_lengths sweep when plan.validate)
+//   kPlan    — plan::Planner::plan per workload through the process-wide
+//              PlanCache, optional sim::check_estimator cross-validation
 //
 // Outcome wraps the per-mode result structs behind one variant with
 // uniform serialization in api/report_io (JSON through the shared
@@ -24,6 +27,7 @@
 #include "core/engine.hpp"
 #include "core/hash_tuner.hpp"
 #include "obs/trace_export.hpp"
+#include "plan/plan_cache.hpp"
 #include "serve/loadgen.hpp"
 #include "sim/comparison.hpp"
 
@@ -56,6 +60,21 @@ struct TuneOutcome {
   std::vector<Entry> entries;  // one per spec workload, in order
 };
 
+struct PlanOutcome {
+  struct Entry {
+    std::string workload;
+    plan::Plan plan;
+    bool cache_hit = false;  // plan came from the cache, search skipped
+    /// spec.plan.validate only: the DeepCAM sim backend measured under the
+    /// planned configuration, against the plan's own estimate.
+    bool validated = false;
+    double measured_cycles = 0.0;
+    double cycle_rel_error = 0.0;  // |estimated - measured| / measured
+  };
+  std::vector<Entry> entries;   // one per spec workload, in order
+  plan::PlanCacheStats cache;   // global cache counters after the run
+};
+
 /// Typed result of Runner::run — the per-mode payload plus enough identity
 /// (spec name, mode) for the serializers to emit a self-describing
 /// artifact. The checked accessors throw Error when the wrong alternative
@@ -63,13 +82,15 @@ struct TuneOutcome {
 struct Outcome {
   std::string spec_name;
   Mode mode = Mode::kOffline;
-  std::variant<OfflineOutcome, CompareOutcome, ServeOutcome, TuneOutcome>
+  std::variant<OfflineOutcome, CompareOutcome, ServeOutcome, TuneOutcome,
+               PlanOutcome>
       result;
 
   const OfflineOutcome& offline() const;
   const CompareOutcome& compare() const;
   const ServeOutcome& serve() const;
   const TuneOutcome& tune() const;
+  const PlanOutcome& plan() const;
 };
 
 /// Executes specs. Stateless: one Runner can run any number of specs, and

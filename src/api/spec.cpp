@@ -96,6 +96,7 @@ const char* mode_name(Mode mode) {
     case Mode::kCompare: return "compare";
     case Mode::kServe: return "serve";
     case Mode::kTune: return "tune";
+    case Mode::kPlan: return "plan";
   }
   return "?";
 }
@@ -105,8 +106,9 @@ Mode mode_from_name(const std::string& name) {
   if (name == "compare") return Mode::kCompare;
   if (name == "serve") return Mode::kServe;
   if (name == "tune") return Mode::kTune;
+  if (name == "plan") return Mode::kPlan;
   throw Error("unknown mode \"" + name +
-              "\" (expected offline, compare, serve or tune)");
+              "\" (expected offline, compare, serve, tune or plan)");
 }
 
 nn::Shape Workload::input_shape() const {
@@ -291,6 +293,15 @@ void Spec::validate() const {
         invalid("accelerator.vhl_probes == 0 in tune mode");
       if (accelerator.vhl_max_rel_error <= 0.0)
         invalid("accelerator.vhl_max_rel_error must be > 0 in tune mode");
+      break;
+    case Mode::kPlan:
+      if (plan.objective != "cycles" && plan.objective != "energy" &&
+          plan.objective != "edp")
+        invalid("plan.objective must be cycles, energy or edp, got \"" +
+                plan.objective + "\"");
+      if (plan.batch == 0) invalid("plan.batch must be > 0");
+      if (accelerator.vhl_max_rel_error <= 0.0)
+        invalid("accelerator.vhl_max_rel_error must be > 0 in plan mode");
       break;
   }
 
@@ -577,6 +588,32 @@ SpecBuilder& SpecBuilder::serve_chaos(double at_seconds, std::string kind,
 
 SpecBuilder& SpecBuilder::serve_virtual_time(bool on) {
   spec_.serve.virtual_time = on;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::plan_objective(std::string objective) {
+  spec_.plan.objective = std::move(objective);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::plan_batch(std::size_t batch) {
+  spec_.plan.batch = batch;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::plan_search(bool rows, bool dataflow) {
+  spec_.plan.search_rows = rows;
+  spec_.plan.search_dataflow = dataflow;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::plan_probes(std::size_t probes) {
+  spec_.plan.probes = probes;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::plan_validate(bool on) {
+  spec_.plan.validate = on;
   return *this;
 }
 

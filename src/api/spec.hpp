@@ -28,12 +28,14 @@ namespace deepcam {
 
 /// What Runner::run does with the spec. kOffline runs one probe batch
 /// through the InferenceEngine; kCompare sweeps the sim backends; kServe
-/// replays a load trace against an online Server; kTune runs the VHL hash
-/// tuner and reports the per-layer choice without executing a workload.
-enum class Mode { kOffline, kCompare, kServe, kTune };
+/// replays a load trace against an online Server; kTune runs the hash-length
+/// tuner and reports the per-layer choice without executing a workload;
+/// kPlan runs the analytical planner (src/plan) over the joint configuration
+/// space and reports the chosen Plan plus cache statistics.
+enum class Mode { kOffline, kCompare, kServe, kTune, kPlan };
 
 /// Stable spelling used by spec JSON and the CLI ("offline", "compare",
-/// "serve", "tune").
+/// "serve", "tune", "plan").
 const char* mode_name(Mode mode);
 /// Inverse of mode_name; Error on unknown spelling. The CLI's "run"
 /// subcommand is accepted as an alias for "offline".
@@ -206,6 +208,27 @@ struct ServeOptions {
   bool virtual_time = false;
 };
 
+/// kPlan (and model-guided kTune): planner search bounds. The accuracy
+/// budget and probe seed ride on the accelerator's VHL knobs
+/// (vhl_max_rel_error, hash_seed) so plan and tune agree on constraints.
+struct PlanOptions {
+  std::string objective = "cycles";  // cycles|energy|edp
+  /// Batch size the schedule axes (micro-batch, threads) are planned for.
+  std::size_t batch = 8;
+  /// Search CAM row counts {64,128,256,512} (false = keep accelerator
+  /// cam_rows fixed).
+  bool search_rows = true;
+  /// Consider both dataflows (false = keep the accelerator's).
+  bool search_dataflow = true;
+  /// Sensitivity probes for the per-layer accuracy floors; 0 skips the
+  /// accuracy pass (every layer gets accelerator.hash_bits).
+  std::size_t probes = 2;
+  /// Fall back to measured runs: tune mode reverts to the empirical
+  /// HashTuner sweep, plan mode additionally cross-checks the winning
+  /// plan's cycle estimate against the DeepCAM sim backend.
+  bool validate = false;
+};
+
 /// Where Runner results go when the CLI (or a caller honoring the spec)
 /// serializes the Outcome.
 struct OutputOptions {
@@ -231,6 +254,7 @@ struct Spec {
   OfflineOptions offline;
   CompareOptions compare;
   ServeOptions serve;
+  PlanOptions plan;
   OutputOptions outputs;
 
   /// Full structural validation (modes × workloads × parameter ranges);
@@ -325,6 +349,16 @@ class SpecBuilder {
   /// Deterministic pump-mode replay on a VirtualClock (byte-identical
   /// exported traces).
   SpecBuilder& serve_virtual_time(bool on = true);
+  /// Planner objective ("cycles", "energy" or "edp").
+  SpecBuilder& plan_objective(std::string objective);
+  /// Batch size the planner schedules for.
+  SpecBuilder& plan_batch(std::size_t batch);
+  /// Which hardware axes the planner searches.
+  SpecBuilder& plan_search(bool rows, bool dataflow);
+  /// Sensitivity probes for the accuracy floors (0 = skip).
+  SpecBuilder& plan_probes(std::size_t probes);
+  /// Fall back to measured runs (empirical tune sweep / sim cross-check).
+  SpecBuilder& plan_validate(bool on = true);
 
   // --- outputs -----------------------------------------------------------
   SpecBuilder& json_output(std::string path);

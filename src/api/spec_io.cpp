@@ -51,8 +51,8 @@ Mode mode_from_json(const JsonValue& v) {
   try {
     return mode_from_name(s);
   } catch (const Error&) {
-    throw v.error("mode must be offline, compare, serve or tune, got \"" +
-                  s + "\"");
+    throw v.error("mode must be offline, compare, serve, tune or plan, "
+                  "got \"" + s + "\"");
   }
 }
 
@@ -228,6 +228,18 @@ void parse_serve(const JsonValue& doc, ServeOptions& srv) {
   }
 }
 
+void parse_plan(const JsonValue& doc, PlanOptions& plan) {
+  for (const auto& [key, v] : doc.members()) {
+    if (key == "objective") plan.objective = v.as_string();
+    else if (key == "batch") plan.batch = as_size(v);
+    else if (key == "search_rows") plan.search_rows = v.as_bool();
+    else if (key == "search_dataflow") plan.search_dataflow = v.as_bool();
+    else if (key == "probes") plan.probes = as_size(v);
+    else if (key == "validate") plan.validate = v.as_bool();
+    else unknown_key("plan", key, v);
+  }
+}
+
 void parse_outputs(const JsonValue& doc, OutputOptions& out) {
   for (const auto& [key, v] : doc.members()) {
     if (key == "json") out.json_path = v.as_string();
@@ -316,6 +328,8 @@ Spec spec_from_json(const JsonValue& doc) {
       parse_compare(v, spec.compare);
     } else if (key == "serve") {
       parse_serve(v, spec.serve);
+    } else if (key == "plan") {
+      parse_plan(v, spec.plan);
     } else if (key == "outputs") {
       parse_outputs(v, spec.outputs);
     } else {
@@ -429,6 +443,15 @@ std::string spec_to_json(const Spec& spec) {
     json.end_object();
   }
   json.end_array();
+  json.end_object();
+
+  json.key("plan").begin_object();
+  json.kv("objective", spec.plan.objective);
+  json.kv("batch", spec.plan.batch);
+  json.kv("search_rows", spec.plan.search_rows);
+  json.kv("search_dataflow", spec.plan.search_dataflow);
+  json.kv("probes", spec.plan.probes);
+  json.kv("validate", spec.plan.validate);
   json.end_object();
 
   json.key("outputs").begin_object();

@@ -52,7 +52,7 @@ std::vector<double> approx_layer_out(const ContextBatch& w_ctx,
 }
 
 /// Re-evaluates graph nodes (from+1 .. end) after outs[from] was replaced.
-nn::Tensor recompute_suffix(nn::Model& model, const nn::Tensor& input,
+nn::Tensor recompute_suffix(const nn::Model& model, const nn::Tensor& input,
                             std::vector<nn::Tensor>& outs, std::size_t from) {
   for (std::size_t i = from + 1; i < model.node_count(); ++i) {
     const auto& inputs = model.inputs_of(i);
@@ -61,11 +61,11 @@ nn::Tensor recompute_suffix(nn::Model& model, const nn::Tensor& input,
                                     : outs[static_cast<std::size_t>(idx)];
     };
     if (inputs.size() == 2) {
-      auto* add = dynamic_cast<nn::Add*>(&model.layer(i));
+      const auto* add = dynamic_cast<const nn::Add*>(&model.layer(i));
       DEEPCAM_CHECK(add != nullptr);
       outs[i] = add->forward2(fetch(inputs[0]), fetch(inputs[1]));
     } else {
-      outs[i] = model.layer(i).forward(fetch(inputs[0]), false);
+      outs[i] = model.layer(i).infer(fetch(inputs[0]));
     }
   }
   return outs.back();
@@ -88,7 +88,7 @@ double TuneResult::mean_hash_bits() const {
   return s / static_cast<double>(hash_bits.size());
 }
 
-TuneResult tune_hash_lengths(nn::Model& model,
+TuneResult tune_hash_lengths(const nn::Model& model,
                              const std::vector<nn::Tensor>& probes,
                              const TunerConfig& cfg) {
   DEEPCAM_CHECK_MSG(!probes.empty(), "tuner needs probe inputs");
@@ -97,19 +97,19 @@ TuneResult tune_hash_lengths(nn::Model& model,
   // Exact forward activations per probe (shared by all layers/modes).
   std::vector<std::vector<nn::Tensor>> exact;
   exact.reserve(probes.size());
-  for (const auto& p : probes) exact.push_back(model.forward_all(p));
+  for (const auto& p : probes) exact.push_back(model.infer_all(p));
 
   TuneResult result;
   for (std::size_t li = 0; li < nodes.size(); ++li) {
     const std::size_t node = nodes[li];
-    nn::Layer& layer = model.layer(node);
+    const nn::Layer& layer = model.layer(node);
     const int in_node = model.inputs_of(node)[0];
 
     // Build contexts once per probe; every candidate k reuses the prefixes.
     LayerContexts lc;
     std::unique_ptr<ContextGenerator> gen;
     if (layer.kind() == nn::LayerKind::kConv2D) {
-      auto& conv = static_cast<nn::Conv2D&>(layer);
+      const auto& conv = static_cast<const nn::Conv2D&>(layer);
       gen = std::make_unique<ContextGenerator>(
           conv.spec().patch_len(), layer_hash_seed(cfg.hash_seed, node));
       lc.weights = gen->weight_context_batch(conv);
@@ -125,7 +125,7 @@ TuneResult tune_hash_lengths(nn::Model& model,
         lc.exact_out.push_back(&exact[pi][node]);
       }
     } else {
-      auto& fc = static_cast<nn::Linear&>(layer);
+      const auto& fc = static_cast<const nn::Linear&>(layer);
       gen = std::make_unique<ContextGenerator>(
           fc.in_features(), layer_hash_seed(cfg.hash_seed, node));
       lc.weights = gen->weight_context_batch(fc);
@@ -238,14 +238,14 @@ TuneResult tune_hash_lengths(nn::Model& model,
   return result;
 }
 
-double deepcam_agreement(nn::Model& model,
+double deepcam_agreement(const nn::Model& model,
                          const std::vector<nn::Tensor>& probes,
                          const DeepCamConfig& cfg) {
   DEEPCAM_CHECK(!probes.empty());
   DeepCamAccelerator acc(model, cfg);
   std::size_t agree = 0;
   for (const auto& p : probes) {
-    const nn::Tensor ref = model.forward(p, false);
+    const nn::Tensor ref = model.infer(p);
     const nn::Tensor dc = acc.run(p);
     if (nn::argmax_class(ref) == nn::argmax_class(dc)) ++agree;
   }

@@ -61,14 +61,15 @@ struct TuneResult {
   double mean_hash_bits() const;
 };
 
-/// Runs the tuner over `probes` (each a {1,C,H,W} input).
-TuneResult tune_hash_lengths(nn::Model& model,
+/// Runs the tuner over `probes` (each a {1,C,H,W} input). The model is only
+/// read (const inference + weight hashing): planning never perturbs weights.
+TuneResult tune_hash_lengths(const nn::Model& model,
                              const std::vector<nn::Tensor>& probes,
                              const TunerConfig& cfg);
 
 /// Top-1 agreement between the FP32 model and its DeepCAM execution over
 /// `probes` — the Fig. 5 "BL vs DC" fidelity metric for untrained nets.
-double deepcam_agreement(nn::Model& model,
+double deepcam_agreement(const nn::Model& model,
                          const std::vector<nn::Tensor>& probes,
                          const DeepCamConfig& cfg);
 

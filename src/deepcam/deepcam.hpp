@@ -41,9 +41,16 @@
 #include "nn/pooling.hpp"
 #include "nn/topologies.hpp"
 
+// Planning: analytical cost model, plan search, keyed plan cache.
+#include "plan/cost_model.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/planner.hpp"
+#include "plan/report_io.hpp"
+
 // Cross-platform comparison.
 #include "sim/backends.hpp"
 #include "sim/comparison.hpp"
+#include "sim/estimator_check.hpp"
 #include "sim/registry.hpp"
 #include "sim/report_io.hpp"
 

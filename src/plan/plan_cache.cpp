@@ -1,0 +1,75 @@
+#include "plan/plan_cache.hpp"
+
+#include <sstream>
+
+namespace deepcam::plan {
+
+std::string plan_cache_key(std::uint64_t geometry_digest,
+                           const PlannerConfig& cfg) {
+  std::ostringstream key;
+  key << "geo=" << geometry_digest;
+  key << ";obj=" << objective_name(cfg.objective);
+  key << ";batch=" << cfg.batch;
+  key << ";threads=";
+  for (const auto t : cfg.thread_candidates) key << t << ",";
+  key << ";micro=";
+  for (const auto m : cfg.micro_batch_candidates) key << m << ",";
+  key << ";rows=";
+  for (const auto r : cfg.row_candidates) key << r << ",";
+  key << ";df=" << (cfg.search_dataflow ? "*" : dataflow_name(cfg.base.dataflow));
+  key << ";err=" << cfg.max_rel_error;
+  key << ";probes=" << cfg.probes;
+  key << ";patches=" << cfg.max_sample_patches;
+  const core::DeepCamConfig& b = cfg.base;
+  key << ";base=" << b.cam_rows << "/" << core::dataflow_name(b.dataflow)
+      << "/" << (b.preset == core::CyclePreset::kConservative ? "cons" : "ideal")
+      << "/" << (b.tech == cam::CellTech::kFeFET ? "fefet" : "cmos")
+      << "/k" << b.default_hash_bits << "/s" << b.hash_seed
+      << "/pwl" << (b.postproc.use_pwl_cosine ? 1 : 0)
+      << "/mf" << (b.postproc.minifloat_norms ? 1 : 0);
+  return key.str();
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+Plan PlanCache::get_or_plan(const std::string& key,
+                            const std::function<Plan()>& make, bool* hit) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      if (hit != nullptr) *hit = true;
+      return it->second;
+    }
+  }
+  // Plan outside the lock: planning is pure, so a racing duplicate is
+  // merely redundant work producing an identical value.
+  Plan plan = make();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  if (hit != nullptr) *hit = false;
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = plans_.size();
+  return s;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace deepcam::plan

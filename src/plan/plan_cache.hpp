@@ -1,0 +1,53 @@
+// Keyed plan cache (the poplibs ConvReuse trick): planning is deterministic
+// in (model geometry, planner configuration), so a canonical string key over
+// exactly those inputs lets repeated specs skip the search entirely.
+//
+// The cache is process-wide and thread-safe; hit/miss counters are exposed
+// through the plan outcome JSON so CI can assert that a warm second run
+// actually skipped the search.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "plan/planner.hpp"
+
+namespace deepcam::plan {
+
+/// Canonical cache key: every input the planner's output depends on —
+/// geometry digest, batch, objective, the full candidate axes, the accuracy
+/// constraints, and the baseline hardware parameters. Two specs that differ
+/// in any of these never share a plan.
+std::string plan_cache_key(std::uint64_t geometry_digest,
+                           const PlannerConfig& cfg);
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+
+class PlanCache {
+ public:
+  /// The process-wide cache the Runner uses.
+  static PlanCache& global();
+
+  /// Returns the plan stored under `key`, or runs `make` and stores its
+  /// result. `hit` (optional) reports whether the search was skipped.
+  Plan get_or_plan(const std::string& key, const std::function<Plan()>& make,
+                   bool* hit = nullptr);
+
+  PlanCacheStats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Plan> plans_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace deepcam::plan

@@ -1,0 +1,333 @@
+#include "plan/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codelet/codelet.hpp"
+#include "common/error.hpp"
+#include "hash/cosine_approx.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "sim/backend.hpp"
+
+namespace deepcam::plan {
+
+const char* objective_name(Objective obj) {
+  switch (obj) {
+    case Objective::kCycles: return "cycles";
+    case Objective::kEnergy: return "energy";
+    case Objective::kEdp: return "edp";
+  }
+  return "?";
+}
+
+Objective objective_from_name(const std::string& name) {
+  if (name == "cycles") return Objective::kCycles;
+  if (name == "energy") return Objective::kEnergy;
+  if (name == "edp") return Objective::kEdp;
+  throw Error("unknown plan objective \"" + name +
+              "\" (cycles|energy|edp)");
+}
+
+core::DeepCamConfig Plan::config(const core::DeepCamConfig& base) const {
+  core::DeepCamConfig cfg = base;
+  cfg.cam_rows = cam_rows;
+  cfg.dataflow = dataflow;
+  cfg.layer_hash_bits = hash_bits;
+  return cfg;
+}
+
+namespace {
+
+/// Sampled sensitivity data of one CAM layer: contexts hashed once at the
+/// full 1024 bits (every shorter k is a bit prefix) plus the exact outputs
+/// they approximate.
+struct LayerSamples {
+  core::ContextBatch weights;
+  std::vector<float> bias;
+  std::vector<core::ContextBatch> acts;       // per probe
+  std::vector<std::vector<double>> refs;      // per probe, [K][m] row-major
+};
+
+/// Mean-over-probes relative L2 error of the approximate dot products at
+/// hash length `k` — the HashTuner's kLayerLocal metric on the sampled
+/// patches.
+double rel_error_at(const LayerSamples& s, std::size_t k,
+                    const core::PostProcessingUnit::Options& pp) {
+  double err_sum = 0.0;
+  const std::size_t K = s.weights.size();
+  std::vector<std::uint16_t> hd;
+  for (std::size_t pi = 0; pi < s.acts.size(); ++pi) {
+    const core::ContextBatch& a_ctx = s.acts[pi];
+    const std::size_t m = a_ctx.size();
+    hd.resize(m);
+    double num = 0.0, den = 0.0;
+    for (std::size_t kk = 0; kk < K; ++kk) {
+      const core::ContextRef w = s.weights[kk];
+      const double nw = pp.minifloat_norms ? w.norm() : w.exact_norm;
+      if (m > 0)
+        codelet::kernels().hamming_many(w.sig, a_ctx.sig(0),
+                                        a_ctx.words_per_sig(), m, k,
+                                        hd.data());
+      for (std::size_t j = 0; j < m; ++j) {
+        const core::ContextRef a = a_ctx[j];
+        const double na = pp.minifloat_norms ? a.norm() : a.exact_norm;
+        const double approx =
+            hash::approx_dot(nw, na, hd[j], k, pp.use_pwl_cosine) +
+            static_cast<double>(s.bias[kk]);
+        const double ref = s.refs[pi][kk * m + j];
+        const double d = approx - ref;
+        num += d * d;
+        den += ref * ref;
+      }
+    }
+    err_sum += std::sqrt(num / (den + 1e-30));
+  }
+  return s.acts.empty() ? 0.0 : err_sum / static_cast<double>(s.acts.size());
+}
+
+std::size_t level_of(std::size_t k) { return k / 256 - 1; }
+
+}  // namespace
+
+Planner::Planner(const nn::Model& model, nn::Shape input)
+    : model_(&model), cost_(extract_geometry(model, input)) {}
+
+std::vector<LayerFloor> Planner::accuracy_floors(
+    const PlannerConfig& cfg,
+    std::vector<std::vector<double>>* metrics) const {
+  const ModelGeometry& geo = cost_.geometry();
+  std::vector<LayerFloor> floors(geo.cam_layers.size());
+  if (metrics != nullptr)
+    metrics->assign(geo.cam_layers.size(),
+                    std::vector<double>(hash::kNumHashLengths, 0.0));
+  if (cfg.probes == 0) {
+    for (std::size_t li = 0; li < geo.cam_layers.size(); ++li) {
+      floors[li].name = geo.cam_layers[li].name;
+      floors[li].hash_bits = cfg.base.default_hash_bits;
+    }
+    return floors;
+  }
+
+  const std::vector<nn::Tensor> probes =
+      sim::make_probe_batch(geo.input, cfg.probes, sim::kProbeSeed);
+  std::vector<std::vector<nn::Tensor>> exact;
+  exact.reserve(probes.size());
+  for (const auto& p : probes) exact.push_back(model_->infer_all(p));
+
+  for (std::size_t li = 0; li < geo.cam_layers.size(); ++li) {
+    const CamLayerGeometry& cl = geo.cam_layers[li];
+    const nn::Layer& layer = model_->layer(cl.node_index);
+    const int in_node = model_->inputs_of(cl.node_index)[0];
+
+    // Gather sampled contexts (hashed once, at the maximum length) and
+    // their exact reference outputs.
+    LayerSamples samples;
+    core::ContextGenerator gen(
+        cl.context_len,
+        core::layer_hash_seed(cfg.base.hash_seed, cl.node_index));
+    if (cl.is_conv) {
+      const auto& conv = static_cast<const nn::Conv2D&>(layer);
+      const nn::ConvSpec& spec = conv.spec();
+      samples.weights = gen.weight_context_batch(conv);
+      samples.bias = conv.bias();
+      const std::size_t P = cl.patches;
+      const std::size_t m =
+          std::min(P, std::max<std::size_t>(1, cfg.max_sample_patches));
+      std::vector<float> mat(m * cl.context_len);
+      for (std::size_t pi = 0; pi < probes.size(); ++pi) {
+        const nn::Tensor& in =
+            in_node == nn::kModelInput
+                ? probes[pi]
+                : exact[pi][static_cast<std::size_t>(in_node)];
+        const std::size_t ow = spec.out_w(in.shape().w);
+        for (std::size_t j = 0; j < m; ++j) {
+          const std::size_t idx = j * P / m;  // strictly increasing: m <= P
+          nn::extract_patch(in, 0, idx / ow, idx % ow, spec.kernel_h,
+                            spec.kernel_w, spec.stride, spec.pad,
+                            {mat.data() + j * cl.context_len,
+                             cl.context_len});
+        }
+        core::ContextBatch acts;
+        gen.contexts_into(mat.data(), m, acts, hash::kMaxHashBits);
+        acts.release_scratch();
+        const nn::Tensor& out = exact[pi][cl.node_index];
+        std::vector<double> ref(cl.kernels * m);
+        for (std::size_t kk = 0; kk < cl.kernels; ++kk)
+          for (std::size_t j = 0; j < m; ++j)
+            ref[kk * m + j] =
+                static_cast<double>(out[kk * P + j * P / m]);
+        samples.acts.push_back(std::move(acts));
+        samples.refs.push_back(std::move(ref));
+      }
+    } else {
+      const auto& fc = static_cast<const nn::Linear&>(layer);
+      samples.weights = gen.weight_context_batch(fc);
+      samples.bias = fc.bias();
+      for (std::size_t pi = 0; pi < probes.size(); ++pi) {
+        const nn::Tensor& in =
+            in_node == nn::kModelInput
+                ? probes[pi]
+                : exact[pi][static_cast<std::size_t>(in_node)];
+        core::ContextBatch acts;
+        gen.activation_context_flat_into(in, acts, 0, hash::kMaxHashBits);
+        acts.release_scratch();
+        const nn::Tensor& out = exact[pi][cl.node_index];
+        std::vector<double> ref(cl.kernels);
+        for (std::size_t kk = 0; kk < cl.kernels; ++kk)
+          ref[kk] = static_cast<double>(out[kk]);
+        samples.acts.push_back(std::move(acts));
+        samples.refs.push_back(std::move(ref));
+      }
+    }
+
+    // Calibrate at the shortest hash, extrapolate with the SimHash
+    // concentration law err ∝ 1/sqrt(k), verify the predicted choice.
+    const double err256 = rel_error_at(samples, 256, cfg.base.postproc);
+    std::vector<double> metric(hash::kNumHashLengths);
+    std::vector<bool> measured(hash::kNumHashLengths, false);
+    metric[0] = err256;
+    measured[0] = true;
+    for (int ki = 1; ki < hash::kNumHashLengths; ++ki)
+      metric[ki] =
+          err256 * std::sqrt(256.0 /
+                             static_cast<double>(hash::kHashLengths[ki]));
+
+    std::size_t chosen = hash::kMaxHashBits;
+    for (int ki = 0; ki < hash::kNumHashLengths; ++ki) {
+      if (metric[ki] <= cfg.max_rel_error) {
+        chosen = static_cast<std::size_t>(hash::kHashLengths[ki]);
+        break;
+      }
+    }
+    double predicted = metric[level_of(chosen)];
+    if (!measured[level_of(chosen)]) {
+      metric[level_of(chosen)] =
+          rel_error_at(samples, chosen, cfg.base.postproc);
+      measured[level_of(chosen)] = true;
+    }
+    // The extrapolation can undershoot; climb one level at a time until the
+    // measurement agrees (or the ladder tops out).
+    while (metric[level_of(chosen)] > cfg.max_rel_error &&
+           chosen < hash::kMaxHashBits) {
+      chosen += 256;
+      predicted = metric[level_of(chosen)];
+      if (!measured[level_of(chosen)]) {
+        metric[level_of(chosen)] =
+            rel_error_at(samples, chosen, cfg.base.postproc);
+        measured[level_of(chosen)] = true;
+      }
+    }
+
+    floors[li].name = cl.name;
+    floors[li].hash_bits = chosen;
+    floors[li].predicted_rel_error = predicted;
+    floors[li].measured_rel_error = metric[level_of(chosen)];
+    if (metrics != nullptr) (*metrics)[li] = std::move(metric);
+  }
+  return floors;
+}
+
+Plan Planner::plan(const PlannerConfig& cfg) const {
+  const ModelGeometry& geo = cost_.geometry();
+  const std::size_t batch = std::max<std::size_t>(1, cfg.batch);
+
+  Plan best;
+  best.model_name = geo.model_name;
+  best.geometry_digest = geo.digest();
+  best.objective = cfg.objective;
+  best.batch = batch;
+  best.floors = accuracy_floors(cfg, nullptr);
+  best.hash_bits.reserve(best.floors.size());
+  for (const auto& f : best.floors) best.hash_bits.push_back(f.hash_bits);
+
+  // Candidate axes, deterministic order. Search runs strictly-better
+  // replacement, so ties resolve to the earliest candidate (smallest rows,
+  // AS dataflow, smallest micro-batch/threads).
+  std::vector<std::size_t> rows = cfg.row_candidates;
+  if (rows.empty()) rows = {cfg.base.cam_rows};
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  std::vector<core::Dataflow> dataflows;
+  if (cfg.search_dataflow)
+    dataflows = {core::Dataflow::kActivationStationary,
+                 core::Dataflow::kWeightStationary};
+  else
+    dataflows = {cfg.base.dataflow};
+
+  std::vector<std::size_t> micro = cfg.micro_batch_candidates;
+  for (auto& m : micro) m = std::min(std::max<std::size_t>(1, m), batch);
+  if (micro.empty()) micro = {batch};
+  std::sort(micro.begin(), micro.end());
+  micro.erase(std::unique(micro.begin(), micro.end()), micro.end());
+
+  std::vector<std::size_t> threads = cfg.thread_candidates;
+  for (auto& t : threads) t = std::max<std::size_t>(1, t);
+  if (threads.empty()) threads = {1};
+  std::sort(threads.begin(), threads.end());
+  threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+
+  bool have_best = false;
+  for (const std::size_t r : rows) {
+    for (const core::Dataflow df : dataflows) {
+      core::DeepCamConfig hw = cfg.base;
+      hw.cam_rows = r;
+      hw.dataflow = df;
+      hw.layer_hash_bits = best.hash_bits;
+      // Layer costs depend only on (rows, dataflow, hash bits); micro-batch
+      // and threads only reshape the makespan, so estimate once per
+      // hardware point and sweep the schedule axes on the same estimate.
+      CostEstimate est = cost_.estimate(hw, batch);
+      for (const std::size_t m : micro) {
+        for (const std::size_t t : threads) {
+          est.micro_batch = m;
+          est.threads = t;
+          double value = 0.0;
+          switch (cfg.objective) {
+            case Objective::kCycles:
+              value = static_cast<double>(est.makespan_cycles());
+              break;
+            case Objective::kEnergy:
+              value = est.total_energy();
+              break;
+            case Objective::kEdp:
+              value = est.edp();
+              break;
+          }
+          ++best.configs_evaluated;
+          if (!have_best || value < best.objective_value) {
+            have_best = true;
+            best.cam_rows = r;
+            best.dataflow = df;
+            best.micro_batch = m;
+            best.threads = t;
+            best.cost = est;
+            best.objective_value = value;
+          }
+        }
+      }
+    }
+  }
+  DEEPCAM_CHECK(have_best);
+  return best;
+}
+
+core::TuneResult Planner::guided_tune(const PlannerConfig& cfg) const {
+  std::vector<std::vector<double>> metrics;
+  const std::vector<LayerFloor> floors = accuracy_floors(cfg, &metrics);
+  core::TuneResult result;
+  const ModelGeometry& geo = cost_.geometry();
+  for (std::size_t li = 0; li < floors.size(); ++li) {
+    core::LayerSensitivity sens;
+    sens.layer_name = floors[li].name;
+    sens.context_len = geo.cam_layers[li].context_len;
+    sens.metric = metrics[li];
+    sens.chosen_bits = floors[li].hash_bits;
+    result.layers.push_back(std::move(sens));
+    result.hash_bits.push_back(floors[li].hash_bits);
+  }
+  return result;
+}
+
+}  // namespace deepcam::plan

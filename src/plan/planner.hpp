@@ -1,0 +1,124 @@
+// Plan search over the joint DeepCAM configuration space (the poplibs
+// ConvPlan role).
+//
+// The planner replaces wall-clock sweeps with two model-guided passes:
+//
+//  1. Accuracy floors — per CAM layer, the smallest hash length whose
+//     approximation error fits the budget. Instead of the empirical tuner's
+//     exhaustive (probe × patch × candidate-k) evaluation, the planner
+//     subsamples patches, hashes them ONCE at the full 1024 bits (shorter
+//     hashes are bit prefixes), calibrates the relative L2 error at k = 256
+//     and extrapolates with the SimHash concentration law err ∝ 1/sqrt(k),
+//     then verifies only the predicted choice (bumping one level at a time
+//     if the measurement disagrees). Cost per layer: one hash pass plus
+//     ~two Hamming evaluations, versus the tuner's four.
+//
+//  2. Cost search — with per-layer hash lengths fixed by the floors (cost is
+//     strictly monotone in k, so the minimal admissible k is optimal under
+//     every objective), exhaustively cost the small discrete grid of
+//     (CAM rows × dataflow × micro-batch × threads) with the analytical
+//     CostModel and keep the configuration minimizing the objective
+//     (cycles, energy, or EDP). No simulation anywhere.
+//
+// The resulting Plan is a plain serializable value: byte-identical for
+// identical inputs (no wall-clock inside), which is what the PlanCache's
+// determinism contract pins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hash_tuner.hpp"
+#include "nn/model.hpp"
+#include "plan/cost_model.hpp"
+
+namespace deepcam::plan {
+
+enum class Objective { kCycles, kEnergy, kEdp };
+
+const char* objective_name(Objective obj);
+Objective objective_from_name(const std::string& name);
+
+/// Search-space bounds and accuracy constraints.
+struct PlannerConfig {
+  Objective objective = Objective::kCycles;
+  std::size_t batch = 1;
+  /// Engine worker counts to consider (0 entries = {1}).
+  std::vector<std::size_t> thread_candidates = {1, 2, 4, 8};
+  /// Micro-batch sizes to consider (clamped to batch; 0 entries = {batch}).
+  std::vector<std::size_t> micro_batch_candidates = {1, 4, 8, 16, 32};
+  /// CAM row counts to consider; empty = keep `base.cam_rows` fixed.
+  std::vector<std::size_t> row_candidates = {64, 128, 256, 512};
+  /// Consider both dataflows (false = keep `base.dataflow`).
+  bool search_dataflow = true;
+  /// Accuracy budget: max mean relative L2 error per CAM layer (the
+  /// HashTuner's kLayerLocal criterion).
+  double max_rel_error = 0.25;
+  /// Sensitivity probes (0 disables the accuracy pass: every layer gets
+  /// base.default_hash_bits).
+  std::size_t probes = 2;
+  /// Patches sampled per layer per probe for the sensitivity estimate.
+  std::size_t max_sample_patches = 64;
+  /// Baseline hardware parameters (tech, preset, seed, postproc options);
+  /// cam_rows/dataflow serve as the fixed point when their search is off.
+  core::DeepCamConfig base = {};
+};
+
+/// Per-layer accuracy-floor diagnostics.
+struct LayerFloor {
+  std::string name;
+  std::size_t hash_bits = 0;      // chosen floor
+  double predicted_rel_error = 0.0;
+  double measured_rel_error = 0.0;  // at the chosen k
+};
+
+/// A fully resolved configuration choice — serializable, wall-clock free.
+struct Plan {
+  std::string model_name;
+  std::uint64_t geometry_digest = 0;
+  Objective objective = Objective::kCycles;
+  std::size_t batch = 1;
+
+  std::size_t cam_rows = 64;
+  core::Dataflow dataflow = core::Dataflow::kActivationStationary;
+  std::size_t micro_batch = 1;
+  std::size_t threads = 1;
+  std::vector<std::size_t> hash_bits;  // per CAM layer
+  std::vector<LayerFloor> floors;
+
+  CostEstimate cost;             // under the chosen configuration
+  double objective_value = 0.0;  // cycles, joules, or J·s
+  std::size_t configs_evaluated = 0;
+
+  /// DeepCamConfig realizing this plan (threads/micro-batch live in the
+  /// engine/serving layer, not here).
+  core::DeepCamConfig config(const core::DeepCamConfig& base) const;
+};
+
+class Planner {
+ public:
+  /// The model is only read: geometry extraction, const inference for the
+  /// sensitivity probes, and weight hashing.
+  Planner(const nn::Model& model, nn::Shape input);
+
+  const CostModel& cost_model() const { return cost_; }
+
+  /// Runs the accuracy pass + cost search.
+  Plan plan(const PlannerConfig& cfg) const;
+
+  /// Model-guided replacement for core::tune_hash_lengths: the accuracy
+  /// pass alone, reported in the tuner's TuneResult shape. Metrics for hash
+  /// lengths the planner did not measure are the 1/sqrt(k) predictions.
+  core::TuneResult guided_tune(const PlannerConfig& cfg) const;
+
+ private:
+  std::vector<LayerFloor> accuracy_floors(const PlannerConfig& cfg,
+                                          std::vector<std::vector<double>>*
+                                              metrics) const;
+
+  const nn::Model* model_;
+  CostModel cost_;
+};
+
+}  // namespace deepcam::plan

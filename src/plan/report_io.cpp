@@ -1,0 +1,111 @@
+#include "plan/report_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace deepcam::plan {
+
+void plan_json(JsonWriter& json, const Plan& plan) {
+  json.begin_object();
+  json.kv("model", plan.model_name);
+  json.kv("geometry_digest", plan.geometry_digest);
+  json.kv("objective", objective_name(plan.objective));
+  json.kv("batch", plan.batch);
+  json.kv("cam_rows", plan.cam_rows);
+  json.kv("dataflow", core::dataflow_name(plan.dataflow));
+  json.kv("micro_batch", plan.micro_batch);
+  json.kv("threads", plan.threads);
+  json.key("hash_bits").begin_array();
+  for (const std::size_t k : plan.hash_bits) json.value(k);
+  json.end_array();
+  json.key("floors").begin_array();
+  for (const auto& f : plan.floors) {
+    json.begin_object();
+    json.kv("layer", f.name);
+    json.kv("hash_bits", f.hash_bits);
+    json.kv("predicted_rel_error", f.predicted_rel_error);
+    json.kv("measured_rel_error", f.measured_rel_error);
+    json.end_object();
+  }
+  json.end_array();
+  json.kv("configs_evaluated", plan.configs_evaluated);
+  json.kv("objective_value", plan.objective_value);
+  json.key("cost").begin_object();
+  json.kv("sample_cycles", plan.cost.sample_cycles());
+  json.kv("peripheral_cycles", plan.cost.peripheral_cycles);
+  json.kv("total_cycles", plan.cost.total_cycles());
+  json.kv("total_energy_j", plan.cost.total_energy());
+  json.kv("makespan_cycles", plan.cost.makespan_cycles());
+  json.kv("time_seconds", plan.cost.time_seconds());
+  json.kv("edp", plan.cost.edp());
+  json.kv("throughput_samples_per_s", plan.cost.throughput_samples_per_s());
+  json.key("layers").begin_array();
+  for (const auto& l : plan.cost.layers) {
+    json.begin_object();
+    json.kv("name", l.name);
+    json.kv("patches", l.patches);
+    json.kv("kernels", l.kernels);
+    json.kv("context_len", l.context_len);
+    json.kv("hash_bits", l.hash_bits);
+    json.kv("passes", l.plan.passes);
+    json.kv("searches", l.plan.searches);
+    json.kv("rows_written", l.plan.rows_written);
+    json.kv("utilization", l.plan.utilization);
+    json.kv("cycles", l.cycles);
+    json.kv("cam_energy_j", l.cam_energy);
+    json.kv("postproc_energy_j", l.postproc_energy);
+    json.kv("ctxgen_energy_j", l.ctxgen_energy);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();  // cost
+  json.end_object();
+}
+
+std::string plan_to_json(const Plan& plan) {
+  JsonWriter json;
+  plan_json(json, plan);
+  return json.str();
+}
+
+void plan_cache_stats_json(JsonWriter& json, const PlanCacheStats& stats) {
+  json.begin_object();
+  json.kv("hits", stats.hits);
+  json.kv("misses", stats.misses);
+  json.kv("entries", stats.entries);
+  json.end_object();
+}
+
+std::string plan_summary(const Plan& plan) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "plan %s: objective %s, batch %zu -> rows=%zu %s "
+                "micro_batch=%zu threads=%zu (%zu configs)\n",
+                plan.model_name.c_str(), objective_name(plan.objective),
+                plan.batch, plan.cam_rows,
+                core::dataflow_name(plan.dataflow), plan.micro_batch,
+                plan.threads, plan.configs_evaluated);
+  os << buf;
+  for (const auto& f : plan.floors) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s k=%-4zu rel_err %s (predicted %s)\n",
+                  f.name.c_str(), f.hash_bits,
+                  format_fixed(f.measured_rel_error, 4).c_str(),
+                  format_fixed(f.predicted_rel_error, 4).c_str());
+    os << buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  est: %zu cycles/sample, makespan %zu cycles (%s us), "
+                "energy %s uJ, %s samples/s\n",
+                plan.cost.sample_cycles(), plan.cost.makespan_cycles(),
+                format_fixed(plan.cost.time_seconds() * 1e6, 3).c_str(),
+                format_fixed(plan.cost.total_energy() * 1e6, 3).c_str(),
+                format_fixed(plan.cost.throughput_samples_per_s(), 0).c_str());
+  os << buf;
+  return os.str();
+}
+
+}  // namespace deepcam::plan

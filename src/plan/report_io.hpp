@@ -1,0 +1,30 @@
+// Plan serialization: the JSON shape golden-pinned by outcome_plan.json.
+//
+// plan_json is an append-style JsonWriter helper (the same idiom as
+// core::run_report_json) so the facade outcome, the CLI artifact, and the
+// bench harness all embed byte-identical plan objects — which is exactly
+// what the cache-determinism test compares.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/planner.hpp"
+
+namespace deepcam::plan {
+
+/// Appends one JSON object describing `plan`: the chosen configuration,
+/// per-layer hash floors, and the analytical cost estimate.
+void plan_json(JsonWriter& json, const Plan& plan);
+
+/// One self-contained JSON document for a Plan. Locale-proof, byte-stable.
+std::string plan_to_json(const Plan& plan);
+
+/// Appends the cache counters object ({hits, misses, entries}).
+void plan_cache_stats_json(JsonWriter& json, const PlanCacheStats& stats);
+
+/// Multi-line human-readable summary of a Plan.
+std::string plan_summary(const Plan& plan);
+
+}  // namespace deepcam::plan

@@ -65,7 +65,7 @@ core::TuneResult ComparisonRunner::tune_workload(
   return tune_model(*model, nn::input_spec_for(spec.model_name).shape());
 }
 
-core::TuneResult ComparisonRunner::tune_model(nn::Model& model,
+core::TuneResult ComparisonRunner::tune_model(const nn::Model& model,
                                               nn::Shape input_shape) const {
   const auto probes =
       make_probe_batch(input_shape, opts_.vhl_probes, kProbeSeed);

@@ -80,7 +80,8 @@ class ComparisonRunner {
   core::TuneResult tune_workload(const WorkloadSpec& spec) const;
 
  private:
-  core::TuneResult tune_model(nn::Model& model, nn::Shape input_shape) const;
+  core::TuneResult tune_model(const nn::Model& model,
+                              nn::Shape input_shape) const;
 
   const BackendRegistry* registry_;
   ComparisonOptions opts_;

@@ -1,0 +1,37 @@
+#include "sim/estimator_check.hpp"
+
+#include <cmath>
+
+#include "sim/backends.hpp"
+
+namespace deepcam::sim {
+
+EstimatorCheck check_estimator(const nn::Model& model, nn::Shape input,
+                               const core::DeepCamConfig& cfg,
+                               std::size_t batch) {
+  DeepCamBackend::Options opts;
+  opts.config = cfg;
+  const PlatformResult measured =
+      DeepCamBackend(opts).simulate(model, input, batch);
+
+  const plan::CostModel cost(plan::extract_geometry(model, input));
+  const plan::CostEstimate est = cost.estimate(cfg, batch);
+
+  EstimatorCheck chk;
+  chk.measured_cycles = measured.total_cycles;
+  chk.measured_energy_j = measured.total_energy_j;
+  chk.estimated_cycles = est.total_cycles();
+  chk.estimated_energy_j = est.total_energy();
+  if (measured.total_cycles > 0.0)
+    chk.cycle_rel_error =
+        std::abs(static_cast<double>(chk.estimated_cycles) -
+                 measured.total_cycles) /
+        measured.total_cycles;
+  if (measured.total_energy_j > 0.0)
+    chk.energy_rel_error =
+        std::abs(chk.estimated_energy_j - measured.total_energy_j) /
+        measured.total_energy_j;
+  return chk;
+}
+
+}  // namespace deepcam::sim

@@ -458,8 +458,38 @@ TEST(RunnerEquivalence, CompareSpecMatchesDirectComparisonRunner) {
   }
 }
 
-TEST(RunnerEquivalence, TuneSpecMatchesDirectTuner) {
+TEST(RunnerEquivalence, TuneSpecMatchesGuidedPlanner) {
+  // Tune mode runs the model-guided accuracy pass by default; the facade
+  // must be bitwise-identical to calling Planner::guided_tune directly with
+  // the config the runner derives from the spec.
   const Spec spec = spec_from_file(spec_path("fig5_tune.json"));
+  const Outcome outcome = Runner().run(spec);
+  ASSERT_EQ(outcome.tune().entries.size(), 1u);
+  const core::TuneResult& facade = outcome.tune().entries[0].result;
+
+  const Workload& w = spec.workloads.front();
+  const auto model = build_model(w);
+  plan::PlannerConfig cfg;
+  cfg.objective = plan::objective_from_name(spec.plan.objective);
+  cfg.batch = spec.plan.batch;
+  cfg.max_rel_error = spec.accelerator.vhl_max_rel_error;
+  cfg.probes = spec.accelerator.vhl_probes;
+  cfg.base = spec.accelerator.config();
+  const core::TuneResult direct =
+      plan::Planner(*model, w.input_shape()).guided_tune(cfg);
+
+  ASSERT_EQ(facade.hash_bits, direct.hash_bits);
+  ASSERT_EQ(facade.layers.size(), direct.layers.size());
+  for (std::size_t i = 0; i < facade.layers.size(); ++i) {
+    EXPECT_EQ(facade.layers[i].chosen_bits, direct.layers[i].chosen_bits);
+    EXPECT_EQ(facade.layers[i].metric, direct.layers[i].metric);
+  }
+}
+
+TEST(RunnerEquivalence, TuneValidateSpecMatchesEmpiricalTuner) {
+  // --validate restores the ground-truth empirical sweep.
+  Spec spec = spec_from_file(spec_path("fig5_tune.json"));
+  spec.plan.validate = true;
   const Outcome outcome = Runner().run(spec);
   ASSERT_EQ(outcome.tune().entries.size(), 1u);
   const core::TuneResult& facade = outcome.tune().entries[0].result;
@@ -480,6 +510,28 @@ TEST(RunnerEquivalence, TuneSpecMatchesDirectTuner) {
     EXPECT_EQ(facade.layers[i].chosen_bits, direct.layers[i].chosen_bits);
     EXPECT_EQ(facade.layers[i].metric, direct.layers[i].metric);
   }
+}
+
+TEST(RunnerEquivalence, PlanSpecMatchesDirectPlanner) {
+  // Plan mode through the facade (and its process-wide cache) must return
+  // exactly the plan a direct Planner::plan call produces.
+  const Spec spec = spec_from_file(spec_path("plan_lenet.json"));
+  const Outcome outcome = Runner().run(spec);
+  ASSERT_EQ(outcome.plan().entries.size(), 1u);
+  const plan::Plan& facade = outcome.plan().entries[0].plan;
+
+  const Workload& w = spec.workloads.front();
+  const auto model = build_model(w);
+  plan::PlannerConfig cfg;
+  cfg.objective = plan::objective_from_name(spec.plan.objective);
+  cfg.batch = spec.plan.batch;
+  cfg.max_rel_error = spec.accelerator.vhl_max_rel_error;
+  cfg.probes = spec.plan.probes;
+  cfg.base = spec.accelerator.config();
+  const plan::Plan direct =
+      plan::Planner(*model, w.input_shape()).plan(cfg);
+
+  EXPECT_EQ(plan::plan_to_json(facade), plan::plan_to_json(direct));
 }
 
 TEST(RunnerEquivalence, ServeSpecLogitsMatchDirectServer) {

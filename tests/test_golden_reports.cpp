@@ -22,6 +22,7 @@
 #include "api/runner.hpp"
 #include "api/spec_io.hpp"
 #include "core/report_io.hpp"
+#include "plan/report_io.hpp"
 #include "serve/report_io.hpp"
 #include "sim/report_io.hpp"
 
@@ -420,6 +421,80 @@ deepcam::Outcome make_tune_outcome_fixture() {
                           std::move(out)};
 }
 
+/// Synthetic plan (hand-set fields, dyadic fractions so the bytes are
+/// format-stable) covering every field plan_json emits.
+plan::Plan make_plan_fixture() {
+  plan::Plan p;
+  p.model_name = "lenet5";
+  p.geometry_digest = 0x123456789abcdef0ULL;
+  p.objective = plan::Objective::kCycles;
+  p.batch = 8;
+  p.cam_rows = 128;
+  p.dataflow = core::Dataflow::kWeightStationary;
+  p.micro_batch = 8;
+  p.threads = 4;
+  p.hash_bits = {256, 1024};
+  p.floors.push_back(plan::LayerFloor{"conv1", 256, 0.125, 0.1171875});
+  p.floors.push_back(plan::LayerFloor{"fc1", 1024, 0.5, 0.4375});
+
+  plan::LayerCost conv;
+  conv.name = "conv1";
+  conv.patches = 36;
+  conv.kernels = 4;
+  conv.context_len = 9;
+  conv.hash_bits = 256;
+  conv.plan.passes = 1;
+  conv.plan.searches = 36;
+  conv.plan.rows_written = 4;
+  conv.plan.utilization = 0.03125;
+  conv.plan.dot_products = 144;
+  conv.cycles = 160;
+  conv.cam_energy = 1.5e-9;
+  conv.postproc_energy = 2.5e-10;
+  conv.ctxgen_energy = 0.0;
+  p.cost.layers.push_back(conv);
+
+  plan::LayerCost fc;
+  fc.name = "fc1";
+  fc.patches = 1;
+  fc.kernels = 5;
+  fc.context_len = 144;
+  fc.hash_bits = 1024;
+  fc.plan.passes = 1;
+  fc.plan.searches = 1;
+  fc.plan.rows_written = 5;
+  fc.plan.utilization = 0.0390625;
+  fc.plan.dot_products = 5;
+  fc.cycles = 34;
+  fc.cam_energy = 4.75e-11;
+  fc.postproc_energy = 8.0e-12;
+  fc.ctxgen_energy = 3.125e-11;
+  p.cost.layers.push_back(fc);
+
+  p.cost.peripheral_cycles = 77;
+  p.cost.batch = 8;
+  p.cost.micro_batch = 8;
+  p.cost.threads = 4;
+  p.objective_value = static_cast<double>(p.cost.makespan_cycles());
+  p.configs_evaluated = 96;
+  return p;
+}
+
+deepcam::Outcome make_plan_outcome_fixture() {
+  deepcam::PlanOutcome out;
+  deepcam::PlanOutcome::Entry entry;
+  entry.workload = "lenet5";
+  entry.plan = make_plan_fixture();
+  entry.cache_hit = true;
+  entry.validated = true;
+  entry.measured_cycles = 2168.0;
+  entry.cycle_rel_error = 0.0;
+  out.entries.push_back(std::move(entry));
+  out.cache = plan::PlanCacheStats{1, 1, 1};
+  return deepcam::Outcome{"golden-plan", deepcam::Mode::kPlan,
+                          std::move(out)};
+}
+
 TEST(GoldenReports, RunReportCsv) {
   expect_matches_golden(core::report_to_csv(make_run_report_fixture()),
                         "run_report.csv");
@@ -486,6 +561,16 @@ TEST(GoldenReports, OutcomeServeJson) {
 TEST(GoldenReports, OutcomeTuneJson) {
   expect_matches_golden(outcome_to_json(make_tune_outcome_fixture()),
                         "outcome_tune.json");
+}
+
+TEST(GoldenReports, OutcomePlanJson) {
+  expect_matches_golden(outcome_to_json(make_plan_outcome_fixture()),
+                        "outcome_plan.json");
+}
+
+TEST(GoldenReports, OutcomePlanText) {
+  expect_matches_golden(outcome_text(make_plan_outcome_fixture()),
+                        "outcome_plan.txt");
 }
 
 TEST(GoldenReports, OutcomeOfflineText) {
@@ -561,8 +646,10 @@ TEST(GoldenReports, OutputIsLocaleProof) {
            serve::server_summary_text(srv) +
            outcome_to_json(make_compare_outcome_fixture()) +
            outcome_to_json(make_serve_outcome_fixture()) +
+           outcome_to_json(make_plan_outcome_fixture()) +
            outcome_text(make_serve_outcome_fixture()) +
            outcome_text(make_tune_outcome_fixture()) +
+           outcome_text(make_plan_outcome_fixture()) +
            spec_to_json(spec_from_file(std::string(DEEPCAM_SPEC_DIR) +
                                        "/serve_demo.json"));
   };

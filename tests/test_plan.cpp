@@ -1,0 +1,313 @@
+// Plan subsystem tests: the estimator-accuracy gate (CostModel vs the
+// DeepCAM sim backend), cost-model properties (linearity, monotonicity),
+// planner determinism and quality, and the plan cache's determinism / hit /
+// miss contract.
+//
+// The acceptance band is ±15%, but the engine's accounting is a pure
+// function of (geometry, config) — so the gate also pins exactness on
+// LeNet5 to catch silent drift early.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hash/random_projection.hpp"
+#include "nn/topologies.hpp"
+#include "plan/cost_model.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/planner.hpp"
+#include "plan/report_io.hpp"
+#include "sim/estimator_check.hpp"
+
+namespace deepcam {
+namespace {
+
+const char* kTopologies[] = {"lenet5", "vgg11", "vgg16", "resnet18"};
+
+core::DeepCamConfig default_config() { return core::DeepCamConfig{}; }
+
+// --- estimator-accuracy gate ----------------------------------------------
+
+TEST(EstimatorGate, LeNetMeasuredAtEveryBatch) {
+  const auto model = nn::make_model("lenet5", 1);
+  const nn::Shape input = nn::input_spec_for("lenet5").shape();
+  for (const std::size_t batch : {1u, 8u, 32u}) {
+    const sim::EstimatorCheck chk =
+        sim::check_estimator(*model, input, default_config(), batch);
+    EXPECT_LE(chk.cycle_rel_error, 0.15)
+        << "lenet5 batch " << batch << ": estimated " << chk.estimated_cycles
+        << " vs measured " << chk.measured_cycles;
+    EXPECT_LE(chk.energy_rel_error, 0.15);
+    // The accounting is data-independent; the estimate should be exact.
+    EXPECT_EQ(static_cast<double>(chk.estimated_cycles), chk.measured_cycles);
+  }
+}
+
+TEST(EstimatorGate, LeNetMeasuredAcrossConfigs) {
+  const auto model = nn::make_model("lenet5", 1);
+  const nn::Shape input = nn::input_spec_for("lenet5").shape();
+
+  core::DeepCamConfig idealized;
+  idealized.preset = core::CyclePreset::kIdealized;
+
+  core::DeepCamConfig ws;
+  ws.dataflow = core::Dataflow::kWeightStationary;
+  ws.cam_rows = 128;
+
+  core::DeepCamConfig vhl;
+  vhl.layer_hash_bits = {256, 512, 768, 1024, 512};
+
+  for (const core::DeepCamConfig& cfg : {idealized, ws, vhl}) {
+    const sim::EstimatorCheck chk =
+        sim::check_estimator(*model, input, cfg, 8);
+    EXPECT_LE(chk.cycle_rel_error, 0.15);
+    EXPECT_LE(chk.energy_rel_error, 0.15);
+    EXPECT_EQ(static_cast<double>(chk.estimated_cycles), chk.measured_cycles);
+  }
+}
+
+TEST(EstimatorGate, LargeTopologiesMeasuredAtBatchOne) {
+  // VGG/ResNet sim runs cost real wall-clock, so they are measured once at
+  // batch 1; batches 8 and 32 follow from the backend's additive
+  // merge-report contract, pinned by EstimateLinearInBatch below.
+  for (const char* name : {"vgg11", "vgg16", "resnet18"}) {
+    const auto model = nn::make_model(name, 1);
+    const nn::Shape input = nn::input_spec_for(name).shape();
+    const sim::EstimatorCheck chk =
+        sim::check_estimator(*model, input, default_config(), 1);
+    EXPECT_LE(chk.cycle_rel_error, 0.15)
+        << name << ": estimated " << chk.estimated_cycles << " vs measured "
+        << chk.measured_cycles;
+    EXPECT_LE(chk.energy_rel_error, 0.15) << name;
+  }
+}
+
+// --- cost-model properties -------------------------------------------------
+
+TEST(CostModelProperties, TotalsLinearInBatch) {
+  for (const char* name : kTopologies) {
+    const auto model = nn::make_model(name, 1);
+    const plan::CostModel cost(
+        plan::extract_geometry(*model, nn::input_spec_for(name).shape()));
+    const plan::CostEstimate one = cost.estimate(default_config(), 1);
+    for (const std::size_t b : {8u, 32u}) {
+      const plan::CostEstimate est = cost.estimate(default_config(), b);
+      EXPECT_EQ(est.total_cycles(), b * one.total_cycles()) << name;
+      EXPECT_DOUBLE_EQ(est.total_energy(), b * one.total_energy()) << name;
+    }
+  }
+}
+
+TEST(CostModelProperties, EstimatesMonotoneInBatch) {
+  const auto model = nn::make_model("lenet5", 1);
+  const plan::CostModel cost(
+      plan::extract_geometry(*model, nn::input_spec_for("lenet5").shape()));
+  std::size_t prev_total = 0, prev_makespan = 0;
+  for (const std::size_t b : {1u, 2u, 8u, 16u, 32u}) {
+    const plan::CostEstimate est = cost.estimate(default_config(), b, 4, 8);
+    EXPECT_GE(est.total_cycles(), prev_total);
+    EXPECT_GE(est.makespan_cycles(), prev_makespan);
+    prev_total = est.total_cycles();
+    prev_makespan = est.makespan_cycles();
+  }
+}
+
+TEST(CostModelProperties, EstimatesMonotoneInHashBits) {
+  // Conservative search cycles and per-bit search energy both grow with k,
+  // so homogeneous hash length sweeps must be nondecreasing in cost.
+  for (const char* name : {"lenet5", "vgg11"}) {
+    const auto model = nn::make_model(name, 1);
+    const plan::CostModel cost(
+        plan::extract_geometry(*model, nn::input_spec_for(name).shape()));
+    std::size_t prev_cycles = 0;
+    double prev_energy = 0.0;
+    for (const int k_bits : hash::kHashLengths) {
+      const std::size_t k = static_cast<std::size_t>(k_bits);
+      core::DeepCamConfig cfg;
+      cfg.default_hash_bits = k;
+      const plan::CostEstimate est = cost.estimate(cfg, 1);
+      EXPECT_GE(est.sample_cycles(), prev_cycles) << name << " k=" << k;
+      EXPECT_GE(est.sample_energy(), prev_energy) << name << " k=" << k;
+      prev_cycles = est.sample_cycles();
+      prev_energy = est.sample_energy();
+    }
+  }
+}
+
+TEST(CostModelProperties, GeometryDigestSeparatesModels) {
+  std::vector<std::uint64_t> digests;
+  for (const char* name : kTopologies) {
+    const auto model = nn::make_model(name, 1);
+    const plan::ModelGeometry geo =
+        plan::extract_geometry(*model, nn::input_spec_for(name).shape());
+    // Stable: re-extraction digests identically.
+    EXPECT_EQ(geo.digest(),
+              plan::extract_geometry(*model,
+                                     nn::input_spec_for(name).shape())
+                  .digest());
+    digests.push_back(geo.digest());
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i)
+    for (std::size_t j = i + 1; j < digests.size(); ++j)
+      EXPECT_NE(digests[i], digests[j]);
+}
+
+// --- planner ---------------------------------------------------------------
+
+plan::PlannerConfig lenet_planner_config() {
+  plan::PlannerConfig cfg;
+  cfg.batch = 8;
+  cfg.max_rel_error = 0.5;
+  return cfg;
+}
+
+TEST(Planner, DeterministicPlanBytes) {
+  const auto model = nn::make_model("lenet5", 1);
+  const nn::Shape input = nn::input_spec_for("lenet5").shape();
+  const plan::Planner planner(*model, input);
+  const plan::Plan a = planner.plan(lenet_planner_config());
+  const plan::Plan b = planner.plan(lenet_planner_config());
+  EXPECT_EQ(plan::plan_to_json(a), plan::plan_to_json(b));
+  EXPECT_GT(a.configs_evaluated, 1u);
+}
+
+TEST(Planner, BeatsFixedBaselineUnderEveryObjective) {
+  // The planned configuration must cost no more than the fixed default
+  // (1024-bit homogeneous hashes, default rows/dataflow) under the same
+  // objective — the plan search includes that point, so equality is the
+  // worst case.
+  const auto model = nn::make_model("lenet5", 1);
+  const nn::Shape input = nn::input_spec_for("lenet5").shape();
+  const plan::Planner planner(*model, input);
+  const plan::CostModel& cost = planner.cost_model();
+  for (const plan::Objective obj :
+       {plan::Objective::kCycles, plan::Objective::kEnergy,
+        plan::Objective::kEdp}) {
+    plan::PlannerConfig cfg = lenet_planner_config();
+    cfg.objective = obj;
+    const plan::Plan p = planner.plan(cfg);
+    const plan::CostEstimate baseline =
+        cost.estimate(default_config(), cfg.batch);
+    double baseline_value = 0.0;
+    switch (obj) {
+      case plan::Objective::kCycles:
+        baseline_value = static_cast<double>(baseline.makespan_cycles());
+        break;
+      case plan::Objective::kEnergy:
+        baseline_value = baseline.total_energy();
+        break;
+      case plan::Objective::kEdp:
+        baseline_value = baseline.edp();
+        break;
+    }
+    EXPECT_LE(p.objective_value, baseline_value)
+        << "objective " << plan::objective_name(obj);
+  }
+}
+
+TEST(Planner, FloorsRespectAccuracyBudget) {
+  // Every chosen hash length either meets the measured budget or is maxed
+  // out at 1024 bits (the budget is infeasible for that layer).
+  const auto model = nn::make_model("lenet5", 1);
+  const plan::Planner planner(*model, nn::input_spec_for("lenet5").shape());
+  const plan::Plan p = planner.plan(lenet_planner_config());
+  ASSERT_EQ(p.floors.size(), p.hash_bits.size());
+  for (const plan::LayerFloor& f : p.floors) {
+    EXPECT_TRUE(f.measured_rel_error <= 0.5 ||
+                f.hash_bits == static_cast<std::size_t>(hash::kMaxHashBits))
+        << f.name << " k=" << f.hash_bits << " err=" << f.measured_rel_error;
+  }
+}
+
+TEST(Planner, GuidedTuneMirrorsTunerShape) {
+  const auto model = nn::make_model("lenet5", 1);
+  const plan::Planner planner(*model, nn::input_spec_for("lenet5").shape());
+  const core::TuneResult t = planner.guided_tune(lenet_planner_config());
+  ASSERT_EQ(t.layers.size(), t.hash_bits.size());
+  ASSERT_FALSE(t.layers.empty());
+  for (std::size_t i = 0; i < t.layers.size(); ++i) {
+    EXPECT_EQ(t.layers[i].chosen_bits, t.hash_bits[i]);
+    EXPECT_EQ(t.layers[i].metric.size(),
+              static_cast<std::size_t>(hash::kNumHashLengths));
+    EXPECT_GE(t.hash_bits[i], 256u);
+    EXPECT_LE(t.hash_bits[i], 1024u);
+    EXPECT_EQ(t.hash_bits[i] % 256, 0u);
+  }
+}
+
+// --- plan cache ------------------------------------------------------------
+
+TEST(PlanCache, SameKeyHitsWithIdenticalBytes) {
+  const auto model = nn::make_model("lenet5", 1);
+  const plan::Planner planner(*model, nn::input_spec_for("lenet5").shape());
+  const plan::PlannerConfig cfg = lenet_planner_config();
+  const std::string key =
+      plan::plan_cache_key(planner.cost_model().geometry().digest(), cfg);
+
+  plan::PlanCache cache;
+  std::size_t searches = 0;
+  const auto make = [&] {
+    ++searches;
+    return planner.plan(cfg);
+  };
+  bool hit1 = true, hit2 = false;
+  const plan::Plan first = cache.get_or_plan(key, make, &hit1);
+  const plan::Plan second = cache.get_or_plan(key, make, &hit2);
+  EXPECT_FALSE(hit1);
+  EXPECT_TRUE(hit2);
+  EXPECT_EQ(searches, 1u);  // the warm call skipped the search entirely
+  EXPECT_EQ(plan::plan_to_json(first), plan::plan_to_json(second));
+  const plan::PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCache, AnyKeyFieldChangeMisses) {
+  const auto model = nn::make_model("lenet5", 1);
+  const plan::Planner planner(*model, nn::input_spec_for("lenet5").shape());
+  const std::uint64_t digest = planner.cost_model().geometry().digest();
+  const plan::PlannerConfig base = lenet_planner_config();
+  const std::string base_key = plan::plan_cache_key(digest, base);
+
+  plan::PlannerConfig batch = base;
+  batch.batch = 32;
+  plan::PlannerConfig objective = base;
+  objective.objective = plan::Objective::kEnergy;
+  plan::PlannerConfig rows = base;
+  rows.row_candidates = {64};
+  plan::PlannerConfig budget = base;
+  budget.max_rel_error = 0.25;
+  plan::PlannerConfig hash = base;
+  hash.base.default_hash_bits = 512;
+  plan::PlannerConfig cam = base;
+  cam.base.cam_rows = 128;
+
+  std::vector<std::string> keys = {base_key};
+  for (const plan::PlannerConfig* cfg :
+       {&batch, &objective, &rows, &budget, &hash, &cam})
+    keys.push_back(plan::plan_cache_key(digest, *cfg));
+  // Different geometry is a different key too.
+  const auto vgg = nn::make_model("vgg11", 1);
+  keys.push_back(plan::plan_cache_key(
+      plan::extract_geometry(*vgg, nn::input_spec_for("vgg11").shape())
+          .digest(),
+      base));
+
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    for (std::size_t j = i + 1; j < keys.size(); ++j)
+      EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+
+  // And a cold cache really misses on each distinct key.
+  plan::PlanCache cache;
+  bool hit = true;
+  cache.get_or_plan(base_key, [&] { return planner.plan(base); }, &hit);
+  EXPECT_FALSE(hit);
+  cache.get_or_plan(keys[1], [&] { return planner.plan(batch); }, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace deepcam

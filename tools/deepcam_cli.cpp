@@ -4,6 +4,7 @@
 //   deepcam compare specs/table1.json --csv        backend sweep (Table I)
 //   deepcam serve   specs/serve_demo.json          online serving replay
 //   deepcam tune    specs/fig5_tune.json           VHL hash-length tuner
+//   deepcam plan    specs/plan_lenet.json          cost-model plan search
 //
 // The subcommand is a guard, not a selector: it must agree with the spec's
 // "mode" field ("run" is the offline alias), so a spec never silently runs
@@ -21,6 +22,9 @@
 //                   trace-event JSON for Perfetto); offline/serve
 //   --metrics PATH  write the Prometheus text exposition after a serve run
 //   --profile       record kernel-stage spans and print the per-stage table
+//   --validate      plan/tune: fall back to measured runs (plan mode cross-
+//                   checks the cost model against the sim backend; tune mode
+//                   runs the empirical sweep instead of the guided pass)
 //
 // Exit codes: 0 ok, 1 run/check failure, 2 usage or spec errors.
 #include <cstdio>
@@ -110,6 +114,38 @@ bool check_serve(const ServeOutcome& out) {
   return ok;
 }
 
+/// Plan invariants: re-running the same spec in-process must come back as a
+/// cache hit with byte-identical plan JSON (the determinism contract), every
+/// chosen hash length sits in the candidate set, and the cache counters
+/// recorded at least one hit.
+bool check_plan(const PlanOutcome& out, const Spec& spec) {
+  bool ok = !out.entries.empty();
+  for (const auto& e : out.entries) {
+    ok = ok && e.plan.hash_bits.size() == e.plan.floors.size() &&
+         !e.plan.hash_bits.empty();
+    for (const std::size_t k : e.plan.hash_bits)
+      ok = ok && k >= 256 && k <= 1024 && k % 256 == 0;
+    if (e.validated) ok = ok && e.cycle_rel_error <= 0.15;
+  }
+  // Second run through the same process-wide cache: identical bytes, hit.
+  const Outcome rerun = Runner().run(spec);
+  const PlanOutcome& warm = rerun.plan();
+  ok = ok && warm.entries.size() == out.entries.size();
+  for (std::size_t i = 0; ok && i < warm.entries.size(); ++i) {
+    ok = warm.entries[i].cache_hit &&
+         plan::plan_to_json(warm.entries[i].plan) ==
+             plan::plan_to_json(out.entries[i].plan);
+  }
+  ok = ok && warm.cache.hits > 0;
+  std::printf("check plan: %zu workloads, warm rerun %llu hits / "
+              "%llu misses -> %s\n",
+              out.entries.size(),
+              static_cast<unsigned long long>(warm.cache.hits),
+              static_cast<unsigned long long>(warm.cache.misses),
+              ok ? "OK" : "FAIL");
+  return ok;
+}
+
 /// Tune invariant: one choice per CAM layer, all in the candidate set.
 bool check_tune(const TuneOutcome& out) {
   bool ok = !out.entries.empty();
@@ -133,6 +169,7 @@ bool run_checks(const Outcome& outcome, const Spec& spec) {
       return verify_deepcam_rows(spec, outcome.compare());
     case Mode::kServe: return check_serve(outcome.serve());
     case Mode::kTune: return check_tune(outcome.tune());
+    case Mode::kPlan: return check_plan(outcome.plan(), spec);
   }
   return false;
 }
@@ -141,6 +178,7 @@ bool run_checks(const Outcome& outcome, const Spec& spec) {
 
 int main(int argc, char** argv) {
   bool check = false, csv = false, quiet = false, profile = false;
+  bool validate = false;
   std::string json_path, trace_path, metrics_path;
   cli::Flags flags("deepcam",
                    "run a declarative DeepCAM spec (see specs/*.json)");
@@ -154,7 +192,10 @@ int main(int argc, char** argv) {
               "write the Prometheus exposition (serve mode)")
       .flag("profile", &profile,
             "record kernel-stage spans; print the per-stage table")
-      .positional(2, 2, "<run|compare|serve|tune> <spec.json>");
+      .flag("validate", &validate,
+            "plan/tune: cross-check or replace the model-guided pass with "
+            "measured runs")
+      .positional(2, 2, "<run|compare|serve|tune|plan> <spec.json>");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "deepcam: %s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -169,6 +210,7 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) spec.outputs.trace_path = trace_path;
     if (!metrics_path.empty()) spec.outputs.metrics_path = metrics_path;
     if (profile) spec.outputs.profile = true;
+    if (validate) spec.plan.validate = true;
     spec.validate();
     if (spec.mode != command) {
       std::fprintf(stderr,
